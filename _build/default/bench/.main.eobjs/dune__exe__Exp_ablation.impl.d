@@ -1,0 +1,1 @@
+bench/exp_ablation.ml: Exp_common List Printf Snowplow Sp_ml Sp_util

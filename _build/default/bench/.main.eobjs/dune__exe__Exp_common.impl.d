@@ -1,0 +1,1 @@
+bench/exp_common.ml: Array List Printf Snowplow Sp_fuzz Sp_syzlang Sp_util String Unix

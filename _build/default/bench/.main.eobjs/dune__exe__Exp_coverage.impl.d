@@ -1,0 +1,1 @@
+bench/exp_coverage.ml: Exp_common List Option Printf Snowplow Sp_fuzz Sp_kernel Sp_util

@@ -1,0 +1,1 @@
+bench/exp_crashes.ml: Exp_common Hashtbl List Printf Snowplow Sp_fuzz Sp_kernel Sp_util

@@ -1,0 +1,1 @@
+bench/exp_directed.ml: Array Exp_common Float Fun List Option Printf Snowplow Sp_cfg Sp_fuzz Sp_kernel Sp_syzlang Sp_util

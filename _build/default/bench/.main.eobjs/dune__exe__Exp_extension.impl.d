@@ -1,0 +1,1 @@
+bench/exp_extension.ml: Exp_common List Printf Snowplow Sp_fuzz Sp_kernel Sp_syzlang Sp_util

@@ -1,0 +1,1 @@
+bench/exp_perf.ml: Analyze Bechamel Benchmark Exp_common Hashtbl List Measure Printf Snowplow Sp_fuzz Sp_kernel Sp_mutation Sp_syzlang Sp_util Staged Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/exp_pmm.ml: Exp_common Float List Printf Snowplow Sp_ml Sp_syzlang Sp_util

@@ -1,0 +1,1 @@
+bench/main.ml: Array Exp_ablation Exp_common Exp_coverage Exp_crashes Exp_directed Exp_extension Exp_perf Exp_pmm List Printf String Sys

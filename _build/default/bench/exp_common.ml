@@ -1,0 +1,68 @@
+(* Shared state and helpers for the experiment harness.
+
+   The trained pipeline (kernel generation, dataset collection, encoder
+   pretraining, PMM training) is expensive, so it is trained once and
+   shared by every experiment that needs it. *)
+
+module Campaign = Sp_fuzz.Campaign
+
+let t0 = Unix.gettimeofday ()
+
+let log fmt =
+  Printf.ksprintf
+    (fun s -> Printf.printf "[%7.1fs] %s\n%!" (Unix.gettimeofday () -. t0) s)
+    fmt
+
+let section title =
+  Printf.printf "\n%s\n%s\n%!" title (String.make (String.length title) '=')
+
+let shared : Snowplow.Pipeline.t option ref = ref None
+
+let pipeline () =
+  match !shared with
+  | Some p -> p
+  | None ->
+    log "training PMM (dataset collection + encoder pretraining + GNN)...";
+    let p = Snowplow.Pipeline.train () in
+    log "PMM trained: %d train / %d valid / %d eval examples, %d parameters"
+      (Array.length p.Snowplow.Pipeline.split.Snowplow.Dataset.train)
+      (Array.length p.Snowplow.Pipeline.split.Snowplow.Dataset.valid)
+      (Array.length p.Snowplow.Pipeline.split.Snowplow.Dataset.eval)
+      (Snowplow.Pmm.num_parameters p.Snowplow.Pipeline.model);
+    shared := Some p;
+    p
+
+let seed_corpus db ~seed ~size =
+  Sp_syzlang.Gen.corpus (Sp_util.Rng.create seed) db ~size
+
+let hours s = s /. 3600.0
+
+let pct a b = 100.0 *. ((float_of_int a /. float_of_int (max 1 b)) -. 1.0)
+
+let fmt_time s =
+  if s < 60.0 then Printf.sprintf "%.0f" s
+  else if s < 7200.0 then Printf.sprintf "%.0f" s
+  else Printf.sprintf "%.0f" s
+
+(* Mean coverage series across repeated runs, resampled on the snapshot
+   grid, with min/max band. *)
+let mean_series (reports : Campaign.report list) =
+  match reports with
+  | [] -> ([], [])
+  | first :: _ ->
+    let times = List.map (fun (s : Campaign.snapshot) -> s.Campaign.s_time) first.Campaign.series in
+    let at t (r : Campaign.report) = float_of_int (Campaign.coverage_at r t) in
+    let mean =
+      List.map
+        (fun t -> (hours t, Sp_util.Stats.mean (List.map (at t) reports)))
+        times
+    in
+    let band =
+      List.map
+        (fun t ->
+          let vs = List.map (at t) reports in
+          let lo, hi = Sp_util.Stats.min_max vs in
+          (hours t, lo, hi))
+        times
+    in
+    (mean, band)

@@ -1,0 +1,35 @@
+(* Experiment harness: regenerates every table and figure of the paper's
+   evaluation (see DESIGN.md's per-experiment index).
+
+   Usage:
+     bench/main.exe            run everything (E1-E8 + ablations)
+     bench/main.exe e1 e2 ...  run a subset (e1 e2 e3 e5 e7 e8 abl)
+*)
+
+let experiments =
+  [ ("e1", fun () -> Exp_pmm.e1 ());
+    ("e2", fun () -> Exp_pmm.e2 ());
+    ("e3", Exp_coverage.run);
+    ("e5", Exp_crashes.run);
+    ("e7", Exp_directed.run);
+    ("e8", Exp_perf.run);
+    ("e9", Exp_extension.run);
+    ("abl", Exp_ablation.run) ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst experiments
+  in
+  print_endline "Snowplow (ASPLOS'25) reproduction - experiment harness";
+  print_endline "======================================================";
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some f -> f ()
+      | None ->
+        Printf.printf "unknown experiment %S (known: %s)\n" name
+          (String.concat ", " (List.map fst experiments)))
+    requested;
+  Exp_common.log "all requested experiments finished"

@@ -1,0 +1,278 @@
+(* Command-line interface to the Snowplow reproduction.
+
+   snowplow kernel-info  — describe a generated kernel
+   snowplow gen          — generate and print random test programs
+   snowplow run          — execute a test program from a file or stdin
+   snowplow fuzz         — run a coverage campaign (syzkaller or snowplow)
+   snowplow train        — train PMM and print Table-1 metrics
+   snowplow directed     — directed fuzzing towards a bug's crash site *)
+
+open Cmdliner
+
+module Kernel = Sp_kernel.Kernel
+module Campaign = Sp_fuzz.Campaign
+module Prog = Sp_syzlang.Prog
+
+(* ------------------------------------------------------------------ *)
+(* Common arguments                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let seed_arg =
+  Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED" ~doc:"Kernel generation seed.")
+
+let version_arg =
+  Arg.(
+    value
+    & opt (enum [ ("6.8", "6.8"); ("6.9", "6.9"); ("6.10", "6.10") ]) "6.8"
+    & info [ "kernel" ] ~docv:"VERSION" ~doc:"Kernel version (6.8, 6.9 or 6.10).")
+
+let hours_arg =
+  Arg.(
+    value & opt float 2.0
+    & info [ "hours" ] ~docv:"H" ~doc:"Virtual campaign duration in hours.")
+
+let campaign_seed_arg =
+  Arg.(value & opt int 11 & info [ "run-seed" ] ~docv:"SEED" ~doc:"Campaign RNG seed.")
+
+let make_kernel seed version = Kernel.linux_like ~seed ~version
+
+(* ------------------------------------------------------------------ *)
+(* kernel-info                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let kernel_info seed version =
+  let k = make_kernel seed version in
+  let db = Kernel.spec_db k in
+  Printf.printf "kernel %s (seed %d)\n" (Kernel.version k) seed;
+  Printf.printf "  basic blocks : %d\n" (Kernel.num_blocks k);
+  Printf.printf "  static edges : %d\n" (Sp_cfg.Cfg.num_edges (Kernel.cfg k));
+  Printf.printf "  syscalls     : %d\n" (Sp_syzlang.Spec.count db);
+  Printf.printf "  bugs         : %d (%d known / %d new)\n"
+    (Array.length (Kernel.bugs k))
+    (List.length (List.filter (fun (b : Sp_kernel.Bug.t) -> b.known)
+                    (Array.to_list (Kernel.bugs k))))
+    (List.length (List.filter (fun (b : Sp_kernel.Bug.t) -> not b.known)
+                    (Array.to_list (Kernel.bugs k))));
+  print_endline "  interface:";
+  List.iter
+    (fun spec -> Format.printf "    %a@." Sp_syzlang.Spec.pp spec)
+    (Sp_syzlang.Spec.all db)
+
+let kernel_info_cmd =
+  Cmd.v
+    (Cmd.info "kernel-info" ~doc:"Describe a generated synthetic kernel.")
+    Term.(const kernel_info $ seed_arg $ version_arg)
+
+(* ------------------------------------------------------------------ *)
+(* gen                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let gen seed version count =
+  let k = make_kernel seed version in
+  let rng = Sp_util.Rng.create (seed lxor 0x9e9) in
+  List.iter
+    (fun prog ->
+      print_string (Prog.to_string prog);
+      print_newline ())
+    (Sp_syzlang.Gen.corpus rng (Kernel.spec_db k) ~size:count)
+
+let gen_cmd =
+  let count =
+    Arg.(value & opt int 3 & info [ "n" ] ~docv:"N" ~doc:"Number of programs.")
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate random well-formed test programs.")
+    Term.(const gen $ seed_arg $ version_arg $ count)
+
+(* ------------------------------------------------------------------ *)
+(* run                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let run_prog seed version file =
+  let k = make_kernel seed version in
+  let db = Kernel.spec_db k in
+  let text =
+    match file with
+    | Some path ->
+      let ic = open_in path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    | None -> In_channel.input_all stdin
+  in
+  match Sp_syzlang.Parser.program db text with
+  | Error msg ->
+    Printf.eprintf "parse error: %s\n" msg;
+    exit 1
+  | Ok prog ->
+    let r = Kernel.execute k prog in
+    Printf.printf "covered %d blocks, %d edges\n"
+      (Sp_util.Bitset.cardinal r.Kernel.covered)
+      (Sp_util.Bitset.cardinal r.Kernel.covered_edges);
+    (match r.Kernel.crash with
+    | Some c ->
+      Printf.printf "CRASH at call %d: %s\n" c.Kernel.crash_call
+        (Sp_kernel.Bug.description c.Kernel.bug)
+    | None -> print_endline "no crash")
+
+let run_cmd =
+  let file =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Program file (defaults to stdin).")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Execute a test program against the kernel.")
+    Term.(const run_prog $ seed_arg $ version_arg $ file)
+
+(* ------------------------------------------------------------------ *)
+(* fuzz                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let fuzz seed version hours run_seed system =
+  let k = make_kernel seed version in
+  let db = Kernel.spec_db k in
+  let seeds = Sp_syzlang.Gen.corpus (Sp_util.Rng.create (run_seed lxor 0x5eed)) db ~size:100 in
+  let cfg =
+    {
+      Campaign.default_config with
+      seed_corpus = seeds;
+      seed = run_seed;
+      duration = hours *. 3600.0;
+      snapshot_every = Float.max 600.0 (hours *. 3600.0 /. 12.0);
+      attempt_repro = true;
+    }
+  in
+  let strategy =
+    match system with
+    | `Syzkaller -> Sp_fuzz.Strategy.syzkaller db
+    | `Snowplow ->
+      print_endline "training PMM first (this takes a few minutes)...";
+      let p = Snowplow.Pipeline.train () in
+      let inference = Snowplow.Pipeline.inference_for p k in
+      Snowplow.Hybrid.strategy ~inference k
+  in
+  Printf.printf "fuzzing %s for %.1f virtual hours with %s...\n%!" version hours
+    strategy.Sp_fuzz.Strategy.name;
+  let vm = Sp_fuzz.Vm.create ~seed:run_seed k in
+  let r = Campaign.run vm strategy cfg in
+  Printf.printf "%-8s %10s %10s %8s\n" "uptime" "blocks" "edges" "crashes";
+  List.iter
+    (fun (s : Campaign.snapshot) ->
+      Printf.printf "%6.1f h %10d %10d %8d\n" (s.Campaign.s_time /. 3600.0)
+        s.Campaign.s_blocks s.Campaign.s_edges s.Campaign.s_crashes)
+    r.Campaign.series;
+  Printf.printf "\nexecutions %d, corpus %d, crashes %d (%d new)\n"
+    r.Campaign.executions r.Campaign.corpus_size
+    (List.length r.Campaign.crashes)
+    (List.length r.Campaign.new_crashes);
+  List.iter
+    (fun (f : Sp_fuzz.Triage.found) ->
+      Printf.printf "  [%s] %s%s\n"
+        (if Sp_fuzz.Triage.is_known
+              (Sp_fuzz.Triage.create k) f.Sp_fuzz.Triage.description
+         then "known" else " new ")
+        f.Sp_fuzz.Triage.description
+        (match f.Sp_fuzz.Triage.reproducer with
+        | Some _ -> " (reproducer available)"
+        | None -> ""))
+    r.Campaign.crashes
+
+let system_arg =
+  Arg.(
+    value
+    & opt (enum [ ("syzkaller", `Syzkaller); ("snowplow", `Snowplow) ]) `Syzkaller
+    & info [ "system" ] ~docv:"SYS" ~doc:"Fuzzer to run: syzkaller or snowplow.")
+
+let fuzz_cmd =
+  Cmd.v
+    (Cmd.info "fuzz" ~doc:"Run a coverage-directed fuzzing campaign.")
+    Term.(const fuzz $ seed_arg $ version_arg $ hours_arg $ campaign_seed_arg $ system_arg)
+
+(* ------------------------------------------------------------------ *)
+(* train                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let train () =
+  let p = Snowplow.Pipeline.train () in
+  let pmm = Snowplow.Pipeline.eval_scores p in
+  let rand = Snowplow.Pipeline.rand_baseline p ~k:8 in
+  Format.printf "PMModel: %a@." Sp_ml.Metrics.pp pmm;
+  Format.printf "Rand.8 : %a@." Sp_ml.Metrics.pp rand;
+  Printf.printf "threshold %.2f, %d parameters\n"
+    (Snowplow.Pmm.threshold p.Snowplow.Pipeline.model)
+    (Snowplow.Pmm.num_parameters p.Snowplow.Pipeline.model)
+
+let train_cmd =
+  Cmd.v
+    (Cmd.info "train" ~doc:"Train PMM and report Table-1 selector metrics.")
+    Term.(const train $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* directed                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let directed seed version hours run_seed bug_id =
+  let k = make_kernel seed version in
+  let bug = Kernel.bug k bug_id in
+  let target =
+    let rec go i =
+      if i >= Kernel.num_blocks k then failwith "bug has no crash block"
+      else
+        match (Kernel.block k i).Sp_kernel.Ir.term with
+        | Sp_kernel.Ir.Crash id when id = bug_id -> i
+        | _ -> go (i + 1)
+    in
+    go 0
+  in
+  Format.printf "target: crash site of %a@." Sp_kernel.Bug.pp bug;
+  print_endline "training PMM first (this takes a few minutes)...";
+  let p = Snowplow.Pipeline.train () in
+  let inference = Snowplow.Pipeline.inference_for p k in
+  let db = Kernel.spec_db k in
+  let seeds = Sp_syzlang.Gen.corpus (Sp_util.Rng.create (run_seed lxor 0xd1c)) db ~size:60 in
+  let cfg =
+    {
+      Campaign.default_config with
+      seed_corpus = seeds;
+      seed = run_seed;
+      duration = hours *. 3600.0;
+      snapshot_every = 600.0;
+      target = Some target;
+    }
+  in
+  let run name strategy =
+    let vm = Sp_fuzz.Vm.create ~fleet_scale:192.0 ~seed:run_seed k in
+    let r = Campaign.run vm strategy cfg in
+    match r.Campaign.target_hit_at with
+    | Some t -> Printf.printf "%-12s reached the target in %.0f virtual seconds\n" name t
+    | None -> Printf.printf "%-12s did not reach the target\n" name
+  in
+  let target_sys =
+    let sys = (Kernel.block k target).Sp_kernel.Ir.sys_id in
+    if sys >= 0 then Some sys else None
+  in
+  run "SyzDirect" (Sp_fuzz.Strategy.syzdirect ~target_sys db);
+  run "Snowplow-D" (Snowplow.Directed.strategy ~inference ~target k)
+
+let directed_cmd =
+  let bug_id =
+    Arg.(value & opt int 10 & info [ "bug" ] ~docv:"ID" ~doc:"Bug id whose crash site to reach.")
+  in
+  Cmd.v
+    (Cmd.info "directed" ~doc:"Directed fuzzing towards a bug's crash site.")
+    Term.(const directed $ seed_arg $ version_arg $ hours_arg $ campaign_seed_arg $ bug_id)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let info =
+    Cmd.info "snowplow" ~version:"1.0"
+      ~doc:"Snowplow (ASPLOS'25) reproduction: learned white-box kernel test mutation."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ kernel_info_cmd; gen_cmd; run_cmd; fuzz_cmd; train_cmd; directed_cmd ]))

@@ -1,0 +1,1 @@
+examples/corpus_tools.ml: List Printf Snowplow Sp_fuzz Sp_kernel Sp_syzlang Sp_util

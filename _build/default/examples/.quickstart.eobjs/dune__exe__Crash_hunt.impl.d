@@ -1,0 +1,1 @@
+examples/crash_hunt.ml: Array List Printf Sp_fuzz Sp_kernel Sp_syzlang Sp_util String

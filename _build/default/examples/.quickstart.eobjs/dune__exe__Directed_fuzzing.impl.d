@@ -1,0 +1,1 @@
+examples/directed_fuzzing.ml: Array Format List Option Printf Snowplow Sp_fuzz Sp_kernel Sp_syzlang Sp_util

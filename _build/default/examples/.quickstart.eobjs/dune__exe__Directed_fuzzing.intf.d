@@ -1,0 +1,1 @@
+examples/directed_fuzzing.mli:

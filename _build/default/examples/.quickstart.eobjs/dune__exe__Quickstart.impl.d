@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format List Printf Snowplow Sp_cfg Sp_kernel Sp_mutation Sp_syzlang Sp_util String

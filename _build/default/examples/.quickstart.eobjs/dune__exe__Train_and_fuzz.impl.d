@@ -1,0 +1,1 @@
+examples/train_and_fuzz.ml: Format List Printf Snowplow Sp_fuzz Sp_kernel Sp_ml Sp_syzlang Sp_util

@@ -1,0 +1,1 @@
+lib/cfg/cfg.ml: Array Hashtbl List Queue Sp_util

@@ -1,0 +1,122 @@
+module Bitset = Sp_util.Bitset
+
+type t = {
+  num_blocks : int;
+  succ : int list array; (* insertion order *)
+  pred : int list array;
+  edge_ids : (int * int, int) Hashtbl.t;
+  num_edges : int;
+}
+
+let create ~num_blocks ~edges =
+  if num_blocks < 0 then invalid_arg "Cfg.create: negative num_blocks";
+  let succ = Array.make num_blocks [] and pred = Array.make num_blocks [] in
+  let edge_ids = Hashtbl.create (List.length edges) in
+  let next_id = ref 0 in
+  List.iter
+    (fun (src, dst) ->
+      if src < 0 || src >= num_blocks || dst < 0 || dst >= num_blocks then
+        invalid_arg "Cfg.create: edge endpoint out of range";
+      if not (Hashtbl.mem edge_ids (src, dst)) then begin
+        Hashtbl.add edge_ids (src, dst) !next_id;
+        incr next_id;
+        succ.(src) <- dst :: succ.(src);
+        pred.(dst) <- src :: pred.(dst)
+      end)
+    edges;
+  Array.iteri (fun i l -> succ.(i) <- List.rev l) succ;
+  Array.iteri (fun i l -> pred.(i) <- List.rev l) pred;
+  { num_blocks; succ; pred; edge_ids; num_edges = !next_id }
+
+let num_blocks t = t.num_blocks
+
+let num_edges t = t.num_edges
+
+let succs t b = t.succ.(b)
+
+let preds t b = t.pred.(b)
+
+let edges t =
+  List.concat
+    (List.init t.num_blocks (fun src -> List.map (fun dst -> (src, dst)) t.succ.(src)))
+
+let edge_id t e = Hashtbl.find_opt t.edge_ids e
+
+let mem_edge t e = Hashtbl.mem t.edge_ids e
+
+let reachable t start =
+  let seen = Bitset.create t.num_blocks in
+  let q = Queue.create () in
+  Bitset.add seen start;
+  Queue.add start q;
+  while not (Queue.is_empty q) do
+    let b = Queue.pop q in
+    List.iter
+      (fun nxt ->
+        if not (Bitset.mem seen nxt) then begin
+          Bitset.add seen nxt;
+          Queue.add nxt q
+        end)
+      t.succ.(b)
+  done;
+  seen
+
+let frontier t ~covered =
+  let found = Hashtbl.create 64 in
+  let acc = ref [] in
+  Bitset.iter
+    (fun via ->
+      List.iter
+        (fun entry ->
+          if (not (Bitset.mem covered entry)) && not (Hashtbl.mem found entry)
+          then begin
+            Hashtbl.add found entry ();
+            acc := (entry, via) :: !acc
+          end)
+        t.succ.(via))
+    covered;
+  List.rev !acc
+
+let distances_to t target =
+  let dist = Array.make t.num_blocks max_int in
+  if t.num_blocks = 0 then dist
+  else begin
+    dist.(target) <- 0;
+    let q = Queue.create () in
+    Queue.add target q;
+    while not (Queue.is_empty q) do
+      let b = Queue.pop q in
+      List.iter
+        (fun p ->
+          if dist.(p) = max_int then begin
+            dist.(p) <- dist.(b) + 1;
+            Queue.add p q
+          end)
+        t.pred.(b)
+    done;
+    dist
+  end
+
+let shortest_path t ~src ~dst =
+  let parent = Array.make t.num_blocks (-1) in
+  let seen = Bitset.create t.num_blocks in
+  Bitset.add seen src;
+  let q = Queue.create () in
+  Queue.add src q;
+  let found = ref (src = dst) in
+  while (not !found) && not (Queue.is_empty q) do
+    let b = Queue.pop q in
+    List.iter
+      (fun nxt ->
+        if not (Bitset.mem seen nxt) then begin
+          Bitset.add seen nxt;
+          parent.(nxt) <- b;
+          if nxt = dst then found := true else Queue.add nxt q
+        end)
+      t.succ.(b)
+  done;
+  if not !found then None
+  else begin
+    let rec walk b acc = if b = src then src :: acc else walk parent.(b) (b :: acc) in
+    Some (walk dst [])
+  end

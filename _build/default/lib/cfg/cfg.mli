@@ -1,0 +1,50 @@
+(** Static control-flow graphs over kernel basic blocks.
+
+    The paper recovers the kernel's CFG with Angr and uses it for two static
+    analyses: finding "alternative path entries" (uncovered blocks one
+    not-taken branch away from a test's coverage, §3.2) and, for directed
+    fuzzing, measuring how close a test got to a target block. This module is
+    that substrate: blocks are dense integer ids [0..num_blocks), edges are
+    directed, and both analyses are provided. *)
+
+type t
+
+val create : num_blocks:int -> edges:(int * int) list -> t
+(** Duplicate edges are collapsed; self-edges are allowed. Raises
+    [Invalid_argument] on out-of-range endpoints. *)
+
+val num_blocks : t -> int
+
+val num_edges : t -> int
+
+val succs : t -> int -> int list
+(** Successors in insertion order. *)
+
+val preds : t -> int -> int list
+
+val edges : t -> (int * int) list
+(** All edges, grouped by source block. *)
+
+val edge_id : t -> int * int -> int option
+(** Dense id in [0, num_edges) for an existing edge, [None] otherwise. Edge
+    ids index edge-coverage bitsets. *)
+
+val mem_edge : t -> int * int -> bool
+
+val reachable : t -> int -> Sp_util.Bitset.t
+(** [reachable t b] is the forward-reachable set from [b], including [b]. *)
+
+val frontier : t -> covered:Sp_util.Bitset.t -> (int * int) list
+(** [frontier t ~covered] lists pairs [(entry, via)] where [entry] is not in
+    [covered], [via] is, and edge [via -> entry] exists: the paper's
+    alternative path entries with the covered block whose not-taken branch
+    leads to them. Each [entry] appears once (first covered predecessor
+    wins). *)
+
+val distances_to : t -> int -> int array
+(** [distances_to t target] gives, per block, the minimum number of edges on
+    any path from that block to [target]; [max_int] when no path exists.
+    Used by the SyzDirect-style directed fuzzer as a closeness metric. *)
+
+val shortest_path : t -> src:int -> dst:int -> int list option
+(** One BFS-shortest path [src; ...; dst], if any. *)

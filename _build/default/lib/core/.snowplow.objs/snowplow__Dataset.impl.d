@@ -1,0 +1,1 @@
+lib/core/dataset.ml: Array Hashtbl List Option Pmm Query_graph Sp_kernel Sp_mutation Sp_syzlang Sp_util

@@ -1,0 +1,1 @@
+lib/core/dataset.mli: Pmm Query_graph Sp_kernel Sp_syzlang

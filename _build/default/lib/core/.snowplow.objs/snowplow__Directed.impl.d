@@ -1,0 +1,1 @@
+lib/core/directed.ml: Array Hybrid Inference List Sp_cfg Sp_fuzz Sp_kernel Sp_mutation Sp_util

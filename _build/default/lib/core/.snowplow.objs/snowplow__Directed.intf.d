@@ -1,0 +1,1 @@
+lib/core/directed.mli: Inference Sp_fuzz Sp_kernel Sp_util

@@ -1,0 +1,1 @@
+lib/core/encoder.ml: Array Fun List Sp_kernel Sp_ml Sp_util

@@ -1,0 +1,1 @@
+lib/core/encoder.mli: Sp_kernel Sp_ml

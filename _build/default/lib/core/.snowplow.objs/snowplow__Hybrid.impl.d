@@ -1,0 +1,1 @@
+lib/core/hybrid.ml: Array Fun Hashtbl Inference Insertion List Sp_cfg Sp_fuzz Sp_kernel Sp_mutation Sp_syzlang Sp_util

@@ -1,0 +1,1 @@
+lib/core/hybrid.mli: Inference Insertion Sp_fuzz Sp_kernel Sp_mutation Sp_syzlang Sp_util

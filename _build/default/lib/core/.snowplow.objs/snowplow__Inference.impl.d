@@ -1,0 +1,1 @@
+lib/core/inference.ml: Float Hashtbl List Pmm Query_graph Sp_kernel Sp_ml Sp_syzlang

@@ -1,0 +1,1 @@
+lib/core/inference.mli: Pmm Sp_kernel Sp_ml Sp_syzlang

@@ -1,0 +1,1 @@
+lib/core/insertion.ml: Array Float Fun Hashtbl List Option Sp_kernel Sp_ml Sp_syzlang Sp_util

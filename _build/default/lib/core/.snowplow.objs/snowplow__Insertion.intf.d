@@ -1,0 +1,1 @@
+lib/core/insertion.mli: Sp_kernel Sp_syzlang Sp_util

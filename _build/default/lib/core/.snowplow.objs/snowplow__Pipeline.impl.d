@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Dataset Encoder Inference List Pmm Sp_fuzz Sp_kernel Sp_ml Sp_syzlang Sp_util Trainer

@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Dataset Encoder Inference Pmm Sp_kernel Sp_ml Sp_syzlang Trainer

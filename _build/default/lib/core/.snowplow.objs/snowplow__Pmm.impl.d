@@ -1,0 +1,1 @@
+lib/core/pmm.ml: Array Fun Hashtbl List Option Query_graph Sp_kernel Sp_ml Sp_syzlang Sp_util

@@ -1,0 +1,1 @@
+lib/core/pmm.mli: Query_graph Sp_ml Sp_syzlang

@@ -1,0 +1,1 @@
+lib/core/query_graph.ml: Array Hashtbl List Sp_cfg Sp_kernel Sp_syzlang Sp_util

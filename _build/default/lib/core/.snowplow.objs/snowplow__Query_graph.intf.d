@@ -1,0 +1,1 @@
+lib/core/query_graph.mli: Sp_kernel Sp_syzlang

@@ -1,0 +1,1 @@
+lib/core/trainer.ml: Array Dataset Fun List Pmm Sp_ml Sp_syzlang Sp_util

@@ -1,0 +1,1 @@
+lib/core/trainer.mli: Dataset Pmm Sp_ml

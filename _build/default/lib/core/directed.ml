@@ -1,0 +1,52 @@
+module Rng = Sp_util.Rng
+module Bitset = Sp_util.Bitset
+module Kernel = Sp_kernel.Kernel
+module Engine = Sp_mutation.Engine
+module Strategy = Sp_fuzz.Strategy
+module Corpus = Sp_fuzz.Corpus
+
+let pick_targets_towards rng kernel ~covered ~dist (entry : Corpus.entry)
+    ~max_targets =
+  let frontier =
+    Sp_cfg.Cfg.frontier (Kernel.cfg kernel) ~covered:entry.Corpus.blocks
+  in
+  let candidates =
+    List.filter_map
+      (fun (blk, _via) ->
+        if Bitset.mem covered blk || dist.(blk) = max_int then None
+        else Some (blk, dist.(blk)))
+      frontier
+  in
+  match candidates with
+  | [] -> []
+  | _ ->
+    let best = List.fold_left (fun acc (_, d) -> min acc d) max_int candidates in
+    (* The closest tier plus one hop of slack: precise enough to direct the
+       model, loose enough to survive distance ties. *)
+    let tier = List.filter (fun (_, d) -> d <= best + 1) candidates in
+    let blocks = List.map fst tier in
+    if List.length blocks <= max_targets then blocks
+    else Rng.sample rng (Array.of_list blocks) max_targets
+
+let strategy ?(mutations_per_base = 8) ?(max_targets = 8) ?(per_arg = 2)
+    ~inference ~target kernel =
+  let db = Kernel.spec_db kernel in
+  let dist = Sp_cfg.Cfg.distances_to (Kernel.cfg kernel) target in
+  let target_sys =
+    let sys = (Kernel.block kernel target).Sp_kernel.Ir.sys_id in
+    if sys >= 0 then Some sys else None
+  in
+  let base = Strategy.syzdirect ~mutations_per_base ~target_sys db in
+  let propose rng ~now ~covered corpus (entry : Corpus.entry) =
+    let engine = Engine.create db in
+    let delivered =
+      Inference.poll inference ~now
+      |> List.concat_map (fun (prog, paths) ->
+             Hybrid.guided_mutants rng engine prog paths ~per_arg)
+    in
+    let targets = pick_targets_towards rng kernel ~covered ~dist entry ~max_targets in
+    if targets <> [] then
+      ignore (Inference.request inference ~now entry.Corpus.prog ~targets);
+    delivered @ base.Strategy.propose rng ~now ~covered corpus entry
+  in
+  { Strategy.name = "Snowplow-D"; throughput_factor = 383.0 /. 390.0; propose }

@@ -1,0 +1,31 @@
+(** Snowplow-D: PMM plugged into the directed fuzzer (§5.4).
+
+    SyzDirect's heuristics steer the campaign toward a target code
+    location (distance-weighted base selection — handled by the campaign
+    loop — plus target-syscall steering); PMM replaces random argument
+    localization. The desired-coverage targets of each query are the
+    uncovered frontier entries of the base test that are statically closest
+    to the target block, so the model is asked "which arguments unlock the
+    next branch on the way to the target". *)
+
+val pick_targets_towards :
+  Sp_util.Rng.t ->
+  Sp_kernel.Kernel.t ->
+  covered:Sp_util.Bitset.t ->
+  dist:int array ->
+  Sp_fuzz.Corpus.entry ->
+  max_targets:int ->
+  int list
+(** Frontier entries of the base coverage, globally uncovered, restricted
+    to the tier closest to the target ([dist] from
+    [Cfg.distances_to]). *)
+
+val strategy :
+  ?mutations_per_base:int ->
+  ?max_targets:int ->
+  ?per_arg:int ->
+  inference:Inference.t ->
+  target:int ->
+  Sp_kernel.Kernel.t ->
+  Sp_fuzz.Strategy.t
+(** The Snowplow-D strategy for one target block. *)

@@ -1,0 +1,145 @@
+module Rng = Sp_util.Rng
+module Kernel = Sp_kernel.Kernel
+module Token = Sp_kernel.Token
+module Ad = Sp_ml.Ad
+module Nn = Sp_ml.Nn
+module Tensor = Sp_ml.Tensor
+module Optim = Sp_ml.Optim
+
+type config = { dim : int; max_len : int; steps : int; lr : float; seed : int }
+
+let default_config = { dim = 16; max_len = 8; steps = 3000; lr = 3e-3; seed = 17 }
+
+type t = {
+  config : config;
+  tok_emb : Nn.Embedding.t;
+  pos_emb : Nn.Embedding.t;
+  wq : Nn.Linear.t;
+  wk : Nn.Linear.t;
+  wv : Nn.Linear.t;
+  wo : Nn.Linear.t;
+  ffn1 : Nn.Linear.t;
+  ffn2 : Nn.Linear.t;
+  lm_head : Nn.Linear.t;
+}
+
+let mask_token = Token.vocab_size
+
+let vocab = Token.vocab_size + 1
+
+let dim t = t.config.dim
+
+let params t =
+  Nn.Embedding.params t.tok_emb @ Nn.Embedding.params t.pos_emb
+  @ Nn.Linear.params t.wq @ Nn.Linear.params t.wk @ Nn.Linear.params t.wv
+  @ Nn.Linear.params t.wo @ Nn.Linear.params t.ffn1 @ Nn.Linear.params t.ffn2
+  @ Nn.Linear.params t.lm_head
+
+let create config =
+  let rng = Rng.create config.seed in
+  let d = config.dim in
+  {
+    config;
+    tok_emb = Nn.Embedding.create rng ~vocab ~dim:d;
+    pos_emb = Nn.Embedding.create rng ~vocab:config.max_len ~dim:d;
+    wq = Nn.Linear.create ~bias:false rng d d;
+    wk = Nn.Linear.create ~bias:false rng d d;
+    wv = Nn.Linear.create ~bias:false rng d d;
+    wo = Nn.Linear.create ~bias:false rng d d;
+    ffn1 = Nn.Linear.create rng d (2 * d);
+    ffn2 = Nn.Linear.create rng (2 * d) d;
+    lm_head = Nn.Linear.create rng d vocab;
+  }
+
+(* One pre-norm-free transformer block over a single sequence. *)
+let forward t tokens =
+  let len = min (Array.length tokens) t.config.max_len in
+  let toks = Array.sub tokens 0 len in
+  let x0 =
+    Ad.add
+      (Nn.Embedding.lookup t.tok_emb toks)
+      (Nn.Embedding.lookup t.pos_emb (Array.init len Fun.id))
+  in
+  let q = Nn.Linear.apply t.wq x0
+  and k = Nn.Linear.apply t.wk x0
+  and v = Nn.Linear.apply t.wv x0 in
+  let scores = Ad.scale (1.0 /. sqrt (float_of_int t.config.dim)) (Ad.matmul_nt q k) in
+  let attended = Ad.matmul (Ad.softmax_rows scores) v in
+  let x1 = Ad.add x0 (Nn.Linear.apply t.wo attended) in
+  let ff = Nn.Linear.apply t.ffn2 (Ad.relu (Nn.Linear.apply t.ffn1 x1)) in
+  Ad.add x1 ff
+
+let block_tokens kernel =
+  Array.init (Kernel.num_blocks kernel) (fun b -> (Kernel.block kernel b).Sp_kernel.Ir.tokens)
+
+let pretrain ?(config = default_config) kernel =
+  let t = create config in
+  let rng = Rng.create (config.seed lxor 0xbe27) in
+  let optim = Optim.adam ~lr:config.lr (params t) in
+  let all = block_tokens kernel in
+  let eligible =
+    Array.of_list
+      (List.filter (fun toks -> Array.length toks >= 2) (Array.to_list all))
+  in
+  for _step = 1 to config.steps do
+    let toks = Array.copy (Rng.choose rng eligible) in
+    let len = min (Array.length toks) config.max_len in
+    let pos = Rng.int rng len in
+    let original = toks.(pos) in
+    toks.(pos) <- mask_token;
+    let out = forward t toks in
+    let logits = Nn.Linear.apply t.lm_head out in
+    let targets = Array.make len (-1) in
+    targets.(pos) <- original;
+    let loss = Ad.cross_entropy_rows logits ~targets in
+    Optim.zero_grad optim;
+    Ad.backward loss;
+    Optim.step optim
+  done;
+  t
+
+let embed t tokens =
+  let out = Ad.value (forward t tokens) in
+  let rows, cols = Tensor.dims out in
+  let pooled = Array.make cols 0.0 in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      pooled.(j) <- pooled.(j) +. (Tensor.get out i j /. float_of_int rows)
+    done
+  done;
+  pooled
+
+let embed_kernel t kernel =
+  let n = Kernel.num_blocks kernel in
+  let out = Tensor.create n t.config.dim in
+  for b = 0 to n - 1 do
+    let e = embed t (Kernel.block kernel b).Sp_kernel.Ir.tokens in
+    Array.iteri (fun j v -> Tensor.set out b j v) e
+  done;
+  out
+
+let masked_lm_accuracy t kernel ~samples ~seed =
+  let rng = Rng.create seed in
+  let all = block_tokens kernel in
+  let eligible =
+    Array.of_list
+      (List.filter (fun toks -> Array.length toks >= 2) (Array.to_list all))
+  in
+  let correct = ref 0 in
+  for _ = 1 to samples do
+    let toks = Array.copy (Rng.choose rng eligible) in
+    let len = min (Array.length toks) t.config.max_len in
+    let pos = Rng.int rng len in
+    let original = toks.(pos) in
+    toks.(pos) <- mask_token;
+    let logits = Ad.value (Nn.Linear.apply t.lm_head (forward t toks)) in
+    let best = ref 0 and best_v = ref neg_infinity in
+    for v = 0 to vocab - 1 do
+      if Tensor.get logits pos v > !best_v then begin
+        best_v := Tensor.get logits pos v;
+        best := v
+      end
+    done;
+    if !best = original then incr correct
+  done;
+  float_of_int !correct /. float_of_int samples

@@ -1,0 +1,36 @@
+(** Basic-block content encoder.
+
+    The paper embeds each kernel basic block from its x86 assembly with a
+    Transformer encoder pre-trained on all assembly of a compiled kernel
+    using the BERT recipe (§3.3). This is the same design at laptop scale: a
+    single-head self-attention encoder over the block's token sequence,
+    pre-trained with masked-token prediction over every block of a kernel,
+    then frozen; PMM consumes the cached per-block embeddings. *)
+
+type t
+
+type config = {
+  dim : int;  (** embedding width (default 16) *)
+  max_len : int;  (** longest block token sequence (default 8) *)
+  steps : int;  (** masked-LM pretraining steps (default 3000) *)
+  lr : float;
+  seed : int;
+}
+
+val default_config : config
+
+val pretrain : ?config:config -> Sp_kernel.Kernel.t -> t
+(** Masked-token pretraining over all blocks of the kernel. *)
+
+val dim : t -> int
+
+val embed : t -> int array -> float array
+(** Encode one token sequence (mean-pooled over positions). *)
+
+val embed_kernel : t -> Sp_kernel.Kernel.t -> Sp_ml.Tensor.t
+(** One row per kernel block — the frozen cache PMM reads. Works on any
+    kernel version, not just the one pretrained on. *)
+
+val masked_lm_accuracy : t -> Sp_kernel.Kernel.t -> samples:int -> seed:int -> float
+(** Fraction of masked tokens recovered correctly on random blocks; a
+    pretraining sanity metric. *)

@@ -1,0 +1,118 @@
+module Rng = Sp_util.Rng
+module Bitset = Sp_util.Bitset
+module Kernel = Sp_kernel.Kernel
+module Prog = Sp_syzlang.Prog
+module Engine = Sp_mutation.Engine
+module Strategy = Sp_fuzz.Strategy
+module Corpus = Sp_fuzz.Corpus
+
+let guided_mutants rng engine base paths ~per_arg =
+  match paths with
+  | [] -> []
+  | _ ->
+    (* One mutant per predicted argument (times [per_arg]), each changing a
+       single argument so the path prefix the base already satisfies stays
+       intact. *)
+    let arr = Array.of_list paths in
+    let n = per_arg * Array.length arr in
+    List.init n (fun i ->
+        let chosen = [ arr.(i mod Array.length arr) ] in
+        let prog = Engine.mutate_args_at engine rng base chosen in
+        { Strategy.prog; origin = "pmm-arg" })
+
+let pick_targets _rng kernel ~covered (entry : Corpus.entry) ~max_targets =
+  let frontier =
+    Sp_cfg.Cfg.frontier (Kernel.cfg kernel) ~covered:entry.Corpus.blocks
+  in
+  let uncovered_entries =
+    List.filter_map
+      (fun (blk, _via) -> if Bitset.mem covered blk then None else Some blk)
+      frontier
+  in
+  (* Deterministic pseudo-random subset: the same base against the same
+     campaign frontier always queries the same targets, so the inference
+     cache only recomputes when the frontier actually changes. *)
+  let h = Prog.hash entry.Corpus.prog in
+  List.sort
+    (fun a b -> compare (Hashtbl.hash (a lxor h)) (Hashtbl.hash (b lxor h)))
+    uncovered_entries
+  |> List.filteri (fun i _ -> i < max_targets)
+
+(* Snowplow is Syzkaller with the argument-mutation localizer swapped out
+   (§3.4): mutation-type selection, insertion, removal, splicing and their
+   relative volumes are untouched. When the selector picks
+   ARGUMENT_MUTATION and a PMM prediction for the base test has been
+   delivered, the mutation lands on a predicted argument; until the
+   (asynchronous) prediction arrives, the stock random localizer acts as
+   the fallback. *)
+let strategy ?(mutations_per_base = 8) ?(max_targets = 40) ?insertion
+    ~inference kernel =
+  let db = Kernel.spec_db kernel in
+  let predictions : (int, Prog.path list) Hashtbl.t = Hashtbl.create 1024 in
+  let random_localizer = Engine.syzkaller_arg_localizer () in
+  let arg_localizer rng prog =
+    match Hashtbl.find_opt predictions (Prog.hash prog) with
+    | Some (_ :: _ as paths) when Rng.coin rng 0.85 ->
+      let predicted = Rng.choose_list rng paths in
+      (* Pairing the predicted argument with one random argument keeps the
+         mutant space large (small flag/enum spaces exhaust quickly when
+         the same argument is hammered alone) at negligible risk to the
+         satisfied path prefix. *)
+      if Rng.bool rng then [ predicted ]
+      else begin
+        match random_localizer rng prog with
+        | other :: _ when Prog.path_compare other predicted <> 0 ->
+          [ predicted; other ]
+        | _ -> [ predicted ]
+      end
+    | Some _ | None -> random_localizer rng prog
+  in
+  let engine =
+    Engine.create
+      ~selector:(Engine.syzkaller_selector ~splice:true ())
+      ~arg_localizer db
+  in
+  (* Optional sec.-6 extension: when an insertion model is supplied, new
+     calls are drawn from its top predictions instead of uniformly. *)
+  let guided_insert rng ~covered base =
+    match insertion with
+    | None -> None
+    | Some model ->
+      let choices = Insertion.top_k model ~covered base ~k:4 in
+      let sys = Rng.choose_list rng choices in
+      let call = Sp_syzlang.Gen.call rng db (Sp_syzlang.Spec.by_id db sys) in
+      let pos = Rng.int rng (Array.length base + 1) in
+      let prog =
+        Sp_syzlang.Gen.wire_resources rng db (Prog.insert_call base pos call)
+      in
+      if Array.length prog > 12 then None
+      else Some { Strategy.prog; origin = "learned-insert" }
+  in
+  let propose rng ~now ~covered corpus (entry : Corpus.entry) =
+    List.iter
+      (fun (prog, paths) -> Hashtbl.replace predictions (Prog.hash prog) paths)
+      (Inference.poll inference ~now);
+    let targets = pick_targets rng kernel ~covered entry ~max_targets in
+    if targets <> [] then
+      ignore (Inference.request inference ~now entry.Corpus.prog ~targets);
+    let guided = Hashtbl.mem predictions (Prog.hash entry.Corpus.prog) in
+    List.init mutations_per_base (fun _ ->
+        let donor =
+          if Corpus.size corpus > 1 && Rng.coin rng 0.2 then
+            Some (Corpus.choose rng corpus).Corpus.prog
+          else None
+        in
+        let prog, applied = Engine.mutate engine rng ?donor entry.Corpus.prog in
+        match applied with
+        | Engine.No_change -> None
+        | Engine.Mutated_args _ ->
+          Some { Strategy.prog; origin = (if guided then "pmm-arg" else "arg") }
+        | Engine.Inserted_call _ -> (
+          match guided_insert rng ~covered entry.Corpus.prog with
+          | Some p when Rng.coin rng 0.7 -> Some p
+          | _ -> Some { Strategy.prog; origin = "insert" })
+        | Engine.Removed_call _ -> Some { Strategy.prog; origin = "remove" }
+        | Engine.Spliced _ -> Some { Strategy.prog; origin = "splice" })
+    |> List.filter_map Fun.id
+  in
+  { Strategy.name = "Snowplow"; throughput_factor = 383.0 /. 390.0; propose }

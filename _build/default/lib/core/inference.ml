@@ -1,0 +1,123 @@
+module Kernel = Sp_kernel.Kernel
+module Prog = Sp_syzlang.Prog
+
+type pending = {
+  ready_at : float;
+  requested_at : float;
+  prog : Prog.t;
+  prediction : Prog.path list;
+}
+
+type t = {
+  latency : float;
+  capacity_qps : float;
+  max_pending : int;
+  cache_ttl : float;
+  kernel : Kernel.t;
+  block_embs : Sp_ml.Tensor.t;
+  model : Pmm.t;
+  mutable queue : pending list;  (* oldest first *)
+  mutable next_free : float;
+  mutable served : int;
+  mutable dropped : int;
+  mutable cache_hits : int;
+  mutable latency_sum : float;
+  cache : (int, float * Prog.path list) Hashtbl.t;
+  (* secondary memo per base test: a recent answer for the same base with a
+     slightly different target set is close enough while fresh *)
+  by_prog : (int, float * Prog.path list) Hashtbl.t;
+  soft_ttl : float;
+}
+
+let create ?(latency = 0.69) ?(capacity_qps = 57.0) ?(max_pending = 16)
+    ?(cache_ttl = 1800.0) ~kernel ~block_embs model =
+  {
+    latency;
+    capacity_qps;
+    max_pending;
+    cache_ttl;
+    kernel;
+    block_embs;
+    model;
+    queue = [];
+    next_free = 0.0;
+    served = 0;
+    dropped = 0;
+    cache_hits = 0;
+    latency_sum = 0.0;
+    cache = Hashtbl.create 1024;
+    by_prog = Hashtbl.create 1024;
+    soft_ttl = 240.0;
+  }
+
+let predict_now t prog ~targets =
+  let result = Kernel.execute t.kernel prog in
+  if result.Kernel.crash <> None then []
+  else begin
+    let graph = Query_graph.build t.kernel prog ~result ~targets in
+    Pmm.predict t.model ~block_embs:t.block_embs graph
+  end
+
+let targets_key prog targets =
+  List.fold_left
+    (fun acc b -> (acc * 1000003) lxor b)
+    (Prog.hash prog)
+    (List.sort compare targets)
+
+let request t ~now prog ~targets =
+  let key = targets_key prog targets in
+  let cached_answer =
+    match Hashtbl.find_opt t.cache key with
+    | Some (computed_at, cached) when now -. computed_at <= t.cache_ttl ->
+      Some cached
+    | Some _ | None -> (
+      match Hashtbl.find_opt t.by_prog (Prog.hash prog) with
+      | Some (computed_at, cached) when now -. computed_at <= t.soft_ttl ->
+        Some cached
+      | Some _ | None -> None)
+  in
+  match cached_answer with
+  | Some cached ->
+    (* A recent answer for this base is reused without touching the
+       service (the integration layer memoizes per base test). *)
+    t.cache_hits <- t.cache_hits + 1;
+    t.queue <- t.queue @ [ { ready_at = now; requested_at = now; prog; prediction = cached } ];
+    true
+  | None ->
+    if List.length t.queue >= t.max_pending then begin
+      t.dropped <- t.dropped + 1;
+      false
+    end
+    else begin
+      (* The service admits one query per 1/qps; each takes [latency] from
+         admission to completion. *)
+      let admitted = Float.max now t.next_free in
+      t.next_free <- admitted +. (1.0 /. t.capacity_qps);
+      let ready_at = admitted +. t.latency in
+      let prediction = predict_now t prog ~targets in
+      Hashtbl.replace t.cache key (now, prediction);
+      Hashtbl.replace t.by_prog (Prog.hash prog) (now, prediction);
+      t.queue <- t.queue @ [ { ready_at; requested_at = now; prog; prediction } ];
+      true
+    end
+
+let poll t ~now =
+  let ready, waiting = List.partition (fun p -> p.ready_at <= now) t.queue in
+  t.queue <- waiting;
+  List.map
+    (fun p ->
+      t.served <- t.served + 1;
+      t.latency_sum <- t.latency_sum +. (p.ready_at -. p.requested_at);
+      (p.prog, p.prediction))
+    ready
+
+let served t = t.served
+
+let cache_hits t = t.cache_hits
+
+let dropped t = t.dropped
+
+let mean_latency t =
+  if t.served = 0 then 0.0 else t.latency_sum /. float_of_int t.served
+
+let saturation_qps t = t.capacity_qps

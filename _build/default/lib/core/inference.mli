@@ -1,0 +1,55 @@
+(** The PMM inference service (the paper's torchserve deployment, §4).
+
+    Runs the trained model behind a queue with a latency/capacity model
+    (0.69 s per query, ~57 queries/s at saturation on one inference
+    machine, §5.5). The fuzzer requests localization asynchronously and
+    keeps mutating with other types while inference is pending (§3.4);
+    completed predictions are picked up on a later loop iteration at their
+    virtual ready time. Model compute is real (the GNN runs); only the
+    delivery time is simulated. *)
+
+type t
+
+val create :
+  ?latency:float ->
+  ?capacity_qps:float ->
+  ?max_pending:int ->
+  ?cache_ttl:float ->
+  kernel:Sp_kernel.Kernel.t ->
+  block_embs:Sp_ml.Tensor.t ->
+  Pmm.t ->
+  t
+(** Defaults: latency 0.69 s, capacity 57 qps, max_pending 16, cache TTL
+    1800 virtual seconds. The cache is keyed on (base test, target set):
+    re-querying the same base against the same desired coverage is answered
+    from the memo at zero service cost, while any change in the uncovered
+    frontier produces a fresh query. [kernel] is the kernel being fuzzed
+    (used to rebuild the query graph). *)
+
+val request :
+  t -> now:float -> Sp_syzlang.Prog.t -> targets:int list -> bool
+(** Enqueue a localization query; returns false (dropped) when the service
+    queue is full. The prediction is computed immediately but delivered at
+    its virtual completion time. *)
+
+val poll : t -> now:float -> (Sp_syzlang.Prog.t * Sp_syzlang.Prog.path list) list
+(** Completed requests with ready time <= [now], oldest first. *)
+
+val predict_now :
+  t -> Sp_syzlang.Prog.t -> targets:int list -> Sp_syzlang.Prog.path list
+(** Synchronous prediction (used by offline analyses; bypasses the queue
+    and records no service metrics). *)
+
+(** {1 Service metrics (§5.5)} *)
+
+val served : t -> int
+
+val cache_hits : t -> int
+
+val dropped : t -> int
+
+val mean_latency : t -> float
+(** Mean request-to-ready virtual time over served requests. *)
+
+val saturation_qps : t -> float
+(** The service's configured capacity. *)

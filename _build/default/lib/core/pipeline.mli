@@ -1,0 +1,58 @@
+(** End-to-end Snowplow pipeline: the §5.1 protocol in one call.
+
+    Builds the kernel, assembles a base-test corpus (random generation plus
+    corpus entries evolved by a short Syzkaller warm-up, standing in for
+    the Syzbot-derived corpus), collects the mutation dataset, pretrains
+    the block encoder, trains PMM with validation-calibrated threshold, and
+    hands out inference services — including for later kernel versions the
+    model was never trained on (the §5.3 generalization setting). *)
+
+type config = {
+  kernel_seed : int;
+  train_version : string;  (** the version PMM is trained on ("6.8") *)
+  gen_bases : int;  (** randomly generated base tests *)
+  corpus_bases : int;  (** bases taken from the warm-up fuzzing corpus *)
+  warmup_duration : float;  (** virtual seconds of Syzkaller warm-up *)
+  dataset : Dataset.config;
+  encoder : Encoder.config;
+  pmm : Pmm.config;
+  trainer : Trainer.config;
+}
+
+val default_config : config
+(** 80 generated + 120 corpus bases, 1 virtual hour of warm-up, and the
+    component defaults. *)
+
+type t = {
+  config : config;
+  kernel : Sp_kernel.Kernel.t;  (** the training kernel *)
+  bases : Sp_syzlang.Prog.t list;
+  split : Dataset.split;
+  encoder : Encoder.t;
+  block_embs : Sp_ml.Tensor.t;  (** embeddings for the training kernel *)
+  model : Pmm.t;
+  history : Trainer.progress list;
+}
+
+val train : ?config:config -> unit -> t
+
+val kernel_version : t -> string -> Sp_kernel.Kernel.t
+(** Another version of the same kernel family (same seed). *)
+
+val embeddings_for : t -> Sp_kernel.Kernel.t -> Sp_ml.Tensor.t
+(** Frozen-encoder block embeddings for any kernel version. *)
+
+val inference_for :
+  ?latency:float ->
+  ?capacity_qps:float ->
+  t ->
+  Sp_kernel.Kernel.t ->
+  Inference.t
+(** A fresh inference service of the trained model against the given
+    kernel. *)
+
+val eval_scores : t -> Sp_ml.Metrics.scores
+(** Held-out evaluation of the trained model (Table 1's PMM row). *)
+
+val rand_baseline : t -> k:int -> Sp_ml.Metrics.scores
+(** Table 1's Rand.K row on the same evaluation split. *)

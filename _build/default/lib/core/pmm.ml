@@ -1,0 +1,520 @@
+module Rng = Sp_util.Rng
+module Token = Sp_kernel.Token
+module Ty = Sp_syzlang.Ty
+module Prog = Sp_syzlang.Prog
+module Ad = Sp_ml.Ad
+module Nn = Sp_ml.Nn
+module Tensor = Sp_ml.Tensor
+
+type config = {
+  hidden : int;
+  layers : int;
+  pos_weight : float;
+  share_relations : bool;
+      (* ablation: one message weight for all edge types (untyped GCN) *)
+  seed : int;
+}
+
+let default_config =
+  { hidden = 24; layers = 4; pos_weight = 6.0; share_relations = false; seed = 23 }
+
+let num_node_kinds = 5
+
+let num_relations = 2 * Query_graph.num_edge_kinds (* each kind, both directions *)
+
+type t = {
+  cfg : config;
+  block_proj : Nn.Linear.t;  (* encoder_dim -> hidden *)
+  sys_emb : Nn.Embedding.t;
+  kind_emb : Nn.Embedding.t;
+  sig_emb : Nn.Embedding.t;
+  nodekind_emb : Nn.Embedding.t;
+  rel : Nn.Linear.t array;  (* per relation, tied across layers *)
+  self_map : Nn.Linear.t;
+  head : Nn.Linear.t;
+  (* target-conditioned head: a dot-product interaction between argument
+     embeddings and the pooled target embedding, so the model can *match*
+     an argument's type signature against the signature the desired
+     branch tests (a sum of linear messages cannot express equality) *)
+  wq_t : Nn.Linear.t;
+  wk_t : Nn.Linear.t;
+  mutable thresh : float;
+}
+
+let kind_index =
+  let tbl = Hashtbl.create 16 in
+  List.iteri (fun i k -> Hashtbl.add tbl k i) Ty.all_kind_tokens;
+  fun k -> match Hashtbl.find_opt tbl k with Some i -> i | None -> 0
+
+let create ?(config = default_config) ~encoder_dim ~num_syscalls () =
+  let rng = Rng.create config.seed in
+  let d = config.hidden in
+  {
+    cfg = config;
+    block_proj = Nn.Linear.create rng encoder_dim d;
+    sys_emb = Nn.Embedding.create rng ~vocab:(max 1 num_syscalls) ~dim:d;
+    kind_emb = Nn.Embedding.create rng ~vocab:(List.length Ty.all_kind_tokens) ~dim:d;
+    sig_emb = Nn.Embedding.create rng ~vocab:Token.num_opsig_buckets ~dim:d;
+    nodekind_emb = Nn.Embedding.create rng ~vocab:num_node_kinds ~dim:d;
+    rel =
+      (if config.share_relations then begin
+         let shared = Nn.Linear.create ~bias:false rng d d in
+         Array.make num_relations shared
+       end
+       else Array.init num_relations (fun _ -> Nn.Linear.create ~bias:false rng d d));
+    self_map = Nn.Linear.create rng d d;
+    head = Nn.Linear.create rng d 1;
+    wq_t = Nn.Linear.create ~bias:false rng d d;
+    wk_t = Nn.Linear.create ~bias:false rng d d;
+    thresh = 0.5;
+  }
+
+let config t = t.cfg
+
+let params t =
+  let rels =
+    if t.cfg.share_relations then Nn.Linear.params t.rel.(0)
+    else List.concat_map Nn.Linear.params (Array.to_list t.rel)
+  in
+  Nn.Linear.params t.block_proj @ Nn.Embedding.params t.sys_emb
+  @ Nn.Embedding.params t.kind_emb @ Nn.Embedding.params t.sig_emb
+  @ Nn.Embedding.params t.nodekind_emb @ rels
+  @ Nn.Linear.params t.self_map @ Nn.Linear.params t.head
+  @ Nn.Linear.params t.wq_t @ Nn.Linear.params t.wk_t
+
+let num_parameters t = Nn.num_parameters (params t)
+
+let threshold t = t.thresh
+
+let set_threshold t th = t.thresh <- th
+
+(* ------------------------------------------------------------------ *)
+(* Graph preprocessing                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type relation = {
+  usrc : int array;  (* unique source node ids *)
+  csrc : int array;  (* per-edge index into [usrc] *)
+  dst : int array;
+  coef : float array;
+}
+
+type prepared = {
+  n : int;
+  nodekind_idx : int array;
+  sys_pos : int array;  (* node index of each syscall node *)
+  sys_ids : int array;
+  arg_pos : int array;
+  arg_kinds : int array;
+  arg_sigs : int array;
+  block_pos : int array;
+  block_ids : int array;
+  relations : relation array;
+  tgt_pos : int array;  (* node indices of target nodes *)
+  (* per-call pooling of the covered blocks whose not-taken branch leads to
+     a target inside that call's handler: the blocks whose content encodes
+     what the desired branch tests *)
+  via_src : int array;  (* node index of a target's via block *)
+  via_call : int array;  (* the call slot it pools into *)
+  via_coef : float array;
+  n_calls : int;
+  arg_call : int array;  (* per argument node, its call slot *)
+  paths : Prog.path array;  (* aligned with arg_pos *)
+}
+
+let node_kind_id (node : Query_graph.node) =
+  match node with
+  | Query_graph.Syscall _ -> 0
+  | Query_graph.Arg _ -> 1
+  | Query_graph.Covered_block _ -> 2
+  | Query_graph.Alt_block _ -> 3
+  | Query_graph.Target_block _ -> 4
+
+let prepare (g : Query_graph.t) =
+  let n = Array.length g.Query_graph.nodes in
+  let nodekind_idx = Array.map node_kind_id g.Query_graph.nodes in
+  (* (via block, call slot) pairs through each target: via --cf_frontier-->
+     target <--handler-- call. *)
+  let call_slot_of_node = Hashtbl.create 16 in
+  Array.iteri
+    (fun i node ->
+      match node with
+      | Query_graph.Syscall { call; _ } -> Hashtbl.replace call_slot_of_node i call
+      | _ -> ())
+    g.Query_graph.nodes;
+  let vias_of_target = Hashtbl.create 16 and calls_of_target = Hashtbl.create 16 in
+  Array.iter
+    (fun (src, dst, kind) ->
+      if kind = Query_graph.Cf_frontier && nodekind_idx.(dst) = 4 then
+        Hashtbl.add vias_of_target dst src
+      else if kind = Query_graph.Handler && nodekind_idx.(dst) = 4 then
+        match Hashtbl.find_opt call_slot_of_node src with
+        | Some slot -> Hashtbl.add calls_of_target dst slot
+        | None -> ())
+    g.Query_graph.edges;
+  let via_pairs =
+    Hashtbl.fold
+      (fun tgt via acc ->
+        List.fold_left
+          (fun acc slot -> (via, slot) :: acc)
+          acc
+          (Hashtbl.find_all calls_of_target tgt))
+      vias_of_target []
+    |> List.sort_uniq compare
+  in
+  let sys = ref [] and args = ref [] and blocks = ref [] in
+  Array.iteri
+    (fun i node ->
+      match node with
+      | Query_graph.Syscall { sys_id; _ } -> sys := (i, sys_id) :: !sys
+      | Query_graph.Arg { kind; detail_sig; path; _ } ->
+        args := (i, kind_index kind, detail_sig, path) :: !args
+      | Query_graph.Covered_block b | Query_graph.Alt_block b
+      | Query_graph.Target_block b ->
+        blocks := (i, b) :: !blocks)
+    g.Query_graph.nodes;
+  let sys = Array.of_list (List.rev !sys) in
+  let args = Array.of_list (List.rev !args) in
+  let blocks = Array.of_list (List.rev !blocks) in
+  (* Per-relation edge arrays: forward relation r, reverse relation r +
+     num_edge_kinds. Coefficients normalize by destination in-degree. *)
+  let buckets = Array.make num_relations [] in
+  Array.iter
+    (fun (src, dst, kind) ->
+      let k = Query_graph.edge_kind_index kind in
+      buckets.(k) <- (src, dst) :: buckets.(k);
+      buckets.(k + Query_graph.num_edge_kinds) <-
+        (dst, src) :: buckets.(k + Query_graph.num_edge_kinds))
+    g.Query_graph.edges;
+  let relations =
+    Array.map
+      (fun pairs ->
+        let pairs = Array.of_list pairs in
+        let indeg = Hashtbl.create 64 in
+        Array.iter
+          (fun (_, d) ->
+            Hashtbl.replace indeg d
+              (1 + Option.value ~default:0 (Hashtbl.find_opt indeg d)))
+          pairs;
+        (* Compact the sources: messages are computed only for rows that
+           actually send along this relation. *)
+        let slot = Hashtbl.create 64 in
+        let usrc_rev = ref [] and next = ref 0 in
+        let csrc =
+          Array.map
+            (fun (s, _) ->
+              match Hashtbl.find_opt slot s with
+              | Some i -> i
+              | None ->
+                let i = !next in
+                Hashtbl.add slot s i;
+                usrc_rev := s :: !usrc_rev;
+                incr next;
+                i)
+            pairs
+        in
+        {
+          usrc = Array.of_list (List.rev !usrc_rev);
+          csrc;
+          dst = Array.map snd pairs;
+          coef =
+            Array.map
+              (fun (_, d) -> 1.0 /. float_of_int (Hashtbl.find indeg d))
+              pairs;
+        })
+      buckets
+  in
+  {
+    n;
+    nodekind_idx;
+    sys_pos = Array.map fst sys;
+    sys_ids = Array.map snd sys;
+    arg_pos = Array.map (fun (i, _, _, _) -> i) args;
+    arg_kinds = Array.map (fun (_, k, _, _) -> k) args;
+    arg_sigs = Array.map (fun (_, _, s, _) -> s) args;
+    block_pos = Array.map fst blocks;
+    block_ids = Array.map snd blocks;
+    relations;
+    tgt_pos =
+      (let acc = ref [] in
+       Array.iteri (fun i k -> if k = 4 then acc := i :: !acc) nodekind_idx;
+       Array.of_list (List.rev !acc));
+    via_src = Array.of_list (List.map fst via_pairs);
+    via_call = Array.of_list (List.map snd via_pairs);
+    via_coef =
+      (let deg = Hashtbl.create 8 in
+       List.iter
+         (fun (_, slot) ->
+           Hashtbl.replace deg slot
+             (1 + Option.value ~default:0 (Hashtbl.find_opt deg slot)))
+         via_pairs;
+       Array.of_list
+         (List.map
+            (fun (_, slot) -> 1.0 /. float_of_int (Hashtbl.find deg slot))
+            via_pairs));
+    n_calls = Array.length sys;
+    arg_call = Array.map (fun (_, _, _, (p : Prog.path)) -> p.Prog.call) args;
+    paths = Array.map (fun (_, _, _, p) -> p) args;
+  }
+
+let prepared_paths p = p.paths
+
+(* ------------------------------------------------------------------ *)
+(* Forward                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Scatter category rows (one per category element) into an n-row tensor at
+   the category's node positions, expressed as a sparse product so autodiff
+   handles the backward pass. *)
+let scatter ~n ~pos x =
+  let k = Array.length pos in
+  Ad.spmm ~src:(Array.init k Fun.id) ~dst:pos ~coef:(Array.make k 1.0) ~rows:n x
+
+let node_features t ~block_embs (p : prepared) =
+  let base = Nn.Embedding.lookup t.nodekind_emb p.nodekind_idx in
+  let parts = ref base in
+  if Array.length p.sys_pos > 0 then
+    parts :=
+      Ad.add !parts
+        (scatter ~n:p.n ~pos:p.sys_pos (Nn.Embedding.lookup t.sys_emb p.sys_ids));
+  if Array.length p.arg_pos > 0 then begin
+    let arg_feat =
+      Ad.add
+        (Nn.Embedding.lookup t.kind_emb p.arg_kinds)
+        (Nn.Embedding.lookup t.sig_emb p.arg_sigs)
+    in
+    parts := Ad.add !parts (scatter ~n:p.n ~pos:p.arg_pos arg_feat)
+  end;
+  if Array.length p.block_pos > 0 then begin
+    let rows = Ad.gather_rows (Ad.const block_embs) p.block_ids in
+    let projected = Nn.Linear.apply t.block_proj rows in
+    parts := Ad.add !parts (scatter ~n:p.n ~pos:p.block_pos projected)
+  end;
+  !parts
+
+let layer t (p : prepared) h =
+  let acc = ref (Nn.Linear.apply t.self_map h) in
+  Array.iteri
+    (fun r { usrc; csrc; dst; coef } ->
+      if Array.length csrc > 0 then begin
+        let msg = Nn.Linear.apply t.rel.(r) (Ad.gather_rows h usrc) in
+        acc := Ad.add !acc (Ad.spmm ~src:csrc ~dst ~coef ~rows:p.n msg)
+      end)
+    p.relations;
+  Ad.relu !acc
+
+let forward_nodes t p h0 =
+  let h = ref h0 in
+  for _ = 1 to t.cfg.layers do
+    h := layer t p !h
+  done;
+  !h
+
+let row_sums x d =
+  (* n x d -> n x 1 *)
+  Ad.matmul x (Ad.const (Tensor.make d 1 1.0))
+
+let forward_logits t ~block_embs p =
+  let h0 = node_features t ~block_embs p in
+  let h = forward_nodes t p h0 in
+  let h_args = Ad.gather_rows h p.arg_pos in
+  let logits = Nn.Linear.apply t.head h_args in
+  (* Per-call target-conditioned interaction on the raw (layer-0)
+     features: pool, for each call, the covered blocks whose not-taken
+     branch reaches a target inside that call's handler, then dot every
+     argument's raw features against its own call's pool. This lets one
+     bilinear form express the conjunction "my type signature matches what
+     the desired branch tests AND the target is in my call's handler". *)
+  if Array.length p.via_src = 0 then logits
+  else begin
+    let pooled =
+      Ad.spmm ~src:p.via_src ~dst:p.via_call ~coef:p.via_coef ~rows:p.n_calls h0
+    in
+    let q = Nn.Linear.apply t.wq_t (Ad.gather_rows h0 p.arg_pos) in
+    let kv = Ad.gather_rows (Nn.Linear.apply t.wk_t pooled) p.arg_call in
+    let inter =
+      Ad.scale (1.0 /. sqrt (float_of_int t.cfg.hidden))
+        (row_sums (Ad.mul q kv) t.cfg.hidden)
+    in
+    Ad.add logits inter
+  end
+
+let loss t ~block_embs p ~labels =
+  if Array.length labels <> Array.length p.arg_pos then
+    invalid_arg "Pmm.loss: label length mismatch";
+  let logits = forward_logits t ~block_embs p in
+  let mask =
+    Array.map (fun l -> if l > 0.5 then t.cfg.pos_weight else 1.0) labels
+  in
+  Ad.bce_with_logits logits ~targets:labels ~mask
+
+(* ------------------------------------------------------------------ *)
+(* Inference                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let sigmoid x = 1.0 /. (1.0 +. exp (-.x))
+
+(* ------------------------------------------------------------------ *)
+(* Tape-free inference                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The fuzzing loop calls inference tens of thousands of times per
+   campaign; this path replays the forward computation with raw tensor
+   operations and no autodiff bookkeeping (~4x faster, bit-identical). *)
+
+let add_rows_into ~(dst : Tensor.t) ~pos (src : Tensor.t) =
+  let _, d = Tensor.dims src in
+  Array.iteri
+    (fun i node ->
+      for j = 0 to d - 1 do
+        Tensor.set dst node j (Tensor.get dst node j +. Tensor.get src i j)
+      done)
+    pos
+
+let gather (x : Tensor.t) idx =
+  let _, d = Tensor.dims x in
+  let out = Tensor.create (Array.length idx) d in
+  Array.iteri
+    (fun i r ->
+      for j = 0 to d - 1 do
+        Tensor.set out i j (Tensor.get x r j)
+      done)
+    idx;
+  out
+
+let emb_rows table idx = gather table idx
+
+let linear lin x =
+  let y = Tensor.matmul x (Nn.Linear.weight lin) in
+  (match Nn.Linear.bias lin with
+  | Some b -> Tensor.add_into ~dst:y b
+  | None -> ());
+  y
+
+let infer_features t ~block_embs (p : prepared) =
+  let x0 = emb_rows (Nn.Embedding.table t.nodekind_emb) p.nodekind_idx in
+  if Array.length p.sys_pos > 0 then
+    add_rows_into ~dst:x0 ~pos:p.sys_pos
+      (emb_rows (Nn.Embedding.table t.sys_emb) p.sys_ids);
+  if Array.length p.arg_pos > 0 then begin
+    let kinds = emb_rows (Nn.Embedding.table t.kind_emb) p.arg_kinds in
+    Tensor.add_into ~dst:kinds (emb_rows (Nn.Embedding.table t.sig_emb) p.arg_sigs);
+    add_rows_into ~dst:x0 ~pos:p.arg_pos kinds
+  end;
+  if Array.length p.block_pos > 0 then
+    add_rows_into ~dst:x0 ~pos:p.block_pos
+      (linear t.block_proj (gather block_embs p.block_ids));
+  x0
+
+let infer_layer t (p : prepared) h =
+  let acc = linear t.self_map h in
+  Array.iteri
+    (fun r { usrc; csrc; dst; coef } ->
+      if Array.length csrc > 0 then begin
+        let msg = linear t.rel.(r) (gather h usrc) in
+        let _, d = Tensor.dims msg in
+        Array.iteri
+          (fun e node ->
+            let src_row = csrc.(e) and c = coef.(e) in
+            for j = 0 to d - 1 do
+              Tensor.set acc node j
+                (Tensor.get acc node j +. (c *. Tensor.get msg src_row j))
+            done)
+          dst
+      end)
+    p.relations;
+  let n, d = Tensor.dims acc in
+  for i = 0 to n - 1 do
+    for j = 0 to d - 1 do
+      if Tensor.get acc i j < 0.0 then Tensor.set acc i j 0.0
+    done
+  done;
+  acc
+
+let infer_logits t ~block_embs (p : prepared) =
+  let h0 = infer_features t ~block_embs p in
+  let h = ref h0 in
+  for _ = 1 to t.cfg.layers do
+    h := infer_layer t p !h
+  done;
+  let h_args = gather !h p.arg_pos in
+  let logits = linear t.head h_args in
+  if Array.length p.via_src > 0 then begin
+    let pooled = Tensor.create p.n_calls t.cfg.hidden in
+    Array.iteri
+      (fun e node ->
+        let c = p.via_coef.(e) in
+        for j = 0 to t.cfg.hidden - 1 do
+          Tensor.set pooled p.via_call.(e) j
+            (Tensor.get pooled p.via_call.(e) j +. (c *. Tensor.get h0 node j))
+        done)
+      p.via_src;
+    let q = linear t.wq_t (gather h0 p.arg_pos) in
+    let kv = gather (linear t.wk_t pooled) p.arg_call in
+    let scale = 1.0 /. sqrt (float_of_int t.cfg.hidden) in
+    for i = 0 to Array.length p.arg_pos - 1 do
+      let dot = ref 0.0 in
+      for j = 0 to t.cfg.hidden - 1 do
+        dot := !dot +. (Tensor.get q i j *. Tensor.get kv i j)
+      done;
+      Tensor.set logits i 0 (Tensor.get logits i 0 +. (scale *. !dot))
+    done
+  end;
+  logits
+
+let predict_scores t ~block_embs g =
+  let p = prepare g in
+  let logits = infer_logits t ~block_embs p in
+  List.init (Array.length p.paths) (fun i ->
+      (p.paths.(i), sigmoid (Tensor.get logits i 0)))
+
+let mutable_path (g : Query_graph.t) =
+  let tbl = Hashtbl.create 64 in
+  Array.iter
+    (fun node ->
+      match node with
+      | Query_graph.Arg { path; mutable_node; _ } ->
+        Hashtbl.replace tbl (path.Prog.call, path.Prog.arg) mutable_node
+      | _ -> ())
+    g.Query_graph.nodes;
+  fun (path : Prog.path) ->
+    Option.value ~default:false
+      (Hashtbl.find_opt tbl (path.Prog.call, path.Prog.arg))
+
+let predict t ~block_embs g =
+  let is_mutable = mutable_path g in
+  let scores =
+    List.filter (fun (p, _) -> is_mutable p) (predict_scores t ~block_embs g)
+  in
+  match List.filter (fun (_, s) -> s >= t.thresh) scores with
+  | [] -> (
+    match
+      List.fold_left
+        (fun best (p, s) ->
+          match best with
+          | Some (_, bs) when bs >= s -> best
+          | _ -> Some (p, s))
+        None scores
+    with
+    | Some (p, _) -> [ p ]
+    | None -> [])
+  | picked -> List.map fst picked
+
+(* ------------------------------------------------------------------ *)
+(* Persistence                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* The decision threshold travels with the weights as a final 1x1 slot. *)
+let with_threshold_slot t =
+  params t @ [ Ad.param (Tensor.of_array ~rows:1 ~cols:1 [| t.thresh |]) ]
+
+let save t path =
+  Sp_ml.Serialize.params_to_file path (with_threshold_slot t)
+
+let load t path =
+  let slot = Ad.param (Tensor.create 1 1) in
+  match Sp_ml.Serialize.params_from_file path (params t @ [ slot ]) with
+  | Error _ as e -> e
+  | Ok () ->
+    t.thresh <- Tensor.get (Ad.value slot) 0 0;
+    Ok ()

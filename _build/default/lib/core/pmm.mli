@@ -1,0 +1,92 @@
+(** The Program Mutation Model (§3.3).
+
+    A relational graph neural network over the argument-mutation query
+    graph: node features combine learned embeddings (syscall variant name,
+    argument type kind, argument type name signature, node role) with the
+    frozen block-content encoder's output for kernel nodes; message passing
+    uses one learned linear map per edge type and direction (weights tied
+    across rounds); a binary head scores every argument node MUTATE /
+    NOT-MUTATE, trained with weighted binary cross-entropy. *)
+
+type config = {
+  hidden : int;  (** GNN width (default 24) *)
+  layers : int;  (** message-passing rounds (default 4) *)
+  pos_weight : float;  (** BCE weight of MUTATE labels (default 6) *)
+  share_relations : bool;
+      (** ablation switch: one shared message weight for every edge type
+          (an untyped GCN) instead of per-relation weights *)
+  seed : int;
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> encoder_dim:int -> num_syscalls:int -> unit -> t
+
+val config : t -> config
+
+val params : t -> Sp_ml.Ad.t list
+
+val num_parameters : t -> int
+
+(** {1 Graph preprocessing} *)
+
+type prepared
+(** A query graph lowered to the index arrays the forward pass consumes;
+    cache it when the same graph is used across epochs. *)
+
+val prepare : Query_graph.t -> prepared
+
+val prepared_paths : prepared -> Sp_syzlang.Prog.path array
+(** Argument paths in head order, aligned with logits and labels. *)
+
+(** {1 Forward / training} *)
+
+val forward_logits : t -> block_embs:Sp_ml.Tensor.t -> prepared -> Sp_ml.Ad.t
+(** One logit per argument node (mutable and immutable alike), in
+    {!prepared_paths} order. [block_embs] is {!Encoder.embed_kernel} output
+    for the kernel the graph was built against. *)
+
+val loss :
+  t -> block_embs:Sp_ml.Tensor.t -> prepared -> labels:float array -> Sp_ml.Ad.t
+(** Weighted BCE over argument nodes; [labels] aligned with
+    {!prepared_paths}. *)
+
+val infer_logits : t -> block_embs:Sp_ml.Tensor.t -> prepared -> Sp_ml.Tensor.t
+(** Tape-free forward pass (same result as [forward_logits], ~4x faster);
+    used on the inference-service hot path. *)
+
+(** {1 Inference} *)
+
+val threshold : t -> float
+
+val set_threshold : t -> float -> unit
+(** Decision threshold on the MUTATE probability (calibrated on the
+    validation split by the trainer; default 0.5). *)
+
+val predict_scores :
+  t ->
+  block_embs:Sp_ml.Tensor.t ->
+  Query_graph.t ->
+  (Sp_syzlang.Prog.path * float) list
+(** MUTATE probability per argument node. *)
+
+val predict :
+  t ->
+  block_embs:Sp_ml.Tensor.t ->
+  Query_graph.t ->
+  Sp_syzlang.Prog.path list
+(** Argument paths whose score clears the threshold; when none does, the
+    single best-scoring argument (the model must localize {e somewhere}). *)
+
+(** {1 Persistence} *)
+
+val save : t -> string -> unit
+(** Write the trained weights (and calibrated threshold) to a file — the
+    artifact a torchserve-style deployment would load (§4, §6 suggests
+    sharing trained weights across institutions). *)
+
+val load : t -> string -> (unit, string) result
+(** Load weights saved by {!save} into an architecture-compatible model
+    (same config, encoder width and syscall count). *)

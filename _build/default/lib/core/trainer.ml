@@ -1,0 +1,101 @@
+module Rng = Sp_util.Rng
+module Prog = Sp_syzlang.Prog
+module Ad = Sp_ml.Ad
+module Optim = Sp_ml.Optim
+module Metrics = Sp_ml.Metrics
+module Tensor = Sp_ml.Tensor
+
+type config = {
+  epochs : int;
+  lr : float;
+  batch : int;
+  seed : int;
+  log_every : int;
+}
+
+let default_config = { epochs = 8; lr = 3e-3; batch = 8; seed = 31; log_every = 400 }
+
+type progress = { step : int; loss : float }
+
+let path_compare (a : Prog.path) (b : Prog.path) = Prog.path_compare a b
+
+let score_example model ~block_embs (ex : Dataset.example) =
+  let predicted = Pmm.predict model ~block_embs ex.Dataset.graph in
+  Metrics.score ~compare:path_compare ~pred:predicted ~gold:ex.Dataset.mutated_args
+
+let evaluate model ~block_embs examples =
+  Metrics.mean (Array.to_list (Array.map (score_example model ~block_embs) examples))
+
+let calibrate_threshold model ~block_embs examples =
+  let candidates = [ 0.1; 0.2; 0.3; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9 ] in
+  let best = ref (Pmm.threshold model) and best_f1 = ref neg_infinity in
+  List.iter
+    (fun th ->
+      Pmm.set_threshold model th;
+      let scores = evaluate model ~block_embs examples in
+      if scores.Metrics.f1 > !best_f1 then begin
+        best_f1 := scores.Metrics.f1;
+        best := th
+      end)
+    candidates;
+  Pmm.set_threshold model !best;
+  !best
+
+let train ?(config = default_config) model ~block_embs ~train ~valid =
+  let rng = Rng.create config.seed in
+  let optim = Optim.adam ~lr:config.lr (Pmm.params model) in
+  let history = ref [] in
+  let step = ref 0 in
+  let in_batch = ref 0 in
+  let running_loss = ref 0.0 and running_n = ref 0 in
+  for _epoch = 1 to config.epochs do
+    let order = Array.init (Array.length train) Fun.id in
+    Rng.shuffle rng order;
+    Array.iter
+      (fun i ->
+        let ex = train.(i) in
+        if Array.length ex.Dataset.labels > 0 then begin
+          incr step;
+          let loss =
+            Pmm.loss model ~block_embs ex.Dataset.prepared ~labels:ex.Dataset.labels
+          in
+          (* Gradients accumulate across the mini-batch; one Adam step per
+             [config.batch] examples. *)
+          Ad.backward loss;
+          incr in_batch;
+          if !in_batch >= config.batch then begin
+            Optim.step optim;
+            Optim.zero_grad optim;
+            in_batch := 0
+          end;
+          running_loss := !running_loss +. Tensor.get (Ad.value loss) 0 0;
+          incr running_n;
+          if config.log_every > 0 && !step mod config.log_every = 0 then begin
+            history :=
+              { step = !step; loss = !running_loss /. float_of_int !running_n }
+              :: !history;
+            running_loss := 0.0;
+            running_n := 0
+          end
+        end)
+      order
+  done;
+  if !in_batch > 0 then begin
+    Optim.step optim;
+    Optim.zero_grad optim
+  end;
+  if Array.length valid > 0 then ignore (calibrate_threshold model ~block_embs valid);
+  List.rev !history
+
+let random_baseline ~k ~seed examples =
+  let rng = Rng.create seed in
+  let scores =
+    Array.to_list examples
+    |> List.map (fun (ex : Dataset.example) ->
+           let nodes = Prog.mutable_nodes ex.Dataset.base in
+           let pred =
+             Rng.sample rng (Array.of_list (List.map fst nodes)) k
+           in
+           Metrics.score ~compare:path_compare ~pred ~gold:ex.Dataset.mutated_args)
+  in
+  Metrics.mean scores

@@ -1,0 +1,45 @@
+(** PMM training, threshold calibration and evaluation (§3.3, §5.2).
+
+    Adam over per-example BCE; validation F1 both guides threshold
+    calibration and selects the best checkpointed threshold, mirroring the
+    paper's F1-guided hyper-parameter protocol. The random baseline Rand.K
+    of Table 1 is provided for comparison. *)
+
+type config = {
+  epochs : int;
+  lr : float;
+  batch : int;  (** examples per gradient step (gradient accumulation) *)
+  seed : int;
+  log_every : int;  (** steps between history records; 0 disables *)
+}
+
+val default_config : config
+
+type progress = { step : int; loss : float (** mean loss since last record *) }
+
+val train :
+  ?config:config ->
+  Pmm.t ->
+  block_embs:Sp_ml.Tensor.t ->
+  train:Dataset.example array ->
+  valid:Dataset.example array ->
+  progress list
+(** Trains in place; afterwards the model's threshold is calibrated to
+    maximize mean F1 on [valid]. Returns the loss history. *)
+
+val evaluate :
+  Pmm.t ->
+  block_embs:Sp_ml.Tensor.t ->
+  Dataset.example array ->
+  Sp_ml.Metrics.scores
+(** Mean per-example scores of {!Pmm.predict} against the merged mutated
+    argument sets. *)
+
+val random_baseline :
+  k:int -> seed:int -> Dataset.example array -> Sp_ml.Metrics.scores
+(** Table 1's Rand.K: select [k] unique arguments uniformly per example. *)
+
+val calibrate_threshold :
+  Pmm.t -> block_embs:Sp_ml.Tensor.t -> Dataset.example array -> float
+(** The threshold in \{0.1..0.9\} maximizing mean F1 (also set on the
+    model). *)

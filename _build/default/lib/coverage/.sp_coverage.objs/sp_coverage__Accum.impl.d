@@ -1,0 +1,1 @@
+lib/coverage/accum.ml: Sp_util

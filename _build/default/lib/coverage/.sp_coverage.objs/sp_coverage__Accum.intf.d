@@ -1,0 +1,1 @@
+lib/coverage/accum.mli: Sp_util

@@ -1,0 +1,1 @@
+lib/coverage/trace.ml: Hashtbl List Sp_util

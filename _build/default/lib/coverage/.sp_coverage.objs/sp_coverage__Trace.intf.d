@@ -1,0 +1,1 @@
+lib/coverage/trace.mli: Sp_util

@@ -1,0 +1,45 @@
+module Bitset = Sp_util.Bitset
+
+type t = {
+  block_cover : Bitset.t;
+  edge_cover : Bitset.t;
+  mutable nblocks : int;
+  mutable nedges : int;
+}
+
+let create ~num_blocks ~num_edges =
+  {
+    block_cover = Bitset.create num_blocks;
+    edge_cover = Bitset.create num_edges;
+    nblocks = 0;
+    nedges = 0;
+  }
+
+let copy t =
+  {
+    block_cover = Bitset.copy t.block_cover;
+    edge_cover = Bitset.copy t.edge_cover;
+    nblocks = t.nblocks;
+    nedges = t.nedges;
+  }
+
+type delta = { new_blocks : int; new_edges : int }
+
+let add t ~blocks ~edges =
+  let new_blocks = Bitset.union_into ~dst:t.block_cover blocks in
+  let new_edges = Bitset.union_into ~dst:t.edge_cover edges in
+  t.nblocks <- t.nblocks + new_blocks;
+  t.nedges <- t.nedges + new_edges;
+  { new_blocks; new_edges }
+
+let would_add t ~blocks ~edges =
+  {
+    new_blocks = Bitset.diff_cardinal blocks t.block_cover;
+    new_edges = Bitset.diff_cardinal edges t.edge_cover;
+  }
+
+let blocks t = t.block_cover
+
+let blocks_covered t = t.nblocks
+
+let edges_covered t = t.nedges

@@ -1,0 +1,27 @@
+(** Campaign-level coverage accumulation.
+
+    Tracks the union of block and edge coverage over every test a fuzzing
+    campaign has executed, and reports per-test novelty — the signal the
+    fuzz loop uses to decide whether a mutant earned a place in the corpus
+    (Figure 1, [update_corpus]) and the series plotted in Figure 6. *)
+
+type t
+
+val create : num_blocks:int -> num_edges:int -> t
+
+val copy : t -> t
+
+type delta = { new_blocks : int; new_edges : int }
+
+val add : t -> blocks:Sp_util.Bitset.t -> edges:Sp_util.Bitset.t -> delta
+(** Merge one execution's coverage; returns how much of it was new. *)
+
+val would_add : t -> blocks:Sp_util.Bitset.t -> edges:Sp_util.Bitset.t -> delta
+(** Novelty of an execution without merging it. *)
+
+val blocks : t -> Sp_util.Bitset.t
+(** The accumulated block set (not a copy; do not mutate). *)
+
+val blocks_covered : t -> int
+
+val edges_covered : t -> int

@@ -1,0 +1,28 @@
+let edge_pairs trace =
+  let seen = Hashtbl.create 64 in
+  let rec go acc = function
+    | [] | [ _ ] -> List.rev acc
+    | b1 :: (b2 :: _ as rest) ->
+      if Hashtbl.mem seen (b1, b2) then go acc rest
+      else begin
+        Hashtbl.add seen (b1, b2) ();
+        go ((b1, b2) :: acc) rest
+      end
+  in
+  go [] trace
+
+let block_set ~num_blocks trace =
+  let set = Sp_util.Bitset.create num_blocks in
+  List.iter (fun b -> if b >= 0 && b < num_blocks then Sp_util.Bitset.add set b) trace;
+  set
+
+let unique_blocks trace =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun b ->
+      if Hashtbl.mem seen b then false
+      else begin
+        Hashtbl.add seen b ();
+        true
+      end)
+    trace

@@ -1,0 +1,14 @@
+(** Execution-trace postprocessing.
+
+    The paper collects KCOV traces (sequences of executed kernel basic
+    blocks) and postprocesses them into "unique, directional pairs of basic
+    blocks, or edges" (§5.3.1). These helpers implement that step plus the
+    per-trace block set. *)
+
+val edge_pairs : int list -> (int * int) list
+(** Unique directional consecutive pairs, in first-occurrence order. *)
+
+val block_set : num_blocks:int -> int list -> Sp_util.Bitset.t
+
+val unique_blocks : int list -> int list
+(** Distinct block ids in first-occurrence order. *)

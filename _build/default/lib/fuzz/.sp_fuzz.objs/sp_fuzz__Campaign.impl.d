@@ -1,0 +1,1 @@
+lib/fuzz/campaign.ml: Array Clock Corpus Float Hashtbl List Option Sp_cfg Sp_coverage Sp_kernel Sp_syzlang Sp_util Strategy Triage Vm

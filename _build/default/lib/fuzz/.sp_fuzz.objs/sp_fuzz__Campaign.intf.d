@@ -1,0 +1,1 @@
+lib/fuzz/campaign.mli: Corpus Sp_syzlang Sp_util Strategy Triage Vm

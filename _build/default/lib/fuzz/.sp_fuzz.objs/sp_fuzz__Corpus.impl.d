@@ -1,0 +1,1 @@
+lib/fuzz/corpus.ml: Array Fun Hashtbl List Sp_syzlang Sp_util

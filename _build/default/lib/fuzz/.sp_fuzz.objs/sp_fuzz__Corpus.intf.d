@@ -1,0 +1,1 @@
+lib/fuzz/corpus.mli: Sp_syzlang Sp_util

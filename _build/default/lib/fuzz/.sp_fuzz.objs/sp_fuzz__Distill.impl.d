@@ -1,0 +1,1 @@
+lib/fuzz/distill.ml: Array List Option Sp_kernel Sp_syzlang Sp_util

@@ -1,0 +1,1 @@
+lib/fuzz/distill.mli: Sp_kernel Sp_syzlang

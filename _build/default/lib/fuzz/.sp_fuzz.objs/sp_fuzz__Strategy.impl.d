@@ -1,0 +1,1 @@
+lib/fuzz/strategy.ml: Array Corpus Fun List Sp_mutation Sp_syzlang Sp_util

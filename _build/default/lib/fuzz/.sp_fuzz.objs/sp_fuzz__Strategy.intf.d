@@ -1,0 +1,1 @@
+lib/fuzz/strategy.mli: Corpus Sp_syzlang Sp_util

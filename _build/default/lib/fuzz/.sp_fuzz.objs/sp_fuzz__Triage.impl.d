@@ -1,0 +1,1 @@
+lib/fuzz/triage.ml: Array Hashtbl List Sp_kernel Sp_syzlang Sp_util String Vm

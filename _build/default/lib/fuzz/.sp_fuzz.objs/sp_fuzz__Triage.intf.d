@@ -1,0 +1,1 @@
+lib/fuzz/triage.mli: Sp_kernel Sp_syzlang Sp_util Vm

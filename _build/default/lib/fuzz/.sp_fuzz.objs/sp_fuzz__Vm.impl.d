@@ -1,0 +1,1 @@
+lib/fuzz/vm.ml: Array Clock Sp_kernel Sp_util

@@ -1,0 +1,1 @@
+lib/fuzz/vm.mli: Clock Sp_kernel Sp_syzlang

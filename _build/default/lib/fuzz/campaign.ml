@@ -1,0 +1,248 @@
+module Rng = Sp_util.Rng
+module Bitset = Sp_util.Bitset
+module Kernel = Sp_kernel.Kernel
+module Prog = Sp_syzlang.Prog
+module Accum = Sp_coverage.Accum
+
+type config = {
+  duration : float;
+  seed : int;
+  seed_corpus : Prog.t list;
+  snapshot_every : float;
+  attempt_repro : bool;
+  target : int option;
+}
+
+let default_config =
+  {
+    duration = 86_400.0;
+    seed = 0;
+    seed_corpus = [];
+    snapshot_every = 1200.0;
+    attempt_repro = false;
+    target = None;
+  }
+
+type snapshot = {
+  s_time : float;
+  s_blocks : int;
+  s_edges : int;
+  s_crashes : int;
+  s_execs : int;
+}
+
+type report = {
+  series : snapshot list;
+  final_blocks : int;
+  final_edges : int;
+  crashes : Triage.found list;
+  new_crashes : Triage.found list;
+  known_crashes : Triage.found list;
+  executions : int;
+  corpus_size : int;
+  target_hit_at : float option;
+  origin_stats : (string * (int * int)) list;
+      (* per proposal origin: executions, new edges discovered *)
+  corpus : Corpus.t;
+  covered_blocks : Sp_util.Bitset.t;
+}
+
+type state = {
+  vm : Vm.t;
+  clock : Clock.t;
+  rng : Rng.t;
+  corpus : Corpus.t;
+  accum : Accum.t;
+  triage : Triage.t;
+  config : config;
+  mutable series_rev : snapshot list;
+  mutable next_snapshot : float;
+  mutable crash_count : int;
+  mutable target_hit_at : float option;
+  (* directed mode: distance of each corpus entry to the target, memoized
+     by program hash *)
+  distances : (int, int) Hashtbl.t;
+  dist_to_target : int array;  (* empty when undirected *)
+  origin_stats : (string, int * int) Hashtbl.t;
+  executed : (int, unit) Hashtbl.t;
+}
+
+let entry_distance st (entry : Corpus.entry) =
+  let h = Prog.hash entry.Corpus.prog in
+  match Hashtbl.find_opt st.distances h with
+  | Some d -> d
+  | None ->
+    let d =
+      Bitset.fold
+        (fun b acc -> min acc st.dist_to_target.(b))
+        entry.Corpus.blocks max_int
+    in
+    Hashtbl.add st.distances h d;
+    d
+
+let take_snapshots st =
+  while Clock.now st.clock >= st.next_snapshot do
+    st.series_rev <-
+      {
+        s_time = st.next_snapshot;
+        s_blocks = Accum.blocks_covered st.accum;
+        s_edges = Accum.edges_covered st.accum;
+        s_crashes = st.crash_count;
+        s_execs = Vm.executions st.vm;
+      }
+      :: st.series_rev;
+    st.next_snapshot <- st.next_snapshot +. st.config.snapshot_every
+  done
+
+let check_target st =
+  match st.config.target with
+  | Some b
+    when st.target_hit_at = None && Bitset.mem (Accum.blocks st.accum) b ->
+    st.target_hit_at <- Some (Clock.now st.clock)
+  | Some _ | None -> ()
+
+let ingest ?(origin = "seed") st prog (r : Kernel.result) =
+  let delta =
+    Accum.add st.accum ~blocks:r.Kernel.covered ~edges:r.Kernel.covered_edges
+  in
+  (let execs, new_edges =
+     Option.value ~default:(0, 0) (Hashtbl.find_opt st.origin_stats origin)
+   in
+   Hashtbl.replace st.origin_stats origin
+     (execs + 1, new_edges + delta.Accum.new_edges));
+  (* Crashing programs never enter the corpus: the VM died, and mutating
+     them would mostly re-trigger the same crash (Syzkaller behaves the
+     same way). *)
+  if r.Kernel.crash = None && (delta.Accum.new_blocks > 0 || delta.Accum.new_edges > 0)
+  then
+    ignore
+      (Corpus.add st.corpus
+         {
+           Corpus.prog;
+           blocks = r.Kernel.covered;
+           edges = r.Kernel.covered_edges;
+           added_at = Clock.now st.clock;
+         });
+  (match r.Kernel.crash with
+  | Some crash -> (
+    match
+      Triage.record ~attempt_repro:st.config.attempt_repro st.triage st.rng
+        ~vm:st.vm ~now:(Clock.now st.clock) crash prog
+    with
+    | Some _ -> st.crash_count <- st.crash_count + 1
+    | None -> ())
+  | None -> ());
+  check_target st;
+  take_snapshots st
+
+let finished st =
+  Clock.now st.clock >= st.config.duration
+  || (st.config.target <> None && st.target_hit_at <> None)
+
+let run vm (strategy : Strategy.t) config =
+  Vm.set_throughput_factor vm strategy.Strategy.throughput_factor;
+  let kernel = Vm.kernel vm in
+  let st =
+    {
+      vm;
+      clock = Clock.create ();
+      rng = Rng.create config.seed;
+      corpus = Corpus.create ();
+      accum =
+        Accum.create ~num_blocks:(Kernel.num_blocks kernel)
+          ~num_edges:(Sp_cfg.Cfg.num_edges (Kernel.cfg kernel));
+      triage = Triage.create kernel;
+      config;
+      series_rev = [];
+      next_snapshot = config.snapshot_every;
+      crash_count = 0;
+      target_hit_at = None;
+      distances = Hashtbl.create 256;
+      dist_to_target =
+        (match config.target with
+        | Some b -> Sp_cfg.Cfg.distances_to (Kernel.cfg kernel) b
+        | None -> [||]);
+      origin_stats = Hashtbl.create 16;
+      executed = Hashtbl.create 4096;
+    }
+  in
+  (* Seed the corpus. *)
+  List.iter
+    (fun prog ->
+      if not (finished st) then begin
+        Hashtbl.replace st.executed (Prog.hash prog) ();
+        let r = Vm.run st.vm st.clock prog in
+        ingest st prog r
+      end)
+    config.seed_corpus;
+  (* Main loop. *)
+  while (not (finished st)) && Corpus.size st.corpus > 0 do
+    let entry =
+      match config.target with
+      | Some _ ->
+        Corpus.choose_directed st.rng st.corpus ~distance:(entry_distance st)
+      | None -> Corpus.choose st.rng st.corpus
+    in
+    let proposals =
+      strategy.Strategy.propose st.rng ~now:(Clock.now st.clock)
+        ~covered:(Accum.blocks st.accum) st.corpus entry
+    in
+    List.iter
+      (fun (p : Strategy.proposal) ->
+        if not (finished st) then begin
+          let h = Prog.hash p.Strategy.prog in
+          if Hashtbl.mem st.executed h then Vm.charge_duplicate st.vm st.clock
+          else begin
+            Hashtbl.add st.executed h ();
+            let r = Vm.run st.vm st.clock p.Strategy.prog in
+            ingest ~origin:p.Strategy.origin st p.Strategy.prog r
+          end
+        end)
+      proposals
+  done;
+  (* Close the series at the end of the campaign. *)
+  Clock.advance st.clock (Float.max 0.0 (config.duration -. Clock.now st.clock));
+  take_snapshots st;
+  let needs_final =
+    match st.series_rev with
+    | last :: _ -> last.s_time < config.duration
+    | [] -> true
+  in
+  if needs_final then
+    st.series_rev <-
+      { s_time = config.duration;
+        s_blocks = Accum.blocks_covered st.accum;
+        s_edges = Accum.edges_covered st.accum;
+        s_crashes = st.crash_count;
+        s_execs = Vm.executions st.vm }
+      :: st.series_rev;
+  {
+    series = List.rev st.series_rev;
+    final_blocks = Accum.blocks_covered st.accum;
+    final_edges = Accum.edges_covered st.accum;
+    crashes = Triage.all_found st.triage;
+    new_crashes = Triage.new_crashes st.triage;
+    known_crashes = Triage.known_crashes st.triage;
+    executions = Vm.executions st.vm;
+    corpus_size = Corpus.size st.corpus;
+    target_hit_at = st.target_hit_at;
+    origin_stats =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) st.origin_stats []
+      |> List.sort compare;
+    corpus = st.corpus;
+    covered_blocks = Accum.blocks st.accum;
+  }
+
+let coverage_at report time =
+  let rec go last = function
+    | [] -> last
+    | s :: rest -> if s.s_time > time then last else go s.s_edges rest
+  in
+  go 0 report.series
+
+let time_to_edges report level =
+  let rec go = function
+    | [] -> None
+    | s :: rest -> if s.s_edges >= level then Some s.s_time else go rest
+  in
+  go report.series

@@ -1,0 +1,57 @@
+(** The fuzzing campaign loop of Figure 1.
+
+    Seeds the corpus, then repeatedly: choose a base test, ask the strategy
+    for mutants, execute them on the VM (advancing the virtual clock),
+    fold coverage into the campaign accumulator, admit novel mutants to the
+    corpus, and triage crashes. Supports the undirected mode (coverage
+    campaigns of §5.3) and the directed mode (§5.4), which weights base
+    selection by static distance to the target block and stops when the
+    target is covered. *)
+
+type config = {
+  duration : float;  (** virtual seconds; 24 h = 86_400 *)
+  seed : int;
+  seed_corpus : Sp_syzlang.Prog.t list;
+  snapshot_every : float;  (** coverage time-series resolution *)
+  attempt_repro : bool;  (** run syz-repro on each new crash *)
+  target : int option;  (** directed mode: block id to reach *)
+}
+
+val default_config : config
+(** 24 virtual hours, snapshots every 20 virtual minutes, no reproduction,
+    undirected, empty seed corpus, seed 0. *)
+
+type snapshot = {
+  s_time : float;
+  s_blocks : int;
+  s_edges : int;
+  s_crashes : int;
+  s_execs : int;
+}
+
+type report = {
+  series : snapshot list;  (** chronological *)
+  final_blocks : int;
+  final_edges : int;
+  crashes : Triage.found list;
+  new_crashes : Triage.found list;
+  known_crashes : Triage.found list;
+  executions : int;
+  corpus_size : int;
+  target_hit_at : float option;  (** directed mode: time the target was covered *)
+  origin_stats : (string * (int * int)) list;
+      (** per proposal origin: (executions, new edges discovered) —
+          attribution of coverage to mutation streams *)
+  corpus : Corpus.t;  (** final corpus, for post-campaign analyses *)
+  covered_blocks : Sp_util.Bitset.t;  (** final block coverage *)
+}
+
+val run : Vm.t -> Strategy.t -> config -> report
+
+val coverage_at : report -> float -> int
+(** Edge coverage at a given virtual time, interpolated from the series
+    (step function); used to compute the paper's time-to-coverage
+    speedups. *)
+
+val time_to_edges : report -> int -> float option
+(** First snapshot time at which edge coverage reached the given level. *)

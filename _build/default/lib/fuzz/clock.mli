@@ -1,0 +1,17 @@
+(** Virtual campaign clock.
+
+    The paper's campaigns are wall-clock hours on GCP machines; here a
+    virtual clock advances by a cost model per executed test (calibrated to
+    the paper's ~390 tests/second per fuzzing machine, §5.5), so "24 hours"
+    of fuzzing completes in seconds while preserving every relative timing
+    the paper reports — speedups, time-to-coverage, time-to-target. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Seconds since campaign start. *)
+
+val advance : t -> float -> unit
+(** Raises [Invalid_argument] on negative increments. *)

@@ -1,0 +1,61 @@
+module Rng = Sp_util.Rng
+module Prog = Sp_syzlang.Prog
+
+type entry = {
+  prog : Prog.t;
+  blocks : Sp_util.Bitset.t;
+  edges : Sp_util.Bitset.t;
+  added_at : float;
+}
+
+type t = {
+  mutable items : entry array;
+  mutable count : int;
+  seen : (int, unit) Hashtbl.t;
+}
+
+let create () = { items = [||]; count = 0; seen = Hashtbl.create 256 }
+
+let size t = t.count
+
+let nth t i =
+  if i < 0 || i >= t.count then invalid_arg "Corpus.nth";
+  t.items.(i)
+
+let entries t = List.init t.count (fun i -> t.items.(t.count - 1 - i))
+
+let mem_prog t prog = Hashtbl.mem t.seen (Prog.hash prog)
+
+let add t entry =
+  let h = Prog.hash entry.prog in
+  if Hashtbl.mem t.seen h then false
+  else begin
+    Hashtbl.add t.seen h ();
+    if t.count = Array.length t.items then begin
+      let cap = max 16 (2 * Array.length t.items) in
+      let items = Array.make cap entry in
+      Array.blit t.items 0 items 0 t.count;
+      t.items <- items
+    end;
+    t.items.(t.count) <- entry;
+    t.count <- t.count + 1;
+    true
+  end
+
+let choose rng t =
+  if t.count = 0 then invalid_arg "Corpus.choose: empty corpus";
+  t.items.(Rng.int rng t.count)
+
+let choose_directed rng t ~distance =
+  if t.count = 0 then invalid_arg "Corpus.choose_directed: empty corpus";
+  if Rng.coin rng 0.1 then choose rng t
+  else begin
+    let best = ref max_int in
+    for i = 0 to t.count - 1 do
+      best := min !best (distance t.items.(i))
+    done;
+    let tier =
+      List.filter (fun i -> distance t.items.(i) = !best) (List.init t.count Fun.id)
+    in
+    t.items.(Rng.choose_list rng tier)
+  end

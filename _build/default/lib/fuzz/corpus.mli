@@ -1,0 +1,38 @@
+(** The fuzzing corpus: tests worth mutating, with their cached coverage.
+
+    A mutant enters the corpus when it covered kernel code no previous test
+    did (Figure 1's [update_corpus]); each entry caches its block and edge
+    coverage so base-test selection and query-graph construction never
+    re-execute. *)
+
+type entry = {
+  prog : Sp_syzlang.Prog.t;
+  blocks : Sp_util.Bitset.t;
+  edges : Sp_util.Bitset.t;
+  added_at : float;
+}
+
+type t
+
+val create : unit -> t
+
+val size : t -> int
+
+val entries : t -> entry list
+(** Newest first. *)
+
+val nth : t -> int -> entry
+
+val add : t -> entry -> bool
+(** False (and no insertion) when a program with the same content hash is
+    already present. *)
+
+val mem_prog : t -> Sp_syzlang.Prog.t -> bool
+
+val choose : Sp_util.Rng.t -> t -> entry
+(** Uniform choice. Raises [Invalid_argument] on an empty corpus. *)
+
+val choose_directed : Sp_util.Rng.t -> t -> distance:(entry -> int) -> entry
+(** SyzDirect-style base selection: strongly favours entries whose coverage
+    got closest to the target (minimum [distance]); falls back to uniform
+    among the best tier with occasional exploration. *)

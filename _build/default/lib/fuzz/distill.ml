@@ -1,0 +1,88 @@
+module Bitset = Sp_util.Bitset
+module Kernel = Sp_kernel.Kernel
+module Prog = Sp_syzlang.Prog
+
+type report = {
+  kept : Prog.t list;
+  original_count : int;
+  distilled_count : int;
+  original_calls : int;
+  distilled_calls : int;
+  blocks_covered : int;
+}
+
+let coverage_of kernel prog =
+  let r = Kernel.execute kernel prog in
+  if r.Kernel.crash <> None then None else Some r.Kernel.covered
+
+(* Greedy set cover: repeatedly take the test with the largest marginal
+   block coverage. *)
+let greedy_cover kernel progs =
+  let with_cov =
+    List.filter_map
+      (fun p -> Option.map (fun c -> (p, c)) (coverage_of kernel p))
+      progs
+  in
+  let covered = Bitset.create (Kernel.num_blocks kernel) in
+  let remaining = ref with_cov and kept = ref [] in
+  let continue_ = ref true in
+  while !continue_ do
+    let best =
+      List.fold_left
+        (fun acc (p, c) ->
+          let gain = Bitset.diff_cardinal c covered in
+          match acc with
+          | Some (_, _, g) when g >= gain -> acc
+          | _ when gain = 0 -> acc
+          | _ -> Some (p, c, gain))
+        None !remaining
+    in
+    match best with
+    | None -> continue_ := false
+    | Some (p, c, _) ->
+      ignore (Bitset.union_into ~dst:covered c);
+      kept := p :: !kept;
+      remaining := List.filter (fun (q, _) -> not (Prog.equal p q)) !remaining
+  done;
+  (List.rev !kept, covered)
+
+(* Drop calls that do not contribute to this test's own coverage. *)
+let minimize kernel prog =
+  match coverage_of kernel prog with
+  | None -> prog
+  | Some full ->
+    let current = ref prog in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      let n = Array.length !current in
+      let rec try_drop i =
+        if i < n && not !changed then begin
+          (if n > 1 then
+             let candidate = Prog.remove_call !current i in
+             match coverage_of kernel candidate with
+             | Some c when Bitset.diff_cardinal full c = 0 ->
+               current := candidate;
+               changed := true
+             | Some _ | None -> ());
+          try_drop (i + 1)
+        end
+      in
+      try_drop 0
+    done;
+    !current
+
+let total_calls progs =
+  List.fold_left (fun acc p -> acc + Array.length p) 0 progs
+
+let distill ?(minimize_calls = true) kernel progs =
+  let kept, covered = greedy_cover kernel progs in
+  let kept = if minimize_calls then List.map (minimize kernel) kept else kept in
+  {
+    kept;
+    original_count = List.length progs;
+    distilled_count = List.length kept;
+    original_calls = total_calls progs;
+    distilled_calls = total_calls kept;
+    blocks_covered = Bitset.cardinal covered;
+  }

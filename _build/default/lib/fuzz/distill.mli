@@ -1,0 +1,26 @@
+(** Seed-corpus distillation (the Moonshine idea referenced in §7).
+
+    Continuous fuzzing accumulates corpora full of redundant tests; a
+    distilled corpus keeps the coverage while shrinking the test count, so
+    campaigns seeded from it ramp up faster. Two passes: a greedy
+    set-cover selection of tests by marginal coverage, then per-test call
+    minimization that drops calls not contributing to the test's retained
+    coverage. *)
+
+type report = {
+  kept : Sp_syzlang.Prog.t list;
+  original_count : int;
+  distilled_count : int;
+  original_calls : int;
+  distilled_calls : int;
+  blocks_covered : int;  (** identical before and after, by construction *)
+}
+
+val distill :
+  ?minimize_calls:bool ->
+  Sp_kernel.Kernel.t ->
+  Sp_syzlang.Prog.t list ->
+  report
+(** Crashing tests are dropped (they cannot seed a campaign); coverage is
+    measured with the deterministic executor. [minimize_calls] (default
+    true) enables the per-test pass. *)

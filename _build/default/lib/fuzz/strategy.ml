@@ -1,0 +1,99 @@
+module Rng = Sp_util.Rng
+module Prog = Sp_syzlang.Prog
+module Spec = Sp_syzlang.Spec
+module Gen = Sp_syzlang.Gen
+module Engine = Sp_mutation.Engine
+
+type proposal = { prog : Prog.t; origin : string }
+
+type t = {
+  name : string;
+  throughput_factor : float;
+  propose :
+    Rng.t ->
+    now:float ->
+    covered:Sp_util.Bitset.t ->
+    Corpus.t ->
+    Corpus.entry ->
+    proposal list;
+}
+
+let syzkaller ?(mutations_per_base = 8) db =
+  let engine = Engine.create ~selector:(Engine.syzkaller_selector ~splice:true ()) db in
+  let propose rng ~now:_ ~covered:_ corpus (entry : Corpus.entry) =
+    List.init mutations_per_base (fun _ ->
+        let donor =
+          if Corpus.size corpus > 1 && Rng.coin rng 0.2 then
+            Some (Corpus.choose rng corpus).Corpus.prog
+          else None
+        in
+        let mutated, applied = Engine.mutate engine rng ?donor entry.Corpus.prog in
+        let origin =
+          match applied with
+          | Engine.Mutated_args _ -> "arg"
+          | Engine.Inserted_call _ -> "insert"
+          | Engine.Removed_call _ -> "remove"
+          | Engine.Spliced _ -> "splice"
+          | Engine.No_change -> "none"
+        in
+        { prog = mutated; origin })
+    |> List.filter (fun p -> p.origin <> "none")
+  in
+  { name = "Syzkaller"; throughput_factor = 1.0; propose }
+
+(* SyzDirect: when the base test invokes the target's syscall, focus
+   argument mutations on that call's arguments; otherwise steer the test
+   towards invoking it by inserting such a call (with resources wired). *)
+let syzdirect ?(mutations_per_base = 8) ~target_sys db =
+  let focused_localizer rng prog =
+    let nodes = Prog.mutable_nodes prog in
+    if nodes = [] then []
+    else begin
+      let focused =
+        match target_sys with
+        | None -> []
+        | Some sys ->
+          List.filter
+            (fun ((p : Prog.path), _) ->
+              prog.(p.Prog.call).Prog.spec.Spec.sys_id = sys)
+            nodes
+      in
+      let pool = if focused <> [] && Rng.coin rng 0.7 then focused else nodes in
+      let k = 1 + Rng.int rng 3 in
+      Rng.sample rng (Array.of_list pool) k |> List.map fst
+    end
+  in
+  let engine =
+    Engine.create
+      ~selector:(Engine.syzkaller_selector ~splice:false ())
+      ~arg_localizer:focused_localizer db
+  in
+  let propose rng ~now:_ ~covered:_ _corpus (entry : Corpus.entry) =
+    let base = entry.Corpus.prog in
+    let has_target_call =
+      match target_sys with
+      | None -> true
+      | Some sys ->
+        Array.exists (fun (c : Prog.call) -> c.spec.Spec.sys_id = sys) base
+    in
+    let steered =
+      match target_sys with
+      | Some sys when not has_target_call ->
+        (* Insert a call of the target syscall at the end, wiring any
+           resources it needs to earlier producers. *)
+        let call = Gen.call rng db (Spec.by_id db sys) in
+        let prog = Prog.insert_call base (Array.length base) call in
+        [ { prog = Gen.wire_resources rng db prog; origin = "steer" } ]
+      | Some _ | None -> []
+    in
+    let mutants =
+      List.init mutations_per_base (fun _ ->
+          let mutated, applied = Engine.mutate engine rng base in
+          match applied with
+          | Engine.No_change -> None
+          | _ -> Some { prog = mutated; origin = "directed" })
+      |> List.filter_map Fun.id
+    in
+    steered @ mutants
+  in
+  { name = "SyzDirect"; throughput_factor = 1.0; propose }

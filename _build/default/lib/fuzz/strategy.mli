@@ -1,0 +1,40 @@
+(** Pluggable fuzzing strategies.
+
+    A strategy answers one question: given the base test just chosen from
+    the corpus, which mutant programs should be executed next? The baseline
+    strategies here reproduce Syzkaller (semi-random mutations) and
+    SyzDirect (target-subsystem-biased mutations); Snowplow's PMM-guided
+    strategies live in the [snowplow] library and plug into the same
+    interface. *)
+
+type proposal = { prog : Sp_syzlang.Prog.t; origin : string }
+
+type t = {
+  name : string;
+  throughput_factor : float;
+      (** relative to Syzkaller's 390 tests/s; Snowplow runs at ~383/390 *)
+  propose :
+    Sp_util.Rng.t ->
+    now:float ->
+    covered:Sp_util.Bitset.t ->
+    Corpus.t ->
+    Corpus.entry ->
+    proposal list;
+      (** [covered] is the campaign's accumulated block coverage — what a
+          white-box strategy consults to pick uncovered targets. *)
+}
+
+val syzkaller :
+  ?mutations_per_base:int -> Sp_syzlang.Spec.db -> t
+(** Stock Syzkaller: [mutations_per_base] (default 8) mutants per base via
+    the default selector/localizer; splices against random corpus donors. *)
+
+val syzdirect :
+  ?mutations_per_base:int ->
+  target_sys:int option ->
+  Sp_syzlang.Spec.db ->
+  t
+(** SyzDirect's mutation heuristics: argument mutations are focused on
+    calls of the syscall whose handler hosts the target (when the base test
+    has one), and a call of that syscall is inserted when missing. Base
+    selection distance-weighting is handled by the campaign loop. *)

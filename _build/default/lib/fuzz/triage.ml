@@ -1,0 +1,96 @@
+module Rng = Sp_util.Rng
+module Bug = Sp_kernel.Bug
+module Kernel = Sp_kernel.Kernel
+module Prog = Sp_syzlang.Prog
+
+let filtered_keywords = [ "INFO:"; "SYZFAIL"; "lost connection to the VM" ]
+
+let severity_filter description =
+  not
+    (List.exists
+       (fun kw ->
+         (* substring search *)
+         let nk = String.length kw and nd = String.length description in
+         let rec at i = i + nk <= nd && (String.sub description i nk = kw || at (i + 1)) in
+         at 0)
+       filtered_keywords)
+
+type found = {
+  bug : Bug.t;
+  description : string;
+  found_at : float;
+  witness : Prog.t;
+  reproducer : Prog.t option;
+}
+
+type t = {
+  known : (string, unit) Hashtbl.t;
+  seen : (string, unit) Hashtbl.t;
+  mutable found_rev : found list;
+}
+
+let create kernel =
+  let known = Hashtbl.create 64 in
+  Array.iter
+    (fun bug -> if bug.Bug.known then Hashtbl.add known (Bug.description bug) ())
+    (Kernel.bugs kernel);
+  { known; seen = Hashtbl.create 64; found_rev = [] }
+
+let is_known t description = Hashtbl.mem t.known description
+
+(* Racy crashes replay only rarely: the interpreter is deterministic, so
+   irreproducibility is modelled as a per-attempt coin, matching the ~34%
+   no-reproducer rate of Table 3. *)
+let replay_crashes rng ~vm bug prog =
+  let r = Vm.run_free vm prog in
+  match r.Kernel.crash with
+  | Some c when c.Kernel.bug.Bug.id = bug.Bug.id ->
+    if bug.Bug.concurrency then Rng.coin rng 0.08 else true
+  | Some _ | None -> false
+
+let reproduce t rng ~vm bug prog =
+  ignore t;
+  let rec attempt k = k > 0 && (replay_crashes rng ~vm bug prog || attempt (k - 1)) in
+  if not (attempt 3) then None
+  else begin
+    (* Minimization: greedily drop calls while the crash persists. *)
+    let current = ref prog in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      let n = Array.length !current in
+      let rec try_drop i =
+        if i < n && not !changed then begin
+          (if n > 1 then
+             let candidate = Prog.remove_call !current i in
+             if replay_crashes rng ~vm bug candidate then begin
+               current := candidate;
+               changed := true
+             end);
+          try_drop (i + 1)
+        end
+      in
+      try_drop 0
+    done;
+    Some !current
+  end
+
+let record ?(attempt_repro = true) t rng ~vm ~now (crash : Kernel.crash) prog =
+  let description = Bug.description crash.Kernel.bug in
+  if (not (severity_filter description)) || Hashtbl.mem t.seen description then None
+  else begin
+    Hashtbl.add t.seen description ();
+    let reproducer =
+      if attempt_repro then reproduce t rng ~vm crash.Kernel.bug prog else None
+    in
+    let f = { bug = crash.Kernel.bug; description; found_at = now; witness = prog; reproducer } in
+    t.found_rev <- f :: t.found_rev;
+    Some f
+  end
+
+let all_found t = List.rev t.found_rev
+
+let new_crashes t =
+  List.filter (fun f -> not (is_known t f.description)) (all_found t)
+
+let known_crashes t = List.filter (fun f -> is_known t f.description) (all_found t)

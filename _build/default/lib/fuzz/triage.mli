@@ -1,0 +1,61 @@
+(** Crash triage: filtering, deduplication, known-crash matching and
+    reproducer extraction.
+
+    Implements §5.3.2's pipeline: crash descriptions are filtered by the
+    severity keywords the paper excludes ("INFO:", "SYZFAIL", "lost
+    connection to the VM"), deduplicated by description, compared against a
+    Syzbot-style list of crashes already known, and finally replayed by a
+    syz-repro analogue that also minimizes the reproducer. Concurrency-
+    flavoured bugs replay only probabilistically, which is why a third of
+    the paper's crashes (30/87) have no reproducer. *)
+
+val severity_filter : string -> bool
+(** True when a crash description passes the paper's keyword filter. *)
+
+type found = {
+  bug : Sp_kernel.Bug.t;
+  description : string;
+  found_at : float;  (** virtual campaign time *)
+  witness : Sp_syzlang.Prog.t;  (** the test that triggered it *)
+  reproducer : Sp_syzlang.Prog.t option;  (** minimized, when replayable *)
+}
+
+type t
+
+val create : Sp_kernel.Kernel.t -> t
+(** The known-crash list is seeded with the kernel's [known] bugs (Syzbot
+    would have reported them in earlier campaigns). *)
+
+val record :
+  ?attempt_repro:bool ->
+  t ->
+  Sp_util.Rng.t ->
+  vm:Vm.t ->
+  now:float ->
+  Sp_kernel.Kernel.crash ->
+  Sp_syzlang.Prog.t ->
+  found option
+(** Process one crashing execution. Returns [Some found] the first time a
+    description is seen (with reproduction attempted unless
+    [attempt_repro:false]); [None] for duplicates or filtered crashes. *)
+
+val all_found : t -> found list
+(** In discovery order. *)
+
+val new_crashes : t -> found list
+(** Found crashes whose description is not on the known list. *)
+
+val known_crashes : t -> found list
+
+val is_known : t -> string -> bool
+
+val reproduce :
+  t ->
+  Sp_util.Rng.t ->
+  vm:Vm.t ->
+  Sp_kernel.Bug.t ->
+  Sp_syzlang.Prog.t ->
+  Sp_syzlang.Prog.t option
+(** The syz-repro analogue: replay up to 3 times (racy bugs replay only
+    rarely per attempt), then greedily drop calls while the crash
+    persists. *)

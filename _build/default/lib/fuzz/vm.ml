@@ -1,0 +1,56 @@
+module Rng = Sp_util.Rng
+module Kernel = Sp_kernel.Kernel
+
+type t = {
+  kernel : Kernel.t;
+  noise : float;
+  noise_rng : Rng.t;
+  base_cost : float;
+  crash_restart_s : float;
+  mutable factor : float;
+  mutable executions : int;
+}
+
+let create ?(noise = 0.0) ?(execs_per_second = 390.0) ?(fleet_scale = 96.0)
+    ?(crash_restart_s = 0.7) ~seed kernel =
+  {
+    kernel;
+    noise;
+    noise_rng = Rng.create (seed lxor 0x5eed);
+    base_cost = fleet_scale /. execs_per_second;
+    crash_restart_s;
+    factor = 1.0;
+    executions = 0;
+  }
+
+let kernel t = t.kernel
+
+let execute t prog =
+  t.executions <- t.executions + 1;
+  if t.noise > 0.0 then Kernel.execute ~noise:(t.noise_rng, t.noise) t.kernel prog
+  else Kernel.execute t.kernel prog
+
+let run t clock prog =
+  let r = execute t prog in
+  (* Execution time scales with the number of system calls issued: the
+     fleet's 390 tests/s is calibrated for an average-size (5-call) test. *)
+  let calls = float_of_int (Array.length prog) in
+  let cost = t.base_cost /. t.factor *. (0.5 +. (0.1 *. calls)) in
+  let cost =
+    match r.Kernel.crash with None -> cost | Some _ -> cost +. t.crash_restart_s
+  in
+  Clock.advance clock cost;
+  r
+
+let run_free t prog = execute t prog
+
+let charge_duplicate t clock =
+  (* Syzkaller skips executing byte-identical programs it has already run;
+     the hash check is ~10% of an execution. *)
+  Clock.advance clock (0.1 *. t.base_cost /. t.factor)
+
+let executions t = t.executions
+
+let set_throughput_factor t f =
+  if f <= 0.0 then invalid_arg "Vm.set_throughput_factor: must be positive";
+  t.factor <- f

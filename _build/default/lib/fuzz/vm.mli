@@ -1,0 +1,45 @@
+(** Simulated test-execution environment.
+
+    Stands in for the paper's fleet of QEMU VMs: executes a test against the
+    kernel from a pristine snapshot, charges virtual time per execution, and
+    charges a much larger restart penalty when the guest kernel crashes
+    (Syzkaller must reboot the VM). Optionally injects the coverage
+    nondeterminism of a stock setup (§3.1) — Snowplow's data-collection
+    executor runs with [noise = 0]. *)
+
+type t
+
+val create :
+  ?noise:float ->
+  ?execs_per_second:float ->
+  ?fleet_scale:float ->
+  ?crash_restart_s:float ->
+  seed:int ->
+  Sp_kernel.Kernel.t ->
+  t
+(** Defaults: noise 0, 390 execs/s (the paper's whole-fleet Syzkaller
+    throughput, 42 VMs), fleet_scale 96 (we simulate a fleet 96x smaller —
+    well under one VM-equivalent — so a 24-hour campaign stays tractable; every relative
+    timing is preserved because both compared systems scale identically),
+    0.7 s crash-restart penalty — the whole-fleet cost of rebooting one
+    of 42 VMs for 30 s, which is what a guest crash costs the paper's
+    setup. *)
+
+val kernel : t -> Sp_kernel.Kernel.t
+
+val run : t -> Clock.t -> Sp_syzlang.Prog.t -> Sp_kernel.Kernel.result
+(** Execute and advance the clock by the execution cost (plus the restart
+    penalty on crash). *)
+
+val run_free : t -> Sp_syzlang.Prog.t -> Sp_kernel.Kernel.result
+(** Execute without charging time (used by offline analyses). *)
+
+val charge_duplicate : t -> Clock.t -> unit
+(** Charge the (small) cost of recognizing an already-executed program
+    without running it. *)
+
+val executions : t -> int
+
+val set_throughput_factor : t -> float -> unit
+(** Scale the per-test cost; Snowplow runs at 383/390 of Syzkaller's
+    throughput (§5.5). *)

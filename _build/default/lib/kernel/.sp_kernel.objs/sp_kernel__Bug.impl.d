@@ -1,0 +1,1 @@
+lib/kernel/bug.ml: Format Printf String

@@ -1,0 +1,1 @@
+lib/kernel/build.ml: Array Bug Hashtbl Ir List Sp_cfg Sp_syzlang Sp_util Specgen String Token

@@ -1,0 +1,1 @@
+lib/kernel/build.mli: Bug Ir Sp_cfg Sp_syzlang

@@ -1,0 +1,1 @@
+lib/kernel/ir.mli: Format

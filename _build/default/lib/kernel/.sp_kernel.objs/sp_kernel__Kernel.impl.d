@@ -1,0 +1,1 @@
+lib/kernel/kernel.ml: Array Bug Build Ir List Sp_cfg Sp_syzlang Sp_util

@@ -1,0 +1,1 @@
+lib/kernel/kernel.mli: Bug Build Ir Sp_cfg Sp_syzlang Sp_util

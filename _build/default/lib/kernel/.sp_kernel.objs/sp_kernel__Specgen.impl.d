@@ -1,0 +1,1 @@
+lib/kernel/specgen.ml: Array List Printf Sp_syzlang Sp_util String

@@ -1,0 +1,1 @@
+lib/kernel/specgen.mli: Sp_syzlang Sp_util

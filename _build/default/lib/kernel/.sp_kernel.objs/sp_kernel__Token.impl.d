@@ -1,0 +1,1 @@
+lib/kernel/token.ml: Array Char Float Hashtbl Printf Sp_syzlang String

@@ -1,0 +1,1 @@
+lib/kernel/token.mli: Sp_syzlang

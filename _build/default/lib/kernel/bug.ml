@@ -1,0 +1,51 @@
+type category =
+  | Null_deref
+  | Paging_fault
+  | Assertion
+  | Gpf
+  | Oob
+  | Warning
+  | Other
+
+let category_to_string = function
+  | Null_deref -> "Null pointer dereference"
+  | Paging_fault -> "Paging fault"
+  | Assertion -> "Explicit assertion violation"
+  | Gpf -> "General protection fault"
+  | Oob -> "Out of bounds access"
+  | Warning -> "Warning"
+  | Other -> "Other"
+
+let all_categories =
+  [ Null_deref; Paging_fault; Assertion; Gpf; Oob; Warning; Other ]
+
+type t = {
+  id : int;
+  category : category;
+  known : bool;
+  concurrency : bool;
+  subsystem : string;
+  syscall : string;
+  gate_depth : int;
+}
+
+let manifestation = function
+  | Null_deref -> "null-ptr-deref in"
+  | Paging_fault -> "BUG: unable to handle page fault in"
+  | Assertion -> "kernel BUG in"
+  | Gpf -> "general protection fault in"
+  | Oob -> "KASAN: slab-out-of-bounds in"
+  | Warning -> "WARNING in"
+  | Other -> "unexpected kernel state in"
+
+let description t =
+  Printf.sprintf "%s %s_%s_%d" (manifestation t.category) t.syscall
+    (String.map (fun c -> if c = '/' then '_' else c) t.subsystem)
+    t.id
+
+let pp ppf t =
+  Format.fprintf ppf "bug#%d [%s] %s (%s, gate=%d%s%s)" t.id
+    (category_to_string t.category)
+    (description t) t.subsystem t.gate_depth
+    (if t.known then ", known" else ", new")
+    (if t.concurrency then ", racy" else "")

@@ -1,0 +1,39 @@
+(** Injected kernel bugs and their crash manifestations.
+
+    The synthetic kernel contains latent bugs: crash blocks guarded by
+    chains of precise argument predicates, modelled on the ATA
+    [SCSI_IOCTL_SEND_COMMAND] out-of-bounds write of §5.3.2 (which required
+    an exact command, sub-command, protocol, and an inconsistent data
+    length). "Known" bugs sit behind shallow, easy gates — the continuous
+    Syzbot fuzzing would have found them — while "new" bugs sit behind deep
+    rare gates. Concurrency-flavoured bugs reproduce flakily, driving the
+    with/without-reproducer split of Table 3. *)
+
+type category =
+  | Null_deref
+  | Paging_fault
+  | Assertion
+  | Gpf  (** general protection fault *)
+  | Oob  (** out-of-bounds access (KASAN) *)
+  | Warning
+  | Other
+
+val category_to_string : category -> string
+
+val all_categories : category list
+
+type t = {
+  id : int;
+  category : category;
+  known : bool;  (** already on the Syzbot-style known list *)
+  concurrency : bool;  (** crash replays only probabilistically *)
+  subsystem : string;  (** fake failure location, e.g. "fs/ext4" *)
+  syscall : string;  (** syscall whose handler hosts the crash block *)
+  gate_depth : int;  (** number of precise predicates guarding it *)
+}
+
+val description : t -> string
+(** Stable crash signature, playing the role of the report title Syzkaller
+    dedups on (e.g. "general protection fault in ext4_do_writepages"). *)
+
+val pp : Format.formatter -> t -> unit

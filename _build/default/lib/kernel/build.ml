@@ -1,0 +1,497 @@
+module Rng = Sp_util.Rng
+module Ty = Sp_syzlang.Ty
+module Spec = Sp_syzlang.Spec
+module Value = Sp_syzlang.Value
+
+type config = {
+  seed : int;
+  version : string;
+  num_syscalls : int;
+  max_depth : int;
+  handler_budget : int;
+  num_known_bugs : int;
+  num_new_bugs : int;
+  evolve_rounds : int;
+}
+
+let default_config =
+  {
+    seed = 1;
+    version = "6.8";
+    num_syscalls = 48;
+    max_depth = 15;
+    handler_budget = 1400;
+    num_known_bugs = 6;
+    num_new_bugs = 14;
+    evolve_rounds = 0;
+  }
+
+type built = {
+  db : Spec.db;
+  blocks : Ir.block array;
+  cfg : Sp_cfg.Cfg.t;
+  entries : int array;
+  exits : int array;
+  bugs : Bug.t array;
+  bug_gates : Ir.predicate list array;
+  background : int list;
+  mode_paths : (int list option * int list option) array;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Mutable construction state                                          *)
+(* ------------------------------------------------------------------ *)
+
+type mblock = {
+  mid : int;
+  msys : int;
+  mdepth : int;
+  mutable mtokens : int array;
+  mutable mterm : Ir.terminator;
+}
+
+type builder = {
+  mutable rev_blocks : mblock list;
+  mutable count : int;
+  no_inject : (int, unit) Hashtbl.t;  (* bug-gate / miss / crash blocks *)
+}
+
+let new_block b ~sys ~depth ~tokens ~term =
+  let mb = { mid = b.count; msys = sys; mdepth = depth; mtokens = tokens; mterm = term } in
+  b.rev_blocks <- mb :: b.rev_blocks;
+  b.count <- b.count + 1;
+  mb
+
+(* ------------------------------------------------------------------ *)
+(* Predicate candidates: testable argument paths of a syscall          *)
+(* ------------------------------------------------------------------ *)
+
+type cand = { cpath : int list; cty : Ty.t; cname : string }
+
+let is_filler name =
+  let suffix = "_pad" in
+  let nl = String.length name and sl = String.length suffix in
+  nl >= sl && String.sub name (nl - sl) sl = suffix
+
+let candidates_of_spec (spec : Spec.t) =
+  let acc = ref [] in
+  let rec walk path (ty : Ty.t) fallback =
+    let keep =
+      (not (is_filler fallback))
+      &&
+      match ty with
+      | Ty.Int _ | Ty.Flags _ | Ty.Enum _ | Ty.Buffer _ | Ty.Str _
+      | Ty.Resource _ | Ty.Ptr _ ->
+        true
+      | Ty.Const _ | Ty.Len _ | Ty.Struct _ -> false
+    in
+    if keep then
+      acc :=
+        { cpath = List.rev path; cty = ty; cname = Token.detail_name ty ~fallback }
+        :: !acc;
+    match ty with
+    | Ty.Ptr inner -> walk (0 :: path) inner fallback
+    | Ty.Struct fields ->
+      List.iteri (fun i f -> walk (i :: path) f.Ty.fty f.Ty.fname) fields
+    | Ty.Const _ | Ty.Int _ | Ty.Flags _ | Ty.Enum _ | Ty.Len _ | Ty.Buffer _
+    | Ty.Str _ | Ty.Resource _ ->
+      ()
+  in
+  List.iteri (fun i (f : Ty.field) -> walk [ i ] f.fty f.fname) spec.Spec.args;
+  Array.of_list (List.rev !acc)
+
+(* Paths feeding a produced object's fields: first flags argument -> mode,
+   second flags or first enum -> oflags. *)
+let object_field_paths (spec : Spec.t) =
+  let flags = ref [] and enums = ref [] in
+  Array.iter
+    (fun c ->
+      match c.cty with
+      | Ty.Flags _ -> flags := c.cpath :: !flags
+      | Ty.Enum _ -> enums := c.cpath :: !enums
+      | _ -> ())
+    (candidates_of_spec spec);
+  let flags = List.rev !flags and enums = List.rev !enums in
+  let mode = match flags with p :: _ -> Some p | [] -> (match enums with p :: _ -> Some p | [] -> None) in
+  let oflags =
+    match flags with
+    | _ :: p :: _ -> Some p
+    | _ -> ( match enums with p :: _ -> Some p | [] -> None)
+  in
+  (mode, oflags)
+
+(* ------------------------------------------------------------------ *)
+(* Predicate and token synthesis                                       *)
+(* ------------------------------------------------------------------ *)
+
+let magic_const rng ~lo ~hi =
+  if hi <= lo then max lo 1
+  else begin
+    let rec draw guard =
+      let v = 1 lsl Rng.int rng 13 in
+      if v >= lo && v <= hi then v
+      else if guard = 0 then Rng.int_in rng lo hi
+      else draw (guard - 1)
+    in
+    draw 32
+  end
+
+let rand_flag_subset rng (fs : Ty.flag_spec) k =
+  Rng.sample rng (Array.of_list fs.flag_values) k
+  |> List.fold_left (fun acc (_, bit) -> acc lor bit) 0
+
+let make_pred rng (c : cand) ~rare : Ir.predicate =
+  match c.cty with
+  | Ty.Flags fs ->
+    if rare then
+      Ir.Arg { path = c.cpath; name = c.cname; cmp = Ir.Eq;
+               const = rand_flag_subset rng fs 2 }
+    else
+      Ir.Arg { path = c.cpath; name = c.cname; cmp = Ir.Masked;
+               const = rand_flag_subset rng fs 1 }
+  | Ty.Enum e ->
+    let choices = Array.of_list e.choices in
+    let _, v =
+      if rare && Array.length choices > 1 then
+        (* Skip the first (default) choice so the gate is off by default. *)
+        choices.(1 + Rng.int rng (Array.length choices - 1))
+      else Rng.choose rng choices
+    in
+    Ir.Arg { path = c.cpath; name = c.cname; cmp = Ir.Eq; const = v }
+  | Ty.Int { lo; hi; _ } ->
+    if rare then
+      (* Exact comparisons in real kernels overwhelmingly test "magic"
+         constants (powers of two, off-by-ones); a fuzzer's magic-value
+         instantiation can hit them once the right argument is chosen. *)
+      Ir.Arg { path = c.cpath; name = c.cname; cmp = Ir.Eq;
+               const = magic_const rng ~lo:(lo + 1) ~hi }
+    else
+      let cmp = if Rng.bool rng then Ir.Lt else Ir.Gt in
+      Ir.Arg { path = c.cpath; name = c.cname; cmp;
+               const = Rng.int_in rng lo hi }
+  | Ty.Buffer { min_len; max_len } ->
+    if rare then
+      (* An exact (wrong) length, like the inconsistent data length that
+         gates the ATA out-of-bounds write of §5.3.2. *)
+      Ir.Arg { path = c.cpath; name = c.cname; cmp = Ir.Eq;
+               const = magic_const rng ~lo:(min_len + 1) ~hi:(max min_len (max_len - 1)) }
+    else
+      let cmp = if Rng.bool rng then Ir.Gt else Ir.Lt in
+      Ir.Arg { path = c.cpath; name = c.cname; cmp;
+               const = Rng.int_in rng min_len max_len }
+  | Ty.Str names ->
+    let s = match names with [] -> "" | l -> Rng.choose_list rng l in
+    Ir.Arg { path = c.cpath; name = c.cname; cmp = Ir.Eq;
+             const = Value.scalar (Value.Vstr s) }
+  | Ty.Ptr _ ->
+    (* NULL-pointer check; rare gates require a non-NULL pointer plus other
+       conditions, common ones split on nullness either way. *)
+    Ir.Arg { path = c.cpath; name = c.cname;
+             cmp = (if rare || Rng.bool rng then Ir.Ne else Ir.Eq); const = 0 }
+  | Ty.Resource kind ->
+    if (not rare) && Rng.bool rng then
+      Ir.Res_valid { path = c.cpath; name = kind }
+    else
+      let field = if Rng.bool rng then `Mode else `Oflags in
+      let fname = kind ^ (match field with `Mode -> "_mode" | `Oflags -> "_oflags") in
+      let cmp = if rare then Ir.Eq else Ir.Masked in
+      let const =
+        if rare then Rng.int_in rng 1 31 else 1 lsl Rng.int rng 5
+      in
+      Ir.Res_state { path = c.cpath; name = fname; field; cmp; const }
+  | Ty.Const _ | Ty.Len _ | Ty.Struct _ ->
+    invalid_arg "make_pred: not a testable candidate"
+
+let body_tokens rng =
+  let n = Rng.int_in rng 3 7 in
+  Array.init n (fun _ ->
+      Token.opcode
+        (Rng.choose rng [| "mov"; "lea"; "add"; "sub"; "xor"; "and"; "push"; "pop"; "call" |]))
+
+let cond_tokens rng (pred : Ir.predicate) =
+  let jcc = Rng.choose rng [| "je"; "jne"; "jg"; "jb" |] in
+  match pred with
+  | Ir.Arg { name; cmp; const; _ } ->
+    let op = match cmp with Ir.Masked -> "test" | _ -> "cmp" in
+    [| Token.opcode "mov"; Token.opcode op; Token.opsig name;
+       Token.const_bucket const; Token.opcode jcc |]
+  | Ir.Res_state { name; cmp; const; _ } ->
+    let op = match cmp with Ir.Masked -> "test" | _ -> "cmp" in
+    [| Token.opcode "mov"; Token.opcode op; Token.opsig name;
+       Token.const_bucket const; Token.opcode jcc |]
+  | Ir.Res_valid { name; _ } ->
+    [| Token.opcode "test"; Token.opsig name; Token.opcode "je" |]
+
+let crash_tokens subsystem =
+  [| Token.opcode "call"; Token.opsig subsystem; Token.opcode "ud2" |]
+
+(* ------------------------------------------------------------------ *)
+(* Handler region generation                                           *)
+(* ------------------------------------------------------------------ *)
+
+let rec region b rng ~sys ~cands ~max_depth ~depth ~budget ~exit_id =
+  if budget <= 2 || depth >= max_depth || Rng.coin rng 0.15 then begin
+    let leaf =
+      new_block b ~sys ~depth ~tokens:(body_tokens rng) ~term:(Ir.Jump exit_id)
+    in
+    if budget >= 2 && Rng.bool rng then
+      let pre =
+        new_block b ~sys ~depth ~tokens:(body_tokens rng)
+          ~term:(Ir.Jump leaf.mid)
+      in
+      pre.mid
+    else leaf.mid
+  end
+  else begin
+    let cand = Rng.choose rng cands in
+    let pred = make_pred rng cand ~rare:(Rng.coin rng 0.28) in
+    let tb =
+      region b rng ~sys ~cands ~max_depth ~depth:(depth + 1)
+        ~budget:(budget * 3 / 5) ~exit_id
+    in
+    let fb =
+      region b rng ~sys ~cands ~max_depth ~depth:(depth + 1)
+        ~budget:(budget * 2 / 5) ~exit_id
+    in
+    let cond =
+      new_block b ~sys ~depth ~tokens:(cond_tokens rng pred)
+        ~term:(Ir.Cond { pred; if_true = tb; if_false = fb })
+    in
+    cond.mid
+  end
+
+let build_handler b rng ~sys ~cands ~max_depth ~budget =
+  let exit_blk = new_block b ~sys ~depth:0 ~tokens:[| Token.opcode "ret" |] ~term:Ir.Ret in
+  let body = region b rng ~sys ~cands ~max_depth ~depth:1 ~budget ~exit_id:exit_blk.mid in
+  let entry =
+    new_block b ~sys ~depth:0
+      ~tokens:[| Token.opcode "push"; Token.opcode "mov"; Token.opcode "call" |]
+      ~term:(Ir.Jump body)
+  in
+  (entry.mid, exit_blk.mid)
+
+(* ------------------------------------------------------------------ *)
+(* Bug injection                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let category_dist =
+  (* Frequencies follow Table 3's manifestation mix. *)
+  [ (Bug.Gpf, 0.44); (Bug.Paging_fault, 0.26); (Bug.Null_deref, 0.11);
+    (Bug.Warning, 0.09); (Bug.Assertion, 0.05); (Bug.Oob, 0.02);
+    (Bug.Other, 0.03) ]
+
+let subsystems =
+  [| "fs/ext4"; "drivers/ata"; "drivers/scsi"; "net/packet"; "net/ipv4";
+     "mm"; "kernel"; "fs/io_uring"; "sound/core"; "drivers/video" |]
+
+let leaves_of_handler b ~sys ~exit_id ~min_depth ~max_depth =
+  List.filter
+    (fun mb ->
+      mb.msys = sys && mb.mdepth >= min_depth && mb.mdepth <= max_depth
+      && (not (Hashtbl.mem b.no_inject mb.mid))
+      && match mb.mterm with Ir.Jump t -> t = exit_id | _ -> false)
+    b.rev_blocks
+
+(* Replace a leaf [... -> exit] with [... -> gate1 -> ... -> gateN -> crash],
+   every gate miss falling back to a fresh body block that jumps to exit. *)
+let inject_bug b rng ~spec ~cands ~exit_id ~bug_id ~gate_len ~deep ~subsystem =
+  let sys = spec.Spec.sys_id in
+  let min_depth, max_depth = if deep then (3, 99) else (1, 2) in
+  match leaves_of_handler b ~sys ~exit_id ~min_depth ~max_depth with
+  | [] -> None
+  | leaves ->
+    let leaf = Rng.choose_list rng leaves in
+    let crash =
+      new_block b ~sys ~depth:(leaf.mdepth + gate_len)
+        ~tokens:(crash_tokens subsystem) ~term:(Ir.Crash bug_id)
+    in
+    Hashtbl.add b.no_inject crash.mid ();
+    (* Only argument kinds whose rare predicate is genuinely narrow can act
+       as a gate; NULL-checks and string picks crash far too often. *)
+    let gate_pool =
+      Array.of_list
+        (List.filter
+           (fun c ->
+             match c.cty with
+             | Ty.Flags _ | Ty.Enum _ | Ty.Buffer _ -> true
+             | Ty.Int { hi; _ } -> hi >= 15
+             | Ty.Resource _ | Ty.Str _ | Ty.Ptr _ | Ty.Const _ | Ty.Len _
+             | Ty.Struct _ ->
+               false)
+           (Array.to_list cands))
+    in
+    let gate_pool = if Array.length gate_pool >= 1 then gate_pool else cands in
+    let gate_cands = Rng.sample rng gate_pool (max gate_len 1) in
+    (* Known (shallow) bugs still need a precise predicate — Syzbot found
+       them over years of fuzzing, not instantly — they are just guarded by
+       a single condition at low depth instead of a deep chain. *)
+    let gates = List.map (fun c -> make_pred rng c ~rare:true) gate_cands in
+    let target = ref crash.mid in
+    List.iteri
+      (fun i pred ->
+        let miss =
+          new_block b ~sys ~depth:(leaf.mdepth + gate_len - i)
+            ~tokens:(body_tokens rng) ~term:(Ir.Jump exit_id)
+        in
+        Hashtbl.add b.no_inject miss.mid ();
+        let cond =
+          new_block b ~sys ~depth:(leaf.mdepth + gate_len - 1 - i)
+            ~tokens:(cond_tokens rng pred)
+            ~term:(Ir.Cond { pred; if_true = !target; if_false = miss.mid })
+        in
+        Hashtbl.add b.no_inject cond.mid ();
+        target := cond.mid)
+      (List.rev gates);
+    leaf.mterm <- Ir.Jump !target;
+    Hashtbl.add b.no_inject leaf.mid ();
+    Some gates
+
+(* ------------------------------------------------------------------ *)
+(* Version evolution                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let tweak_const rng (pred : Ir.predicate) : Ir.predicate =
+  match pred with
+  | Ir.Arg a -> Ir.Arg { a with const = max 0 (a.const + Rng.int_in rng (-3) 3) }
+  | Ir.Res_state r -> Ir.Res_state { r with const = max 1 (r.const lxor (1 lsl Rng.int rng 3)) }
+  | Ir.Res_valid _ -> pred
+
+let evolve b rng ~per_sys ~max_depth =
+  let snapshot = b.rev_blocks in
+  List.iter
+    (fun mb ->
+      if mb.msys >= 0 && not (Hashtbl.mem b.no_inject mb.mid) then
+        match mb.mterm with
+        | Ir.Cond c when Rng.coin rng 0.06 ->
+          let pred = tweak_const rng c.pred in
+          mb.mterm <- Ir.Cond { c with pred };
+          mb.mtokens <- cond_tokens rng pred
+        | Ir.Jump t when Rng.coin rng 0.08 ->
+          let cands, exit_id = per_sys.(mb.msys) in
+          if t = exit_id && Array.length cands > 0 then begin
+            let grafted =
+              region b rng ~sys:mb.msys ~cands ~max_depth
+                ~depth:(mb.mdepth + 1) ~budget:8 ~exit_id
+            in
+            mb.mterm <- Ir.Jump grafted
+          end
+        | Ir.Cond _ | Ir.Jump _ | Ir.Ret | Ir.Crash _ -> ())
+    snapshot
+
+(* ------------------------------------------------------------------ *)
+(* Top level                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let freeze b =
+  let arr = Array.make b.count None in
+  List.iter (fun mb -> arr.(mb.mid) <- Some mb) b.rev_blocks;
+  Array.map
+    (function
+      | Some mb ->
+        { Ir.id = mb.mid; sys_id = mb.msys; depth = mb.mdepth;
+          tokens = mb.mtokens; term = mb.mterm }
+      | None -> assert false)
+    arr
+
+let build config =
+  let base_rng = Rng.create config.seed in
+  let spec_rng = Rng.split_named base_rng "specs" in
+  let db = Specgen.generate spec_rng ~num_syscalls:config.num_syscalls in
+  let n = Spec.count db in
+  let b = { rev_blocks = []; count = 0; no_inject = Hashtbl.create 64 } in
+  let entries = Array.make n (-1) and exits = Array.make n (-1) in
+  let per_sys = Array.make n ([||], -1) in
+  let handler_rng = Rng.split_named base_rng "handlers" in
+  for sys = 0 to n - 1 do
+    let spec = Spec.by_id db sys in
+    let cands = candidates_of_spec spec in
+    let entry, exit_id =
+      build_handler b handler_rng ~sys ~cands ~max_depth:config.max_depth
+        ~budget:config.handler_budget
+    in
+    entries.(sys) <- entry;
+    exits.(sys) <- exit_id;
+    per_sys.(sys) <- (cands, exit_id)
+  done;
+  (* Background / interrupt region. *)
+  let bg_rng = Rng.split_named base_rng "background" in
+  let bg_exit = new_block b ~sys:(-1) ~depth:0 ~tokens:[| Token.opcode "ret" |] ~term:Ir.Ret in
+  let background = ref [ bg_exit.mid ] in
+  let prev = ref bg_exit.mid in
+  for _ = 1 to 12 do
+    let blk =
+      new_block b ~sys:(-1) ~depth:0 ~tokens:(body_tokens bg_rng)
+        ~term:(Ir.Jump !prev)
+    in
+    background := blk.mid :: !background;
+    prev := blk.mid
+  done;
+  (* Bugs: known (shallow, shared across versions) first, then version
+     evolution, then new (deep, version-specific). *)
+  let bugs = ref [] and gates = ref [] in
+  let next_bug = ref 0 in
+  let add_bugs rng count ~known ~deep =
+    let placed = ref 0 and attempts = ref 0 in
+    while !placed < count && !attempts < count * 20 do
+      incr attempts;
+      let sys = Rng.int rng n in
+      let spec = Spec.by_id db sys in
+      let cands, exit_id = per_sys.(sys) in
+      if Array.length cands >= 2 then begin
+        let gate_len = if deep then Rng.int_in rng 2 3 else 1 in
+        let subsystem = Rng.choose rng subsystems in
+        match
+          inject_bug b rng ~spec ~cands ~exit_id ~bug_id:!next_bug ~gate_len
+            ~deep ~subsystem
+        with
+        | None -> ()
+        | Some gate_preds ->
+          let bug =
+            {
+              Bug.id = !next_bug;
+              category = Rng.weighted rng category_dist;
+              known;
+              concurrency = Rng.coin rng 0.40;
+              subsystem;
+              syscall = spec.Spec.name;
+              gate_depth = gate_len;
+            }
+          in
+          bugs := bug :: !bugs;
+          gates := gate_preds :: !gates;
+          incr next_bug;
+          incr placed
+      end
+    done
+  in
+  let known_rng = Rng.split_named base_rng "known-bugs" in
+  add_bugs known_rng config.num_known_bugs ~known:true ~deep:false;
+  (* Version evolution: the base version does zero rounds. *)
+  let evolve_rng = Rng.create (Hashtbl.hash (config.seed, config.version)) in
+  for _ = 1 to config.evolve_rounds do
+    evolve b evolve_rng ~per_sys ~max_depth:config.max_depth
+  done;
+  let new_rng = Rng.split_named evolve_rng "new-bugs" in
+  add_bugs new_rng config.num_new_bugs ~known:false ~deep:true;
+  (* Freeze. *)
+  let blocks = freeze b in
+  let edges =
+    Array.to_list blocks
+    |> List.concat_map (fun (blk : Ir.block) ->
+           List.map (fun dst -> (blk.Ir.id, dst)) (Ir.successors blk.Ir.term))
+  in
+  let cfg = Sp_cfg.Cfg.create ~num_blocks:(Array.length blocks) ~edges in
+  let mode_paths =
+    Array.init n (fun sys -> object_field_paths (Spec.by_id db sys))
+  in
+  {
+    db;
+    blocks;
+    cfg;
+    entries;
+    exits;
+    bugs = Array.of_list (List.rev !bugs);
+    bug_gates = Array.of_list (List.rev !gates);
+    background = !background;
+    mode_paths;
+  }

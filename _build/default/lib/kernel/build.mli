@@ -1,0 +1,40 @@
+(** Procedural construction of a synthetic kernel.
+
+    Builds, from a seed: tree-shaped handler regions per syscall whose
+    branch predicates test argument scalars and resource-object state;
+    injected bugs behind shallow (known) or deep rare (new) predicate
+    gates; a background/interrupt region; and version evolution — later
+    kernel "versions" graft new regions onto handler leaves and retune some
+    branch constants, so a model trained on the base version faces slightly
+    shifted code, as PMM did when moving from Linux 6.8 to 6.9/6.10. *)
+
+type config = {
+  seed : int;
+  version : string;  (** e.g. "6.8" *)
+  num_syscalls : int;
+  max_depth : int;  (** branch-nesting bound per handler *)
+  handler_budget : int;  (** approximate block count per handler *)
+  num_known_bugs : int;  (** shallow-gated, on the Syzbot-style known list *)
+  num_new_bugs : int;  (** deep-gated, previously unknown *)
+  evolve_rounds : int;  (** 0 for the base version, +1 per later release *)
+}
+
+val default_config : config
+(** A laptop-scale kernel: 48 syscalls, depth 15, ~850 blocks per handler,
+    6 known + 14 new bugs, version "6.8". *)
+
+type built = {
+  db : Sp_syzlang.Spec.db;
+  blocks : Ir.block array;  (** indexed by block id *)
+  cfg : Sp_cfg.Cfg.t;
+  entries : int array;  (** sys_id -> handler entry block *)
+  exits : int array;  (** sys_id -> unique handler exit block *)
+  bugs : Bug.t array;  (** indexed by bug id *)
+  bug_gates : Ir.predicate list array;  (** ground-truth gate per bug *)
+  background : int list;  (** interrupt-region block ids, in chain order *)
+  mode_paths : (int list option * int list option) array;
+      (** per sys_id: argument paths feeding a produced object's
+          [mode] and [oflags] fields *)
+}
+
+val build : config -> built

@@ -1,0 +1,80 @@
+(** The synthetic kernel: generation, inspection, and test execution.
+
+    A kernel bundles the syscall interface (a {!Sp_syzlang.Spec.db}), the
+    handler code (basic blocks over a global id space with a static CFG),
+    injected bugs, and an interpreter that executes test programs and
+    returns their coverage trace — the role KCOV plays in the paper. *)
+
+type t
+
+(** {1 Generation} *)
+
+val generate : Build.config -> t
+
+val default : unit -> t
+(** [generate Build.default_config]. *)
+
+val linux_like : seed:int -> version:string -> t
+(** The three-kernel setup of §5.3: versions "6.8", "6.9", "6.10" share one
+    interface and a base code generation; "6.9" applies one evolution round
+    and "6.10" two, each with version-specific new bugs. Raises
+    [Invalid_argument] for other version strings. *)
+
+(** {1 Inspection} *)
+
+val version : t -> string
+
+val spec_db : t -> Sp_syzlang.Spec.db
+
+val cfg : t -> Sp_cfg.Cfg.t
+
+val num_blocks : t -> int
+
+val block : t -> int -> Ir.block
+
+val handler_entry : t -> int -> int
+(** Entry block of the handler for a syscall id. *)
+
+val handler_exit : t -> int -> int
+
+val bugs : t -> Bug.t array
+
+val bug : t -> int -> Bug.t
+
+val bug_gate : t -> int -> Ir.predicate list
+(** Ground-truth gate predicates of a bug (for tests and analyses only; the
+    fuzzers never see this). *)
+
+val background_blocks : t -> int list
+
+(** {1 Execution} *)
+
+type kobject = { okind : string; mode : int; oflags : int }
+(** The kernel object a producer call creates; its fields are derived from
+    the producer's flag/enum arguments, so later calls' [Res_state] branches
+    depend on earlier calls' arguments (the paper's implicit cross-call
+    dependencies). *)
+
+type crash = { bug : Bug.t; crash_call : int }
+
+type call_trace = { call_idx : int; visited : int list (** in order *) }
+
+type result = {
+  traces : call_trace list;
+  crash : crash option;
+  covered : Sp_util.Bitset.t;  (** block coverage, sized [num_blocks] *)
+  covered_edges : Sp_util.Bitset.t;  (** static-edge coverage *)
+  objects : kobject option array;  (** post-state, per call index *)
+}
+
+val execute : ?noise:Sp_util.Rng.t * float -> t -> Sp_syzlang.Prog.t -> result
+(** Run a program from a pristine kernel snapshot (execution is a pure
+    function of the program — the determinism §3.1 engineers for). With
+    [~noise:(rng, level)], interrupt-style background blocks and phantom
+    blocks from unrelated handlers pollute the trace with probability
+    [level] per call, emulating the noisy collection mode of stock
+    Syzkaller. Execution stops at the first crash. *)
+
+val block_coverage_of_call : t -> Sp_syzlang.Prog.t -> int -> Sp_util.Bitset.t
+(** Coverage of one call of the program (used by query-graph construction).
+    Equivalent to filtering [execute]'s trace for that call. *)

@@ -1,0 +1,65 @@
+let opcodes =
+  [| "nop"; "mov"; "lea"; "add"; "sub"; "xor"; "and"; "or"; "shl"; "shr";
+     "push"; "pop"; "call"; "ret"; "cmp"; "test"; "je"; "jne"; "jg"; "jb";
+     "jmp"; "ud2" |]
+
+let opcode_tbl =
+  let tbl = Hashtbl.create 32 in
+  Array.iteri (fun i name -> Hashtbl.add tbl name (i + 1)) opcodes;
+  tbl
+
+let num_opcodes = Array.length opcodes
+
+let opsig_buckets = 96
+
+let const_buckets = 24
+
+let padding = 0
+
+let opsig_base = 1 + num_opcodes
+
+let const_base = opsig_base + opsig_buckets
+
+let vocab_size = const_base + const_buckets
+
+let opcode name =
+  match Hashtbl.find_opt opcode_tbl name with
+  | Some t -> t
+  | None -> invalid_arg ("Token.opcode: unknown mnemonic " ^ name)
+
+let fnv s =
+  let h = ref 0x811c9dc5 in
+  String.iter (fun c -> h := (!h lxor Char.code c) * 0x01000193 land 0x3fffffff) s;
+  !h
+
+let num_opsig_buckets = opsig_buckets
+
+let opsig_bucket name = fnv name mod opsig_buckets
+
+let opsig name = opsig_base + opsig_bucket name
+
+let const_bucket v =
+  let v = abs v in
+  (* Small constants get their own buckets; bigger ones are log-bucketed, so
+     "0 vs 1 vs 2" stays distinguishable but 0x4100 vs 0x4200 may collide. *)
+  let b =
+    if v < 8 then v
+    else 8 + min (const_buckets - 9) (int_of_float (Float.log2 (float_of_int v)))
+  in
+  const_base + b
+
+let to_string t =
+  if t = padding then "<pad>"
+  else if t <= num_opcodes then opcodes.(t - 1)
+  else if t < const_base then Printf.sprintf "sig%d" (t - opsig_base)
+  else Printf.sprintf "imm%d" (t - const_base)
+
+let detail_name (ty : Sp_syzlang.Ty.t) ~fallback =
+  match ty with
+  | Sp_syzlang.Ty.Flags f -> f.flag_name
+  | Sp_syzlang.Ty.Enum e -> e.enum_name
+  | Sp_syzlang.Ty.Resource kind -> kind
+  | Sp_syzlang.Ty.Const _ | Sp_syzlang.Ty.Int _ | Sp_syzlang.Ty.Len _
+  | Sp_syzlang.Ty.Buffer _ | Sp_syzlang.Ty.Str _ | Sp_syzlang.Ty.Ptr _
+  | Sp_syzlang.Ty.Struct _ ->
+    fallback

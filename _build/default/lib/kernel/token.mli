@@ -1,0 +1,40 @@
+(** Token vocabulary for basic-block contents and argument descriptors.
+
+    The paper embeds each kernel basic block from its x86 assembly text with
+    a BERT-pretrained Transformer, and each argument node from its Syzlang
+    type. Our synthetic blocks carry token sequences in the same spirit:
+    opcode tokens plus {e operand-signature} tokens that (noisily, through a
+    bucketed hash) reveal which named quantity a comparison inspects — the
+    analogue of struct offsets and immediates in real assembly. The same
+    bucketing embeds the names of argument types ("open_flags"), so the
+    learnable correspondence {e block-tests-X ↔ argument-is-X} exists but
+    must be extracted by the model, across hash collisions. *)
+
+val vocab_size : int
+
+val opcode : string -> int
+(** Token of a known opcode mnemonic ("cmp", "je", "mov", ...). Raises
+    [Invalid_argument] for unknown mnemonics. *)
+
+val opsig : string -> int
+(** Bucketed token of a named operand signature; many names share a bucket. *)
+
+val num_opsig_buckets : int
+
+val opsig_bucket : string -> int
+(** The bucket index in [0, num_opsig_buckets) behind {!opsig} — used to
+    embed argument-type names on the program side of the query graph with
+    the same collision structure as block operand signatures. *)
+
+val const_bucket : int -> int
+(** Bucketed token of an immediate constant. *)
+
+val padding : int
+(** Padding token id (0), distinct from every real token. *)
+
+val to_string : int -> string
+(** Debug rendering of a token id. *)
+
+val detail_name : Sp_syzlang.Ty.t -> fallback:string -> string
+(** The name embedded for an argument node: flag-set / enum / resource names
+    when the type has one, the field name otherwise. *)

@@ -1,0 +1,1 @@
+lib/ml/ad.ml: Array Float Hashtbl List Tensor

@@ -1,0 +1,1 @@
+lib/ml/nn.ml: Ad List Option Tensor

@@ -1,0 +1,1 @@
+lib/ml/nn.mli: Ad Sp_util Tensor

@@ -1,0 +1,1 @@
+lib/ml/optim.ml: Ad Array Tensor

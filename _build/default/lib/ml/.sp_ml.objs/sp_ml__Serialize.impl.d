@@ -1,0 +1,1 @@
+lib/ml/serialize.ml: Ad Buffer List Printf String Tensor

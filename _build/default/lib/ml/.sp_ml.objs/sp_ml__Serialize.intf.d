@@ -1,0 +1,1 @@
+lib/ml/serialize.mli: Ad Buffer Tensor

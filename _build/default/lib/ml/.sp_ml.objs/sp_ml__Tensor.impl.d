@@ -1,0 +1,1 @@
+lib/ml/tensor.ml: Array Format Sp_util

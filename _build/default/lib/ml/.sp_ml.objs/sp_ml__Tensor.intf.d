@@ -1,0 +1,1 @@
+lib/ml/tensor.mli: Format Sp_util

@@ -1,0 +1,334 @@
+type t = {
+  id : int;
+  value : Tensor.t;
+  mutable grad : Tensor.t option;
+  parents : t list;
+  backward_fn : t -> unit;
+  requires_grad : bool;
+}
+
+let next_id = ref 0
+
+let fresh_id () =
+  incr next_id;
+  !next_id
+
+let no_backward _ = ()
+
+let const value =
+  { id = fresh_id (); value; grad = None; parents = []; backward_fn = no_backward;
+    requires_grad = false }
+
+let param value =
+  { id = fresh_id (); value; grad = None; parents = []; backward_fn = no_backward;
+    requires_grad = true }
+
+let value t = t.value
+
+let grad t =
+  match t.grad with
+  | Some g -> g
+  | None -> invalid_arg "Ad.grad: no gradient accumulated"
+
+let grad_opt t = t.grad
+
+let zero_grad t = t.grad <- None
+
+let accum node tensor =
+  if node.requires_grad then
+    match node.grad with
+    | None -> node.grad <- Some (Tensor.copy tensor)
+    | Some g -> Tensor.add_into ~dst:g tensor
+
+let node value parents backward_fn =
+  {
+    id = fresh_id ();
+    value;
+    grad = None;
+    parents;
+    backward_fn;
+    requires_grad = List.exists (fun p -> p.requires_grad) parents;
+  }
+
+let out_grad n =
+  match n.grad with
+  | Some g -> g
+  | None ->
+    (* A node participating in backward always has a gradient by the time
+       its closure runs; a missing one means zero contribution. *)
+    Tensor.create n.value.Tensor.rows n.value.Tensor.cols
+
+(* ------------------------------------------------------------------ *)
+
+let add a b =
+  let v = Tensor.add a.value b.value in
+  let back n =
+    let g = out_grad n in
+    accum a g;
+    if b.value.Tensor.rows = 1 && a.value.Tensor.rows > 1 then begin
+      (* Bias broadcast: column-sum the gradient. *)
+      let cols = b.value.Tensor.cols in
+      let gb = Tensor.create 1 cols in
+      for i = 0 to g.Tensor.rows - 1 do
+        for j = 0 to cols - 1 do
+          Tensor.set gb 0 j (Tensor.get gb 0 j +. Tensor.get g i j)
+        done
+      done;
+      accum b gb
+    end
+    else accum b g
+  in
+  node v [ a; b ] back
+
+let sub a b =
+  let v = Tensor.sub a.value b.value in
+  let back n =
+    let g = out_grad n in
+    accum a g;
+    accum b (Tensor.scale (-1.0) g)
+  in
+  node v [ a; b ] back
+
+let mul a b =
+  let v = Tensor.mul a.value b.value in
+  let back n =
+    let g = out_grad n in
+    accum a (Tensor.mul g b.value);
+    accum b (Tensor.mul g a.value)
+  in
+  node v [ a; b ] back
+
+let scale s a =
+  let v = Tensor.scale s a.value in
+  let back n = accum a (Tensor.scale s (out_grad n)) in
+  node v [ a ] back
+
+let add_weighted a b w =
+  let v = Tensor.add a.value (Tensor.scale w b.value) in
+  let back n =
+    let g = out_grad n in
+    accum a g;
+    accum b (Tensor.scale w g)
+  in
+  node v [ a; b ] back
+
+let matmul a b =
+  let v = Tensor.matmul a.value b.value in
+  let back n =
+    let g = out_grad n in
+    accum a (Tensor.matmul_nt g b.value);
+    accum b (Tensor.matmul_tn a.value g)
+  in
+  node v [ a; b ] back
+
+let matmul_nt a b =
+  let v = Tensor.matmul_nt a.value b.value in
+  let back n =
+    let g = out_grad n in
+    accum a (Tensor.matmul g b.value);
+    accum b (Tensor.matmul_tn g a.value)
+  in
+  node v [ a; b ] back
+
+let elementwise f f' a =
+  let v = Tensor.map f a.value in
+  let back n =
+    let g = out_grad n in
+    let da = Tensor.mul g (Tensor.map f' a.value) in
+    accum a da
+  in
+  node v [ a ] back
+
+let relu = elementwise (fun x -> Float.max 0.0 x) (fun x -> if x > 0.0 then 1.0 else 0.0)
+
+let sigmoid_f x = 1.0 /. (1.0 +. exp (-.x))
+
+let sigmoid =
+  elementwise sigmoid_f (fun x ->
+      let s = sigmoid_f x in
+      s *. (1.0 -. s))
+
+let tanh =
+  elementwise Float.tanh (fun x ->
+      let t = Float.tanh x in
+      1.0 -. (t *. t))
+
+let softmax_rows a =
+  let rows, cols = Tensor.dims a.value in
+  let v = Tensor.create rows cols in
+  for i = 0 to rows - 1 do
+    let mx = ref neg_infinity in
+    for j = 0 to cols - 1 do
+      mx := Float.max !mx (Tensor.get a.value i j)
+    done;
+    let z = ref 0.0 in
+    for j = 0 to cols - 1 do
+      let e = exp (Tensor.get a.value i j -. !mx) in
+      Tensor.set v i j e;
+      z := !z +. e
+    done;
+    for j = 0 to cols - 1 do
+      Tensor.set v i j (Tensor.get v i j /. !z)
+    done
+  done;
+  let back n =
+    let g = out_grad n in
+    let da = Tensor.create rows cols in
+    for i = 0 to rows - 1 do
+      let dot = ref 0.0 in
+      for j = 0 to cols - 1 do
+        dot := !dot +. (Tensor.get g i j *. Tensor.get v i j)
+      done;
+      for j = 0 to cols - 1 do
+        Tensor.set da i j (Tensor.get v i j *. (Tensor.get g i j -. !dot))
+      done
+    done;
+    accum a da
+  in
+  node v [ a ] back
+
+let mean_all a =
+  let n_elems = float_of_int (Tensor.numel a.value) in
+  let v = Tensor.of_array ~rows:1 ~cols:1 [| Tensor.sum a.value /. n_elems |] in
+  let back n =
+    let g = Tensor.get (out_grad n) 0 0 in
+    let rows, cols = Tensor.dims a.value in
+    accum a (Tensor.make rows cols (g /. n_elems))
+  in
+  node v [ a ] back
+
+let gather_rows a idx =
+  let _, cols = Tensor.dims a.value in
+  let v = Tensor.create (Array.length idx) cols in
+  Array.iteri
+    (fun i src ->
+      for j = 0 to cols - 1 do
+        Tensor.set v i j (Tensor.get a.value src j)
+      done)
+    idx;
+  let back n =
+    let g = out_grad n in
+    let da = Tensor.create a.value.Tensor.rows cols in
+    Array.iteri
+      (fun i src ->
+        for j = 0 to cols - 1 do
+          Tensor.set da src j (Tensor.get da src j +. Tensor.get g i j)
+        done)
+      idx;
+    accum a da
+  in
+  node v [ a ] back
+
+let spmm ~src ~dst ~coef ~rows a =
+  let n_edges = Array.length src in
+  if Array.length dst <> n_edges || Array.length coef <> n_edges then
+    invalid_arg "Ad.spmm: edge array length mismatch";
+  let _, cols = Tensor.dims a.value in
+  let v = Tensor.create rows cols in
+  for e = 0 to n_edges - 1 do
+    let s = src.(e) and d = dst.(e) and c = coef.(e) in
+    for j = 0 to cols - 1 do
+      Tensor.set v d j (Tensor.get v d j +. (c *. Tensor.get a.value s j))
+    done
+  done;
+  let back n =
+    let g = out_grad n in
+    let da = Tensor.create a.value.Tensor.rows cols in
+    for e = 0 to n_edges - 1 do
+      let s = src.(e) and d = dst.(e) and c = coef.(e) in
+      for j = 0 to cols - 1 do
+        Tensor.set da s j (Tensor.get da s j +. (c *. Tensor.get g d j))
+      done
+    done;
+    accum a da
+  in
+  node v [ a ] back
+
+let bce_with_logits a ~targets ~mask =
+  let rows, cols = Tensor.dims a.value in
+  if cols <> 1 || Array.length targets <> rows || Array.length mask <> rows then
+    invalid_arg "Ad.bce_with_logits: shape mismatch";
+  let count = Array.fold_left (fun acc m -> if m <> 0.0 then acc +. m else acc) 0.0 mask in
+  let denom = Float.max count 1.0 in
+  let total = ref 0.0 in
+  for i = 0 to rows - 1 do
+    if mask.(i) <> 0.0 then begin
+      let l = Tensor.get a.value i 0 and t = targets.(i) in
+      (* max(l,0) - l*t + log(1 + exp(-|l|)) : numerically stable BCE. *)
+      let loss = Float.max l 0.0 -. (l *. t) +. log (1.0 +. exp (-.Float.abs l)) in
+      total := !total +. (mask.(i) *. loss)
+    end
+  done;
+  let v = Tensor.of_array ~rows:1 ~cols:1 [| !total /. denom |] in
+  let back n =
+    let g = Tensor.get (out_grad n) 0 0 in
+    let da = Tensor.create rows 1 in
+    for i = 0 to rows - 1 do
+      if mask.(i) <> 0.0 then begin
+        let l = Tensor.get a.value i 0 in
+        Tensor.set da i 0 (g *. mask.(i) *. (sigmoid_f l -. targets.(i)) /. denom)
+      end
+    done;
+    accum a da
+  in
+  node v [ a ] back
+
+let cross_entropy_rows a ~targets =
+  let rows, cols = Tensor.dims a.value in
+  if Array.length targets <> rows then
+    invalid_arg "Ad.cross_entropy_rows: target length mismatch";
+  let probs = Tensor.create rows cols in
+  let total = ref 0.0 and count = ref 0 in
+  for i = 0 to rows - 1 do
+    let mx = ref neg_infinity in
+    for j = 0 to cols - 1 do
+      mx := Float.max !mx (Tensor.get a.value i j)
+    done;
+    let z = ref 0.0 in
+    for j = 0 to cols - 1 do
+      let e = exp (Tensor.get a.value i j -. !mx) in
+      Tensor.set probs i j e;
+      z := !z +. e
+    done;
+    for j = 0 to cols - 1 do
+      Tensor.set probs i j (Tensor.get probs i j /. !z)
+    done;
+    if targets.(i) >= 0 then begin
+      total := !total -. log (Float.max 1e-12 (Tensor.get probs i targets.(i)));
+      incr count
+    end
+  done;
+  let denom = float_of_int (max 1 !count) in
+  let v = Tensor.of_array ~rows:1 ~cols:1 [| !total /. denom |] in
+  let back n =
+    let g = Tensor.get (out_grad n) 0 0 in
+    let da = Tensor.create rows cols in
+    for i = 0 to rows - 1 do
+      if targets.(i) >= 0 then
+        for j = 0 to cols - 1 do
+          let p = Tensor.get probs i j in
+          let delta = if j = targets.(i) then 1.0 else 0.0 in
+          Tensor.set da i j (g *. (p -. delta) /. denom)
+        done
+    done;
+    accum a da
+  in
+  node v [ a ] back
+
+(* ------------------------------------------------------------------ *)
+
+let backward root =
+  (* Reverse topological order via iterative DFS. *)
+  let visited = Hashtbl.create 256 in
+  let order = ref [] in
+  let rec visit n =
+    if n.requires_grad && not (Hashtbl.mem visited n.id) then begin
+      Hashtbl.add visited n.id ();
+      List.iter visit n.parents;
+      order := n :: !order
+    end
+  in
+  visit root;
+  let rows, cols = Tensor.dims root.value in
+  root.grad <- Some (Tensor.make rows cols 1.0);
+  List.iter (fun n -> n.backward_fn n) !order

@@ -1,0 +1,82 @@
+(** Reverse-mode automatic differentiation over {!Tensor.t}.
+
+    A lightweight tape: every operation builds a node holding its value and
+    a backward closure; {!backward} runs the closures in reverse topological
+    order, accumulating gradients into the parameter leaves. This is the
+    engine under both the block-content encoder and the relational GNN. *)
+
+type t
+
+(** {1 Leaves} *)
+
+val const : Tensor.t -> t
+(** A leaf that does not require gradients. *)
+
+val param : Tensor.t -> t
+(** A trainable leaf; its gradient is available after {!backward}. The
+    tensor is shared, so an optimizer updating it in place is visible to
+    subsequent forward passes. *)
+
+val value : t -> Tensor.t
+
+val grad : t -> Tensor.t
+(** Raises [Invalid_argument] if no gradient was accumulated. *)
+
+val grad_opt : t -> Tensor.t option
+
+val zero_grad : t -> unit
+
+(** {1 Operations} *)
+
+val add : t -> t -> t
+(** Same shape, or second argument a broadcast [1 x cols] row (bias). *)
+
+val sub : t -> t -> t
+
+val mul : t -> t -> t
+
+val scale : float -> t -> t
+
+val matmul : t -> t -> t
+
+val matmul_nt : t -> t -> t
+(** [a * transpose b] (attention scores). *)
+
+val relu : t -> t
+
+val sigmoid : t -> t
+
+val tanh : t -> t
+
+val softmax_rows : t -> t
+
+val mean_all : t -> t
+(** [1 x 1] mean of all entries. *)
+
+val add_weighted : t -> t -> float -> t
+(** [add_weighted a b w] is [a + w*b] (residual connections, loss sums). *)
+
+val gather_rows : t -> int array -> t
+(** Embedding lookup: row [i] of the result is row [idx.(i)] of the input;
+    gradients scatter-add back. *)
+
+val spmm : src:int array -> dst:int array -> coef:float array -> rows:int -> t -> t
+(** Sparse message passing: [out.(dst.(e)) += coef.(e) * x.(src.(e))] for
+    every edge [e]; [rows] is the output row count. The workhorse of GNN
+    propagation. *)
+
+(** {1 Losses} *)
+
+val bce_with_logits : t -> targets:float array -> mask:float array -> t
+(** Mean binary cross-entropy over entries with non-zero mask, computed
+    stably from logits. The input must be [n x 1]; [targets]/[mask] have
+    length [n]. *)
+
+val cross_entropy_rows : t -> targets:int array -> t
+(** Mean softmax cross-entropy per row against integer class targets;
+    a target of [-1] skips the row (padding). *)
+
+(** {1 Backward} *)
+
+val backward : t -> unit
+(** Seeds the node's gradient with ones and propagates to every leaf. *)

@@ -1,0 +1,39 @@
+type scores = { precision : float; recall : float; f1 : float; jaccard : float }
+
+let dedup compare l = List.sort_uniq compare l
+
+let score ~compare ~pred ~gold =
+  let pred = dedup compare pred and gold = dedup compare gold in
+  match (pred, gold) with
+  | [], [] -> { precision = 1.0; recall = 1.0; f1 = 1.0; jaccard = 1.0 }
+  | [], _ | _, [] -> { precision = 0.0; recall = 0.0; f1 = 0.0; jaccard = 0.0 }
+  | _ ->
+    let inter =
+      List.length (List.filter (fun p -> List.exists (fun g -> compare p g = 0) gold) pred)
+    in
+    let np = List.length pred and ng = List.length gold in
+    let precision = float_of_int inter /. float_of_int np in
+    let recall = float_of_int inter /. float_of_int ng in
+    let f1 =
+      if precision +. recall = 0.0 then 0.0
+      else 2.0 *. precision *. recall /. (precision +. recall)
+    in
+    let union = np + ng - inter in
+    let jaccard = float_of_int inter /. float_of_int union in
+    { precision; recall; f1; jaccard }
+
+let mean = function
+  | [] -> { precision = 0.0; recall = 0.0; f1 = 0.0; jaccard = 0.0 }
+  | l ->
+    let n = float_of_int (List.length l) in
+    let sum f = List.fold_left (fun acc s -> acc +. f s) 0.0 l /. n in
+    {
+      precision = sum (fun s -> s.precision);
+      recall = sum (fun s -> s.recall);
+      f1 = sum (fun s -> s.f1);
+      jaccard = sum (fun s -> s.jaccard);
+    }
+
+let pp ppf s =
+  Format.fprintf ppf "F1=%.1f%% P=%.1f%% R=%.1f%% J=%.1f%%" (100.0 *. s.f1)
+    (100.0 *. s.precision) (100.0 *. s.recall) (100.0 *. s.jaccard)

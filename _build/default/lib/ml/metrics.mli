@@ -1,0 +1,14 @@
+(** Set-overlap metrics used throughout §5: per-example precision, recall,
+    F1 and Jaccard of a predicted argument set against the ground truth,
+    then averaged across examples (the paper's Table 1 protocol). *)
+
+type scores = { precision : float; recall : float; f1 : float; jaccard : float }
+
+val score : compare:('a -> 'a -> int) -> pred:'a list -> gold:'a list -> scores
+(** Duplicates are collapsed. Conventions for empty sets: both empty gives
+    all-1 scores; empty prediction with non-empty gold (or vice versa)
+    gives all-0. *)
+
+val mean : scores list -> scores
+
+val pp : Format.formatter -> scores -> unit

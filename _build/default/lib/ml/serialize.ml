@@ -1,0 +1,87 @@
+let magic = "sp-ml-params v1"
+
+let tensor_to_buffer buf (t : Tensor.t) =
+  let rows, cols = Tensor.dims t in
+  Buffer.add_string buf (Printf.sprintf "tensor %d %d\n" rows cols);
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      if j > 0 then Buffer.add_char buf ' ';
+      (* hexadecimal float literals round-trip exactly *)
+      Buffer.add_string buf (Printf.sprintf "%h" (Tensor.get t i j))
+    done;
+    Buffer.add_char buf '\n'
+  done
+
+let tensor_of_lines lines =
+  match lines with
+  | [] -> Error "unexpected end of input"
+  | header :: rest -> (
+    match String.split_on_char ' ' header with
+    | [ "tensor"; rows_s; cols_s ] -> (
+      match (int_of_string_opt rows_s, int_of_string_opt cols_s) with
+      | Some rows, Some cols ->
+        let t = Tensor.create rows cols in
+        let rec read_rows i lines =
+          if i >= rows then Ok (t, lines)
+          else
+            match lines with
+            | [] -> Error "missing tensor rows"
+            | line :: rest ->
+              let cells =
+                String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+              in
+              if List.length cells <> cols then Error "row width mismatch"
+              else begin
+                List.iteri (fun j cell -> Tensor.set t i j (float_of_string cell)) cells;
+                read_rows (i + 1) rest
+              end
+        in
+        (try read_rows 0 rest with Failure _ -> Error "malformed float")
+      | _ -> Error "malformed tensor header")
+    | _ -> Error ("expected tensor header, got: " ^ header))
+
+let params_to_string params =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (magic ^ "\n");
+  Buffer.add_string buf (Printf.sprintf "count %d\n" (List.length params));
+  List.iter (fun p -> tensor_to_buffer buf (Ad.value p)) params;
+  Buffer.contents buf
+
+let load_params text params =
+  match String.split_on_char '\n' text with
+  | m :: count_line :: rest when m = magic -> (
+    match String.split_on_char ' ' count_line with
+    | [ "count"; n_s ] when int_of_string_opt n_s = Some (List.length params) ->
+      let rec load lines = function
+        | [] -> Ok ()
+        | p :: ps -> (
+          match tensor_of_lines lines with
+          | Error e -> Error e
+          | Ok (t, remainder) ->
+            let dst = Ad.value p in
+            if Tensor.dims dst <> Tensor.dims t then Error "shape mismatch"
+            else begin
+              let rows, cols = Tensor.dims t in
+              for i = 0 to rows - 1 do
+                for j = 0 to cols - 1 do
+                  Tensor.set dst i j (Tensor.get t i j)
+                done
+              done;
+              load remainder ps
+            end)
+      in
+      load rest params
+    | _ -> Error "parameter count mismatch")
+  | _ -> Error "bad magic (not an sp-ml parameter file)"
+
+let params_to_file path params =
+  let oc = open_out path in
+  output_string oc (params_to_string params);
+  close_out oc
+
+let params_from_file path params =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  load_params text params

@@ -1,0 +1,23 @@
+(** Plain-text serialization of tensors and parameter lists.
+
+    The paper ships PMM weights to a torchserve deployment (and suggests
+    sharing trained weights between institutions, §6); this module is the
+    corresponding persistence layer: a human-readable, version-tagged
+    format that round-trips float values exactly (hexadecimal float
+    literals). *)
+
+val tensor_to_buffer : Buffer.t -> Tensor.t -> unit
+
+val tensor_of_lines : string list -> (Tensor.t * string list, string) result
+(** Consumes the tensor's lines, returns the remainder. *)
+
+val params_to_string : Ad.t list -> string
+(** Serialize trainable parameters in order. *)
+
+val load_params : string -> Ad.t list -> (unit, string) result
+(** Load serialized values {e into} an existing parameter list (shapes must
+    match, order as written). *)
+
+val params_to_file : string -> Ad.t list -> unit
+
+val params_from_file : string -> Ad.t list -> (unit, string) result

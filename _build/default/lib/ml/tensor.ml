@@ -1,0 +1,160 @@
+type t = { rows : int; cols : int; data : float array }
+
+let create rows cols = { rows; cols; data = Array.make (rows * cols) 0.0 }
+
+let make rows cols v = { rows; cols; data = Array.make (rows * cols) v }
+
+let of_array ~rows ~cols data =
+  if Array.length data <> rows * cols then
+    invalid_arg "Tensor.of_array: size mismatch";
+  { rows; cols; data }
+
+let of_row data = { rows = 1; cols = Array.length data; data = Array.copy data }
+
+let copy t = { t with data = Array.copy t.data }
+
+let get t i j = t.data.((i * t.cols) + j)
+
+let set t i j v = t.data.((i * t.cols) + j) <- v
+
+let dims t = (t.rows, t.cols)
+
+let numel t = t.rows * t.cols
+
+let fill t v = Array.fill t.data 0 (Array.length t.data) v
+
+let glorot rng rows cols =
+  let bound = sqrt (6.0 /. float_of_int (rows + cols)) in
+  {
+    rows;
+    cols;
+    data =
+      Array.init (rows * cols) (fun _ ->
+          Sp_util.Rng.float rng (2.0 *. bound) -. bound);
+  }
+
+let randn rng std rows cols =
+  { rows; cols;
+    data = Array.init (rows * cols) (fun _ -> std *. Sp_util.Rng.gaussian rng) }
+
+let same_shape a b = a.rows = b.rows && a.cols = b.cols
+
+let add_into ~dst src =
+  if same_shape dst src then
+    for i = 0 to numel dst - 1 do
+      dst.data.(i) <- dst.data.(i) +. src.data.(i)
+    done
+  else if src.rows = 1 && src.cols = dst.cols then
+    for i = 0 to dst.rows - 1 do
+      let base = i * dst.cols in
+      for j = 0 to dst.cols - 1 do
+        dst.data.(base + j) <- dst.data.(base + j) +. src.data.(j)
+      done
+    done
+  else invalid_arg "Tensor.add_into: shape mismatch"
+
+let add a b =
+  let r = copy a in
+  add_into ~dst:r b;
+  r
+
+let sub a b =
+  if not (same_shape a b) then invalid_arg "Tensor.sub: shape mismatch";
+  { a with data = Array.init (numel a) (fun i -> a.data.(i) -. b.data.(i)) }
+
+let mul a b =
+  if not (same_shape a b) then invalid_arg "Tensor.mul: shape mismatch";
+  { a with data = Array.init (numel a) (fun i -> a.data.(i) *. b.data.(i)) }
+
+let scale s t = { t with data = Array.map (fun x -> s *. x) t.data }
+
+let map f t = { t with data = Array.map f t.data }
+
+let matmul_into ~dst a b =
+  if a.cols <> b.rows || dst.rows <> a.rows || dst.cols <> b.cols then
+    invalid_arg "Tensor.matmul_into: shape mismatch";
+  let n = a.rows and k = a.cols and m = b.cols in
+  for i = 0 to n - 1 do
+    let abase = i * k and dbase = i * m in
+    for l = 0 to k - 1 do
+      let av = a.data.(abase + l) in
+      if av <> 0.0 then begin
+        let bbase = l * m in
+        for j = 0 to m - 1 do
+          dst.data.(dbase + j) <- dst.data.(dbase + j) +. (av *. b.data.(bbase + j))
+        done
+      end
+    done
+  done
+
+let matmul a b =
+  let dst = create a.rows b.cols in
+  matmul_into ~dst a b;
+  dst
+
+let matmul_tn a b =
+  (* (a^T b): a is k x n, b is k x m, result n x m. *)
+  if a.rows <> b.rows then invalid_arg "Tensor.matmul_tn: shape mismatch";
+  let k = a.rows and n = a.cols and m = b.cols in
+  let dst = create n m in
+  for l = 0 to k - 1 do
+    let abase = l * n and bbase = l * m in
+    for i = 0 to n - 1 do
+      let av = a.data.(abase + i) in
+      if av <> 0.0 then begin
+        let dbase = i * m in
+        for j = 0 to m - 1 do
+          dst.data.(dbase + j) <- dst.data.(dbase + j) +. (av *. b.data.(bbase + j))
+        done
+      end
+    done
+  done;
+  dst
+
+let matmul_nt a b =
+  (* (a b^T): a is n x k, b is m x k, result n x m. *)
+  if a.cols <> b.cols then invalid_arg "Tensor.matmul_nt: shape mismatch";
+  let n = a.rows and k = a.cols and m = b.rows in
+  let dst = create n m in
+  for i = 0 to n - 1 do
+    let abase = i * k in
+    for j = 0 to m - 1 do
+      let bbase = j * k in
+      let acc = ref 0.0 in
+      for l = 0 to k - 1 do
+        acc := !acc +. (a.data.(abase + l) *. b.data.(bbase + l))
+      done;
+      dst.data.((i * m) + j) <- !acc
+    done
+  done;
+  dst
+
+let transpose t =
+  let r = create t.cols t.rows in
+  for i = 0 to t.rows - 1 do
+    for j = 0 to t.cols - 1 do
+      r.data.((j * t.rows) + i) <- t.data.((i * t.cols) + j)
+    done
+  done;
+  r
+
+let row t i = Array.sub t.data (i * t.cols) t.cols
+
+let sum t = Array.fold_left ( +. ) 0.0 t.data
+
+let frobenius t = sqrt (Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 t.data)
+
+let equal a b = same_shape a b && a.data = b.data
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  for i = 0 to min (t.rows - 1) 7 do
+    Format.fprintf ppf "[";
+    for j = 0 to min (t.cols - 1) 11 do
+      Format.fprintf ppf "%8.4f " (get t i j)
+    done;
+    Format.fprintf ppf "%s]@,"
+      (if t.cols > 12 then "..." else "")
+  done;
+  if t.rows > 8 then Format.fprintf ppf "...@,";
+  Format.fprintf ppf "(%dx%d)@]" t.rows t.cols

@@ -1,0 +1,77 @@
+(** Dense row-major float matrices — the storage layer of the from-scratch
+    ML stack (the paper's PyTorch/fairseq substitute).
+
+    Everything is a 2-D matrix; vectors are [1 x n] rows. Operations either
+    allocate a result or, where named [_into], write into a caller-provided
+    destination so hot loops stay allocation-light. *)
+
+type t = private { rows : int; cols : int; data : float array }
+
+val create : int -> int -> t
+(** Zero-filled. *)
+
+val make : int -> int -> float -> t
+
+val of_array : rows:int -> cols:int -> float array -> t
+(** Takes ownership of the array. Raises [Invalid_argument] on a size
+    mismatch. *)
+
+val of_row : float array -> t
+
+val copy : t -> t
+
+val get : t -> int -> int -> float
+
+val set : t -> int -> int -> float -> unit
+
+val dims : t -> int * int
+
+val numel : t -> int
+
+val fill : t -> float -> unit
+
+val glorot : Sp_util.Rng.t -> int -> int -> t
+(** Glorot/Xavier-uniform initialization. *)
+
+val randn : Sp_util.Rng.t -> float -> int -> int -> t
+(** Gaussian init with the given standard deviation. *)
+
+val add : t -> t -> t
+(** Same shape, or [b] a [1 x cols] row broadcast over [a]'s rows. *)
+
+val add_into : dst:t -> t -> unit
+(** [dst += src], same-shape or row-broadcast. *)
+
+val sub : t -> t -> t
+
+val mul : t -> t -> t
+(** Element-wise. *)
+
+val scale : float -> t -> t
+
+val map : (float -> float) -> t -> t
+
+val matmul : t -> t -> t
+
+val matmul_into : dst:t -> t -> t -> unit
+(** [dst += a*b]; [dst] must be pre-sized. *)
+
+val matmul_tn : t -> t -> t
+(** [transpose a * b] without materializing the transpose. *)
+
+val matmul_nt : t -> t -> t
+(** [a * transpose b]. *)
+
+val transpose : t -> t
+
+val row : t -> int -> float array
+(** Copy of one row. *)
+
+val sum : t -> float
+
+val frobenius : t -> float
+(** L2 norm of all entries. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/mutation/engine.ml: Array Instantiate List Sp_syzlang Sp_util

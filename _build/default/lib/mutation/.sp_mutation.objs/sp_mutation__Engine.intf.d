@@ -1,0 +1,1 @@
+lib/mutation/engine.mli: Sp_syzlang Sp_util

@@ -1,0 +1,1 @@
+lib/mutation/instantiate.ml: Array List Sp_syzlang Sp_util String

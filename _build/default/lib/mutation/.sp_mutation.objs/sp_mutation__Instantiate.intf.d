@@ -1,0 +1,1 @@
+lib/mutation/instantiate.mli: Sp_syzlang Sp_util

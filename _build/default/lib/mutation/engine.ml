@@ -1,0 +1,138 @@
+module Rng = Sp_util.Rng
+module Prog = Sp_syzlang.Prog
+module Spec = Sp_syzlang.Spec
+module Gen = Sp_syzlang.Gen
+
+type mutation_type =
+  | Argument_mutation
+  | Call_insertion
+  | Call_removal
+  | Splice
+
+let mutation_type_to_string = function
+  | Argument_mutation -> "ARGUMENT_MUTATION"
+  | Call_insertion -> "SYSCALL_INSERTION"
+  | Call_removal -> "SYSCALL_REMOVAL"
+  | Splice -> "SPLICE"
+
+type applied =
+  | Mutated_args of Prog.path list
+  | Inserted_call of int
+  | Removed_call of int
+  | Spliced of int
+  | No_change
+
+type selector = Rng.t -> Prog.t -> mutation_type
+
+type arg_localizer = Rng.t -> Prog.t -> Prog.path list
+
+let syzkaller_selector ?(splice = false) () rng _prog =
+  let weights =
+    [ (Argument_mutation, 0.60); (Call_insertion, 0.25); (Call_removal, 0.10) ]
+    @ if splice then [ (Splice, 0.05) ] else []
+  in
+  Rng.weighted rng weights
+
+let syzkaller_arg_localizer ?(max_args = 3) () rng prog =
+  let nodes = Prog.mutable_nodes prog in
+  if nodes = [] then []
+  else begin
+    (* Syzkaller's heuristic: calls with more arguments attract more
+       mutations. Weight each node's call by its node count, which is what
+       uniform sampling over the flat node list achieves. *)
+    let k = 1 + Rng.int rng max_args in
+    let arr = Array.of_list nodes in
+    Rng.sample rng arr k |> List.map fst
+  end
+
+type t = {
+  db : Spec.db;
+  selector : selector;
+  arg_localizer : arg_localizer;
+}
+
+(* Syzkaller caps test size; beyond it, insertion degenerates to removal. *)
+let apply_removal rng prog =
+  if Array.length prog <= 1 then (prog, No_change)
+  else begin
+    let pos = Rng.int rng (Array.length prog) in
+    (Prog.remove_call prog pos, Removed_call pos)
+  end
+
+let create ?selector ?arg_localizer db =
+  {
+    db;
+    selector = (match selector with Some s -> s | None -> syzkaller_selector ());
+    arg_localizer =
+      (match arg_localizer with
+      | Some l -> l
+      | None -> syzkaller_arg_localizer ());
+  }
+
+let mutate_args_at _t rng prog paths =
+  List.fold_left (fun p path -> Instantiate.at_path rng p path) prog paths
+
+let random_call t rng prog =
+  let specs = Array.of_list (Spec.all t.db) in
+  let pos = Rng.int rng (Array.length prog + 1) in
+  (pos, Gen.call rng t.db (Rng.choose rng specs))
+
+let apply_argument_mutation t rng prog =
+  match t.arg_localizer rng prog with
+  | [] -> (prog, No_change)
+  | paths -> (mutate_args_at t rng prog paths, Mutated_args paths)
+
+let max_calls = 12
+
+let apply_insertion t rng prog =
+  if Array.length prog >= max_calls then apply_removal rng prog
+  else begin
+    let pos, call = random_call t rng prog in
+    let grown = Prog.insert_call prog pos call in
+    (* Newly inserted consumers get their resources wired like generated
+       programs do; wiring may add producer calls, so the cap is enforced
+       on the final result. *)
+    let wired = Gen.wire_resources rng t.db grown in
+    if Array.length wired > max_calls then apply_removal rng prog
+    else (wired, Inserted_call pos)
+  end
+
+let apply_splice t rng prog donor =
+  (* Append a prefix of the donor; resource references inside the appended
+     calls keep their relative targets by shifting them. *)
+  let take =
+    min
+      (1 + Rng.int rng (max 1 (Array.length donor)))
+      (max 0 (max_calls - Array.length prog))
+  in
+  if take = 0 then apply_removal rng prog
+  else
+  let base_len = Array.length prog in
+  let shifted =
+    Array.sub donor 0 (min take (Array.length donor))
+    |> Array.map (fun (c : Prog.call) ->
+           { c with
+             args =
+               List.map
+                 (let rec shift (v : Sp_syzlang.Value.t) =
+                    match v with
+                    | Vres i when i >= 0 -> Sp_syzlang.Value.Vres (i + base_len)
+                    | Vptr (Some inner) -> Vptr (Some (shift inner))
+                    | Vstruct vs -> Vstruct (List.map shift vs)
+                    | v -> v
+                  in
+                  shift)
+                 c.args })
+  in
+  let grown = Array.append prog shifted in
+  let wired = Gen.wire_resources rng t.db grown in
+  if Array.length wired > max_calls then apply_removal rng prog
+  else (wired, Spliced (Array.length shifted))
+
+let mutate t rng ?donor prog =
+  match (t.selector rng prog, donor) with
+  | Argument_mutation, _ -> apply_argument_mutation t rng prog
+  | Call_insertion, _ -> apply_insertion t rng prog
+  | Call_removal, _ -> apply_removal rng prog
+  | Splice, Some donor -> apply_splice t rng prog donor
+  | Splice, None -> apply_argument_mutation t rng prog

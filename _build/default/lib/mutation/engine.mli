@@ -1,0 +1,72 @@
+(** The mutation engine: Figure 1's [mutate_test] with pluggable controller
+    functions.
+
+    Three policy decisions shape every mutation: {e type selection} (what
+    kind of mutation), {e localization} (where to apply it) and
+    {e instantiation} (how). The baseline controllers reproduce Syzkaller's
+    semi-random heuristics — fixed type-selection probabilities, and
+    argument localization that ignores the target and favours calls with
+    more arguments. Snowplow swaps in a learned localizer while keeping
+    everything else. *)
+
+type mutation_type =
+  | Argument_mutation
+  | Call_insertion
+  | Call_removal
+  | Splice
+
+val mutation_type_to_string : mutation_type -> string
+
+type applied =
+  | Mutated_args of Sp_syzlang.Prog.path list
+  | Inserted_call of int  (** position *)
+  | Removed_call of int
+  | Spliced of int  (** number of calls appended from the donor *)
+  | No_change  (** the program had nothing to mutate for the chosen type *)
+
+type selector = Sp_util.Rng.t -> Sp_syzlang.Prog.t -> mutation_type
+
+type arg_localizer =
+  Sp_util.Rng.t -> Sp_syzlang.Prog.t -> Sp_syzlang.Prog.path list
+(** Which argument nodes to mutate when the selected type is
+    [Argument_mutation]. This is the function the paper learns. *)
+
+val syzkaller_selector : ?splice:bool -> unit -> selector
+(** Fixed-probability biased coin over mutation types (arguments favoured),
+    as in stock Syzkaller. [splice] is enabled only when the engine is given
+    donor programs. *)
+
+val syzkaller_arg_localizer : ?max_args:int -> unit -> arg_localizer
+(** Target-agnostic random localization: weight calls by their argument
+    count, then pick 1..[max_args] (default 3) mutable nodes uniformly. *)
+
+type t
+
+val create :
+  ?selector:selector ->
+  ?arg_localizer:arg_localizer ->
+  Sp_syzlang.Spec.db ->
+  t
+(** Defaults to the Syzkaller controllers. *)
+
+val mutate :
+  t ->
+  Sp_util.Rng.t ->
+  ?donor:Sp_syzlang.Prog.t ->
+  Sp_syzlang.Prog.t ->
+  Sp_syzlang.Prog.t * applied
+(** One mutation step: select, localize, instantiate, apply. [donor]
+    enables splicing. The result is always well-formed
+    ([Prog.validate]-clean) when the input is. *)
+
+val mutate_args_at :
+  t ->
+  Sp_util.Rng.t ->
+  Sp_syzlang.Prog.t ->
+  Sp_syzlang.Prog.path list ->
+  Sp_syzlang.Prog.t
+(** Apply argument instantiation at externally-chosen locations (the entry
+    point a learned localizer uses). *)
+
+val random_call : t -> Sp_util.Rng.t -> Sp_syzlang.Prog.t -> int * Sp_syzlang.Prog.call
+(** A fresh call and insertion position for [Call_insertion]. *)

@@ -1,0 +1,123 @@
+module Rng = Sp_util.Rng
+module Ty = Sp_syzlang.Ty
+module Value = Sp_syzlang.Value
+module Prog = Sp_syzlang.Prog
+
+(* Syzkaller biases integer mutation towards "interesting" magic values
+   (powers of two and off-by-ones) because kernel comparisons
+   overwhelmingly involve them. *)
+let magic rng =
+  let base = 1 lsl Rng.int rng 13 in
+  if Rng.coin rng 0.7 then base else base + Rng.int_in rng (-1) 1
+
+let mutate_int rng lo hi v =
+  let strategies =
+    [ (`Uniform, 2.0); (`Delta, 2.0); (`Boundary, 1.0); (`Bitflip, 1.0);
+      (`Magic, 3.0) ]
+  in
+  let v' =
+    match Rng.weighted rng strategies with
+    | `Uniform -> Rng.int_in rng lo hi
+    | `Delta -> v + Rng.int_in rng (-4) 4
+    | `Boundary -> if Rng.bool rng then lo else hi
+    | `Bitflip -> v lxor (1 lsl Rng.int rng 10)
+    | `Magic -> magic rng
+  in
+  max lo (min hi v')
+
+let mutate_flags rng (fs : Ty.flag_spec) v =
+  let bits = List.map snd fs.flag_values in
+  match
+    Rng.weighted rng
+      [ (`Flip, 3.0); (`Set, 2.0); (`Exact, 1.0); (`Few, 3.0); (`Zero, 1.0) ]
+  with
+  | `Flip -> v lxor Rng.choose_list rng bits
+  | `Set -> v lor Rng.choose_list rng bits
+  | `Exact ->
+    List.fold_left (fun acc b -> if Rng.bool rng then acc lor b else acc) 0 bits
+  | `Few ->
+    (* Exactly 1-3 (mostly 2) distinct bits: real flag predicates test
+       small combinations far more often than arbitrary subsets. *)
+    let k = Rng.weighted rng [ (1, 1.0); (2, 3.0); (3, 1.0) ] in
+    Rng.sample rng (Array.of_list bits) k |> List.fold_left ( lor ) 0
+  | `Zero -> 0
+
+let mutate_buffer rng min_len max_len (len, _seed) =
+  let len' =
+    match
+      Rng.weighted rng
+        [ (`Uniform, 2.0); (`Delta, 2.0); (`Boundary, 1.0); (`Magic, 3.0) ]
+    with
+    | `Uniform -> Rng.int_in rng min_len max_len
+    | `Delta -> len + Rng.int_in rng (-2) 2
+    | `Boundary -> if Rng.bool rng then min_len else max_len
+    | `Magic -> magic rng
+  in
+  (max min_len (min max_len len'), Rng.int rng 1_000_000)
+
+let rec value rng (ty : Ty.t) (v : Value.t) : Value.t =
+  match (ty, v) with
+  | Ty.Const _, _ | Ty.Len _, _ -> v
+  | Ty.Int { lo; hi; _ }, Value.Vint n -> Value.Vint (mutate_int rng lo hi n)
+  | Ty.Flags fs, Value.Vflags n -> Value.Vflags (mutate_flags rng fs n)
+  | Ty.Enum { choices; _ }, Value.Venum n ->
+    let others = List.filter (fun (_, c) -> c <> n) choices in
+    Value.Venum
+      (match others with [] -> n | l -> snd (Rng.choose_list rng l))
+  | Ty.Buffer { min_len; max_len }, Value.Vbuf { len; seed } ->
+    let len, seed = mutate_buffer rng min_len max_len (len, seed) in
+    Value.Vbuf { len; seed }
+  | Ty.Str names, Value.Vstr s ->
+    let others = List.filter (fun n -> not (String.equal n s)) names in
+    Value.Vstr (match others with [] -> s | l -> Rng.choose_list rng l)
+  | Ty.Ptr inner, Value.Vptr cur -> (
+    match cur with
+    | None -> Value.Vptr (Some (Value.default rng inner))
+    | Some inner_v ->
+      if Rng.coin rng 0.15 then Value.Vptr None
+      else Value.Vptr (Some (value rng inner inner_v)))
+  | Ty.Struct fields, Value.Vstruct vs when vs <> [] ->
+    (* Mutating a struct node delegates to one random field. *)
+    let i = Rng.int rng (List.length vs) in
+    Value.Vstruct
+      (List.mapi
+         (fun j x -> if j = i then value rng (List.nth fields j).Ty.fty x else x)
+         vs)
+  | Ty.Resource _, Value.Vres _ ->
+    (* Without program context the only safe local change is bogus; callers
+       that can rewire use [at_path]. *)
+    Value.Vres (-1)
+  | _, _ -> Value.random rng ty
+
+let producers_before prog kind upto =
+  let acc = ref [] in
+  Array.iteri
+    (fun i (c : Prog.call) ->
+      if i < upto && c.spec.Sp_syzlang.Spec.ret = Some kind then acc := i :: !acc)
+    prog;
+  !acc
+
+let at_path rng prog (path : Prog.path) =
+  let ty = Prog.ty_at prog path in
+  match ty with
+  | Ty.Resource kind -> (
+    (* Rewiring beats local mutation for resources: point at a different
+       producer, or poison with a bogus handle. *)
+    let producers = producers_before prog kind path.Prog.call in
+    match producers with
+    | [] -> Prog.set prog path (Value.Vres (-1))
+    | ps ->
+      let choice =
+        if Rng.coin rng 0.2 then Value.Vres (-1)
+        else Value.Vres (Rng.choose_list rng ps)
+      in
+      Prog.set prog path choice)
+  | _ ->
+    (* A previous mutation in the same batch may have NULLed a pointer on
+       this path; regenerate the subtree instead of reading through it. *)
+    let cur =
+      match Prog.get prog path with
+      | v -> v
+      | exception Invalid_argument _ -> Value.default rng ty
+    in
+    Prog.set prog path (value rng ty cur)

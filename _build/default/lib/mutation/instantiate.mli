@@ -1,0 +1,21 @@
+(** Argument instantiation: {e how} to mutate a value once a location has
+    been chosen (§2's third policy decision).
+
+    These are the hand-crafted per-type strategies of a Syzkaller-style
+    mutator — flip a flag bit, replace an integer with a boundary constant,
+    resize a buffer, rewire a resource, toggle a pointer's nullness. Both
+    the baseline fuzzer and Snowplow use exactly this instantiator; the
+    paper's intervention replaces only localization. *)
+
+val value : Sp_util.Rng.t -> Sp_syzlang.Ty.t -> Sp_syzlang.Value.t -> Sp_syzlang.Value.t
+(** A mutated value of the same type. For immutable kinds ([Const], [Len])
+    the value is returned unchanged. The result always satisfies
+    [Value.conforms]. *)
+
+val at_path :
+  Sp_util.Rng.t ->
+  Sp_syzlang.Prog.t ->
+  Sp_syzlang.Prog.path ->
+  Sp_syzlang.Prog.t
+(** Mutate the argument node at [path] (resource rewiring picks among the
+    program's earlier producers). Lengths are re-fixed by [Prog.set]. *)

@@ -1,0 +1,1 @@
+lib/syzlang/gen.ml: Array Hashtbl List Prog Sp_util Spec Ty Value

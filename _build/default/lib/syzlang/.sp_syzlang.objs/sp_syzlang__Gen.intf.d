@@ -1,0 +1,1 @@
+lib/syzlang/gen.mli: Prog Sp_util Spec

@@ -1,0 +1,1 @@
+lib/syzlang/parser.ml: Array Buffer List Printf Prog Spec String Ty Value

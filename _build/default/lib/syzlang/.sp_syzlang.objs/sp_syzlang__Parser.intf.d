@@ -1,0 +1,1 @@
+lib/syzlang/parser.mli: Prog Spec

@@ -1,0 +1,1 @@
+lib/syzlang/prog.ml: Array Format Hashtbl List Printf Sp_util Spec String Ty Value

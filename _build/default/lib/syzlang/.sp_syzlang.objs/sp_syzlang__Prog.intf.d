@@ -1,0 +1,1 @@
+lib/syzlang/prog.mli: Format Sp_util Spec Ty Value

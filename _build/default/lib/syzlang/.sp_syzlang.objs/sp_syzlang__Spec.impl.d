@@ -1,0 +1,1 @@
+lib/syzlang/spec.ml: Array Format Hashtbl List Ty

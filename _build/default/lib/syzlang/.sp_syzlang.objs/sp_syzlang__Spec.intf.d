@@ -1,0 +1,1 @@
+lib/syzlang/spec.mli: Format Ty

@@ -1,0 +1,1 @@
+lib/syzlang/value.ml: Format Hashtbl List Sp_util String Ty

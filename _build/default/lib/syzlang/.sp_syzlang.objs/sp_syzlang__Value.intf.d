@@ -1,0 +1,1 @@
+lib/syzlang/value.mli: Format Sp_util Ty

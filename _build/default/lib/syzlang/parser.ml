@@ -1,0 +1,205 @@
+exception Parse_error of string
+
+type state = { src : string; mutable pos : int; line : int }
+
+let error st fmt =
+  Printf.ksprintf
+    (fun msg ->
+      raise
+        (Parse_error
+           (Printf.sprintf "line %d, char %d: %s" st.line st.pos msg)))
+    fmt
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let skip_ws st =
+  while (match peek st with Some (' ' | '\t') -> true | _ -> false) do
+    advance st
+  done
+
+let expect st c =
+  skip_ws st;
+  match peek st with
+  | Some c' when c' = c -> advance st
+  | Some c' -> error st "expected '%c', found '%c'" c c'
+  | None -> error st "expected '%c', found end of line" c
+
+let eat_string st s =
+  skip_ws st;
+  let n = String.length s in
+  if st.pos + n <= String.length st.src && String.sub st.src st.pos n = s then begin
+    st.pos <- st.pos + n;
+    true
+  end
+  else false
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || is_digit c
+  || c = '_' || c = '$'
+
+let parse_ident st =
+  skip_ws st;
+  let start = st.pos in
+  while (match peek st with Some c when is_ident_char c -> true | _ -> false) do
+    advance st
+  done;
+  if st.pos = start then error st "expected identifier";
+  String.sub st.src start (st.pos - start)
+
+let parse_int st =
+  skip_ws st;
+  let start = st.pos in
+  if peek st = Some '-' then advance st;
+  if eat_string st "0x" then begin
+    let hstart = st.pos in
+    while
+      match peek st with
+      | Some c when is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+        -> true
+      | _ -> false
+    do
+      advance st
+    done;
+    if st.pos = hstart then error st "expected hex digits";
+    let neg = st.src.[start] = '-' in
+    let v = int_of_string ("0x" ^ String.sub st.src hstart (st.pos - hstart)) in
+    if neg then -v else v
+  end
+  else begin
+    while (match peek st with Some c when is_digit c -> true | _ -> false) do
+      advance st
+    done;
+    if st.pos = start || (st.pos = start + 1 && st.src.[start] = '-') then
+      error st "expected integer";
+    int_of_string (String.sub st.src start (st.pos - start))
+  end
+
+let parse_quoted st =
+  skip_ws st;
+  (match peek st with
+  | Some '"' -> advance st
+  | _ -> error st "expected string literal");
+  let buf = Buffer.create 8 in
+  let rec go () =
+    match peek st with
+    | Some '"' -> advance st
+    | Some '\\' ->
+      advance st;
+      (match peek st with
+      | Some c ->
+        advance st;
+        Buffer.add_char buf (match c with 'n' -> '\n' | 't' -> '\t' | c -> c)
+      | None -> error st "unterminated escape");
+      go ()
+    | Some c ->
+      advance st;
+      Buffer.add_char buf c;
+      go ()
+    | None -> error st "unterminated string literal"
+  in
+  go ();
+  Buffer.contents buf
+
+let rec parse_value st (ty : Ty.t) : Value.t =
+  skip_ws st;
+  match ty with
+  | Ty.Const _ ->
+    if not (eat_string st "const:") then error st "expected const:N";
+    Value.Vconst (parse_int st)
+  | Ty.Int _ -> Value.Vint (parse_int st)
+  | Ty.Flags _ -> Value.Vflags (parse_int st)
+  | Ty.Enum _ ->
+    if not (eat_string st "e:") then error st "expected e:N";
+    Value.Venum (parse_int st)
+  | Ty.Len _ ->
+    if not (eat_string st "len:") then error st "expected len:N";
+    Value.Vlen (parse_int st)
+  | Ty.Buffer _ ->
+    if not (eat_string st "buf") then error st "expected buf(len, seed)";
+    expect st '(';
+    let len = parse_int st in
+    expect st ',';
+    let seed = parse_int st in
+    expect st ')';
+    Value.Vbuf { len; seed }
+  | Ty.Str _ -> Value.Vstr (parse_quoted st)
+  | Ty.Ptr inner ->
+    if eat_string st "nil" then Value.Vptr None
+    else begin
+      expect st '&';
+      Value.Vptr (Some (parse_value st inner))
+    end
+  | Ty.Struct fields ->
+    expect st '{';
+    let rec fields_loop acc = function
+      | [] -> List.rev acc
+      | [ f ] -> List.rev (parse_value st f.Ty.fty :: acc)
+      | f :: rest ->
+        let v = parse_value st f.Ty.fty in
+        expect st ',';
+        fields_loop (v :: acc) rest
+    in
+    let vs = fields_loop [] fields in
+    expect st '}';
+    Value.Vstruct vs
+  | Ty.Resource _ ->
+    if eat_string st "bogus" then Value.Vres (-1)
+    else begin
+      skip_ws st;
+      (match peek st with
+      | Some 'r' -> advance st
+      | _ -> error st "expected rN or bogus");
+      Value.Vres (parse_int st)
+    end
+
+let parse_line db line_no line : Prog.call =
+  let st = { src = line; pos = 0; line = line_no } in
+  (* Optional "rN = " producer prefix: look ahead for '='. *)
+  let saved = st.pos in
+  (match peek st with
+  | Some 'r' ->
+    advance st;
+    if (match peek st with Some c when is_digit c -> true | _ -> false) then begin
+      let _ = parse_int st in
+      skip_ws st;
+      if not (eat_string st "=") then st.pos <- saved
+    end
+    else st.pos <- saved
+  | _ -> ());
+  let name = parse_ident st in
+  let spec =
+    match Spec.find db name with
+    | Some s -> s
+    | None -> error st "unknown syscall %s" name
+  in
+  expect st '(';
+  let rec args_loop acc = function
+    | [] -> List.rev acc
+    | [ f ] -> List.rev (parse_value st f.Ty.fty :: acc)
+    | f :: rest ->
+      let v = parse_value st f.Ty.fty in
+      expect st ',';
+      args_loop (v :: acc) rest
+  in
+  let args = args_loop [] spec.Spec.args in
+  expect st ')';
+  skip_ws st;
+  if st.pos <> String.length st.src then error st "trailing characters";
+  { Prog.spec; args }
+
+let program db src =
+  let lines =
+    String.split_on_char '\n' src
+    |> List.mapi (fun i l -> (i + 1, String.trim l))
+    |> List.filter (fun (_, l) -> l <> "")
+  in
+  try
+    Ok (Array.of_list (List.map (fun (no, l) -> parse_line db no l) lines))
+  with Parse_error msg -> Error msg
+
+let program_exn db src =
+  match program db src with Ok p -> p | Error msg -> failwith msg

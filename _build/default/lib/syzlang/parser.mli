@@ -1,0 +1,18 @@
+(** Parser for the textual syz-like program format printed by {!Prog.pp}.
+
+    The grammar is one call per line:
+    {v
+      [rN = ] name(value, value, ...)
+    v}
+    with values as printed by {!Value.pp} ([0x..] flags, [&v] pointers,
+    [{..}] structs, [buf(len, seed)] buffers, ["s"] strings, [rN]/[bogus]
+    resources, [e:N] enums, [len:N] lengths, [const:N] constants).
+
+    Parsing is specification-directed: the database supplies each call's
+    argument types so that bare integers land on the right constructor. *)
+
+val program : Spec.db -> string -> (Prog.t, string) result
+(** Parse a whole program. The error string carries line/position context. *)
+
+val program_exn : Spec.db -> string -> Prog.t
+(** Like {!program}; raises [Failure] on parse errors. *)

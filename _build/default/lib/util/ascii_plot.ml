@@ -1,0 +1,89 @@
+type series = {
+  label : string;
+  glyph : char;
+  points : (float * float) list;
+  band : (float * float * float) list;
+}
+
+let series ?(band = []) ~label ~glyph points = { label; glyph; points; band }
+
+let bounds all =
+  match all with
+  | [] -> (0.0, 1.0, 0.0, 1.0)
+  | (x0, y0) :: rest ->
+    List.fold_left
+      (fun (xlo, xhi, ylo, yhi) (x, y) ->
+        (Float.min xlo x, Float.max xhi x, Float.min ylo y, Float.max yhi y))
+      (x0, x0, y0, y0) rest
+
+let fmt_tick v =
+  if Float.abs v >= 10000.0 then Printf.sprintf "%.0fK" (v /. 1000.0)
+  else if Float.abs v >= 100.0 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.2g" v
+
+let render ?(width = 64) ?(height = 16) ?(x_label = "") ?(y_label = "") ~title
+    seriess =
+  let all_points =
+    List.concat_map
+      (fun s ->
+        s.points
+        @ List.concat_map (fun (x, lo, hi) -> [ (x, lo); (x, hi) ]) s.band)
+      seriess
+  in
+  let xlo, xhi, ylo, yhi = bounds all_points in
+  let xspan = if xhi > xlo then xhi -. xlo else 1.0 in
+  let yspan = if yhi > ylo then yhi -. ylo else 1.0 in
+  let col x = int_of_float (Float.round ((x -. xlo) /. xspan *. float_of_int (width - 1))) in
+  let row y =
+    height - 1
+    - int_of_float (Float.round ((y -. ylo) /. yspan *. float_of_int (height - 1)))
+  in
+  let grid = Array.make_matrix height width ' ' in
+  let plot_band s =
+    List.iter
+      (fun (x, lo, hi) ->
+        let c = col x in
+        if c >= 0 && c < width then
+          for r = row hi to row lo do
+            if r >= 0 && r < height && grid.(r).(c) = ' ' then grid.(r).(c) <- '.'
+          done)
+      s.band
+  in
+  let plot_line s =
+    List.iter
+      (fun (x, y) ->
+        let c = col x and r = row y in
+        if c >= 0 && c < width && r >= 0 && r < height then grid.(r).(c) <- s.glyph)
+      s.points
+  in
+  List.iter plot_band seriess;
+  List.iter plot_line seriess;
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (title ^ "\n");
+  if y_label <> "" then Buffer.add_string buf (y_label ^ "\n");
+  let ytick_w = 8 in
+  for r = 0 to height - 1 do
+    let tick =
+      if r = 0 then fmt_tick yhi
+      else if r = height - 1 then fmt_tick ylo
+      else if r = height / 2 then fmt_tick ((yhi +. ylo) /. 2.0)
+      else ""
+    in
+    Buffer.add_string buf (Printf.sprintf "%*s |" ytick_w tick);
+    Buffer.add_string buf (String.init width (fun c -> grid.(r).(c)));
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.add_string buf (String.make ytick_w ' ' ^ " +" ^ String.make width '-' ^ "\n");
+  let xlo_s = fmt_tick xlo and xhi_s = fmt_tick xhi in
+  let gap = max 1 (width - String.length xlo_s - String.length xhi_s) in
+  Buffer.add_string buf
+    (String.make (ytick_w + 2) ' ' ^ xlo_s ^ String.make gap ' ' ^ xhi_s ^ "\n");
+  if x_label <> "" then
+    Buffer.add_string buf (String.make (ytick_w + 2) ' ' ^ x_label ^ "\n");
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %c = %s%s\n" s.glyph s.label
+           (if s.band <> [] then " (band: min..max shown as '.')" else "")))
+    seriess;
+  Buffer.contents buf

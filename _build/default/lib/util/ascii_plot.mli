@@ -1,0 +1,31 @@
+(** ASCII line plots with min/max bands.
+
+    Used by [bench/main.exe] to reproduce the paper's figures (edge coverage
+    over fuzzing uptime, Figure 6) in a terminal: each series is drawn with a
+    distinct glyph, and a series may carry a band (min..max across repeated
+    runs) rendered as a shaded column range. *)
+
+type series = {
+  label : string;
+  glyph : char;
+  points : (float * float) list;          (** (x, mean y) *)
+  band : (float * float * float) list;    (** (x, min y, max y); may be [] *)
+}
+
+val series :
+  ?band:(float * float * float) list ->
+  label:string ->
+  glyph:char ->
+  (float * float) list ->
+  series
+
+val render :
+  ?width:int ->
+  ?height:int ->
+  ?x_label:string ->
+  ?y_label:string ->
+  title:string ->
+  series list ->
+  string
+(** Render the plot with axes, tick labels and a legend. [width]/[height]
+    are the plotting area in characters (defaults 64x16). *)

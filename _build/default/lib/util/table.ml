@@ -1,0 +1,81 @@
+type align = Left | Right
+
+type row = Cells of string list | Sep
+
+type t = {
+  title : string option;
+  header : string list;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ?title ~header () = { title; header; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.header then
+    invalid_arg "Table.add_row: width mismatch";
+  t.rows <- Cells cells :: t.rows
+
+let add_sep t = t.rows <- Sep :: t.rows
+
+let looks_numeric s =
+  s <> ""
+  && String.for_all
+       (fun c -> (c >= '0' && c <= '9') || String.contains "+-.%xX,()/" c)
+       s
+
+let render ?aligns t =
+  let rows = List.rev t.rows in
+  let ncols = List.length t.header in
+  let widths = Array.of_list (List.map String.length t.header) in
+  List.iter
+    (function
+      | Sep -> ()
+      | Cells cells ->
+        List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) cells)
+    rows;
+  let aligns =
+    match aligns with
+    | Some a when List.length a = ncols -> Array.of_list a
+    | Some _ -> invalid_arg "Table.render: aligns width mismatch"
+    | None ->
+      (* A column is right-aligned when every body cell looks numeric. *)
+      Array.init ncols (fun i ->
+          let numeric =
+            List.for_all
+              (function
+                | Sep -> true
+                | Cells cells -> looks_numeric (List.nth cells i))
+              rows
+            && rows <> []
+          in
+          if numeric then Right else Left)
+  in
+  let pad align width s =
+    let fill = String.make (width - String.length s) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+  in
+  let buf = Buffer.create 256 in
+  let line ch =
+    Array.iter (fun w -> Buffer.add_string buf ("+" ^ String.make (w + 2) ch)) widths;
+    Buffer.add_string buf "+\n"
+  in
+  let emit cells =
+    List.iteri
+      (fun i c ->
+        Buffer.add_string buf "| ";
+        Buffer.add_string buf (pad aligns.(i) widths.(i) c);
+        Buffer.add_char buf ' ')
+      cells;
+    Buffer.add_string buf "|\n"
+  in
+  (match t.title with
+  | Some title -> Buffer.add_string buf (title ^ "\n")
+  | None -> ());
+  line '-';
+  emit t.header;
+  line '=';
+  List.iter (function Sep -> line '-' | Cells cells -> emit cells) rows;
+  line '-';
+  Buffer.contents buf
+
+let print ?aligns t = print_string (render ?aligns t)

@@ -1,0 +1,23 @@
+(** ASCII table rendering for the experiment harness output.
+
+    Every table of the paper is re-printed by [bench/main.exe] through this
+    module so that rows line up regardless of cell width. *)
+
+type align = Left | Right
+
+type t
+
+val create : ?title:string -> header:string list -> unit -> t
+(** Column count is fixed by [header]'s length. *)
+
+val add_row : t -> string list -> unit
+(** Raises [Invalid_argument] if the row width differs from the header. *)
+
+val add_sep : t -> unit
+(** Insert a horizontal separator before the next row. *)
+
+val render : ?aligns:align list -> t -> string
+(** Render to a string, one trailing newline. Numeric-looking columns default
+    to right alignment unless [aligns] overrides them. *)
+
+val print : ?aligns:align list -> t -> unit

@@ -1,0 +1,32 @@
+let () =
+  let k = Sp_kernel.Kernel.linux_like ~seed:7 ~version:"6.8" in
+  let db = Sp_kernel.Kernel.spec_db k in
+  Printf.printf "kernel 6.8: %d blocks, %d edges, %d syscalls, %d bugs\n"
+    (Sp_kernel.Kernel.num_blocks k)
+    (Sp_cfg.Cfg.num_edges (Sp_kernel.Kernel.cfg k))
+    (Sp_syzlang.Spec.count db)
+    (Array.length (Sp_kernel.Kernel.bugs k));
+  let rng = Sp_util.Rng.create 42 in
+  let progs = Sp_syzlang.Gen.corpus rng db ~size:200 in
+  let args = List.map (fun p -> float_of_int (Sp_syzlang.Prog.num_args p)) progs in
+  Printf.printf "corpus: %d programs, avg args per test %.1f\n" (List.length progs) (Sp_util.Stats.mean args);
+  let total = Sp_util.Bitset.create (Sp_kernel.Kernel.num_blocks k) in
+  let crashes = ref 0 in
+  List.iter (fun p ->
+    (match Sp_syzlang.Prog.validate p with Ok () -> () | Error e -> Printf.printf "INVALID: %s\n" e);
+    let r = Sp_kernel.Kernel.execute k p in
+    (match r.Sp_kernel.Kernel.crash with Some _ -> incr crashes | None -> ());
+    ignore (Sp_util.Bitset.union_into ~dst:total r.Sp_kernel.Kernel.covered)) progs;
+  Printf.printf "covered blocks by corpus: %d; crashes: %d\n" (Sp_util.Bitset.cardinal total) !crashes;
+  let p = List.hd progs in
+  print_string (Sp_syzlang.Prog.to_string p);
+  let r = Sp_kernel.Kernel.execute k p in
+  List.iter (fun tr -> Printf.printf "call %d: %d blocks\n" tr.Sp_kernel.Kernel.call_idx (List.length tr.Sp_kernel.Kernel.visited)) r.Sp_kernel.Kernel.traces;
+  (* roundtrip *)
+  let s = Sp_syzlang.Prog.to_string p in
+  (match Sp_syzlang.Parser.program db s with
+   | Ok p2 -> Printf.printf "roundtrip ok: %b\n" (Sp_syzlang.Prog.equal p p2)
+   | Error e -> Printf.printf "parse error: %s\n" e);
+  (* versions *)
+  let k9 = Sp_kernel.Kernel.linux_like ~seed:7 ~version:"6.9" in
+  Printf.printf "kernel 6.9: %d blocks, %d bugs\n" (Sp_kernel.Kernel.num_blocks k9) (Array.length (Sp_kernel.Kernel.bugs k9))

@@ -1,0 +1,54 @@
+(* Isolated phase-1 conditions with GLOBAL novelty: union of seed coverage,
+   guided (various target caps) vs random. *)
+module QG = Snowplow.Query_graph
+let () =
+  let k = Sp_kernel.Kernel.linux_like ~seed:7 ~version:"6.8" in
+  let db = Sp_kernel.Kernel.spec_db k in
+  let rng = Sp_util.Rng.create 1 in
+  let bases = Sp_syzlang.Gen.corpus rng db ~size:150 in
+  let split = Snowplow.Dataset.collect k ~bases in
+  let enc = Snowplow.Encoder.pretrain ~config:{ Snowplow.Encoder.default_config with steps = 2000 } k in
+  let block_embs = Snowplow.Encoder.embed_kernel enc k in
+  let model = Snowplow.Pmm.create ~encoder_dim:(Snowplow.Encoder.dim enc) ~num_syscalls:(Sp_syzlang.Spec.count db) () in
+  let _ = Snowplow.Trainer.train model ~block_embs ~train:split.Snowplow.Dataset.train ~valid:split.Snowplow.Dataset.valid in
+  let seeds = Sp_syzlang.Gen.corpus (Sp_util.Rng.create 99) db ~size:100 in
+  let covered = Sp_util.Bitset.create (Sp_kernel.Kernel.num_blocks k) in
+  let execs = List.map (fun p -> (p, Sp_kernel.Kernel.execute k p)) seeds in
+  List.iter (fun (_, (r : Sp_kernel.Kernel.result)) ->
+    ignore (Sp_util.Bitset.union_into ~dst:covered r.covered)) execs;
+  Printf.printf "seed union coverage: %d blocks\n%!" (Sp_util.Bitset.cardinal covered);
+  let inference = Snowplow.Inference.create ~kernel:k ~block_embs model in
+  let engine = Sp_mutation.Engine.create db in
+  let ok = List.filter (fun (_, (r : Sp_kernel.Kernel.result)) -> r.crash = None) execs in
+  let frontier_sizes = List.map (fun ((_p), (r : Sp_kernel.Kernel.result)) ->
+    let f = QG.frontier_blocks k r in
+    float_of_int (List.length (List.filter (fun (b,_) -> not (Sp_util.Bitset.mem covered b)) f))) ok in
+  Printf.printf "avg globally-uncovered frontier per seed: %.1f\n%!" (Sp_util.Stats.mean frontier_sizes);
+  let measure name localize =
+    let rng = Sp_util.Rng.create 777 in
+    let total = ref 0 and succ = ref 0 in
+    List.iter (fun (base, (r0 : Sp_kernel.Kernel.result)) ->
+      match localize rng base r0 with
+      | [] -> ()
+      | paths ->
+        for _ = 1 to 60 do
+          let chosen = Sp_util.Rng.sample rng (Array.of_list paths) (1 + Sp_util.Rng.int rng 2) in
+          let m = Sp_mutation.Engine.mutate_args_at engine rng base chosen in
+          let res = Sp_kernel.Kernel.execute k m in
+          incr total;
+          if res.crash = None && Sp_util.Bitset.diff_cardinal res.covered covered > 0 then incr succ
+        done) ok;
+    Printf.printf "%-14s: %d/%d globally-new (%.1f/1k)\n%!" name !succ !total
+      (1000. *. float_of_int !succ /. float_of_int (max 1 !total))
+  in
+  let targets_for (r0 : Sp_kernel.Kernel.result) cap =
+    QG.frontier_blocks k r0 |> List.filter_map (fun (b,_) ->
+      if Sp_util.Bitset.mem covered b then None else Some b)
+    |> List.filteri (fun i _ -> i < cap) in
+  measure "random" (fun rng base _ -> (Sp_mutation.Engine.syzkaller_arg_localizer ()) rng base);
+  measure "pmm cap12" (fun _ base r0 -> Snowplow.Inference.predict_now inference base ~targets:(targets_for r0 12));
+  measure "pmm cap40" (fun _ base r0 -> Snowplow.Inference.predict_now inference base ~targets:(targets_for r0 40));
+  (* how many predicted paths? *)
+  let lens cap = Sp_util.Stats.mean (List.map (fun (base, r0) ->
+    float_of_int (List.length (Snowplow.Inference.predict_now inference base ~targets:(targets_for r0 cap)))) ok) in
+  Printf.printf "predicted paths: cap12 %.1f cap40 %.1f\n" (lens 12) (lens 40)

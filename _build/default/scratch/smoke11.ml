@@ -1,0 +1,59 @@
+(* Oracle localizer: ground-truth gating args for targets. *)
+module K = Sp_kernel.Kernel
+module Ir = Sp_kernel.Ir
+module QG = Snowplow.Query_graph
+
+let oracle_paths k (base : Sp_syzlang.Prog.t) targets =
+  let cfgk = K.cfg k in
+  List.concat_map (fun tgt ->
+    (* find via conds: predecessors with Cond term *)
+    List.concat_map (fun via ->
+      match (K.block k via).Ir.term with
+      | Ir.Cond { pred; _ } ->
+        let sys = (K.block k tgt).Ir.sys_id in
+        let calls = Array.to_list (Array.mapi (fun i (c : Sp_syzlang.Prog.call) ->
+          if c.spec.Sp_syzlang.Spec.sys_id = sys then Some i else None) base) |> List.filter_map Fun.id in
+        (match pred with
+         | Ir.Arg { path; _ } -> List.map (fun ci -> { Sp_syzlang.Prog.call = ci; arg = path }) calls
+         | Ir.Res_valid { path; _ } -> List.map (fun ci -> { Sp_syzlang.Prog.call = ci; arg = path }) calls
+         | Ir.Res_state { path; _ } ->
+           (* gating arg is the producer's mode-feeding arg; approximate with the resource arg itself plus producer flags args *)
+           List.concat_map (fun ci ->
+             let self = { Sp_syzlang.Prog.call = ci; arg = path } in
+             match Sp_syzlang.Prog.get base self with
+             | Sp_syzlang.Value.Vres i when i >= 0 ->
+               let pnodes = Sp_syzlang.Prog.mutable_nodes base |> List.filter (fun ((p : Sp_syzlang.Prog.path), ty) ->
+                 p.call = i && (match ty with Sp_syzlang.Ty.Flags _ | Sp_syzlang.Ty.Enum _ -> true | _ -> false)) in
+               self :: List.map fst pnodes
+             | _ -> [ self ]
+             | exception _ -> [ self ]) calls)
+      | _ -> []) (Sp_cfg.Cfg.preds cfgk tgt))
+    targets
+  |> List.sort_uniq Sp_syzlang.Prog.path_compare
+
+let () =
+  let k = K.linux_like ~seed:7 ~version:"6.8" in
+  let db = K.spec_db k in
+  let seeds = Sp_syzlang.Gen.corpus (Sp_util.Rng.create 99) db ~size:100 in
+  let engine = Sp_mutation.Engine.create db in
+  let oracle_strategy =
+    let propose rng ~now:_ ~covered corpus (entry : Sp_fuzz.Corpus.entry) =
+      let targets = Snowplow.Hybrid.pick_targets rng k ~covered entry ~max_targets:40 in
+      let paths = oracle_paths k entry.prog targets
+                  |> List.filter (fun p -> match Sp_syzlang.Prog.get entry.prog p with _ -> true | exception _ -> false) in
+      let guided = Snowplow.Hybrid.guided_mutants rng engine entry.prog paths ~per_arg:1 in
+      let busy = (Sp_fuzz.Strategy.syzkaller ~mutations_per_base:4 db).propose rng ~now:0.0 ~covered corpus entry in
+      guided @ busy in
+    { Sp_fuzz.Strategy.name = "Oracle"; throughput_factor = 1.0; propose } in
+  let run dur strat =
+    let cfg = { Sp_fuzz.Campaign.default_config with seed_corpus = seeds; seed = 11; duration = dur } in
+    let vm = Sp_fuzz.Vm.create ~seed:1 k in
+    Sp_fuzz.Campaign.run vm strat cfg in
+  List.iter (fun dur ->
+    let rs = run dur (Sp_fuzz.Strategy.syzkaller db) in
+    let ro = run dur oracle_strategy in
+    Printf.printf "dur %4.1fh: syz %d | oracle %d (%+.1f%%)\n%!" (dur /. 3600.)
+      rs.Sp_fuzz.Campaign.final_edges ro.final_edges
+      (100. *. (float_of_int ro.final_edges /. float_of_int rs.final_edges -. 1.));
+    List.iter (fun (o,(e,ne)) -> Printf.printf "   oracle %s: %d/%dk = %.2f\n" o ne (e/1000) (1000.*.float_of_int ne /. float_of_int (max 1 e))) ro.origin_stats)
+    [ 1800.; 7200.; 86400. ]

@@ -1,0 +1,20 @@
+let () =
+  let t0 = Unix.gettimeofday () in
+  let pipe = Snowplow.Pipeline.train () in
+  Printf.printf "pipeline train: %.1fs; examples %d; " (Unix.gettimeofday () -. t0)
+    (Array.length pipe.split.train);
+  Format.printf "eval %a@." Sp_ml.Metrics.pp (Snowplow.Pipeline.eval_scores pipe);
+  let db = Sp_kernel.Kernel.spec_db pipe.kernel in
+  let seeds = Sp_syzlang.Gen.corpus (Sp_util.Rng.create 99) db ~size:100 in
+  let t1 = Unix.gettimeofday () in
+  let cfg = { Sp_fuzz.Campaign.default_config with seed_corpus = seeds; seed = 11 } in
+  let vm = Sp_fuzz.Vm.create ~seed:1 pipe.kernel in
+  let rs = Sp_fuzz.Campaign.run vm (Sp_fuzz.Strategy.syzkaller db) cfg in
+  Printf.printf "syz 24h: %.1fs edges %d\n%!" (Unix.gettimeofday () -. t1) rs.final_edges;
+  let t2 = Unix.gettimeofday () in
+  let inference = Snowplow.Pipeline.inference_for pipe pipe.kernel in
+  let vm = Sp_fuzz.Vm.create ~seed:1 pipe.kernel in
+  let rn = Sp_fuzz.Campaign.run vm (Snowplow.Hybrid.strategy ~inference pipe.kernel) cfg in
+  Printf.printf "snow 24h: %.1fs edges %d served %d cache_hits %d\n%!"
+    (Unix.gettimeofday () -. t2) rn.final_edges
+    (Snowplow.Inference.served inference) (Snowplow.Inference.cache_hits inference)

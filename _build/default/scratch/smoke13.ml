@@ -1,0 +1,39 @@
+let () =
+  let k = Sp_kernel.Kernel.linux_like ~seed:7 ~version:"6.8" in
+  let db = Sp_kernel.Kernel.spec_db k in
+  let rng = Sp_util.Rng.create 1 in
+  let progs = Sp_syzlang.Gen.corpus rng db ~size:50 in
+  let enc = Snowplow.Encoder.pretrain ~config:{ Snowplow.Encoder.default_config with steps = 200 } k in
+  let block_embs = Snowplow.Encoder.embed_kernel enc k in
+  let model = Snowplow.Pmm.create ~encoder_dim:16 ~num_syscalls:(Sp_syzlang.Spec.count db) () in
+  let results = List.map (fun p -> (p, Sp_kernel.Kernel.execute k p)) progs in
+  let time name f =
+    let t0 = Unix.gettimeofday () in
+    let n = ref 0 in
+    while Unix.gettimeofday () -. t0 < 2.0 do f (); incr n done;
+    Printf.printf "%-14s %.2f ms/op\n%!" name (2000.0 /. float_of_int !n) in
+  let targets_of r = Snowplow.Query_graph.frontier_blocks k r |> List.map fst |> List.filteri (fun i _ -> i < 40) in
+  let cycle = ref results in
+  let next () = match !cycle with [] -> cycle := results; List.hd results | x :: rest -> cycle := rest; x in
+  time "execute" (fun () -> let p, _ = next () in ignore (Sp_kernel.Kernel.execute k p));
+  time "graph build" (fun () -> let p, r = next () in ignore (Snowplow.Query_graph.build k p ~result:r ~targets:(targets_of r)));
+  let graphs = List.map (fun (p, r) -> Snowplow.Query_graph.build k p ~result:r ~targets:(targets_of r)) results in
+  let gc = ref graphs in
+  let nextg () = match !gc with [] -> gc := graphs; List.hd graphs | x :: rest -> gc := rest; x in
+  time "prepare" (fun () -> ignore (Snowplow.Pmm.prepare (nextg ())));
+  let preps = List.map Snowplow.Pmm.prepare graphs in
+  let pc = ref preps in
+  let nextp () = match !pc with [] -> pc := preps; List.hd preps | x :: rest -> pc := rest; x in
+  time "forward" (fun () -> ignore (Snowplow.Pmm.forward_logits model ~block_embs (nextp ())));
+  time "infer(fast)" (fun () -> ignore (Snowplow.Pmm.infer_logits model ~block_embs (nextp ())));
+  (* verify identical *)
+  let pr = List.hd preps in
+  let a = Sp_ml.Ad.value (Snowplow.Pmm.forward_logits model ~block_embs pr) in
+  let b = Snowplow.Pmm.infer_logits model ~block_embs pr in
+  let maxdiff = ref 0.0 in
+  for i = 0 to fst (Sp_ml.Tensor.dims a) - 1 do
+    maxdiff := Float.max !maxdiff (Float.abs (Sp_ml.Tensor.get a i 0 -. Sp_ml.Tensor.get b i 0))
+  done;
+  Printf.printf "max |fast - ad| = %g\n" !maxdiff;
+  let g1 = List.hd graphs in
+  Printf.printf "graph nodes: %d edges: %d\n" (Array.length g1.nodes) (Array.length g1.edges)

@@ -1,0 +1,24 @@
+let () =
+  let k = Sp_kernel.Kernel.linux_like ~seed:7 ~version:"6.8" in
+  let db = Sp_kernel.Kernel.spec_db k in
+  let rng = Sp_util.Rng.create 1 in
+  let seeds = Sp_syzlang.Gen.corpus rng db ~size:100 in
+  let vm = Sp_fuzz.Vm.create ~seed:1 k in
+  let cfg = { Sp_fuzz.Campaign.default_config with seed_corpus = seeds; seed = 11 } in
+  let t0 = Unix.gettimeofday () in
+  let r = Sp_fuzz.Campaign.run vm (Sp_fuzz.Strategy.syzkaller db) cfg in
+  let dt = Unix.gettimeofday () -. t0 in
+  Printf.printf "real time: %.1fs; executions: %d\n" dt r.Sp_fuzz.Campaign.executions;
+  Printf.printf "final edges %d / %d, blocks %d / %d, corpus %d\n"
+    r.Sp_fuzz.Campaign.final_edges (Sp_cfg.Cfg.num_edges (Sp_kernel.Kernel.cfg k))
+    r.Sp_fuzz.Campaign.final_blocks (Sp_kernel.Kernel.num_blocks k)
+    r.Sp_fuzz.Campaign.corpus_size;
+  Printf.printf "crashes: %d (new %d, known %d)\n"
+    (List.length r.Sp_fuzz.Campaign.crashes)
+    (List.length r.Sp_fuzz.Campaign.new_crashes)
+    (List.length r.Sp_fuzz.Campaign.known_crashes);
+  List.iter (fun (s : Sp_fuzz.Campaign.snapshot) ->
+    if int_of_float s.s_time mod 14400 = 0 then
+      Printf.printf "  t=%5.1fh edges=%d blocks=%d crashes=%d execs=%d\n"
+        (s.s_time /. 3600.) s.s_edges s.s_blocks s.s_crashes s.s_execs)
+    r.Sp_fuzz.Campaign.series

@@ -1,0 +1,31 @@
+let () =
+  let t0 = Unix.gettimeofday () in
+  let tick name = Printf.printf "[%6.1fs] %s\n%!" (Unix.gettimeofday () -. t0) name in
+  let k = Sp_kernel.Kernel.linux_like ~seed:7 ~version:"6.8" in
+  let db = Sp_kernel.Kernel.spec_db k in
+  let rng = Sp_util.Rng.create 1 in
+  let bases = Sp_syzlang.Gen.corpus rng db ~size:150 in
+  tick "kernel + corpus";
+  let rate = Snowplow.Dataset.successful_mutation_rate k ~bases:(List.filteri (fun i _ -> i < 20) bases) in
+  Printf.printf "successful mutations per 1000: %.1f\n" rate;
+  tick "rate";
+  let split = Snowplow.Dataset.collect k ~bases in
+  List.iter (fun (name, v) -> Printf.printf "  %-36s %.1f\n" name v) (Snowplow.Dataset.stats split);
+  tick "dataset";
+  let enc = Snowplow.Encoder.pretrain ~config:{ Snowplow.Encoder.default_config with steps = 2000 } k in
+  Printf.printf "masked LM accuracy: %.2f\n" (Snowplow.Encoder.masked_lm_accuracy enc k ~samples:500 ~seed:3);
+  tick "encoder";
+  let block_embs = Snowplow.Encoder.embed_kernel enc k in
+  tick "embed";
+  let model = Snowplow.Pmm.create ~encoder_dim:(Snowplow.Encoder.dim enc) ~num_syscalls:(Sp_syzlang.Spec.count db) () in
+  Printf.printf "PMM parameters: %d\n" (Snowplow.Pmm.num_parameters model);
+  let hist = Snowplow.Trainer.train model ~block_embs ~train:split.Snowplow.Dataset.train ~valid:split.Snowplow.Dataset.valid in
+  List.iter (fun (p : Snowplow.Trainer.progress) -> Printf.printf "  step %5d loss %.4f\n" p.step p.loss)
+    (List.filteri (fun i _ -> i mod 4 = 0) hist);
+  Printf.printf "threshold: %.2f\n" (Snowplow.Pmm.threshold model);
+  tick "train";
+  let scores = Snowplow.Trainer.evaluate model ~block_embs split.Snowplow.Dataset.eval in
+  Format.printf "PMM   : %a@." Sp_ml.Metrics.pp scores;
+  let rand = Snowplow.Trainer.random_baseline ~k:8 ~seed:4 split.Snowplow.Dataset.eval in
+  Format.printf "Rand.8: %a@." Sp_ml.Metrics.pp rand;
+  tick "eval"

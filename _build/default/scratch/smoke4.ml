@@ -1,0 +1,35 @@
+(* Probe: does "arg sig matches a target-via sig" predict the gold labels? *)
+module QG = Snowplow.Query_graph
+let () =
+  let k = Sp_kernel.Kernel.linux_like ~seed:7 ~version:"6.8" in
+  let db = Sp_kernel.Kernel.spec_db k in
+  let rng = Sp_util.Rng.create 1 in
+  let bases = Sp_syzlang.Gen.corpus rng db ~size:80 in
+  let config = { Snowplow.Dataset.default_config with max_args_per_mutation = 1 } in
+  let split = Snowplow.Dataset.collect ~config k ~bases in
+  Printf.printf "examples: train %d eval %d\n"
+    (Array.length split.Snowplow.Dataset.train) (Array.length split.Snowplow.Dataset.eval);
+  (* per-example oracle: predict mutable args whose detail_sig is among via sigs of targets *)
+  let all = Array.append split.Snowplow.Dataset.train split.Snowplow.Dataset.eval in
+  let scores = Array.to_list all |> List.map (fun (ex : Snowplow.Dataset.example) ->
+    let g = ex.graph in
+    (* via blocks of targets *)
+    let target_idx = Hashtbl.create 8 in
+    Array.iteri (fun i n -> match n with QG.Target_block _ -> Hashtbl.add target_idx i () | _ -> ()) g.nodes;
+    let via_blocks = Array.to_list g.edges |> List.filter_map (fun (s,d,kind) ->
+      if kind = QG.Cf_frontier && Hashtbl.mem target_idx d then
+        (match g.nodes.(s) with QG.Covered_block b -> Some b | _ -> None)
+      else None) in
+    (* sig of via blocks: find opsig token in block tokens *)
+    let sig_of_block b =
+      let toks = (Sp_kernel.Kernel.block k b).Sp_kernel.Ir.tokens in
+      Array.to_list toks |> List.filter (fun t -> t > 22 && t < 22 + 97) in
+    let via_sigs = List.concat_map sig_of_block via_blocks in
+    let pred = Array.to_list g.nodes |> List.filter_map (fun n -> match n with
+      | QG.Arg { path; detail_sig; mutable_node = true; _ } when List.mem (detail_sig + 23) via_sigs -> Some path
+      | _ -> None) in
+    Sp_ml.Metrics.score ~compare:Sp_syzlang.Prog.path_compare ~pred ~gold:ex.mutated_args) in
+  Format.printf "sig-match oracle: %a@." Sp_ml.Metrics.pp (Sp_ml.Metrics.mean scores);
+  (* how many gold args per example now *)
+  let avg = Sp_util.Stats.mean (Array.to_list all |> List.map (fun ex -> float_of_int (List.length ex.Snowplow.Dataset.mutated_args))) in
+  Printf.printf "avg gold args: %.2f\n" avg

@@ -1,0 +1,50 @@
+let () =
+  let t0 = Unix.gettimeofday () in
+  let tick name = Printf.printf "[%6.1fs] %s\n%!" (Unix.gettimeofday () -. t0) name in
+  let k = Sp_kernel.Kernel.linux_like ~seed:7 ~version:"6.8" in
+  let db = Sp_kernel.Kernel.spec_db k in
+  let rng = Sp_util.Rng.create 1 in
+  let gen_bases = Sp_syzlang.Gen.corpus rng db ~size:80 in
+  let warm =
+    let cfg = { Sp_fuzz.Campaign.default_config with seed_corpus = gen_bases; seed = 3; duration = 3600.0 } in
+    Sp_fuzz.Campaign.run (Sp_fuzz.Vm.create ~seed:2 k) (Sp_fuzz.Strategy.syzkaller db) cfg in
+  let corpus_bases = Sp_fuzz.Corpus.entries warm.Sp_fuzz.Campaign.corpus
+    |> List.map (fun (e : Sp_fuzz.Corpus.entry) -> e.prog)
+    |> List.filteri (fun i _ -> i < 120) in
+  let bases = gen_bases @ corpus_bases in
+  let split = Snowplow.Dataset.collect k ~bases in
+  let enc = Snowplow.Encoder.pretrain ~config:{ Snowplow.Encoder.default_config with steps = 2000 } k in
+  let block_embs = Snowplow.Encoder.embed_kernel enc k in
+  let model = Snowplow.Pmm.create ~encoder_dim:(Snowplow.Encoder.dim enc) ~num_syscalls:(Sp_syzlang.Spec.count db) () in
+  let _ = Snowplow.Trainer.train model ~block_embs ~train:split.Snowplow.Dataset.train ~valid:split.Snowplow.Dataset.valid in
+  tick "trained";
+  (* campaigns: same fresh seeds for both systems *)
+  let seed_rng = Sp_util.Rng.create 99 in
+  let seeds = Sp_syzlang.Gen.corpus seed_rng db ~size:100 in
+  let cfg = { Sp_fuzz.Campaign.default_config with seed_corpus = seeds; seed = 11 } in
+  let run_syz () =
+    let vm = Sp_fuzz.Vm.create ~seed:1 k in
+    Sp_fuzz.Campaign.run vm (Sp_fuzz.Strategy.syzkaller db) cfg in
+  let run_snow () =
+    let vm = Sp_fuzz.Vm.create ~seed:1 k in
+    let inference = Snowplow.Inference.create ~kernel:k ~block_embs model in
+    Sp_fuzz.Campaign.run vm (Snowplow.Hybrid.strategy ~inference k) cfg in
+  let rs = run_syz () in
+  tick "syzkaller 24h";
+  let rn = run_snow () in
+  tick "snowplow 24h";
+  let final (r : Sp_fuzz.Campaign.report) = r.final_edges in
+  Printf.printf "Syzkaller: edges %d execs %d | Snowplow: edges %d execs %d\n"
+    (final rs) rs.executions (final rn) rn.executions;
+  Printf.printf "improvement: %.1f%%\n" (100. *. (float_of_int (final rn) /. float_of_int (final rs) -. 1.));
+  (match Sp_fuzz.Campaign.time_to_edges rn (final rs) with
+   | Some t -> Printf.printf "Snowplow reached Syzkaller@24h coverage at %.1f h (speedup %.1fx)\n" (t /. 3600.) (86400. /. t)
+   | None -> print_endline "Snowplow did not reach Syzkaller@24h");
+  List.iter (fun ((s : Sp_fuzz.Campaign.snapshot), (n : Sp_fuzz.Campaign.snapshot)) ->
+    if int_of_float s.s_time mod 14400 = 0 then
+      Printf.printf "  t=%5.1fh syz=%d snow=%d\n" (s.s_time /. 3600.) s.s_edges n.s_edges)
+    (List.combine rs.series rn.series);
+  let show name (r : Sp_fuzz.Campaign.report) =
+    Printf.printf "%s origins:\n" name;
+    List.iter (fun (o, (e, ne)) -> Printf.printf "  %-10s execs=%8d new_edges=%5d (%.2f/1k)\n" o e ne (1000. *. float_of_int ne /. float_of_int (max 1 e))) r.origin_stats in
+  show "Syzkaller" rs; show "Snowplow" rn

@@ -1,0 +1,48 @@
+module QG = Snowplow.Query_graph
+let () =
+  let k = Sp_kernel.Kernel.linux_like ~seed:7 ~version:"6.8" in
+  let db = Sp_kernel.Kernel.spec_db k in
+  let rng = Sp_util.Rng.create 1 in
+  let bases = Sp_syzlang.Gen.corpus rng db ~size:150 in
+  let split = Snowplow.Dataset.collect k ~bases in
+  let enc = Snowplow.Encoder.pretrain ~config:{ Snowplow.Encoder.default_config with steps = 2000 } k in
+  let block_embs = Snowplow.Encoder.embed_kernel enc k in
+  let model = Snowplow.Pmm.create ~encoder_dim:(Snowplow.Encoder.dim enc) ~num_syscalls:(Sp_syzlang.Spec.count db) () in
+  let _ = Snowplow.Trainer.train model ~block_embs ~train:split.Snowplow.Dataset.train ~valid:split.Snowplow.Dataset.valid in
+  Printf.printf "trained; eval F1: ";
+  Format.printf "%a@." Sp_ml.Metrics.pp (Snowplow.Trainer.evaluate model ~block_embs split.Snowplow.Dataset.eval);
+  let engine = Sp_mutation.Engine.create db in
+  let inference = Snowplow.Inference.create ~kernel:k ~block_embs model in
+  (* fresh bases not in training *)
+  let fresh = Sp_syzlang.Gen.corpus (Sp_util.Rng.create 555) db ~size:40 in
+  let rate name bases localize =
+    let rng = Sp_util.Rng.create 777 in
+    let total = ref 0 and succ = ref 0 in
+    List.iter (fun base ->
+      let r0 = Sp_kernel.Kernel.execute k base in
+      if r0.Sp_kernel.Kernel.crash = None then begin
+        (* global covered = base coverage for this test (isolated) *)
+        for _ = 1 to 100 do
+          match localize rng base r0 with
+          | [] -> ()
+          | paths ->
+            let chosen = Sp_util.Rng.sample rng (Array.of_list paths) (1 + Sp_util.Rng.int rng 2) in
+            let m = Sp_mutation.Engine.mutate_args_at engine rng base chosen in
+            let r = Sp_kernel.Kernel.execute k m in
+            incr total;
+            if r.Sp_kernel.Kernel.crash = None &&
+               Sp_util.Bitset.diff_cardinal r.Sp_kernel.Kernel.covered r0.Sp_kernel.Kernel.covered > 0
+            then incr succ
+        done
+      end) bases;
+    Printf.printf "%-18s: %d/%d successful (%.1f per 1000)\n%!" name !succ !total
+      (1000. *. float_of_int !succ /. float_of_int (max 1 !total))
+  in
+  let random_loc rng base _r0 = (Sp_mutation.Engine.syzkaller_arg_localizer () ) rng base in
+  let pmm_loc rng base r0 =
+    let frontier = QG.frontier_blocks k r0 |> List.map fst in
+    let targets = if List.length frontier <= 12 then frontier else Sp_util.Rng.sample rng (Array.of_list frontier) 12 in
+    Snowplow.Inference.predict_now inference base ~targets
+  in
+  rate "random args" fresh random_loc;
+  rate "pmm args" fresh pmm_loc

@@ -1,0 +1,35 @@
+(* Quantify duplicate proposals per origin during a Snowplow campaign. *)
+let () =
+  let k = Sp_kernel.Kernel.linux_like ~seed:7 ~version:"6.8" in
+  let db = Sp_kernel.Kernel.spec_db k in
+  let rng = Sp_util.Rng.create 1 in
+  let bases = Sp_syzlang.Gen.corpus rng db ~size:150 in
+  let split = Snowplow.Dataset.collect k ~bases in
+  let enc = Snowplow.Encoder.pretrain ~config:{ Snowplow.Encoder.default_config with steps = 2000 } k in
+  let block_embs = Snowplow.Encoder.embed_kernel enc k in
+  let model = Snowplow.Pmm.create ~encoder_dim:(Snowplow.Encoder.dim enc) ~num_syscalls:(Sp_syzlang.Spec.count db) () in
+  let _ = Snowplow.Trainer.train model ~block_embs ~train:split.Snowplow.Dataset.train ~valid:split.Snowplow.Dataset.valid in
+  (* wrap strategies to count duplicate proposals *)
+  let count name strat =
+    let seen = Hashtbl.create 1024 in
+    let dup = Hashtbl.create 8 in
+    let wrapped = { strat with Sp_fuzz.Strategy.propose = (fun rng ~now ~covered corpus entry ->
+      let props = strat.Sp_fuzz.Strategy.propose rng ~now ~covered corpus entry in
+      List.iter (fun (p : Sp_fuzz.Strategy.proposal) ->
+        let h = Sp_syzlang.Prog.hash p.prog in
+        let total, dups = Option.value ~default:(0,0) (Hashtbl.find_opt dup p.origin) in
+        let d = if Hashtbl.mem seen h then 1 else 0 in
+        Hashtbl.replace seen h ();
+        Hashtbl.replace dup p.origin (total+1, dups+d)) props;
+      props) } in
+    let seed_rng = Sp_util.Rng.create 99 in
+    let seeds = Sp_syzlang.Gen.corpus seed_rng db ~size:100 in
+    let cfg = { Sp_fuzz.Campaign.default_config with seed_corpus = seeds; seed = 11; duration = 21600.0 } in
+    let vm = Sp_fuzz.Vm.create ~seed:1 k in
+    let r = Sp_fuzz.Campaign.run vm wrapped cfg in
+    Printf.printf "%s: edges %d\n" name r.Sp_fuzz.Campaign.final_edges;
+    Hashtbl.iter (fun o (t,d) -> Printf.printf "  %-10s proposals=%8d dup=%8d (%.1f%%)\n" o t d (100. *. float_of_int d /. float_of_int (max 1 t))) dup
+  in
+  count "Syzkaller" (Sp_fuzz.Strategy.syzkaller db);
+  let inference = Snowplow.Inference.create ~kernel:k ~block_embs model in
+  count "Snowplow" (Snowplow.Hybrid.strategy ~inference k)

@@ -1,0 +1,61 @@
+(* Phase-2 conditions: guided vs random arg mutation measured on a real
+   late-campaign corpus against global coverage. *)
+let () =
+  let k = Sp_kernel.Kernel.linux_like ~seed:7 ~version:"6.8" in
+  let db = Sp_kernel.Kernel.spec_db k in
+  let rng = Sp_util.Rng.create 1 in
+  let bases = Sp_syzlang.Gen.corpus rng db ~size:150 in
+  let split = Snowplow.Dataset.collect k ~bases in
+  let enc = Snowplow.Encoder.pretrain ~config:{ Snowplow.Encoder.default_config with steps = 2000 } k in
+  let block_embs = Snowplow.Encoder.embed_kernel enc k in
+  let model = Snowplow.Pmm.create ~encoder_dim:(Snowplow.Encoder.dim enc) ~num_syscalls:(Sp_syzlang.Spec.count db) () in
+  let _ = Snowplow.Trainer.train model ~block_embs ~train:split.Snowplow.Dataset.train ~valid:split.Snowplow.Dataset.valid in
+  let seeds = Sp_syzlang.Gen.corpus (Sp_util.Rng.create 99) db ~size:100 in
+  let cfg = { Sp_fuzz.Campaign.default_config with seed_corpus = seeds; seed = 11; duration = 21600.0 } in
+  let vm = Sp_fuzz.Vm.create ~seed:1 k in
+  let r = Sp_fuzz.Campaign.run vm (Sp_fuzz.Strategy.syzkaller db) cfg in
+  Printf.printf "6h syzkaller: edges %d, corpus %d\n%!" r.final_edges r.corpus_size;
+  let covered = r.covered_blocks in
+  let inference = Snowplow.Inference.create ~kernel:k ~block_embs model in
+  let engine = Sp_mutation.Engine.create db in
+  let entries = Sp_fuzz.Corpus.entries r.corpus in
+  (* entries that still expose uncovered frontier *)
+  let rng2 = Sp_util.Rng.create 4242 in
+  let with_targets = List.filter_map (fun (e : Sp_fuzz.Corpus.entry) ->
+    let t = Snowplow.Hybrid.pick_targets rng2 k ~covered e ~max_targets:12 in
+    if t = [] then None else Some (e, t)) entries in
+  Printf.printf "corpus entries with uncovered frontier: %d / %d\n%!" (List.length with_targets) (List.length entries);
+  let sample = List.filteri (fun i _ -> i < 40) with_targets in
+  let measure name localize =
+    let rng = Sp_util.Rng.create 777 in
+    let total = ref 0 and succ = ref 0 and dup = ref 0 in
+    let seen = Hashtbl.create 1024 in
+    List.iter (fun ((e : Sp_fuzz.Corpus.entry), targets) ->
+      let base = e.prog in
+      match localize rng base targets with
+      | [] -> ()
+      | paths ->
+        for _ = 1 to 100 do
+          let chosen = Sp_util.Rng.sample rng (Array.of_list paths) (1 + Sp_util.Rng.int rng 2) in
+          let m = Sp_mutation.Engine.mutate_args_at engine rng base chosen in
+          incr total;
+          if Hashtbl.mem seen (Sp_syzlang.Prog.hash m) then incr dup
+          else begin
+            Hashtbl.add seen (Sp_syzlang.Prog.hash m) ();
+            let res = Sp_kernel.Kernel.execute k m in
+            if res.crash = None then begin
+              let fresh = ref 0 in
+              Sp_util.Bitset.iter (fun b -> if not (Sp_util.Bitset.mem covered b) then incr fresh) res.covered;
+              if !fresh > 0 then incr succ
+            end
+          end
+        done) sample;
+    Printf.printf "%-12s: %d globally-new / %d (%.1f/1k), dups %d\n%!" name !succ !total
+      (1000. *. float_of_int !succ /. float_of_int (max 1 !total)) !dup
+  in
+  measure "random" (fun rng base _ -> (Sp_mutation.Engine.syzkaller_arg_localizer ()) rng base);
+  measure "pmm" (fun _ base targets -> Snowplow.Inference.predict_now inference base ~targets);
+  (* how many paths does pmm predict on these? *)
+  let lens = List.map (fun ((e : Sp_fuzz.Corpus.entry), t) ->
+    float_of_int (List.length (Snowplow.Inference.predict_now inference e.prog ~targets:t))) sample in
+  Printf.printf "pmm predicted paths per query: mean %.1f\n" (Sp_util.Stats.mean lens)

@@ -1,0 +1,38 @@
+let () =
+  let k = Sp_kernel.Kernel.linux_like ~seed:7 ~version:"6.8" in
+  let db = Sp_kernel.Kernel.spec_db k in
+  let rng = Sp_util.Rng.create 1 in
+  (* training bases: half random generation, half evolved corpus entries
+     from a short Syzkaller warmup (like the paper's Syzbot-derived corpus) *)
+  let gen_bases = Sp_syzlang.Gen.corpus rng db ~size:80 in
+  let warm =
+    let cfg = { Sp_fuzz.Campaign.default_config with seed_corpus = gen_bases; seed = 3; duration = 3600.0 } in
+    Sp_fuzz.Campaign.run (Sp_fuzz.Vm.create ~seed:2 k) (Sp_fuzz.Strategy.syzkaller db) cfg in
+  let corpus_bases = Sp_fuzz.Corpus.entries warm.Sp_fuzz.Campaign.corpus
+    |> List.map (fun (e : Sp_fuzz.Corpus.entry) -> e.prog)
+    |> List.filteri (fun i _ -> i < 120) in
+  let bases = gen_bases @ corpus_bases in
+  Printf.printf "training bases: %d (gen %d + corpus %d)\n%!" (List.length bases) (List.length gen_bases) (List.length corpus_bases);
+  let split = Snowplow.Dataset.collect k ~bases in
+  let enc = Snowplow.Encoder.pretrain ~config:{ Snowplow.Encoder.default_config with steps = 2000 } k in
+  let block_embs = Snowplow.Encoder.embed_kernel enc k in
+  let model = Snowplow.Pmm.create ~encoder_dim:(Snowplow.Encoder.dim enc) ~num_syscalls:(Sp_syzlang.Spec.count db) () in
+  let _ = Snowplow.Trainer.train model ~block_embs ~train:split.Snowplow.Dataset.train ~valid:split.Snowplow.Dataset.valid in
+  let seeds = Sp_syzlang.Gen.corpus (Sp_util.Rng.create 99) db ~size:100 in
+  let run dur strat =
+    let cfg = { Sp_fuzz.Campaign.default_config with seed_corpus = seeds; seed = 11; duration = dur; snapshot_every = 600.0 } in
+    let vm = Sp_fuzz.Vm.create ~seed:1 k in
+    Sp_fuzz.Campaign.run vm strat cfg in
+  List.iter (fun dur ->
+    let rs = run dur (Sp_fuzz.Strategy.syzkaller db) in
+    let inference = Snowplow.Inference.create ~kernel:k ~block_embs model in
+    let rn = run dur (Snowplow.Hybrid.strategy ~inference k) in
+    Printf.printf "dur %5.1fh: syz edges %d corpus %d | snow edges %d corpus %d (served %d hits %d)\n%!"
+      (dur /. 3600.) rs.Sp_fuzz.Campaign.final_edges rs.corpus_size rn.final_edges rn.corpus_size
+      (Snowplow.Inference.served inference) (Snowplow.Inference.cache_hits inference);
+    let pr name (r : Sp_fuzz.Campaign.report) =
+      Printf.printf "  %s: " name;
+      List.iter (fun (o,(e,ne)) -> Printf.printf "%s %d/%dk=%.2f  " o ne (e/1000) (1000. *. float_of_int ne /. float_of_int (max 1 e))) r.origin_stats;
+      print_newline () in
+    pr "syz " rs; pr "snow" rn)
+    [ 1800.; 7200. ]

@@ -1,0 +1,144 @@
+(* Unit and property tests for sp_cfg. *)
+
+module Cfg = Sp_cfg.Cfg
+module Bitset = Sp_util.Bitset
+module Rng = Sp_util.Rng
+
+(* A small diamond with a tail:  0 -> 1 -> 3 -> 4,  0 -> 2 -> 3. *)
+let diamond () =
+  Cfg.create ~num_blocks:5 ~edges:[ (0, 1); (0, 2); (1, 3); (2, 3); (3, 4) ]
+
+let test_basics () =
+  let g = diamond () in
+  Alcotest.(check int) "blocks" 5 (Cfg.num_blocks g);
+  Alcotest.(check int) "edges" 5 (Cfg.num_edges g);
+  Alcotest.(check (list int)) "succs 0" [ 1; 2 ] (Cfg.succs g 0);
+  Alcotest.(check (list int)) "preds 3" [ 1; 2 ] (Cfg.preds g 3);
+  Alcotest.(check bool) "mem_edge" true (Cfg.mem_edge g (0, 1));
+  Alcotest.(check bool) "not mem_edge" false (Cfg.mem_edge g (1, 0))
+
+let test_duplicate_edges_collapsed () =
+  let g = Cfg.create ~num_blocks:2 ~edges:[ (0, 1); (0, 1); (0, 1) ] in
+  Alcotest.(check int) "one edge" 1 (Cfg.num_edges g)
+
+let test_edge_ids_dense () =
+  let g = diamond () in
+  let ids = List.filter_map (Cfg.edge_id g) (Cfg.edges g) in
+  Alcotest.(check (list int)) "dense ids" [ 0; 1; 2; 3; 4 ] (List.sort compare ids)
+
+let test_out_of_range () =
+  Alcotest.check_raises "edge endpoint checked"
+    (Invalid_argument "Cfg.create: edge endpoint out of range") (fun () ->
+      ignore (Cfg.create ~num_blocks:2 ~edges:[ (0, 5) ]))
+
+let test_reachable () =
+  let g = diamond () in
+  Alcotest.(check (list int)) "from 0" [ 0; 1; 2; 3; 4 ]
+    (Bitset.elements (Cfg.reachable g 0));
+  Alcotest.(check (list int)) "from 3" [ 3; 4 ] (Bitset.elements (Cfg.reachable g 3))
+
+let test_frontier () =
+  let g = diamond () in
+  let covered = Bitset.of_list 5 [ 0; 1 ] in
+  let f = List.sort compare (Cfg.frontier g ~covered) in
+  (* 2 via 0, 3 via 1. *)
+  Alcotest.(check (list (pair int int))) "frontier" [ (2, 0); (3, 1) ] f
+
+let test_distances () =
+  let g = diamond () in
+  let d = Cfg.distances_to g 4 in
+  Alcotest.(check int) "0 -> 4" 3 d.(0);
+  Alcotest.(check int) "3 -> 4" 1 d.(3);
+  Alcotest.(check int) "4 -> 4" 0 d.(4);
+  let d1 = Cfg.distances_to g 0 in
+  Alcotest.(check int) "unreachable" max_int d1.(4)
+
+let test_shortest_path () =
+  let g = diamond () in
+  (match Cfg.shortest_path g ~src:0 ~dst:4 with
+  | Some path ->
+    Alcotest.(check int) "length" 4 (List.length path);
+    Alcotest.(check int) "starts at src" 0 (List.hd path)
+  | None -> Alcotest.fail "expected a path");
+  Alcotest.(check bool) "no reverse path" true (Cfg.shortest_path g ~src:4 ~dst:0 = None)
+
+(* Random DAG generator: edges only go from lower to higher ids. *)
+let random_dag seed n =
+  let rng = Rng.create seed in
+  let edges = ref [] in
+  for src = 0 to n - 2 do
+    for dst = src + 1 to n - 1 do
+      if Rng.coin rng 0.15 then edges := (src, dst) :: !edges
+    done
+  done;
+  Cfg.create ~num_blocks:n ~edges:!edges
+
+let prop_frontier_invariants =
+  QCheck.Test.make ~count:100 ~name:"frontier entries uncovered, via covered, adjacent"
+    QCheck.(pair (int_bound 1000) (list small_nat))
+    (fun (seed, cover_l) ->
+      let n = 30 in
+      let g = random_dag seed n in
+      let covered = Bitset.of_list n (List.map (fun i -> i mod n) cover_l) in
+      List.for_all
+        (fun (entry, via) ->
+          (not (Bitset.mem covered entry))
+          && Bitset.mem covered via
+          && Cfg.mem_edge g (via, entry))
+        (Cfg.frontier g ~covered))
+
+let prop_frontier_unique_entries =
+  QCheck.Test.make ~count:100 ~name:"frontier lists each entry once"
+    QCheck.(pair (int_bound 1000) (list small_nat))
+    (fun (seed, cover_l) ->
+      let n = 30 in
+      let g = random_dag seed n in
+      let covered = Bitset.of_list n (List.map (fun i -> i mod n) cover_l) in
+      let entries = List.map fst (Cfg.frontier g ~covered) in
+      List.length entries = List.length (List.sort_uniq compare entries))
+
+let prop_distance_edge_consistency =
+  QCheck.Test.make ~count:100 ~name:"dist(src) <= dist(dst) + 1 along every edge"
+    QCheck.(pair (int_bound 1000) (int_bound 29))
+    (fun (seed, target) ->
+      let n = 30 in
+      let g = random_dag seed n in
+      let d = Cfg.distances_to g target in
+      List.for_all
+        (fun (src, dst) -> d.(dst) = max_int || d.(src) <= d.(dst) + 1)
+        (Cfg.edges g))
+
+let prop_shortest_path_length_matches_distance =
+  QCheck.Test.make ~count:100 ~name:"shortest_path length equals distances_to"
+    QCheck.(triple (int_bound 1000) (int_bound 29) (int_bound 29))
+    (fun (seed, src, dst) ->
+      let g = random_dag seed 30 in
+      let d = Cfg.distances_to g dst in
+      match Cfg.shortest_path g ~src ~dst with
+      | None -> d.(src) = max_int
+      | Some path -> List.length path - 1 = d.(src))
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "sp_cfg"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "basics" `Quick test_basics;
+          Alcotest.test_case "duplicate edges" `Quick test_duplicate_edges_collapsed;
+          Alcotest.test_case "edge ids dense" `Quick test_edge_ids_dense;
+          Alcotest.test_case "bounds check" `Quick test_out_of_range;
+          Alcotest.test_case "reachable" `Quick test_reachable;
+          Alcotest.test_case "frontier" `Quick test_frontier;
+          Alcotest.test_case "distances" `Quick test_distances;
+          Alcotest.test_case "shortest path" `Quick test_shortest_path;
+        ] );
+      qsuite "props"
+        [
+          prop_frontier_invariants;
+          prop_frontier_unique_entries;
+          prop_distance_edge_consistency;
+          prop_shortest_path_length_matches_distance;
+        ];
+    ]

@@ -1,0 +1,316 @@
+(* Tests for sp_fuzz: clock, VM cost model, corpus, triage, strategies and
+   the campaign loop. *)
+
+module Rng = Sp_util.Rng
+module Bitset = Sp_util.Bitset
+module Kernel = Sp_kernel.Kernel
+module Build = Sp_kernel.Build
+module Bug = Sp_kernel.Bug
+module Prog = Sp_syzlang.Prog
+module Gen = Sp_syzlang.Gen
+module Clock = Sp_fuzz.Clock
+module Vm = Sp_fuzz.Vm
+module Corpus = Sp_fuzz.Corpus
+module Triage = Sp_fuzz.Triage
+module Strategy = Sp_fuzz.Strategy
+module Campaign = Sp_fuzz.Campaign
+
+let small_config =
+  { Build.default_config with num_syscalls = 16; handler_budget = 120; max_depth = 8 }
+
+let kernel = Kernel.generate small_config
+
+let db = Kernel.spec_db kernel
+
+(* ------------------------------------------------------------------ *)
+(* Clock and Vm                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_clock () =
+  let c = Clock.create () in
+  Alcotest.(check (float 0.0)) "starts at zero" 0.0 (Clock.now c);
+  Clock.advance c 1.5;
+  Clock.advance c 0.5;
+  Alcotest.(check (float 1e-9)) "advances" 2.0 (Clock.now c);
+  Alcotest.check_raises "negative rejected"
+    (Invalid_argument "Clock.advance: negative increment") (fun () ->
+      Clock.advance c (-1.0))
+
+let test_vm_charges_time () =
+  let vm = Vm.create ~seed:1 kernel in
+  let clock = Clock.create () in
+  let prog = Gen.program (Rng.create 1) db () in
+  let _ = Vm.run vm clock prog in
+  Alcotest.(check bool) "time charged" true (Clock.now clock > 0.0);
+  Alcotest.(check int) "execution counted" 1 (Vm.executions vm)
+
+let test_vm_cost_scales_with_length () =
+  let prog_short = Gen.program ~min_calls:2 ~max_calls:2 (Rng.create 1) db () in
+  let prog_long = Gen.program ~min_calls:10 ~max_calls:10 (Rng.create 2) db () in
+  let cost p =
+    let vm = Vm.create ~seed:1 kernel in
+    let clock = Clock.create () in
+    let r = Vm.run vm clock p in
+    if r.Kernel.crash <> None then None else Some (Clock.now clock)
+  in
+  match (cost prog_short, cost prog_long) with
+  | Some a, Some b -> Alcotest.(check bool) "longer costs more" true (b > a)
+  | _ -> () (* a crash would add restart cost; skip *)
+
+let test_vm_throughput_factor () =
+  let vm = Vm.create ~seed:1 kernel in
+  Alcotest.check_raises "factor must be positive"
+    (Invalid_argument "Vm.set_throughput_factor: must be positive") (fun () ->
+      Vm.set_throughput_factor vm 0.0)
+
+(* ------------------------------------------------------------------ *)
+(* Corpus                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let entry_of prog =
+  let r = Kernel.execute kernel prog in
+  { Corpus.prog; blocks = r.Kernel.covered; edges = r.Kernel.covered_edges;
+    added_at = 0.0 }
+
+let test_corpus_dedup () =
+  let c = Corpus.create () in
+  let p = Gen.program (Rng.create 5) db () in
+  Alcotest.(check bool) "first add" true (Corpus.add c (entry_of p));
+  Alcotest.(check bool) "duplicate rejected" false (Corpus.add c (entry_of p));
+  Alcotest.(check int) "size" 1 (Corpus.size c);
+  Alcotest.(check bool) "mem_prog" true (Corpus.mem_prog c p)
+
+let test_corpus_choose () =
+  let c = Corpus.create () in
+  Alcotest.check_raises "empty corpus"
+    (Invalid_argument "Corpus.choose: empty corpus") (fun () ->
+      ignore (Corpus.choose (Rng.create 1) c));
+  List.iter
+    (fun p -> ignore (Corpus.add c (entry_of p)))
+    (Gen.corpus (Rng.create 9) db ~size:10);
+  let rng = Rng.create 2 in
+  for _ = 1 to 20 do
+    ignore (Corpus.choose rng c)
+  done
+
+let test_corpus_choose_directed () =
+  let c = Corpus.create () in
+  List.iter
+    (fun p -> ignore (Corpus.add c (entry_of p)))
+    (Gen.corpus (Rng.create 9) db ~size:10);
+  (* distance = program length; directed choice should mostly pick the
+     shortest entries *)
+  let distance (e : Corpus.entry) = Array.length e.Corpus.prog in
+  let best =
+    List.fold_left min max_int
+      (List.map (fun (e : Corpus.entry) -> Array.length e.Corpus.prog) (Corpus.entries c))
+  in
+  let rng = Rng.create 3 in
+  let hits = ref 0 in
+  for _ = 1 to 100 do
+    if Array.length (Corpus.choose_directed rng c ~distance).Corpus.prog = best then
+      incr hits
+  done;
+  Alcotest.(check bool) "mostly picks closest tier" true (!hits > 70)
+
+(* ------------------------------------------------------------------ *)
+(* Triage                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_severity_filter () =
+  Alcotest.(check bool) "serious crash passes" true
+    (Triage.severity_filter "general protection fault in foo");
+  Alcotest.(check bool) "INFO filtered" false (Triage.severity_filter "INFO: task hung");
+  Alcotest.(check bool) "SYZFAIL filtered" false (Triage.severity_filter "SYZFAIL: no");
+  Alcotest.(check bool) "lost connection filtered" false
+    (Triage.severity_filter "lost connection to the VM")
+
+let find_crashing_prog () =
+  (* random-search for a program that crashes the kernel *)
+  let rng = Rng.create 100 in
+  let engine = Sp_mutation.Engine.create db in
+  let rec hunt tries =
+    if tries = 0 then None
+    else begin
+      let p = Gen.program rng db () in
+      let rec mutate_hunt p k =
+        if k = 0 then None
+        else
+          let m, _ = Sp_mutation.Engine.mutate engine rng p in
+          let r = Kernel.execute kernel m in
+          match r.Kernel.crash with
+          | Some c -> Some (m, c)
+          | None -> mutate_hunt m (k - 1)
+      in
+      match mutate_hunt p 60 with Some x -> Some x | None -> hunt (tries - 1)
+    end
+  in
+  hunt 300
+
+let test_triage_dedup_and_repro () =
+  match find_crashing_prog () with
+  | None -> () (* no crash found quickly; the integration test covers this *)
+  | Some (prog, crash) ->
+    let t = Triage.create kernel in
+    let vm = Vm.create ~seed:2 kernel in
+    let rng = Rng.create 3 in
+    (match Triage.record t rng ~vm ~now:1.0 crash prog with
+    | None -> Alcotest.fail "first report swallowed"
+    | Some f ->
+      Alcotest.(check bool) "description matches bug" true
+        (f.Triage.description = Bug.description crash.Kernel.bug);
+      (match f.Triage.reproducer with
+      | Some repro ->
+        (* the minimized reproducer must still crash with the same bug *)
+        let r = Kernel.execute kernel repro in
+        (match r.Kernel.crash with
+        | Some c ->
+          Alcotest.(check int) "same bug" crash.Kernel.bug.Bug.id c.Kernel.bug.Bug.id
+        | None -> Alcotest.fail "reproducer does not crash");
+        Alcotest.(check bool) "minimized" true (Array.length repro <= Array.length prog)
+      | None ->
+        Alcotest.(check bool) "only racy bugs fail to reproduce" true
+          crash.Kernel.bug.Bug.concurrency));
+    Alcotest.(check bool) "duplicate suppressed" true
+      (Triage.record t rng ~vm ~now:2.0 crash prog = None)
+
+(* ------------------------------------------------------------------ *)
+(* Campaign                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let seeds = Gen.corpus (Rng.create 42) db ~size:30
+
+let short_cfg =
+  { Campaign.default_config with
+    seed_corpus = seeds; seed = 7; duration = 900.0; snapshot_every = 300.0 }
+
+let test_campaign_runs () =
+  let vm = Vm.create ~seed:1 kernel in
+  let r = Campaign.run vm (Strategy.syzkaller db) short_cfg in
+  Alcotest.(check bool) "made progress" true (r.Campaign.final_edges > 0);
+  Alcotest.(check bool) "has corpus" true (r.Campaign.corpus_size > 0);
+  Alcotest.(check bool) "executions happened" true (r.Campaign.executions > 100)
+
+let test_campaign_series_monotone () =
+  let vm = Vm.create ~seed:1 kernel in
+  let r = Campaign.run vm (Strategy.syzkaller db) short_cfg in
+  let rec check_mono last = function
+    | [] -> ()
+    | (s : Campaign.snapshot) :: rest ->
+      Alcotest.(check bool) "edges monotone" true (s.Campaign.s_edges >= last);
+      check_mono s.Campaign.s_edges rest
+  in
+  check_mono 0 r.Campaign.series;
+  (match List.rev r.Campaign.series with
+  | last :: _ ->
+    Alcotest.(check int) "series ends at final coverage" r.Campaign.final_edges
+      last.Campaign.s_edges;
+    Alcotest.(check (float 1e-6)) "series ends at duration" short_cfg.Campaign.duration
+      last.Campaign.s_time
+  | [] -> Alcotest.fail "empty series")
+
+let test_campaign_deterministic () =
+  let run () =
+    let vm = Vm.create ~seed:1 kernel in
+    (Campaign.run vm (Strategy.syzkaller db) short_cfg).Campaign.final_edges
+  in
+  Alcotest.(check int) "same seed, same result" (run ()) (run ())
+
+let test_campaign_coverage_helpers () =
+  let vm = Vm.create ~seed:1 kernel in
+  let r = Campaign.run vm (Strategy.syzkaller db) short_cfg in
+  Alcotest.(check int) "coverage_at end = final" r.Campaign.final_edges
+    (Campaign.coverage_at r short_cfg.Campaign.duration);
+  (match Campaign.time_to_edges r 1 with
+  | Some t -> Alcotest.(check bool) "time positive" true (t > 0.0)
+  | None -> Alcotest.fail "never reached 1 edge")
+
+let test_campaign_directed_easy_target () =
+  (* an easy target: a successor of some handler entry *)
+  let entry = Kernel.handler_entry kernel 0 in
+  let target = List.hd (Sp_cfg.Cfg.succs (Kernel.cfg kernel) entry) in
+  let cfg = { short_cfg with target = Some target; duration = 7200.0 } in
+  let vm = Vm.create ~seed:1 kernel in
+  let r =
+    Campaign.run vm (Strategy.syzdirect ~target_sys:(Some 0) db) cfg
+  in
+  Alcotest.(check bool) "easy target reached" true (r.Campaign.target_hit_at <> None);
+  (match r.Campaign.target_hit_at with
+  | Some t -> Alcotest.(check bool) "stopped early" true (t < cfg.Campaign.duration)
+  | None -> ())
+
+let test_origin_stats_accounted () =
+  let vm = Vm.create ~seed:1 kernel in
+  let r = Campaign.run vm (Strategy.syzkaller db) short_cfg in
+  let total = List.fold_left (fun acc (_, (e, _)) -> acc + e) 0 r.Campaign.origin_stats in
+  Alcotest.(check int) "origin stats account for every execution"
+    r.Campaign.executions total
+
+(* ------------------------------------------------------------------ *)
+(* Distillation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let union_coverage progs =
+  let acc = Bitset.create (Kernel.num_blocks kernel) in
+  List.iter
+    (fun p ->
+      let r = Kernel.execute kernel p in
+      if r.Kernel.crash = None then ignore (Bitset.union_into ~dst:acc r.Kernel.covered))
+    progs;
+  acc
+
+let test_distill_preserves_coverage () =
+  let progs = Gen.corpus (Rng.create 61) db ~size:40 in
+  let report = Sp_fuzz.Distill.distill kernel progs in
+  let before = union_coverage progs and after = union_coverage report.Sp_fuzz.Distill.kept in
+  Alcotest.(check int) "coverage preserved" (Bitset.cardinal before) (Bitset.cardinal after);
+  Alcotest.(check bool) "fewer or equal tests" true
+    (report.Sp_fuzz.Distill.distilled_count <= report.Sp_fuzz.Distill.original_count);
+  Alcotest.(check bool) "fewer or equal calls" true
+    (report.Sp_fuzz.Distill.distilled_calls <= report.Sp_fuzz.Distill.original_calls);
+  Alcotest.(check int) "reported coverage matches"
+    (Bitset.cardinal after) report.Sp_fuzz.Distill.blocks_covered
+
+let test_distill_drops_redundant () =
+  let p = Gen.program (Rng.create 62) db () in
+  (* ten copies of the same program distill down to one *)
+  let report = Sp_fuzz.Distill.distill kernel (List.init 10 (fun _ -> p)) in
+  Alcotest.(check bool) "redundancy removed" true
+    (report.Sp_fuzz.Distill.distilled_count <= 1)
+
+let () =
+  Alcotest.run "sp_fuzz"
+    [
+      ( "clock+vm",
+        [
+          Alcotest.test_case "clock" `Quick test_clock;
+          Alcotest.test_case "vm charges time" `Quick test_vm_charges_time;
+          Alcotest.test_case "cost scales with length" `Quick test_vm_cost_scales_with_length;
+          Alcotest.test_case "factor validation" `Quick test_vm_throughput_factor;
+        ] );
+      ( "corpus",
+        [
+          Alcotest.test_case "dedup" `Quick test_corpus_dedup;
+          Alcotest.test_case "choose" `Quick test_corpus_choose;
+          Alcotest.test_case "choose_directed" `Quick test_corpus_choose_directed;
+        ] );
+      ( "triage",
+        [
+          Alcotest.test_case "severity filter" `Quick test_severity_filter;
+          Alcotest.test_case "dedup and reproduction" `Slow test_triage_dedup_and_repro;
+        ] );
+      ( "distill",
+        [
+          Alcotest.test_case "preserves coverage" `Quick test_distill_preserves_coverage;
+          Alcotest.test_case "drops redundancy" `Quick test_distill_drops_redundant;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "runs" `Quick test_campaign_runs;
+          Alcotest.test_case "series monotone" `Quick test_campaign_series_monotone;
+          Alcotest.test_case "deterministic" `Quick test_campaign_deterministic;
+          Alcotest.test_case "coverage helpers" `Quick test_campaign_coverage_helpers;
+          Alcotest.test_case "directed easy target" `Quick test_campaign_directed_easy_target;
+          Alcotest.test_case "origin accounting" `Quick test_origin_stats_accounted;
+        ] );
+    ]

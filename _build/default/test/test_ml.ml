@@ -1,0 +1,292 @@
+(* Tests for sp_ml: tensors, autodiff (gradients checked against finite
+   differences), optimizers and metrics. *)
+
+module Rng = Sp_util.Rng
+module Tensor = Sp_ml.Tensor
+module Ad = Sp_ml.Ad
+module Nn = Sp_ml.Nn
+module Optim = Sp_ml.Optim
+module Metrics = Sp_ml.Metrics
+
+let feq = Alcotest.float 1e-9
+
+(* ------------------------------------------------------------------ *)
+(* Tensor                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_tensor_basics () =
+  let t = Tensor.create 2 3 in
+  Tensor.set t 1 2 5.0;
+  Alcotest.check feq "get/set" 5.0 (Tensor.get t 1 2);
+  Alcotest.(check (pair int int)) "dims" (2, 3) (Tensor.dims t);
+  Alcotest.(check int) "numel" 6 (Tensor.numel t);
+  Alcotest.check feq "sum" 5.0 (Tensor.sum t)
+
+let test_matmul_known () =
+  let a = Tensor.of_array ~rows:2 ~cols:2 [| 1.; 2.; 3.; 4. |] in
+  let b = Tensor.of_array ~rows:2 ~cols:2 [| 5.; 6.; 7.; 8. |] in
+  let c = Tensor.matmul a b in
+  Alcotest.check feq "c00" 19.0 (Tensor.get c 0 0);
+  Alcotest.check feq "c01" 22.0 (Tensor.get c 0 1);
+  Alcotest.check feq "c10" 43.0 (Tensor.get c 1 0);
+  Alcotest.check feq "c11" 50.0 (Tensor.get c 1 1)
+
+let random_tensor seed rows cols = Tensor.randn (Rng.create seed) 1.0 rows cols
+
+let approx_equal a b =
+  let da = Tensor.sub a b in
+  Tensor.frobenius da < 1e-9 *. (1.0 +. Tensor.frobenius a)
+
+let prop_matmul_tn =
+  QCheck.Test.make ~count:100 ~name:"matmul_tn a b = (transpose a) * b"
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let a = random_tensor seed 4 3 and b = random_tensor (seed + 1) 4 5 in
+      approx_equal (Tensor.matmul_tn a b) (Tensor.matmul (Tensor.transpose a) b))
+
+let prop_matmul_nt =
+  QCheck.Test.make ~count:100 ~name:"matmul_nt a b = a * (transpose b)"
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let a = random_tensor seed 4 3 and b = random_tensor (seed + 1) 5 3 in
+      approx_equal (Tensor.matmul_nt a b) (Tensor.matmul a (Tensor.transpose b)))
+
+let test_broadcast_bias () =
+  let a = Tensor.of_array ~rows:2 ~cols:2 [| 1.; 2.; 3.; 4. |] in
+  let b = Tensor.of_row [| 10.; 20. |] in
+  let c = Tensor.add a b in
+  Alcotest.check feq "broadcast" 13.0 (Tensor.get c 1 0);
+  Alcotest.check feq "broadcast col1" 24.0 (Tensor.get c 1 1)
+
+(* ------------------------------------------------------------------ *)
+(* Autodiff: finite differences                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Numerical gradient of [f] w.r.t. entry [i] of the parameter tensor. *)
+let numeric_grad param f i =
+  let data = (Ad.value param).Tensor.data in
+  let eps = 1e-5 in
+  let orig = data.(i) in
+  data.(i) <- orig +. eps;
+  let up = Tensor.get (Ad.value (f ())) 0 0 in
+  data.(i) <- orig -. eps;
+  let down = Tensor.get (Ad.value (f ())) 0 0 in
+  data.(i) <- orig;
+  (up -. down) /. (2.0 *. eps)
+
+let check_grads ?(tol = 1e-3) param f =
+  Ad.zero_grad param;
+  let loss = f () in
+  Ad.backward loss;
+  let g = Ad.grad param in
+  let n = Tensor.numel (Ad.value param) in
+  for i = 0 to n - 1 do
+    let expected = numeric_grad param f i in
+    let got = g.Tensor.data.(i) in
+    if Float.abs (expected -. got) > tol *. (1.0 +. Float.abs expected) then
+      Alcotest.failf "grad mismatch at %d: numeric %f vs autodiff %f" i expected got
+  done
+
+let test_grad_matmul_chain () =
+  let w = Ad.param (random_tensor 1 3 3) in
+  let x = Ad.const (random_tensor 2 4 3) in
+  check_grads w (fun () -> Ad.mean_all (Ad.relu (Ad.matmul x w)))
+
+let test_grad_sigmoid_mul () =
+  let w = Ad.param (random_tensor 3 2 4) in
+  let x = Ad.const (random_tensor 4 2 4) in
+  check_grads w (fun () -> Ad.mean_all (Ad.mul (Ad.sigmoid w) x))
+
+let test_grad_softmax_attention () =
+  let q = Ad.param (random_tensor 5 3 4) in
+  let k = Ad.const (random_tensor 6 3 4) in
+  let v = Ad.const (random_tensor 7 3 4) in
+  check_grads q (fun () ->
+      Ad.mean_all (Ad.matmul (Ad.softmax_rows (Ad.matmul_nt q k)) v))
+
+let test_grad_gather () =
+  let emb = Ad.param (random_tensor 8 6 4) in
+  check_grads emb (fun () ->
+      Ad.mean_all (Ad.tanh (Ad.gather_rows emb [| 1; 3; 3; 5 |])))
+
+let test_grad_spmm () =
+  let x = Ad.param (random_tensor 9 4 3) in
+  let src = [| 0; 1; 2; 3; 1 |] and dst = [| 1; 2; 2; 0; 0 |] in
+  let coef = [| 1.0; 0.5; 0.5; 1.0; 0.25 |] in
+  check_grads x (fun () -> Ad.mean_all (Ad.relu (Ad.spmm ~src ~dst ~coef ~rows:3 x)))
+
+let test_grad_bce () =
+  let w = Ad.param (random_tensor 10 4 1) in
+  let targets = [| 1.0; 0.0; 1.0; 0.0 |] and mask = [| 2.0; 1.0; 1.0; 0.0 |] in
+  check_grads w (fun () -> Ad.bce_with_logits w ~targets ~mask)
+
+let test_grad_cross_entropy () =
+  let w = Ad.param (random_tensor 11 3 5) in
+  check_grads w (fun () -> Ad.cross_entropy_rows w ~targets:[| 2; -1; 0 |])
+
+let test_grad_add_weighted_sub_scale () =
+  let w = Ad.param (random_tensor 12 3 3) in
+  let x = Ad.const (random_tensor 13 3 3) in
+  check_grads w (fun () ->
+      Ad.mean_all (Ad.add_weighted (Ad.sub x w) (Ad.scale 2.0 w) 0.5))
+
+let test_grad_accumulates_on_reuse () =
+  (* y = w*w-ish reuse: both branches must contribute. *)
+  let w = Ad.param (Tensor.of_array ~rows:1 ~cols:1 [| 3.0 |]) in
+  let loss = Ad.mean_all (Ad.mul w w) in
+  Ad.backward loss;
+  Alcotest.check (Alcotest.float 1e-9) "d(w^2)/dw = 2w" 6.0
+    (Tensor.get (Ad.grad w) 0 0)
+
+(* ------------------------------------------------------------------ *)
+(* Optimizers                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let minimize optim w steps =
+  for _ = 1 to steps do
+    Optim.zero_grad optim;
+    let loss = Ad.mean_all (Ad.mul w w) in
+    Ad.backward loss;
+    Optim.step optim
+  done;
+  Tensor.frobenius (Ad.value w)
+
+let test_adam_minimizes () =
+  let w = Ad.param (random_tensor 20 3 3) in
+  let before = Tensor.frobenius (Ad.value w) in
+  let after = minimize (Optim.adam ~lr:0.05 [ w ]) w 300 in
+  Alcotest.(check bool) "moves towards zero" true (after < 0.1 *. before)
+
+let test_sgd_minimizes () =
+  let w = Ad.param (random_tensor 21 3 3) in
+  let before = Tensor.frobenius (Ad.value w) in
+  let after = minimize (Optim.sgd ~lr:0.1 ~momentum:0.5 [ w ]) w 200 in
+  Alcotest.(check bool) "moves towards zero" true (after < 0.1 *. before)
+
+(* ------------------------------------------------------------------ *)
+(* Nn / Metrics                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_linear_shapes () =
+  let rng = Rng.create 4 in
+  let lin = Nn.Linear.create rng 3 5 in
+  let x = Ad.const (random_tensor 22 2 3) in
+  Alcotest.(check (pair int int)) "output shape" (2, 5)
+    (Tensor.dims (Ad.value (Nn.Linear.apply lin x)));
+  Alcotest.(check int) "params" 2 (List.length (Nn.Linear.params lin))
+
+let test_embedding () =
+  let rng = Rng.create 4 in
+  let emb = Nn.Embedding.create rng ~vocab:10 ~dim:4 in
+  let out = Ad.value (Nn.Embedding.lookup emb [| 3; 3; 7 |]) in
+  Alcotest.(check (pair int int)) "shape" (3, 4) (Tensor.dims out);
+  Alcotest.check feq "same index same row" (Tensor.get out 0 2) (Tensor.get out 1 2)
+
+let test_metrics_cases () =
+  let s = Metrics.score ~compare ~pred:[ 1; 2; 3 ] ~gold:[ 2; 3; 4 ] in
+  Alcotest.check feq "precision" (2.0 /. 3.0) s.Metrics.precision;
+  Alcotest.check feq "recall" (2.0 /. 3.0) s.Metrics.recall;
+  Alcotest.check feq "jaccard" 0.5 s.Metrics.jaccard;
+  let empty = Metrics.score ~compare ~pred:([] : int list) ~gold:[] in
+  Alcotest.check feq "both empty f1" 1.0 empty.Metrics.f1;
+  let miss = Metrics.score ~compare ~pred:[ 1 ] ~gold:([] : int list) in
+  Alcotest.check feq "empty gold f1" 0.0 miss.Metrics.f1;
+  let dup = Metrics.score ~compare ~pred:[ 1; 1; 2 ] ~gold:[ 1; 2 ] in
+  Alcotest.check feq "duplicates collapsed" 1.0 dup.Metrics.f1
+
+let prop_f1_between_p_and_r =
+  QCheck.Test.make ~count:200 ~name:"F1 lies between min and max of P and R"
+    QCheck.(pair (list small_nat) (list small_nat))
+    (fun (pred, gold) ->
+      let s = Metrics.score ~compare ~pred ~gold in
+      let lo = Float.min s.Metrics.precision s.Metrics.recall in
+      let hi = Float.max s.Metrics.precision s.Metrics.recall in
+      s.Metrics.f1 >= lo -. 1e-9 && s.Metrics.f1 <= hi +. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Serialization                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_serialize_roundtrip () =
+  let params =
+    [ Ad.param (random_tensor 30 3 4); Ad.param (random_tensor 31 1 1);
+      Ad.param (random_tensor 32 5 2) ]
+  in
+  let text = Sp_ml.Serialize.params_to_string params in
+  let fresh =
+    [ Ad.param (Tensor.create 3 4); Ad.param (Tensor.create 1 1);
+      Ad.param (Tensor.create 5 2) ]
+  in
+  (match Sp_ml.Serialize.load_params text fresh with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "load failed: %s" e);
+  List.iter2
+    (fun a b ->
+      if not (Tensor.equal (Ad.value a) (Ad.value b)) then
+        Alcotest.fail "values did not round trip exactly")
+    params fresh
+
+let test_serialize_shape_mismatch () =
+  let text = Sp_ml.Serialize.params_to_string [ Ad.param (random_tensor 33 2 2) ] in
+  (match Sp_ml.Serialize.load_params text [ Ad.param (Tensor.create 3 3) ] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "shape mismatch accepted");
+  match Sp_ml.Serialize.load_params "garbage" [ Ad.param (Tensor.create 1 1) ] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "garbage accepted"
+
+let test_serialize_file_roundtrip () =
+  let params = [ Ad.param (random_tensor 34 4 4) ] in
+  let path = Filename.temp_file "sp_ml_params" ".txt" in
+  Sp_ml.Serialize.params_to_file path params;
+  let fresh = [ Ad.param (Tensor.create 4 4) ] in
+  (match Sp_ml.Serialize.params_from_file path fresh with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "file load failed: %s" e);
+  Sys.remove path;
+  Alcotest.(check bool) "exact" true
+    (Tensor.equal (Ad.value (List.hd params)) (Ad.value (List.hd fresh)))
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "sp_ml"
+    [
+      ( "tensor",
+        [
+          Alcotest.test_case "basics" `Quick test_tensor_basics;
+          Alcotest.test_case "matmul known" `Quick test_matmul_known;
+          Alcotest.test_case "broadcast bias" `Quick test_broadcast_bias;
+        ] );
+      qsuite "tensor-props" [ prop_matmul_tn; prop_matmul_nt ];
+      ( "autodiff (vs finite differences)",
+        [
+          Alcotest.test_case "matmul+relu" `Quick test_grad_matmul_chain;
+          Alcotest.test_case "sigmoid*x" `Quick test_grad_sigmoid_mul;
+          Alcotest.test_case "softmax attention" `Quick test_grad_softmax_attention;
+          Alcotest.test_case "gather_rows" `Quick test_grad_gather;
+          Alcotest.test_case "spmm" `Quick test_grad_spmm;
+          Alcotest.test_case "bce_with_logits" `Quick test_grad_bce;
+          Alcotest.test_case "cross_entropy" `Quick test_grad_cross_entropy;
+          Alcotest.test_case "sub/scale/add_weighted" `Quick test_grad_add_weighted_sub_scale;
+          Alcotest.test_case "gradient accumulation" `Quick test_grad_accumulates_on_reuse;
+        ] );
+      ( "optim",
+        [
+          Alcotest.test_case "adam minimizes" `Quick test_adam_minimizes;
+          Alcotest.test_case "sgd minimizes" `Quick test_sgd_minimizes;
+        ] );
+      ( "nn+metrics",
+        [
+          Alcotest.test_case "linear shapes" `Quick test_linear_shapes;
+          Alcotest.test_case "embedding" `Quick test_embedding;
+          Alcotest.test_case "metrics cases" `Quick test_metrics_cases;
+        ] );
+      qsuite "metrics-props" [ prop_f1_between_p_and_r ];
+      ( "serialize",
+        [
+          Alcotest.test_case "roundtrip exact" `Quick test_serialize_roundtrip;
+          Alcotest.test_case "rejects mismatches" `Quick test_serialize_shape_mismatch;
+          Alcotest.test_case "file roundtrip" `Quick test_serialize_file_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,295 @@
+(* Unit and property tests for sp_util: RNG, statistics, bitsets, tables. *)
+
+module Rng = Sp_util.Rng
+module Stats = Sp_util.Stats
+module Bitset = Sp_util.Bitset
+module Table = Sp_util.Table
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 a = Rng.bits64 b then incr same
+  done;
+  Alcotest.(check bool) "different seeds give different streams" true (!same < 4)
+
+let test_rng_split_independent () =
+  let parent = Rng.create 9 in
+  let child = Rng.split parent in
+  (* Drawing from the child must not perturb the parent relative to a
+     parent that was split but never used the child. *)
+  let parent' = Rng.create 9 in
+  let _child' = Rng.split parent' in
+  for _ = 1 to 10 do
+    ignore (Rng.bits64 child)
+  done;
+  check Alcotest.int64 "parent unaffected by child draws" (Rng.bits64 parent')
+    (Rng.bits64 parent)
+
+let test_rng_split_named_stable () =
+  let a = Rng.create 5 and b = Rng.create 5 in
+  let sa = Rng.split_named a "workers" and sb = Rng.split_named b "workers" in
+  check Alcotest.int64 "same label, same stream" (Rng.bits64 sa) (Rng.bits64 sb);
+  let other = Rng.split_named (Rng.create 5) "other" in
+  Alcotest.(check bool) "different labels diverge" true
+    (Rng.bits64 other <> Rng.bits64 (Rng.split_named (Rng.create 5) "workers"))
+
+let test_rng_bounds () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 10 in
+    Alcotest.(check bool) "int in bounds" true (v >= 0 && v < 10);
+    let v = Rng.int_in rng (-5) 5 in
+    Alcotest.(check bool) "int_in in bounds" true (v >= -5 && v <= 5);
+    let f = Rng.float rng 2.0 in
+    Alcotest.(check bool) "float in bounds" true (f >= 0.0 && f < 2.0)
+  done
+
+let test_rng_uniformity () =
+  let rng = Rng.create 17 in
+  let counts = Array.make 8 0 in
+  let n = 16_000 in
+  for _ = 1 to n do
+    let i = Rng.int rng 8 in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Array.iter
+    (fun c ->
+      Alcotest.(check bool) "bucket within 15% of uniform" true
+        (abs (c - (n / 8)) < n * 15 / 800))
+    counts
+
+let test_weighted () =
+  let rng = Rng.create 23 in
+  let heavy = ref 0 in
+  for _ = 1 to 1000 do
+    if Rng.weighted rng [ (`A, 9.0); (`B, 1.0) ] = `A then incr heavy
+  done;
+  Alcotest.(check bool) "weights respected" true (!heavy > 820 && !heavy < 980)
+
+let test_sample_distinct =
+  QCheck.Test.make ~count:200 ~name:"Rng.sample draws distinct elements"
+    QCheck.(pair small_nat (int_bound 1000))
+    (fun (k, seed) ->
+      let rng = Rng.create seed in
+      let arr = Array.init 30 Fun.id in
+      let sampled = Rng.sample rng arr k in
+      List.length (List.sort_uniq compare sampled) = List.length sampled
+      && List.length sampled = min k 30)
+
+let test_shuffle_permutation =
+  QCheck.Test.make ~count:200 ~name:"Rng.shuffle is a permutation"
+    QCheck.(pair (list small_int) (int_bound 1000))
+    (fun (l, seed) ->
+      let rng = Rng.create seed in
+      let arr = Array.of_list l in
+      Rng.shuffle rng arr;
+      List.sort compare (Array.to_list arr) = List.sort compare l)
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let feq = Alcotest.float 1e-9
+
+let test_stats_basics () =
+  check feq "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
+  check feq "mean empty" 0.0 (Stats.mean []);
+  check feq "sum" 6.0 (Stats.sum [ 1.0; 2.0; 3.0 ]);
+  check feq "median odd" 2.0 (Stats.median [ 3.0; 1.0; 2.0 ]);
+  check feq "median even" 2.5 (Stats.median [ 1.0; 2.0; 3.0; 4.0 ]);
+  check feq "p0 is min" 1.0 (Stats.percentile [ 3.0; 1.0; 2.0 ] 0.0);
+  check feq "p100 is max" 3.0 (Stats.percentile [ 3.0; 1.0; 2.0 ] 100.0);
+  check feq "stddev of constant" 0.0 (Stats.stddev [ 5.0; 5.0; 5.0 ]);
+  check feq "geomean" 2.0 (Stats.geomean [ 1.0; 2.0; 4.0 ])
+
+let test_stats_minmax () =
+  let lo, hi = Stats.min_max [ 4.0; -1.0; 9.0 ] in
+  check feq "min" (-1.0) lo;
+  check feq "max" 9.0 hi;
+  Alcotest.check_raises "empty raises" (Invalid_argument "Stats.min_max: empty list")
+    (fun () -> ignore (Stats.min_max []))
+
+let test_percentile_monotone =
+  QCheck.Test.make ~count:200 ~name:"percentile is monotone in p"
+    QCheck.(list_of_size Gen.(int_range 1 20) (float_bound_inclusive 100.0))
+    (fun xs ->
+      let p25 = Stats.percentile xs 25.0
+      and p50 = Stats.percentile xs 50.0
+      and p75 = Stats.percentile xs 75.0 in
+      p25 <= p50 && p50 <= p75)
+
+(* ------------------------------------------------------------------ *)
+(* Bitset                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_bitset_basics () =
+  let s = Bitset.create 100 in
+  Alcotest.(check bool) "empty" true (Bitset.is_empty s);
+  Bitset.add s 0;
+  Bitset.add s 63;
+  Bitset.add s 99;
+  Alcotest.(check int) "cardinal" 3 (Bitset.cardinal s);
+  Alcotest.(check bool) "mem" true (Bitset.mem s 63);
+  Bitset.remove s 63;
+  Alcotest.(check bool) "removed" false (Bitset.mem s 63);
+  Alcotest.(check (list int)) "elements" [ 0; 99 ] (Bitset.elements s);
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Bitset: index out of range") (fun () -> Bitset.add s 100)
+
+let bitset_of_list l = Bitset.of_list 256 (List.map (fun i -> i mod 256) l)
+
+let test_bitset_union_model =
+  QCheck.Test.make ~count:300 ~name:"union_into agrees with a list model"
+    QCheck.(pair (list small_nat) (list small_nat))
+    (fun (a, b) ->
+      let sa = bitset_of_list a and sb = bitset_of_list b in
+      let expected =
+        List.sort_uniq compare (List.map (fun i -> i mod 256) (a @ b))
+      in
+      let added = Bitset.union_into ~dst:sa sb in
+      Bitset.elements sa = expected
+      && added
+         = List.length expected
+           - List.length (List.sort_uniq compare (List.map (fun i -> i mod 256) a)))
+
+let test_bitset_diff_inter_model =
+  QCheck.Test.make ~count:300 ~name:"diff/inter cardinals agree with a list model"
+    QCheck.(pair (list small_nat) (list small_nat))
+    (fun (a, b) ->
+      let norm l = List.sort_uniq compare (List.map (fun i -> i mod 256) l) in
+      let la = norm a and lb = norm b in
+      let sa = bitset_of_list a and sb = bitset_of_list b in
+      Bitset.diff_cardinal sa sb
+      = List.length (List.filter (fun x -> not (List.mem x lb)) la)
+      && Bitset.inter_cardinal sa sb
+         = List.length (List.filter (fun x -> List.mem x lb) la))
+
+let test_bitset_subset =
+  QCheck.Test.make ~count:300 ~name:"subset matches diff_cardinal = 0"
+    QCheck.(pair (list small_nat) (list small_nat))
+    (fun (a, b) ->
+      let sa = bitset_of_list a and sb = bitset_of_list b in
+      Bitset.subset sa sb = (Bitset.diff_cardinal sa sb = 0))
+
+let test_bitset_copy_isolated () =
+  let s = Bitset.create 16 in
+  Bitset.add s 3;
+  let c = Bitset.copy s in
+  Bitset.add c 5;
+  Alcotest.(check bool) "copy isolated" false (Bitset.mem s 5);
+  Alcotest.(check bool) "copy kept contents" true (Bitset.mem c 3)
+
+(* ------------------------------------------------------------------ *)
+(* Table                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_table_renders () =
+  let t = Table.create ~title:"T" ~header:[ "name"; "value" ] () in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_sep t;
+  Table.add_row t [ "beta"; "23" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "has title" true (String.length s > 0 && s.[0] = 'T');
+  (* all lines equally wide *)
+  let widths =
+    String.split_on_char '\n' s
+    |> List.filter (fun l -> l <> "" && l <> "T")
+    |> List.map String.length
+  in
+  Alcotest.(check bool) "aligned" true
+    (List.for_all (fun w -> w = List.hd widths) widths)
+
+let test_table_width_mismatch () =
+  let t = Table.create ~header:[ "a"; "b" ] () in
+  Alcotest.check_raises "row width checked"
+    (Invalid_argument "Table.add_row: width mismatch") (fun () ->
+      Table.add_row t [ "only one" ])
+
+(* ------------------------------------------------------------------ *)
+(* Ascii_plot                                                           *)
+(* ------------------------------------------------------------------ *)
+
+module Plot = Sp_util.Ascii_plot
+
+let test_plot_renders () =
+  let s1 =
+    Plot.series ~label:"a" ~glyph:'a'
+      [ (0.0, 0.0); (1.0, 10.0); (2.0, 20.0) ]
+  in
+  let s2 =
+    Plot.series ~label:"b" ~glyph:'b'
+      ~band:[ (0.0, 0.0, 5.0); (1.0, 5.0, 15.0) ]
+      [ (0.0, 2.0); (1.0, 12.0) ]
+  in
+  let out = Plot.render ~title:"plot" ~x_label:"x" ~y_label:"y" [ s1; s2 ] in
+  Alcotest.(check bool) "has title" true (String.length out > 0);
+  Alcotest.(check bool) "glyph a plotted" true (String.contains out 'a');
+  Alcotest.(check bool) "glyph b plotted" true (String.contains out 'b');
+  Alcotest.(check bool) "band shading present" true (String.contains out '.');
+  Alcotest.(check bool) "legend present" true
+    (String.length out > 0
+    &&
+    let lines = String.split_on_char '\n' out in
+    List.exists (fun l -> l = "  a = a" || l = "  b = b (band: min..max shown as '.')") lines)
+
+let test_plot_degenerate () =
+  (* single point, flat series: must not crash or divide by zero *)
+  let s = Plot.series ~label:"p" ~glyph:'p' [ (1.0, 5.0) ] in
+  Alcotest.(check bool) "renders" true
+    (String.length (Plot.render ~title:"t" [ s ]) > 0);
+  Alcotest.(check bool) "empty series renders" true
+    (String.length (Plot.render ~title:"t" [ Plot.series ~label:"e" ~glyph:'e' [] ]) > 0)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "sp_util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "split_named stability" `Quick test_rng_split_named_stable;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "uniformity" `Quick test_rng_uniformity;
+          Alcotest.test_case "weighted" `Quick test_weighted;
+        ] );
+      qsuite "rng-props" [ test_sample_distinct; test_shuffle_permutation ];
+      ( "stats",
+        [
+          Alcotest.test_case "basics" `Quick test_stats_basics;
+          Alcotest.test_case "min_max" `Quick test_stats_minmax;
+        ] );
+      qsuite "stats-props" [ test_percentile_monotone ];
+      ( "bitset",
+        [
+          Alcotest.test_case "basics" `Quick test_bitset_basics;
+          Alcotest.test_case "copy isolation" `Quick test_bitset_copy_isolated;
+        ] );
+      qsuite "bitset-props"
+        [ test_bitset_union_model; test_bitset_diff_inter_model; test_bitset_subset ];
+      ( "table",
+        [
+          Alcotest.test_case "renders aligned" `Quick test_table_renders;
+          Alcotest.test_case "width mismatch" `Quick test_table_width_mismatch;
+        ] );
+      ( "plot",
+        [
+          Alcotest.test_case "renders series, bands, legend" `Quick test_plot_renders;
+          Alcotest.test_case "degenerate input" `Quick test_plot_degenerate;
+        ] );
+    ]
