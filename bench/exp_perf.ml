@@ -52,12 +52,39 @@ let fuzz_throughput p =
     let vm = Sp_fuzz.Vm.create ~seed:5 kernel in
     let r = Campaign.run vm strategy cfg in
     (* tests per second of the modelled full-size fleet *)
-    float_of_int r.Campaign.executions /. cfg.Campaign.duration *. 96.0
+    (float_of_int r.Campaign.executions /. cfg.Campaign.duration *. 96.0, r)
   in
-  let syz = run (Sp_fuzz.Strategy.syzkaller db) in
+  let syz, _ = run (Sp_fuzz.Strategy.syzkaller db) in
   let inference = Snowplow.Pipeline.inference_for p kernel in
-  let snow = run (Snowplow.Hybrid.strategy ~inference kernel) in
-  (syz, snow)
+  let snow, snow_report = run (Snowplow.Hybrid.strategy ~inference kernel) in
+  (syz, snow, snow_report, inference)
+
+(* A long campaign against deliberately tiny prediction caches: over >= 24
+   virtual hours of frontier churn the caches must stay at or under their
+   configured bound — the eviction path, not luck, is what bounds memory.
+   A large fleet_scale (slow virtual executor) keeps the real-time cost of
+   simulating a full virtual day small. *)
+let cache_bound_run p =
+  let kernel = p.Snowplow.Pipeline.kernel in
+  let db = Kernel.spec_db kernel in
+  let cache_capacity = 64 in
+  let inference =
+    Snowplow.Pipeline.inference_for ~cache_capacity p kernel
+  in
+  let seeds = Exp_common.seed_corpus db ~seed:321 ~size:40 in
+  let cfg =
+    { Campaign.default_config with
+      seed_corpus = seeds; seed = 11; duration = 86_400.0 }
+  in
+  let vm = Sp_fuzz.Vm.create ~seed:13 ~fleet_scale:(96.0 *. 24.0) kernel in
+  let r = Campaign.run vm (Snowplow.Hybrid.strategy ~inference kernel) cfg in
+  (r, inference)
+
+let print_campaign_metrics (r : Campaign.report) inference =
+  let m = Sp_util.Metrics.create () in
+  Sp_util.Metrics.merge_into ~dst:m r.Campaign.metrics;
+  Sp_util.Metrics.merge_into ~dst:m (Snowplow.Inference.metrics inference);
+  print_string (Sp_util.Metrics.render m)
 
 let microbench p =
   let open Bechamel in
@@ -119,7 +146,7 @@ let run () =
   Exp_common.section "E8 — Performance characteristics (§5.5)";
   let p = Exp_common.pipeline () in
   let qps, latency, sent, completed = service_numbers p in
-  let syz_tps, snow_tps = fuzz_throughput p in
+  let syz_tps, snow_tps, snow_report, snow_inference = fuzz_throughput p in
   let t = Table.create ~title:"Service and fuzzing performance" ~header:[ "metric"; "value"; "paper" ] () in
   Table.add_row t [ "inference capacity (saturation)"; Printf.sprintf "%.0f qps" qps; "57 qps" ];
   Table.add_row t
@@ -130,7 +157,40 @@ let run () =
     [ "Syzkaller throughput (modelled fleet)"; Printf.sprintf "%.0f tests/s" syz_tps; "390" ];
   Table.add_row t
     [ "Snowplow throughput (modelled fleet)"; Printf.sprintf "%.0f tests/s" snow_tps; "383" ];
+  Table.add_row t
+    [ "Snowplow campaign executions/s (virtual)";
+      Printf.sprintf "%.1f execs/s"
+        (float_of_int snow_report.Campaign.executions /. 7200.0);
+      "-" ];
   Table.print t;
+  print_newline ();
+  print_endline "Campaign + inference loop metrics (2 h Snowplow run):";
+  print_campaign_metrics snow_report snow_inference;
+  print_newline ();
+  let bound_report, bound_inference = cache_bound_run p in
+  let cache_size = Snowplow.Inference.cache_size bound_inference in
+  let cache_cap = Snowplow.Inference.cache_capacity bound_inference in
+  let t = Table.create ~title:"Prediction-cache boundedness (24 virtual hours)"
+      ~header:[ "metric"; "value" ] () in
+  Table.add_row t
+    [ "campaign duration"; Printf.sprintf "%.0f virtual s" 86_400.0 ];
+  Table.add_row t
+    [ "campaign executions"; string_of_int bound_report.Campaign.executions ];
+  Table.add_row t
+    [ "inference requests";
+      string_of_int
+        (Sp_util.Metrics.counter
+           (Snowplow.Inference.metrics bound_inference)
+           "inference.requests") ];
+  Table.add_row t
+    [ "cache entries at end / capacity"; Printf.sprintf "%d/%d" cache_size cache_cap ];
+  Table.add_row t
+    [ "cache bounded";
+      (if cache_size <= cache_cap then "yes (entries <= capacity)" else "NO — BUG") ];
+  Table.print t;
+  print_newline ();
+  print_endline "Campaign + inference loop metrics (24 h bounded-cache run):";
+  print_campaign_metrics bound_report bound_inference;
   print_newline ();
   microbench p;
   print_newline ()

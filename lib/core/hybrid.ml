@@ -48,10 +48,23 @@ let pick_targets _rng kernel ~covered (entry : Corpus.entry) ~max_targets =
 let strategy ?(mutations_per_base = 8) ?(max_targets = 40) ?insertion
     ~inference kernel =
   let db = Kernel.spec_db kernel in
-  let predictions : (int, Prog.path list) Hashtbl.t = Hashtbl.create 1024 in
+  (* Delivered predictions, keyed by program hash. Bounded (LRU, no TTL —
+     recency alone bounds it) and collision-guarded: the base program is
+     stored alongside its paths and confirmed structurally on lookup, so a
+     hash collision degrades to "no prediction" instead of mutating the
+     wrong argument of the wrong program. The LRU clock is irrelevant
+     without a TTL, so lookups pass now = 0. *)
+  let predictions : (int, Prog.t * Prog.path list) Sp_util.Lru.t =
+    Sp_util.Lru.create ~capacity:4096 ()
+  in
+  let find_prediction prog =
+    match Sp_util.Lru.find predictions ~now:0.0 (Prog.hash prog) with
+    | Some (base, paths) when Prog.equal base prog -> Some paths
+    | Some _ | None -> None
+  in
   let random_localizer = Engine.syzkaller_arg_localizer () in
   let arg_localizer rng prog =
-    match Hashtbl.find_opt predictions (Prog.hash prog) with
+    match find_prediction prog with
     | Some (_ :: _ as paths) when Rng.coin rng 0.85 ->
       let predicted = Rng.choose_list rng paths in
       (* Pairing the predicted argument with one random argument keeps the
@@ -90,12 +103,13 @@ let strategy ?(mutations_per_base = 8) ?(max_targets = 40) ?insertion
   in
   let propose rng ~now ~covered corpus (entry : Corpus.entry) =
     List.iter
-      (fun (prog, paths) -> Hashtbl.replace predictions (Prog.hash prog) paths)
+      (fun (prog, paths) ->
+        Sp_util.Lru.put predictions ~now:0.0 (Prog.hash prog) (prog, paths))
       (Inference.poll inference ~now);
     let targets = pick_targets rng kernel ~covered entry ~max_targets in
     if targets <> [] then
       ignore (Inference.request inference ~now entry.Corpus.prog ~targets);
-    let guided = Hashtbl.mem predictions (Prog.hash entry.Corpus.prog) in
+    let guided = find_prediction entry.Corpus.prog <> None in
     List.init mutations_per_base (fun _ ->
         let donor =
           if Corpus.size corpus > 1 && Rng.coin rng 0.2 then

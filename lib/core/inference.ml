@@ -1,53 +1,65 @@
 module Kernel = Sp_kernel.Kernel
 module Prog = Sp_syzlang.Prog
+module Fqueue = Sp_util.Fqueue
+module Lru = Sp_util.Lru
+module Metrics = Sp_util.Metrics
 
 type pending = {
   ready_at : float;
   requested_at : float;
   prog : Prog.t;
   prediction : Prog.path list;
+  from_cache : bool;
+}
+
+(* Cache values carry the program (and target set) they were computed for:
+   keys are int hashes, and two distinct queries may collide, so a hit is
+   only a hit after a structural check. *)
+type cached = {
+  src_prog : Prog.t;
+  src_targets : int list;  (* sorted; [] for the per-program soft memo *)
+  answer : Prog.path list;
 }
 
 type t = {
   latency : float;
   capacity_qps : float;
   max_pending : int;
-  cache_ttl : float;
   kernel : Kernel.t;
   block_embs : Sp_ml.Tensor.t;
   model : Pmm.t;
-  mutable queue : pending list;  (* oldest first *)
+  queue : pending Fqueue.t;  (* oldest first *)
   mutable next_free : float;
   mutable served : int;
   mutable dropped : int;
   mutable cache_hits : int;
   mutable latency_sum : float;
-  cache : (int, float * Prog.path list) Hashtbl.t;
+  cache : (int, cached) Lru.t;
   (* secondary memo per base test: a recent answer for the same base with a
      slightly different target set is close enough while fresh *)
-  by_prog : (int, float * Prog.path list) Hashtbl.t;
-  soft_ttl : float;
+  by_prog : (int, cached) Lru.t;
+  metrics : Metrics.t;
 }
 
 let create ?(latency = 0.69) ?(capacity_qps = 57.0) ?(max_pending = 16)
-    ?(cache_ttl = 1800.0) ~kernel ~block_embs model =
+    ?(cache_ttl = 1800.0) ?(cache_capacity = 4096) ?metrics ~kernel ~block_embs
+    model =
   {
     latency;
     capacity_qps;
     max_pending;
-    cache_ttl;
     kernel;
     block_embs;
     model;
-    queue = [];
+    queue = Fqueue.create ();
     next_free = 0.0;
     served = 0;
     dropped = 0;
     cache_hits = 0;
     latency_sum = 0.0;
-    cache = Hashtbl.create 1024;
-    by_prog = Hashtbl.create 1024;
-    soft_ttl = 240.0;
+    cache = Lru.create ~ttl:cache_ttl ~capacity:cache_capacity ();
+    by_prog = Lru.create ~ttl:240.0 ~capacity:cache_capacity ();
+    metrics = (match metrics with Some m -> m | None -> Metrics.create ());
   }
 
 let predict_now t prog ~targets =
@@ -64,28 +76,50 @@ let targets_key prog targets =
     (Prog.hash prog)
     (List.sort compare targets)
 
-let request t ~now prog ~targets =
-  let key = targets_key prog targets in
-  let cached_answer =
-    match Hashtbl.find_opt t.cache key with
-    | Some (computed_at, cached) when now -. computed_at <= t.cache_ttl ->
-      Some cached
-    | Some _ | None -> (
-      match Hashtbl.find_opt t.by_prog (Prog.hash prog) with
-      | Some (computed_at, cached) when now -. computed_at <= t.soft_ttl ->
-        Some cached
-      | Some _ | None -> None)
+let lookup t ~now prog ~sorted_targets key =
+  let confirmed ~check_targets = function
+    | Some c
+      when Prog.equal c.src_prog prog
+           && ((not check_targets) || c.src_targets = sorted_targets) ->
+      Some c.answer
+    | Some _ ->
+      (* A different query hashed onto this slot: a miss, not a hit. *)
+      Metrics.incr t.metrics "inference.key_collisions";
+      None
+    | None -> None
   in
-  match cached_answer with
+  match confirmed ~check_targets:true (Lru.find t.cache ~now key) with
+  | Some answer -> Some answer
+  | None ->
+    confirmed ~check_targets:false (Lru.find t.by_prog ~now (Prog.hash prog))
+
+let request t ~now prog ~targets =
+  Metrics.incr t.metrics "inference.requests";
+  let sorted_targets = List.sort compare targets in
+  let key = targets_key prog targets in
+  let enqueue p ok = Fqueue.push t.queue p; ok in
+  let full = Fqueue.length t.queue >= t.max_pending in
+  match lookup t ~now prog ~sorted_targets key with
+  | Some _ when full ->
+    (* The bound applies to every admission: a memoized answer still
+       occupies a pending slot until the fuzzer polls it. *)
+    t.dropped <- t.dropped + 1;
+    Metrics.incr t.metrics "inference.dropped";
+    false
   | Some cached ->
     (* A recent answer for this base is reused without touching the
-       service (the integration layer memoizes per base test). *)
+       service (the integration layer memoizes per base test). Zero
+       service latency — counted as a hit, not as a served request. *)
     t.cache_hits <- t.cache_hits + 1;
-    t.queue <- t.queue @ [ { ready_at = now; requested_at = now; prog; prediction = cached } ];
-    true
+    Metrics.incr t.metrics "inference.cache_hits";
+    enqueue
+      { ready_at = now; requested_at = now; prog; prediction = cached;
+        from_cache = true }
+      true
   | None ->
-    if List.length t.queue >= t.max_pending then begin
+    if full then begin
       t.dropped <- t.dropped + 1;
+      Metrics.incr t.metrics "inference.dropped";
       false
     end
     else begin
@@ -94,20 +128,32 @@ let request t ~now prog ~targets =
       let admitted = Float.max now t.next_free in
       t.next_free <- admitted +. (1.0 /. t.capacity_qps);
       let ready_at = admitted +. t.latency in
-      let prediction = predict_now t prog ~targets in
-      Hashtbl.replace t.cache key (now, prediction);
-      Hashtbl.replace t.by_prog (Prog.hash prog) (now, prediction);
-      t.queue <- t.queue @ [ { ready_at; requested_at = now; prog; prediction } ];
-      true
+      let prediction =
+        Metrics.time t.metrics "inference.predict_cpu_s" (fun () ->
+            predict_now t prog ~targets)
+      in
+      Metrics.incr t.metrics "inference.computed";
+      Lru.put t.cache ~now key
+        { src_prog = prog; src_targets = sorted_targets; answer = prediction };
+      Lru.put t.by_prog ~now (Prog.hash prog)
+        { src_prog = prog; src_targets = []; answer = prediction };
+      enqueue
+        { ready_at; requested_at = now; prog; prediction; from_cache = false }
+        true
     end
 
 let poll t ~now =
-  let ready, waiting = List.partition (fun p -> p.ready_at <= now) t.queue in
-  t.queue <- waiting;
+  let ready = Fqueue.partition (fun p -> p.ready_at <= now) t.queue in
   List.map
     (fun p ->
-      t.served <- t.served + 1;
-      t.latency_sum <- t.latency_sum +. (p.ready_at -. p.requested_at);
+      if not p.from_cache then begin
+        (* Cache hits are delivered at zero latency; folding them into the
+           service mean would deflate it. *)
+        t.served <- t.served + 1;
+        t.latency_sum <- t.latency_sum +. (p.ready_at -. p.requested_at);
+        Metrics.incr t.metrics "inference.served";
+        Metrics.observe t.metrics "inference.latency_s" (p.ready_at -. p.requested_at)
+      end;
       (p.prog, p.prediction))
     ready
 
@@ -116,6 +162,14 @@ let served t = t.served
 let cache_hits t = t.cache_hits
 
 let dropped t = t.dropped
+
+let pending t = Fqueue.length t.queue
+
+let cache_size t = Lru.length t.cache + Lru.length t.by_prog
+
+let cache_capacity t = Lru.capacity t.cache + Lru.capacity t.by_prog
+
+let metrics t = t.metrics
 
 let mean_latency t =
   if t.served = 0 then 0.0 else t.latency_sum /. float_of_int t.served

@@ -1,12 +1,17 @@
 (** The PMM inference service (the paper's torchserve deployment, §4).
 
-    Runs the trained model behind a queue with a latency/capacity model
-    (0.69 s per query, ~57 queries/s at saturation on one inference
-    machine, §5.5). The fuzzer requests localization asynchronously and
-    keeps mutating with other types while inference is pending (§3.4);
-    completed predictions are picked up on a later loop iteration at their
-    virtual ready time. Model compute is real (the GNN runs); only the
-    delivery time is simulated. *)
+    Runs the trained model behind a bounded FIFO queue with a
+    latency/capacity model (0.69 s per query, ~57 queries/s at saturation on
+    one inference machine, §5.5). The fuzzer requests localization
+    asynchronously and keeps mutating with other types while inference is
+    pending (§3.4); completed predictions are picked up on a later loop
+    iteration at their virtual ready time. Model compute is real (the GNN
+    runs); only the delivery time is simulated.
+
+    Both prediction caches are bounded LRUs ([Sp_util.Lru]) with TTL
+    expiry, so memory stays constant over arbitrarily long campaigns; cache
+    keys are int hashes and every hit is confirmed structurally before
+    reuse (a hash collision is a miss, never a wrong answer). *)
 
 type t
 
@@ -15,22 +20,29 @@ val create :
   ?capacity_qps:float ->
   ?max_pending:int ->
   ?cache_ttl:float ->
+  ?cache_capacity:int ->
+  ?metrics:Sp_util.Metrics.t ->
   kernel:Sp_kernel.Kernel.t ->
   block_embs:Sp_ml.Tensor.t ->
   Pmm.t ->
   t
 (** Defaults: latency 0.69 s, capacity 57 qps, max_pending 16, cache TTL
-    1800 virtual seconds. The cache is keyed on (base test, target set):
-    re-querying the same base against the same desired coverage is answered
-    from the memo at zero service cost, while any change in the uncovered
-    frontier produces a fresh query. [kernel] is the kernel being fuzzed
-    (used to rebuild the query graph). *)
+    1800 virtual seconds, cache capacity 4096 entries per cache. The cache
+    is keyed on (base test, target set): re-querying the same base against
+    the same desired coverage is answered from the memo at zero service
+    cost, while any change in the uncovered frontier produces a fresh
+    query. [kernel] is the kernel being fuzzed (used to rebuild the query
+    graph). [metrics] is the registry service counters/timers are recorded
+    into (a private one is created when omitted). *)
 
 val request :
   t -> now:float -> Sp_syzlang.Prog.t -> targets:int list -> bool
 (** Enqueue a localization query; returns false (dropped) when the service
-    queue is full. The prediction is computed immediately but delivered at
-    its virtual completion time. *)
+    queue already holds [max_pending] requests — including when the answer
+    would have come from the cache, since a memoized answer still occupies
+    a pending slot until polled. The prediction is computed immediately but
+    delivered at its virtual completion time (immediately for cache
+    hits). *)
 
 val poll : t -> now:float -> (Sp_syzlang.Prog.t * Sp_syzlang.Prog.path list) list
 (** Completed requests with ready time <= [now], oldest first. *)
@@ -43,13 +55,29 @@ val predict_now :
 (** {1 Service metrics (§5.5)} *)
 
 val served : t -> int
+(** Requests the service actually computed and delivered; cache hits are
+    not served requests. *)
 
 val cache_hits : t -> int
 
 val dropped : t -> int
 
+val pending : t -> int
+(** Requests currently queued; always [<= max_pending]. *)
+
+val cache_size : t -> int
+(** Total live entries across both prediction caches; always
+    [<= cache_capacity]. *)
+
+val cache_capacity : t -> int
+
+val metrics : t -> Sp_util.Metrics.t
+(** The registry recording [inference.*] counters and timers. *)
+
 val mean_latency : t -> float
-(** Mean request-to-ready virtual time over served requests. *)
+(** Mean request-to-ready virtual time over {e served} requests.
+    Zero-latency cache hits are excluded — counting them would deflate the
+    service latency the paper reports. *)
 
 val saturation_qps : t -> float
 (** The service's configured capacity. *)

@@ -96,8 +96,8 @@ let embeddings_for t kernel =
   if Kernel.version kernel = t.config.train_version then t.block_embs
   else Encoder.embed_kernel t.encoder kernel
 
-let inference_for ?latency ?capacity_qps t kernel =
-  Inference.create ?latency ?capacity_qps ~kernel
+let inference_for ?latency ?capacity_qps ?cache_capacity t kernel =
+  Inference.create ?latency ?capacity_qps ?cache_capacity ~kernel
     ~block_embs:(embeddings_for t kernel) t.model
 
 let eval_scores t = Trainer.evaluate t.model ~block_embs:t.block_embs t.split.Dataset.eval

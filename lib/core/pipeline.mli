@@ -45,11 +45,13 @@ val embeddings_for : t -> Sp_kernel.Kernel.t -> Sp_ml.Tensor.t
 val inference_for :
   ?latency:float ->
   ?capacity_qps:float ->
+  ?cache_capacity:int ->
   t ->
   Sp_kernel.Kernel.t ->
   Inference.t
 (** A fresh inference service of the trained model against the given
-    kernel. *)
+    kernel. [cache_capacity] bounds each prediction cache (see
+    [Inference.create]). *)
 
 val eval_scores : t -> Sp_ml.Metrics.scores
 (** Held-out evaluation of the trained model (Table 1's PMM row). *)

@@ -40,6 +40,10 @@ let would_add t ~blocks ~edges =
 
 let blocks t = t.block_cover
 
+let snapshot_blocks t = Bitset.copy t.block_cover
+
+let mem_block t b = Bitset.mem t.block_cover b
+
 let blocks_covered t = t.nblocks
 
 let edges_covered t = t.nedges

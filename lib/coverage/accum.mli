@@ -20,7 +20,18 @@ val would_add : t -> blocks:Sp_util.Bitset.t -> edges:Sp_util.Bitset.t -> delta
 (** Novelty of an execution without merging it. *)
 
 val blocks : t -> Sp_util.Bitset.t
-(** The accumulated block set (not a copy; do not mutate). *)
+(** The {e live} accumulated block set, shared for the duration of one
+    campaign-loop call — read-only by contract. Mutating it desynchronizes
+    the cached cardinals and corrupts campaign coverage accounting. Any
+    value that escapes the loop (reports, logs) must use
+    [snapshot_blocks] instead. *)
+
+val snapshot_blocks : t -> Sp_util.Bitset.t
+(** An independent copy of the accumulated block set, safe to hold or
+    mutate after the accumulator moves on. *)
+
+val mem_block : t -> int -> bool
+(** Read-only membership test on the accumulated block set. *)
 
 val blocks_covered : t -> int
 

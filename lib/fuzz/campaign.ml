@@ -1,5 +1,6 @@
 module Rng = Sp_util.Rng
 module Bitset = Sp_util.Bitset
+module Metrics = Sp_util.Metrics
 module Kernel = Sp_kernel.Kernel
 module Prog = Sp_syzlang.Prog
 module Accum = Sp_coverage.Accum
@@ -45,6 +46,7 @@ type report = {
       (* per proposal origin: executions, new edges discovered *)
   corpus : Corpus.t;
   covered_blocks : Sp_util.Bitset.t;
+  metrics : Metrics.t;
 }
 
 type state = {
@@ -55,30 +57,14 @@ type state = {
   accum : Accum.t;
   triage : Triage.t;
   config : config;
+  metrics : Metrics.t;
   mutable series_rev : snapshot list;
   mutable next_snapshot : float;
   mutable crash_count : int;
   mutable target_hit_at : float option;
-  (* directed mode: distance of each corpus entry to the target, memoized
-     by program hash *)
-  distances : (int, int) Hashtbl.t;
-  dist_to_target : int array;  (* empty when undirected *)
   origin_stats : (string, int * int) Hashtbl.t;
-  executed : (int, unit) Hashtbl.t;
+  executed : (int, Prog.t list) Hashtbl.t;
 }
-
-let entry_distance st (entry : Corpus.entry) =
-  let h = Prog.hash entry.Corpus.prog in
-  match Hashtbl.find_opt st.distances h with
-  | Some d -> d
-  | None ->
-    let d =
-      Bitset.fold
-        (fun b acc -> min acc st.dist_to_target.(b))
-        entry.Corpus.blocks max_int
-    in
-    Hashtbl.add st.distances h d;
-    d
 
 let take_snapshots st =
   while Clock.now st.clock >= st.next_snapshot do
@@ -96,10 +82,21 @@ let take_snapshots st =
 
 let check_target st =
   match st.config.target with
-  | Some b
-    when st.target_hit_at = None && Bitset.mem (Accum.blocks st.accum) b ->
+  | Some b when st.target_hit_at = None && Accum.mem_block st.accum b ->
     st.target_hit_at <- Some (Clock.now st.clock)
   | Some _ | None -> ()
+
+(* The executed-set is keyed by hash but confirmed structurally, like the
+   corpus: a collision must cost a redundant execution, not skip a
+   never-run program. *)
+let seen_executed st prog h =
+  match Hashtbl.find_opt st.executed h with
+  | None -> false
+  | Some bucket -> List.exists (Prog.equal prog) bucket
+
+let mark_executed st prog h =
+  let bucket = Option.value ~default:[] (Hashtbl.find_opt st.executed h) in
+  Hashtbl.replace st.executed h (prog :: bucket)
 
 let ingest ?(origin = "seed") st prog (r : Kernel.result) =
   let delta =
@@ -115,21 +112,24 @@ let ingest ?(origin = "seed") st prog (r : Kernel.result) =
      same way). *)
   if r.Kernel.crash = None && (delta.Accum.new_blocks > 0 || delta.Accum.new_edges > 0)
   then
-    ignore
-      (Corpus.add st.corpus
-         {
-           Corpus.prog;
-           blocks = r.Kernel.covered;
-           edges = r.Kernel.covered_edges;
-           added_at = Clock.now st.clock;
-         });
+    if
+      Corpus.add st.corpus
+        {
+          Corpus.prog;
+          blocks = r.Kernel.covered;
+          edges = r.Kernel.covered_edges;
+          added_at = Clock.now st.clock;
+        }
+    then Metrics.incr st.metrics "campaign.corpus_adds";
   (match r.Kernel.crash with
   | Some crash -> (
     match
       Triage.record ~attempt_repro:st.config.attempt_repro st.triage st.rng
         ~vm:st.vm ~now:(Clock.now st.clock) crash prog
     with
-    | Some _ -> st.crash_count <- st.crash_count + 1
+    | Some _ ->
+      st.crash_count <- st.crash_count + 1;
+      Metrics.incr st.metrics "campaign.crashes"
     | None -> ())
   | None -> ());
   check_target st;
@@ -142,26 +142,41 @@ let finished st =
 let run vm (strategy : Strategy.t) config =
   Vm.set_throughput_factor vm strategy.Strategy.throughput_factor;
   let kernel = Vm.kernel vm in
+  let metrics = Metrics.create () in
+  Vm.set_metrics vm metrics;
+  let dist_to_target =
+    match config.target with
+    | Some b -> Sp_cfg.Cfg.distances_to (Kernel.cfg kernel) b
+    | None -> [||]
+  in
+  (* Directed mode: an entry's distance to the target is fixed once its
+     coverage is known, so it is computed exactly once, on admission, and
+     the corpus keeps the minimum tier indexed (no per-choice scan and no
+     hash-keyed memo). *)
+  let entry_distance (entry : Corpus.entry) =
+    Bitset.fold
+      (fun b acc -> min acc dist_to_target.(b))
+      entry.Corpus.blocks max_int
+  in
   let st =
     {
       vm;
       clock = Clock.create ();
       rng = Rng.create config.seed;
-      corpus = Corpus.create ();
+      corpus =
+        Corpus.create
+          ?distance:(if config.target = None then None else Some entry_distance)
+          ();
       accum =
         Accum.create ~num_blocks:(Kernel.num_blocks kernel)
           ~num_edges:(Sp_cfg.Cfg.num_edges (Kernel.cfg kernel));
       triage = Triage.create kernel;
       config;
+      metrics;
       series_rev = [];
       next_snapshot = config.snapshot_every;
       crash_count = 0;
       target_hit_at = None;
-      distances = Hashtbl.create 256;
-      dist_to_target =
-        (match config.target with
-        | Some b -> Sp_cfg.Cfg.distances_to (Kernel.cfg kernel) b
-        | None -> [||]);
       origin_stats = Hashtbl.create 16;
       executed = Hashtbl.create 4096;
     }
@@ -170,35 +185,43 @@ let run vm (strategy : Strategy.t) config =
   List.iter
     (fun prog ->
       if not (finished st) then begin
-        Hashtbl.replace st.executed (Prog.hash prog) ();
+        mark_executed st prog (Prog.hash prog);
         let r = Vm.run st.vm st.clock prog in
         ingest st prog r
       end)
     config.seed_corpus;
   (* Main loop. *)
   while (not (finished st)) && Corpus.size st.corpus > 0 do
+    Metrics.incr st.metrics "campaign.iterations";
+    let iter_start = Clock.now st.clock in
     let entry =
       match config.target with
-      | Some _ ->
-        Corpus.choose_directed st.rng st.corpus ~distance:(entry_distance st)
+      | Some _ -> Corpus.choose_directed st.rng st.corpus
       | None -> Corpus.choose st.rng st.corpus
     in
     let proposals =
-      strategy.Strategy.propose st.rng ~now:(Clock.now st.clock)
-        ~covered:(Accum.blocks st.accum) st.corpus entry
+      Metrics.time st.metrics "campaign.propose_cpu_s" (fun () ->
+          strategy.Strategy.propose st.rng ~now:(Clock.now st.clock)
+            ~covered:(Accum.blocks st.accum) st.corpus entry)
     in
+    Metrics.incr ~by:(List.length proposals) st.metrics "campaign.proposals";
     List.iter
       (fun (p : Strategy.proposal) ->
         if not (finished st) then begin
           let h = Prog.hash p.Strategy.prog in
-          if Hashtbl.mem st.executed h then Vm.charge_duplicate st.vm st.clock
+          if seen_executed st p.Strategy.prog h then begin
+            Metrics.incr st.metrics "campaign.duplicates";
+            Vm.charge_duplicate st.vm st.clock
+          end
           else begin
-            Hashtbl.add st.executed h ();
+            mark_executed st p.Strategy.prog h;
             let r = Vm.run st.vm st.clock p.Strategy.prog in
             ingest ~origin:p.Strategy.origin st p.Strategy.prog r
           end
         end)
-      proposals
+      proposals;
+    Metrics.observe st.metrics "campaign.iter_virtual_s"
+      (Clock.now st.clock -. iter_start)
   done;
   (* Close the series at the end of the campaign. *)
   Clock.advance st.clock (Float.max 0.0 (config.duration -. Clock.now st.clock));
@@ -230,7 +253,10 @@ let run vm (strategy : Strategy.t) config =
       Hashtbl.fold (fun k v acc -> (k, v) :: acc) st.origin_stats []
       |> List.sort compare;
     corpus = st.corpus;
-    covered_blocks = Accum.blocks st.accum;
+    (* the accumulator dies with the campaign, but the report escapes it:
+       hand out a snapshot, not the live set *)
+    covered_blocks = Accum.snapshot_blocks st.accum;
+    metrics = st.metrics;
   }
 
 let coverage_at report time =

@@ -43,7 +43,13 @@ type report = {
       (** per proposal origin: (executions, new edges discovered) —
           attribution of coverage to mutation streams *)
   corpus : Corpus.t;  (** final corpus, for post-campaign analyses *)
-  covered_blocks : Sp_util.Bitset.t;  (** final block coverage *)
+  covered_blocks : Sp_util.Bitset.t;
+      (** final block coverage (an independent snapshot, safe to mutate) *)
+  metrics : Sp_util.Metrics.t;
+      (** loop observability: [campaign.*] counters (iterations, proposals,
+          duplicates, corpus adds, crashes) and histograms (per-iteration
+          virtual time, proposal CPU time), plus the [vm.*] metrics the VM
+          records into the same registry *)
 }
 
 val run : Vm.t -> Strategy.t -> config -> report

@@ -11,10 +11,31 @@ type entry = {
 type t = {
   mutable items : entry array;
   mutable count : int;
-  seen : (int, unit) Hashtbl.t;
+  (* hash -> programs seen with that hash: dedup confirms structural
+     equality, so a hash collision can never silently drop a distinct
+     test *)
+  seen : (int, Prog.t list) Hashtbl.t;
+  hash : Prog.t -> int;
+  distance : (entry -> int) option;
+  (* directed mode: per-entry distance (parallel to [items]) plus the
+     current minimum and the indices achieving it, maintained on [add] so
+     base selection is O(1) instead of an O(n) scan + O(n) allocation *)
+  mutable dists : int array;
+  mutable best_dist : int;
+  mutable best_tier : int list;
 }
 
-let create () = { items = [||]; count = 0; seen = Hashtbl.create 256 }
+let create ?(hash = Prog.hash) ?distance () =
+  {
+    items = [||];
+    count = 0;
+    seen = Hashtbl.create 256;
+    hash;
+    distance;
+    dists = [||];
+    best_dist = max_int;
+    best_tier = [];
+  }
 
 let size t = t.count
 
@@ -24,21 +45,49 @@ let nth t i =
 
 let entries t = List.init t.count (fun i -> t.items.(t.count - 1 - i))
 
-let mem_prog t prog = Hashtbl.mem t.seen (Prog.hash prog)
+let mem_prog t prog =
+  match Hashtbl.find_opt t.seen (t.hash prog) with
+  | None -> false
+  | Some bucket -> List.exists (Prog.equal prog) bucket
+
+let entry_distance t i =
+  if i < 0 || i >= t.count then invalid_arg "Corpus.entry_distance";
+  match t.distance with
+  | None -> invalid_arg "Corpus.entry_distance: no distance function"
+  | Some _ -> t.dists.(i)
+
+let min_distance t = if t.best_tier = [] then None else Some t.best_dist
 
 let add t entry =
-  let h = Prog.hash entry.prog in
-  if Hashtbl.mem t.seen h then false
+  let h = t.hash entry.prog in
+  let bucket = Option.value ~default:[] (Hashtbl.find_opt t.seen h) in
+  if List.exists (Prog.equal entry.prog) bucket then false
   else begin
-    Hashtbl.add t.seen h ();
+    Hashtbl.replace t.seen h (entry.prog :: bucket);
     if t.count = Array.length t.items then begin
       let cap = max 16 (2 * Array.length t.items) in
       let items = Array.make cap entry in
       Array.blit t.items 0 items 0 t.count;
-      t.items <- items
+      t.items <- items;
+      if Option.is_some t.distance then begin
+        let dists = Array.make cap max_int in
+        Array.blit t.dists 0 dists 0 t.count;
+        t.dists <- dists
+      end
     end;
-    t.items.(t.count) <- entry;
+    let i = t.count in
+    t.items.(i) <- entry;
     t.count <- t.count + 1;
+    (match t.distance with
+    | None -> ()
+    | Some distance ->
+      let d = distance entry in
+      t.dists.(i) <- d;
+      if d < t.best_dist then begin
+        t.best_dist <- d;
+        t.best_tier <- [ i ]
+      end
+      else if d = t.best_dist then t.best_tier <- i :: t.best_tier);
     true
   end
 
@@ -46,16 +95,9 @@ let choose rng t =
   if t.count = 0 then invalid_arg "Corpus.choose: empty corpus";
   t.items.(Rng.int rng t.count)
 
-let choose_directed rng t ~distance =
+let choose_directed rng t =
   if t.count = 0 then invalid_arg "Corpus.choose_directed: empty corpus";
-  if Rng.coin rng 0.1 then choose rng t
-  else begin
-    let best = ref max_int in
-    for i = 0 to t.count - 1 do
-      best := min !best (distance t.items.(i))
-    done;
-    let tier =
-      List.filter (fun i -> distance t.items.(i) = !best) (List.init t.count Fun.id)
-    in
-    t.items.(Rng.choose_list rng tier)
-  end
+  if Option.is_none t.distance then
+    invalid_arg "Corpus.choose_directed: corpus has no distance function";
+  if Rng.coin rng 0.1 || t.best_tier = [] then choose rng t
+  else t.items.(Rng.choose_list rng t.best_tier)

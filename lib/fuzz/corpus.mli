@@ -3,7 +3,13 @@
     A mutant enters the corpus when it covered kernel code no previous test
     did (Figure 1's [update_corpus]); each entry caches its block and edge
     coverage so base-test selection and query-graph construction never
-    re-execute. *)
+    re-execute.
+
+    Deduplication is indexed by content hash but confirmed by structural
+    equality, so two distinct programs whose hashes collide both stay in
+    the corpus. In directed mode the corpus also maintains the minimum
+    distance-to-target tier incrementally as entries arrive, making
+    directed base selection O(1) rather than an O(n) scan per choice. *)
 
 type entry = {
   prog : Sp_syzlang.Prog.t;
@@ -14,7 +20,13 @@ type entry = {
 
 type t
 
-val create : unit -> t
+val create :
+  ?hash:(Sp_syzlang.Prog.t -> int) -> ?distance:(entry -> int) -> unit -> t
+(** [hash] defaults to [Prog.hash]; it is an index, not an identity —
+    equality is always confirmed structurally (tests inject degenerate
+    hashes to exercise collisions). [distance] enables directed mode: it is
+    evaluated once per entry at [add] time (coverage is immutable, so the
+    distance is too) and drives [choose_directed]. *)
 
 val size : t -> int
 
@@ -24,15 +36,24 @@ val entries : t -> entry list
 val nth : t -> int -> entry
 
 val add : t -> entry -> bool
-(** False (and no insertion) when a program with the same content hash is
-    already present. *)
+(** False (and no insertion) when a structurally equal program is already
+    present. *)
 
 val mem_prog : t -> Sp_syzlang.Prog.t -> bool
 
 val choose : Sp_util.Rng.t -> t -> entry
 (** Uniform choice. Raises [Invalid_argument] on an empty corpus. *)
 
-val choose_directed : Sp_util.Rng.t -> t -> distance:(entry -> int) -> entry
+val choose_directed : Sp_util.Rng.t -> t -> entry
 (** SyzDirect-style base selection: strongly favours entries whose coverage
-    got closest to the target (minimum [distance]); falls back to uniform
-    among the best tier with occasional exploration. *)
+    got closest to the target (minimum distance, from the maintained
+    index); falls back to uniform among the best tier with occasional
+    (10%) exploration. Raises [Invalid_argument] on an empty corpus or one
+    created without [distance]. *)
+
+val entry_distance : t -> int -> int
+(** Distance recorded for the [i]-th entry. Raises [Invalid_argument] out
+    of range or when the corpus has no distance function. *)
+
+val min_distance : t -> int option
+(** Smallest recorded distance, [None] when empty or undirected. *)

@@ -1,5 +1,6 @@
 module Rng = Sp_util.Rng
 module Kernel = Sp_kernel.Kernel
+module Metrics = Sp_util.Metrics
 
 type t = {
   kernel : Kernel.t;
@@ -9,6 +10,7 @@ type t = {
   crash_restart_s : float;
   mutable factor : float;
   mutable executions : int;
+  mutable metrics : Metrics.t option;
 }
 
 let create ?(noise = 0.0) ?(execs_per_second = 390.0) ?(fleet_scale = 96.0)
@@ -21,9 +23,18 @@ let create ?(noise = 0.0) ?(execs_per_second = 390.0) ?(fleet_scale = 96.0)
     crash_restart_s;
     factor = 1.0;
     executions = 0;
+    metrics = None;
   }
 
 let kernel t = t.kernel
+
+let set_metrics t m = t.metrics <- Some m
+
+let record_counter t name =
+  match t.metrics with Some m -> Metrics.incr m name | None -> ()
+
+let record_observation t name v =
+  match t.metrics with Some m -> Metrics.observe m name v | None -> ()
 
 let execute t prog =
   t.executions <- t.executions + 1;
@@ -31,14 +42,24 @@ let execute t prog =
   else Kernel.execute t.kernel prog
 
 let run t clock prog =
-  let r = execute t prog in
+  let r =
+    match t.metrics with
+    | Some m -> Metrics.time m "vm.exec_cpu_s" (fun () -> execute t prog)
+    | None -> execute t prog
+  in
   (* Execution time scales with the number of system calls issued: the
      fleet's 390 tests/s is calibrated for an average-size (5-call) test. *)
   let calls = float_of_int (Array.length prog) in
   let cost = t.base_cost /. t.factor *. (0.5 +. (0.1 *. calls)) in
   let cost =
-    match r.Kernel.crash with None -> cost | Some _ -> cost +. t.crash_restart_s
+    match r.Kernel.crash with
+    | None -> cost
+    | Some _ ->
+      record_counter t "vm.crash_restarts";
+      cost +. t.crash_restart_s
   in
+  record_counter t "vm.executions";
+  record_observation t "vm.exec_virtual_s" cost;
   Clock.advance clock cost;
   r
 
@@ -47,6 +68,7 @@ let run_free t prog = execute t prog
 let charge_duplicate t clock =
   (* Syzkaller skips executing byte-identical programs it has already run;
      the hash check is ~10% of an execution. *)
+  record_counter t "vm.duplicate_skips";
   Clock.advance clock (0.1 *. t.base_cost /. t.factor)
 
 let executions t = t.executions

@@ -27,6 +27,12 @@ val create :
 
 val kernel : t -> Sp_kernel.Kernel.t
 
+val set_metrics : t -> Sp_util.Metrics.t -> unit
+(** Attach a metrics registry; the VM then records [vm.*] counters
+    (executions, crash restarts, duplicate skips) and histograms (virtual
+    cost per execution, CPU time per execution). No metrics are recorded
+    before a registry is attached — [Campaign.run] attaches its own. *)
+
 val run : t -> Clock.t -> Sp_syzlang.Prog.t -> Sp_kernel.Kernel.result
 (** Execute and advance the clock by the execution cost (plus the restart
     penalty on crash). *)

@@ -1,0 +1,148 @@
+(* Counters are plain ints in a table. Histograms keep exact streaming
+   moments (count/sum/min/max) plus a bounded reservoir sample for
+   percentiles, so a histogram's footprint is constant no matter how many
+   observations a multi-day campaign records. The reservoir RNG is
+   deterministic (seeded from the metric name), keeping campaigns
+   replayable. *)
+
+let reservoir_size = 1024
+
+type hist = {
+  mutable count : int;
+  mutable sum : float;
+  mutable minv : float;
+  mutable maxv : float;
+  samples : float array;  (* reservoir; first [min count size] slots live *)
+  rng : Rng.t;
+}
+
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  hists : (string, hist) Hashtbl.t;
+}
+
+let create () = { counters = Hashtbl.create 32; hists = Hashtbl.create 32 }
+
+let counter_ref t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r
+  | None ->
+    let r = ref 0 in
+    Hashtbl.add t.counters name r;
+    r
+
+let incr ?(by = 1) t name =
+  let r = counter_ref t name in
+  r := !r + by
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let counters t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters []
+  |> List.sort compare
+
+let hist_for t name =
+  match Hashtbl.find_opt t.hists name with
+  | Some h -> h
+  | None ->
+    let h =
+      {
+        count = 0;
+        sum = 0.0;
+        minv = infinity;
+        maxv = neg_infinity;
+        samples = Array.make reservoir_size 0.0;
+        rng = Rng.split_named (Rng.create 0x6e7) name;
+      }
+    in
+    Hashtbl.add t.hists name h;
+    h
+
+let observe t name v =
+  let h = hist_for t name in
+  h.count <- h.count + 1;
+  h.sum <- h.sum +. v;
+  if v < h.minv then h.minv <- v;
+  if v > h.maxv then h.maxv <- v;
+  if h.count <= reservoir_size then h.samples.(h.count - 1) <- v
+  else begin
+    (* Vitter's algorithm R: slot i is replaced with probability size/count,
+       keeping the reservoir a uniform sample of everything seen. *)
+    let j = Rng.int h.rng h.count in
+    if j < reservoir_size then h.samples.(j) <- v
+  end
+
+let time t name f =
+  let t0 = Sys.time () in
+  Fun.protect ~finally:(fun () -> observe t name (Sys.time () -. t0)) f
+
+type summary = {
+  count : int;
+  sum : float;
+  mean : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+let summary_of_hist h =
+  let live = Array.to_list (Array.sub h.samples 0 (min h.count reservoir_size)) in
+  {
+    count = h.count;
+    sum = h.sum;
+    mean = h.sum /. float_of_int h.count;
+    min = h.minv;
+    max = h.maxv;
+    p50 = Stats.percentile live 50.0;
+    p90 = Stats.percentile live 90.0;
+    p99 = Stats.percentile live 99.0;
+  }
+
+let summary t name =
+  match Hashtbl.find_opt t.hists name with
+  | Some h when h.count > 0 -> Some (summary_of_hist h)
+  | Some _ | None -> None
+
+let summaries t =
+  Hashtbl.fold
+    (fun k (h : hist) acc -> if h.count > 0 then (k, summary_of_hist h) :: acc else acc)
+    t.hists []
+  |> List.sort compare
+
+let merge_into ~dst src =
+  List.iter (fun (name, v) -> incr ~by:v dst name) (counters src);
+  Hashtbl.iter
+    (fun name (h : hist) ->
+      let n = min h.count reservoir_size in
+      for i = 0 to n - 1 do
+        observe dst name h.samples.(i)
+      done)
+    src.hists
+
+let render t =
+  let buf = Buffer.create 256 in
+  let cs = counters t in
+  if cs <> [] then begin
+    Buffer.add_string buf "counters:\n";
+    List.iter (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "  %-40s %d\n" k v)) cs
+  end;
+  let hs = summaries t in
+  if hs <> [] then begin
+    Buffer.add_string buf "timers/histograms:\n";
+    List.iter
+      (fun (k, s) ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "  %-40s n=%d sum=%.4g mean=%.4g min=%.4g p50=%.4g p90=%.4g p99=%.4g max=%.4g\n"
+             k s.count s.sum s.mean s.min s.p50 s.p90 s.p99 s.max))
+      hs
+  end;
+  if cs = [] && hs = [] then Buffer.add_string buf "(no metrics recorded)\n";
+  Buffer.contents buf
+
+let reset t =
+  Hashtbl.reset t.counters;
+  Hashtbl.reset t.hists

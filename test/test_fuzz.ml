@@ -80,6 +80,26 @@ let test_corpus_dedup () =
   Alcotest.(check int) "size" 1 (Corpus.size c);
   Alcotest.(check bool) "mem_prog" true (Corpus.mem_prog c p)
 
+let test_corpus_hash_collision () =
+  (* Forge collisions with a degenerate hash: every program lands on the
+     same slot. Distinct programs must still be admitted (structural
+     confirmation), true duplicates must still be rejected. *)
+  let c = Corpus.create ~hash:(fun _ -> 42) () in
+  let progs = Gen.corpus (Rng.create 77) db ~size:6 in
+  let distinct = ref 0 in
+  List.iter (fun p -> if Corpus.add c (entry_of p) then incr distinct) progs;
+  let unique =
+    List.length
+      (List.sort_uniq
+         (fun a b -> if Prog.equal a b then 0 else compare (Prog.to_string a) (Prog.to_string b))
+         progs)
+  in
+  Alcotest.(check int) "collisions do not drop distinct programs" unique !distinct;
+  Alcotest.(check int) "all admitted entries kept" unique (Corpus.size c);
+  let p = List.hd progs in
+  Alcotest.(check bool) "duplicate still rejected" false (Corpus.add c (entry_of p));
+  Alcotest.(check bool) "mem_prog sees through collisions" true (Corpus.mem_prog c p)
+
 let test_corpus_choose () =
   let c = Corpus.create () in
   Alcotest.check_raises "empty corpus"
@@ -94,24 +114,31 @@ let test_corpus_choose () =
   done
 
 let test_corpus_choose_directed () =
-  let c = Corpus.create () in
-  List.iter
-    (fun p -> ignore (Corpus.add c (entry_of p)))
-    (Gen.corpus (Rng.create 9) db ~size:10);
   (* distance = program length; directed choice should mostly pick the
      shortest entries *)
   let distance (e : Corpus.entry) = Array.length e.Corpus.prog in
+  let c = Corpus.create ~distance () in
+  List.iter
+    (fun p -> ignore (Corpus.add c (entry_of p)))
+    (Gen.corpus (Rng.create 9) db ~size:10);
   let best =
     List.fold_left min max_int
       (List.map (fun (e : Corpus.entry) -> Array.length e.Corpus.prog) (Corpus.entries c))
   in
+  Alcotest.(check (option int)) "min tier indexed" (Some best) (Corpus.min_distance c);
   let rng = Rng.create 3 in
   let hits = ref 0 in
   for _ = 1 to 100 do
-    if Array.length (Corpus.choose_directed rng c ~distance).Corpus.prog = best then
+    if Array.length (Corpus.choose_directed rng c).Corpus.prog = best then
       incr hits
   done;
-  Alcotest.(check bool) "mostly picks closest tier" true (!hits > 70)
+  Alcotest.(check bool) "mostly picks closest tier" true (!hits > 70);
+  Alcotest.check_raises "undirected corpus rejected"
+    (Invalid_argument "Corpus.choose_directed: corpus has no distance function")
+    (fun () ->
+      let u = Corpus.create () in
+      ignore (Corpus.add u (entry_of (Gen.program (Rng.create 10) db ())));
+      ignore (Corpus.choose_directed (Rng.create 1) u))
 
 (* ------------------------------------------------------------------ *)
 (* Triage                                                               *)
@@ -239,6 +266,31 @@ let test_campaign_directed_easy_target () =
   | Some t -> Alcotest.(check bool) "stopped early" true (t < cfg.Campaign.duration)
   | None -> ())
 
+let test_campaign_metrics_recorded () =
+  let vm = Vm.create ~seed:1 kernel in
+  let r = Campaign.run vm (Strategy.syzkaller db) short_cfg in
+  let m = r.Campaign.metrics in
+  let module Metrics = Sp_util.Metrics in
+  Alcotest.(check bool) "iterations counted" true
+    (Metrics.counter m "campaign.iterations" > 0);
+  Alcotest.(check bool) "proposals counted" true
+    (Metrics.counter m "campaign.proposals"
+    >= Metrics.counter m "campaign.iterations");
+  Alcotest.(check bool) "corpus adds counted" true
+    (Metrics.counter m "campaign.corpus_adds" > 0);
+  Alcotest.(check bool) "vm executions counted" true
+    (Metrics.counter m "vm.executions" > 0);
+  (match Metrics.summary m "campaign.iter_virtual_s" with
+  | Some s ->
+    Alcotest.(check int) "one virtual-time observation per iteration"
+      (Metrics.counter m "campaign.iterations") s.Metrics.count;
+    Alcotest.(check bool) "virtual time positive" true (s.Metrics.sum > 0.0)
+  | None -> Alcotest.fail "no per-iteration virtual-time histogram");
+  match Metrics.summary m "vm.exec_virtual_s" with
+  | Some s ->
+    Alcotest.(check bool) "per-exec cost observed" true (s.Metrics.count > 0)
+  | None -> Alcotest.fail "no per-execution cost histogram"
+
 let test_origin_stats_accounted () =
   let vm = Vm.create ~seed:1 kernel in
   let r = Campaign.run vm (Strategy.syzkaller db) short_cfg in
@@ -291,6 +343,7 @@ let () =
       ( "corpus",
         [
           Alcotest.test_case "dedup" `Quick test_corpus_dedup;
+          Alcotest.test_case "forged hash collision" `Quick test_corpus_hash_collision;
           Alcotest.test_case "choose" `Quick test_corpus_choose;
           Alcotest.test_case "choose_directed" `Quick test_corpus_choose_directed;
         ] );
@@ -311,6 +364,7 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_campaign_deterministic;
           Alcotest.test_case "coverage helpers" `Quick test_campaign_coverage_helpers;
           Alcotest.test_case "directed easy target" `Quick test_campaign_directed_easy_target;
+          Alcotest.test_case "loop metrics recorded" `Quick test_campaign_metrics_recorded;
           Alcotest.test_case "origin accounting" `Quick test_origin_stats_accounted;
         ] );
     ]

@@ -297,6 +297,112 @@ let test_inference_queue_capacity () =
   Alcotest.(check bool) "queue capacity enforced" true (List.length accepted <= 2);
   Alcotest.(check bool) "drops counted" true (Snowplow.Inference.dropped inference > 0)
 
+let test_inference_cache_hits_respect_max_pending () =
+  (* Regression: the cache-hit path used to enqueue unconditionally, so a
+     stream of memoized requests could grow the pending queue past its
+     configured bound. *)
+  let inference =
+    Snowplow.Inference.create ~max_pending:2 ~kernel ~block_embs model
+  in
+  let prog = Gen.program (Rng.create 31) db () in
+  let r = Kernel.execute kernel prog in
+  let targets =
+    List.filteri (fun i _ -> i < 4) (List.map fst (QG.frontier_blocks kernel r))
+  in
+  Alcotest.(check bool) "first request admitted" true
+    (Snowplow.Inference.request inference ~now:0.0 prog ~targets);
+  (* identical query: every further admission is a cache hit *)
+  Alcotest.(check bool) "cache hit admitted while below bound" true
+    (Snowplow.Inference.request inference ~now:0.1 prog ~targets);
+  Alcotest.(check int) "queue at bound" 2 (Snowplow.Inference.pending inference);
+  for _ = 1 to 10 do
+    Alcotest.(check bool) "cache hit dropped at bound" false
+      (Snowplow.Inference.request inference ~now:0.2 prog ~targets)
+  done;
+  Alcotest.(check int) "queue never exceeds max_pending" 2
+    (Snowplow.Inference.pending inference);
+  Alcotest.(check bool) "drops counted" true
+    (Snowplow.Inference.dropped inference >= 10)
+
+let test_inference_cache_hits_not_served () =
+  (* Regression: zero-latency cache hits were folded into served /
+     latency_sum, deflating the reported mean service latency. *)
+  let inference = Snowplow.Inference.create ~kernel ~block_embs model in
+  let prog = Gen.program (Rng.create 31) db () in
+  let r = Kernel.execute kernel prog in
+  let targets =
+    List.filteri (fun i _ -> i < 4) (List.map fst (QG.frontier_blocks kernel r))
+  in
+  ignore (Snowplow.Inference.request inference ~now:0.0 prog ~targets);
+  ignore (Snowplow.Inference.poll inference ~now:10.0);
+  let latency_after_compute = Snowplow.Inference.mean_latency inference in
+  Alcotest.(check bool) "computed request has real latency" true
+    (latency_after_compute > 0.0);
+  (* hammer the cache: delivered instantly, but the mean must not move *)
+  for i = 1 to 20 do
+    ignore
+      (Snowplow.Inference.request inference ~now:(10.0 +. float_of_int i) prog
+         ~targets);
+    ignore (Snowplow.Inference.poll inference ~now:(10.0 +. float_of_int i))
+  done;
+  Alcotest.(check int) "hits counted as hits" 20
+    (Snowplow.Inference.cache_hits inference);
+  Alcotest.(check int) "hits not counted as served" 1
+    (Snowplow.Inference.served inference);
+  Alcotest.(check (float 1e-9)) "mean latency undistorted by cache hits"
+    latency_after_compute
+    (Snowplow.Inference.mean_latency inference)
+
+let test_inference_cache_bounded () =
+  (* Eviction: across a long virtual campaign of ever-changing queries the
+     prediction caches must stay within their configured capacity. *)
+  let capacity = 32 in
+  let inference =
+    Snowplow.Inference.create ~max_pending:1000 ~cache_capacity:capacity
+      ~kernel ~block_embs model
+  in
+  let progs = Gen.corpus (Rng.create 91) db ~size:12 in
+  let usable =
+    List.filter_map
+      (fun prog ->
+        let r = Kernel.execute kernel prog in
+        if r.Kernel.crash <> None then None
+        else
+          match QG.frontier_blocks kernel r with
+          | f when List.length f >= 2 ->
+            Some (prog, Array.of_list (List.map fst f))
+          | _ -> None)
+      progs
+    |> List.filteri (fun i _ -> i < 3)
+  in
+  Alcotest.(check bool) "enough usable programs" true (List.length usable >= 2);
+  (* >24 virtual hours of rotating (base, target-set) queries: each round
+     picks a different pair of real frontier blocks, so distinct cache keys
+     keep arriving for the whole run — far more than [capacity] *)
+  let now = ref 0.0 in
+  let rounds = 150 in
+  let step = 90_000.0 /. float_of_int (rounds * List.length usable) in
+  for round = 0 to rounds - 1 do
+    List.iter
+      (fun (prog, frontier) ->
+        let n = Array.length frontier in
+        let targets =
+          [ frontier.(round mod n); frontier.(((round * 7) + 3) mod n) ]
+        in
+        ignore (Snowplow.Inference.request inference ~now:!now prog ~targets);
+        ignore (Snowplow.Inference.poll inference ~now:!now);
+        now := !now +. step)
+      usable
+  done;
+  Alcotest.(check bool) "ran >= 24 virtual hours" true (!now >= 86_400.0);
+  Alcotest.(check bool)
+    (Printf.sprintf "cache entries (%d) within capacity (%d)"
+       (Snowplow.Inference.cache_size inference)
+       (Snowplow.Inference.cache_capacity inference))
+    true
+    (Snowplow.Inference.cache_size inference
+    <= Snowplow.Inference.cache_capacity inference)
+
 (* ------------------------------------------------------------------ *)
 (* Strategies                                                           *)
 (* ------------------------------------------------------------------ *)
@@ -491,6 +597,12 @@ let () =
         [
           Alcotest.test_case "latency and cache" `Quick test_inference_latency_and_cache;
           Alcotest.test_case "queue capacity" `Quick test_inference_queue_capacity;
+          Alcotest.test_case "cache hits respect max_pending" `Quick
+            test_inference_cache_hits_respect_max_pending;
+          Alcotest.test_case "cache hits excluded from latency" `Quick
+            test_inference_cache_hits_not_served;
+          Alcotest.test_case "caches bounded over long campaign" `Quick
+            test_inference_cache_bounded;
         ] );
       ( "persistence",
         [ Alcotest.test_case "save/load" `Quick test_pmm_save_load ] );

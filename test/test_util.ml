@@ -193,6 +193,203 @@ let test_bitset_copy_isolated () =
   Alcotest.(check bool) "copy kept contents" true (Bitset.mem c 3)
 
 (* ------------------------------------------------------------------ *)
+(* Fqueue                                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Fqueue = Sp_util.Fqueue
+
+let test_fqueue_fifo () =
+  let q = Fqueue.create () in
+  Alcotest.(check bool) "empty" true (Fqueue.is_empty q);
+  Alcotest.(check (option int)) "pop empty" None (Fqueue.pop_opt q);
+  List.iter (Fqueue.push q) [ 1; 2; 3 ];
+  Alcotest.(check int) "length" 3 (Fqueue.length q);
+  Alcotest.(check (option int)) "peek" (Some 1) (Fqueue.peek_opt q);
+  Alcotest.(check (option int)) "pop 1" (Some 1) (Fqueue.pop_opt q);
+  Fqueue.push q 4;
+  Alcotest.(check (list int)) "order preserved" [ 2; 3; 4 ] (Fqueue.to_list q);
+  Alcotest.(check (option int)) "pop 2" (Some 2) (Fqueue.pop_opt q);
+  Alcotest.(check (option int)) "pop 3" (Some 3) (Fqueue.pop_opt q);
+  Alcotest.(check (option int)) "pop 4" (Some 4) (Fqueue.pop_opt q);
+  Alcotest.(check bool) "drained" true (Fqueue.is_empty q)
+
+let test_fqueue_partition () =
+  let q = Fqueue.of_list [ 1; 2; 3; 4; 5; 6 ] in
+  let evens = Fqueue.partition (fun x -> x mod 2 = 0) q in
+  Alcotest.(check (list int)) "removed in order" [ 2; 4; 6 ] evens;
+  Alcotest.(check (list int)) "kept in order" [ 1; 3; 5 ] (Fqueue.to_list q);
+  Alcotest.(check int) "length updated" 3 (Fqueue.length q)
+
+let test_fqueue_model =
+  QCheck.Test.make ~count:300 ~name:"Fqueue behaves like a list queue"
+    QCheck.(list (int_bound 2))
+    (fun ops ->
+      (* op 0 = pop, op >0 = push op *)
+      let q = Fqueue.create () in
+      let model = ref [] in
+      List.for_all
+        (fun op ->
+          if op = 0 then begin
+            let expect =
+              match !model with
+              | [] -> None
+              | x :: rest ->
+                model := rest;
+                Some x
+            in
+            Fqueue.pop_opt q = expect
+          end
+          else begin
+            Fqueue.push q op;
+            model := !model @ [ op ];
+            true
+          end
+          && Fqueue.to_list q = !model
+          && Fqueue.length q = List.length !model)
+        ops)
+
+(* ------------------------------------------------------------------ *)
+(* Lru                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+module Lru = Sp_util.Lru
+
+let test_lru_bounded () =
+  let c = Lru.create ~capacity:3 () in
+  for i = 1 to 10 do
+    Lru.put c ~now:0.0 i (i * 10)
+  done;
+  Alcotest.(check int) "bounded by capacity" 3 (Lru.length c);
+  Alcotest.(check int) "evictions counted" 7 (Lru.evictions c);
+  (* the three most recent survive *)
+  Alcotest.(check (option int)) "recent kept" (Some 100) (Lru.find c ~now:0.0 10);
+  Alcotest.(check (option int)) "old evicted" None (Lru.find c ~now:0.0 1)
+
+let test_lru_recency () =
+  let c = Lru.create ~capacity:2 () in
+  Lru.put c ~now:0.0 "a" 1;
+  Lru.put c ~now:0.0 "b" 2;
+  (* touching "a" makes "b" the LRU victim *)
+  Alcotest.(check (option int)) "hit a" (Some 1) (Lru.find c ~now:0.0 "a");
+  Lru.put c ~now:0.0 "c" 3;
+  Alcotest.(check (option int)) "a survived" (Some 1) (Lru.find c ~now:0.0 "a");
+  Alcotest.(check (option int)) "b evicted" None (Lru.find c ~now:0.0 "b");
+  Alcotest.(check (option int)) "c present" (Some 3) (Lru.find c ~now:0.0 "c")
+
+let test_lru_ttl () =
+  let c = Lru.create ~ttl:10.0 ~capacity:8 () in
+  Lru.put c ~now:0.0 "k" 1;
+  Alcotest.(check (option int)) "fresh" (Some 1) (Lru.find c ~now:9.9 "k");
+  (* a hit refreshes recency, not the TTL stamp *)
+  Alcotest.(check (option int)) "expired" None (Lru.find c ~now:10.1 "k");
+  Alcotest.(check int) "expiration counted" 1 (Lru.expirations c);
+  Alcotest.(check int) "dropped from table" 0 (Lru.length c);
+  (* re-put resets the stamp *)
+  Lru.put c ~now:20.0 "k" 2;
+  Alcotest.(check (option int)) "fresh again" (Some 2) (Lru.find c ~now:29.0 "k")
+
+let test_lru_validation () =
+  Alcotest.check_raises "capacity checked"
+    (Invalid_argument "Lru.create: capacity must be positive") (fun () ->
+      ignore (Lru.create ~capacity:0 () : (int, int) Lru.t));
+  Alcotest.check_raises "ttl checked"
+    (Invalid_argument "Lru.create: ttl must be positive") (fun () ->
+      ignore (Lru.create ~ttl:0.0 ~capacity:1 () : (int, int) Lru.t))
+
+let test_lru_model =
+  QCheck.Test.make ~count:200 ~name:"Lru.length never exceeds capacity"
+    QCheck.(list (pair (int_bound 30) (int_bound 100)))
+    (fun kvs ->
+      let c = Lru.create ~capacity:7 () in
+      List.for_all
+        (fun (k, v) ->
+          Lru.put c ~now:0.0 k v;
+          Lru.length c <= 7 && Lru.find c ~now:0.0 k = Some v)
+        kvs)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                              *)
+(* ------------------------------------------------------------------ *)
+
+module Metrics = Sp_util.Metrics
+
+let test_metrics_counters () =
+  let m = Metrics.create () in
+  Alcotest.(check int) "unknown is zero" 0 (Metrics.counter m "x");
+  Metrics.incr m "x";
+  Metrics.incr m "x" ~by:4;
+  Metrics.incr m "y";
+  Alcotest.(check int) "accumulates" 5 (Metrics.counter m "x");
+  Alcotest.(check (list (pair string int))) "sorted listing"
+    [ ("x", 5); ("y", 1) ] (Metrics.counters m)
+
+let test_metrics_histogram () =
+  let m = Metrics.create () in
+  Alcotest.(check bool) "no summary before observations" true
+    (Metrics.summary m "lat" = None);
+  for i = 1 to 100 do
+    Metrics.observe m "lat" (float_of_int i)
+  done;
+  match Metrics.summary m "lat" with
+  | None -> Alcotest.fail "summary missing"
+  | Some s ->
+    Alcotest.(check int) "count" 100 s.Metrics.count;
+    Alcotest.(check (float 1e-9)) "sum" 5050.0 s.Metrics.sum;
+    Alcotest.(check (float 1e-9)) "min" 1.0 s.Metrics.min;
+    Alcotest.(check (float 1e-9)) "max" 100.0 s.Metrics.max;
+    Alcotest.(check bool) "median near middle" true (s.Metrics.p50 > 40.0 && s.Metrics.p50 < 60.0);
+    Alcotest.(check bool) "p99 near top" true (s.Metrics.p99 > 90.0)
+
+let test_metrics_reservoir_bounded () =
+  (* far more observations than the reservoir holds: moments stay exact,
+     percentiles stay sane, memory stays constant *)
+  let m = Metrics.create () in
+  let n = 50_000 in
+  for i = 1 to n do
+    Metrics.observe m "big" (float_of_int i)
+  done;
+  match Metrics.summary m "big" with
+  | None -> Alcotest.fail "summary missing"
+  | Some s ->
+    Alcotest.(check int) "exact count" n s.Metrics.count;
+    Alcotest.(check (float 1e-6)) "exact max" (float_of_int n) s.Metrics.max;
+    Alcotest.(check bool) "sampled p50 within 10%" true
+      (s.Metrics.p50 > 0.4 *. float_of_int n && s.Metrics.p50 < 0.6 *. float_of_int n)
+
+let test_metrics_time_and_render () =
+  let m = Metrics.create () in
+  let v = Metrics.time m "work" (fun () -> 42) in
+  Alcotest.(check int) "thunk result returned" 42 v;
+  (match Metrics.summary m "work" with
+  | Some s -> Alcotest.(check int) "timed once" 1 s.Metrics.count
+  | None -> Alcotest.fail "timer not recorded");
+  Metrics.incr m "n";
+  let out = Metrics.render m in
+  let contains_line prefix =
+    String.split_on_char '\n' out
+    |> List.exists (fun l ->
+           String.length l >= String.length prefix
+           && String.sub (String.trim l) 0
+                (min (String.length prefix) (String.length (String.trim l)))
+              = prefix)
+  in
+  Alcotest.(check bool) "render mentions counter" true (contains_line "n");
+  Alcotest.(check bool) "render mentions timer" true (contains_line "work");
+  Metrics.reset m;
+  Alcotest.(check int) "reset clears" 0 (Metrics.counter m "n")
+
+let test_metrics_merge () =
+  let a = Metrics.create () and b = Metrics.create () in
+  Metrics.incr a "c" ~by:2;
+  Metrics.incr b "c" ~by:3;
+  Metrics.observe b "h" 1.0;
+  Metrics.merge_into ~dst:a b;
+  Alcotest.(check int) "counters merged" 5 (Metrics.counter a "c");
+  match Metrics.summary a "h" with
+  | Some s -> Alcotest.(check int) "observations merged" 1 s.Metrics.count
+  | None -> Alcotest.fail "histogram not merged"
+
+(* ------------------------------------------------------------------ *)
 (* Table                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -282,6 +479,28 @@ let () =
         ] );
       qsuite "bitset-props"
         [ test_bitset_union_model; test_bitset_diff_inter_model; test_bitset_subset ];
+      ( "fqueue",
+        [
+          Alcotest.test_case "fifo order" `Quick test_fqueue_fifo;
+          Alcotest.test_case "partition" `Quick test_fqueue_partition;
+        ] );
+      qsuite "fqueue-props" [ test_fqueue_model ];
+      ( "lru",
+        [
+          Alcotest.test_case "bounded" `Quick test_lru_bounded;
+          Alcotest.test_case "recency order" `Quick test_lru_recency;
+          Alcotest.test_case "ttl expiry" `Quick test_lru_ttl;
+          Alcotest.test_case "validation" `Quick test_lru_validation;
+        ] );
+      qsuite "lru-props" [ test_lru_model ];
+      ( "metrics",
+        [
+          Alcotest.test_case "counters" `Quick test_metrics_counters;
+          Alcotest.test_case "histogram summary" `Quick test_metrics_histogram;
+          Alcotest.test_case "reservoir bounded" `Quick test_metrics_reservoir_bounded;
+          Alcotest.test_case "time and render" `Quick test_metrics_time_and_render;
+          Alcotest.test_case "merge" `Quick test_metrics_merge;
+        ] );
       ( "table",
         [
           Alcotest.test_case "renders aligned" `Quick test_table_renders;
