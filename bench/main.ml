@@ -14,6 +14,7 @@ let experiments =
     ("e7", Exp_directed.run);
     ("e8", Exp_perf.run);
     ("e9", Exp_extension.run);
+    ("e10", Exp_parallel.run);
     ("abl", Exp_ablation.run) ]
 
 let () =

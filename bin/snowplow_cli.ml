@@ -131,7 +131,11 @@ let run_cmd =
 (* fuzz                                                                *)
 (* ------------------------------------------------------------------ *)
 
-let fuzz seed version hours run_seed system =
+let fuzz seed version hours run_seed system jobs =
+  if jobs < 1 then begin
+    prerr_endline "snowplow fuzz: -jobs must be >= 1";
+    exit 1
+  end;
   let k = make_kernel seed version in
   let db = Kernel.spec_db k in
   let seeds = Sp_syzlang.Gen.corpus (Sp_util.Rng.create (run_seed lxor 0x5eed)) db ~size:100 in
@@ -145,19 +149,43 @@ let fuzz seed version hours run_seed system =
       attempt_repro = true;
     }
   in
-  let strategy =
+  (* Per-shard VM seeds are a pure function of (run_seed, shard), so a
+     parallel run is reproducible from (seed, jobs) alone. *)
+  let vm_for s = Sp_fuzz.Vm.create ~seed:(run_seed + (7919 * s)) k in
+  let name, run_campaign =
     match system with
-    | `Syzkaller -> Sp_fuzz.Strategy.syzkaller db
+    | `Syzkaller ->
+      ( "Syzkaller",
+        fun () ->
+          Campaign.run_parallel ~jobs ~vm_for
+            ~strategy_for:(fun _ -> Sp_fuzz.Strategy.syzkaller db)
+            cfg )
     | `Snowplow ->
-      print_endline "training PMM first (this takes a few minutes)...";
-      let p = Snowplow.Pipeline.train () in
-      let inference = Snowplow.Pipeline.inference_for p k in
-      Snowplow.Hybrid.strategy ~inference k
+      ( "Snowplow",
+        fun () ->
+          print_endline "training PMM first (this takes a few minutes)...";
+          let p = Snowplow.Pipeline.train () in
+          let inference = Snowplow.Pipeline.inference_for p k in
+          if jobs = 1 then
+            Campaign.run (vm_for 0) (Snowplow.Hybrid.strategy ~inference k) cfg
+          else begin
+            (* One inference service for the whole fleet: shards enqueue
+               into per-shard outboxes and the funnel forwards them as one
+               batch at each snapshot barrier. *)
+            let funnel = Snowplow.Funnel.create ~shards:jobs inference in
+            Campaign.run_parallel ~jobs ~vm_for
+              ~strategy_for:(fun s ->
+                Snowplow.Hybrid.strategy_with
+                  ~endpoint:(Snowplow.Funnel.endpoint funnel ~shard:s)
+                  k)
+              ~on_barrier:(fun ~now -> ignore (Snowplow.Funnel.flush funnel ~now))
+              cfg
+          end )
   in
-  Printf.printf "fuzzing %s for %.1f virtual hours with %s...\n%!" version hours
-    strategy.Sp_fuzz.Strategy.name;
-  let vm = Sp_fuzz.Vm.create ~seed:run_seed k in
-  let r = Campaign.run vm strategy cfg in
+  Printf.printf "fuzzing %s for %.1f virtual hours with %s (%d job%s)...\n%!"
+    version hours name jobs
+    (if jobs = 1 then "" else "s");
+  let r = run_campaign () in
   Printf.printf "%-8s %10s %10s %8s\n" "uptime" "blocks" "edges" "crashes";
   List.iter
     (fun (s : Campaign.snapshot) ->
@@ -186,10 +214,22 @@ let system_arg =
     & opt (enum [ ("syzkaller", `Syzkaller); ("snowplow", `Snowplow) ]) `Syzkaller
     & info [ "system" ] ~docv:"SYS" ~doc:"Fuzzer to run: syzkaller or snowplow.")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker shards (OCaml domains). With N > 1 the campaign runs on \
+           the parallel executor: N VMs fuzz independently between \
+           snapshot barriers and merge deterministically, so results are \
+           reproducible given (run-seed, jobs).")
+
 let fuzz_cmd =
   Cmd.v
     (Cmd.info "fuzz" ~doc:"Run a coverage-directed fuzzing campaign.")
-    Term.(const fuzz $ seed_arg $ version_arg $ hours_arg $ campaign_seed_arg $ system_arg)
+    Term.(
+      const fuzz $ seed_arg $ version_arg $ hours_arg $ campaign_seed_arg
+      $ system_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* train                                                               *)

@@ -1,0 +1,76 @@
+module Prog = Sp_syzlang.Prog
+module Fqueue = Sp_util.Fqueue
+
+type t = {
+  service : Inference.t;
+  max_outbox : int;
+  outboxes : (Prog.t * int list) Fqueue.t array;
+  inboxes : (Prog.t * Prog.path list) Fqueue.t array;
+  (* Written by shard domains during an epoch, read at the barrier; the
+     epochs-are-quiesced contract (flush only at barriers) is the
+     synchronization, not a lock. Counters are per-shard slots for the
+     same reason — two domains never write the same word. *)
+  deferred : int array;
+  dropped : int array;
+}
+
+let create ?(max_outbox = 64) ~shards service =
+  if shards < 1 then invalid_arg "Funnel.create: shards must be >= 1";
+  {
+    service;
+    max_outbox;
+    outboxes = Array.init shards (fun _ -> Fqueue.create ());
+    inboxes = Array.init shards (fun _ -> Fqueue.create ());
+    deferred = Array.make shards 0;
+    dropped = Array.make shards 0;
+  }
+
+let endpoint t ~shard =
+  if shard < 0 || shard >= Array.length t.outboxes then
+    invalid_arg "Funnel.endpoint: shard out of range";
+  let outbox = t.outboxes.(shard) and inbox = t.inboxes.(shard) in
+  {
+    Inference.ep_request =
+      (fun ~now:_ prog ~targets ->
+        if Fqueue.length outbox >= t.max_outbox then begin
+          t.dropped.(shard) <- t.dropped.(shard) + 1;
+          false
+        end
+        else begin
+          t.deferred.(shard) <- t.deferred.(shard) + 1;
+          Fqueue.push outbox (prog, targets);
+          true
+        end);
+    ep_poll =
+      (fun ~now:_ ->
+        let rec drain acc =
+          match Fqueue.pop_opt inbox with
+          | None -> List.rev acc
+          | Some p -> drain (p :: acc)
+        in
+        drain []);
+  }
+
+let flush t ~now =
+  let batch =
+    Array.fold_left
+      (fun acc outbox ->
+        let rec drain acc =
+          match Fqueue.pop_opt outbox with
+          | None -> acc
+          | Some r -> drain (r :: acc)
+        in
+        drain acc)
+      [] t.outboxes
+    |> List.rev
+  in
+  if batch <> [] then ignore (Inference.request_batch t.service ~now batch);
+  let completed = Inference.poll t.service ~now in
+  Array.iter
+    (fun inbox -> List.iter (fun p -> Fqueue.push inbox p) completed)
+    t.inboxes;
+  List.length completed
+
+let requests_deferred t = Array.fold_left ( + ) 0 t.deferred
+
+let dropped t = Array.fold_left ( + ) 0 t.dropped

@@ -1,0 +1,42 @@
+(** Barrier-batched fan-in of shard inference requests.
+
+    A parallel campaign runs one PMM inference service for all shards —
+    the paper's single torchserve machine. Letting shards call the
+    service mid-epoch would make admission order (and therefore the
+    queue/cache state) depend on thread scheduling, so the funnel defers
+    everything to the snapshot barrier: during an epoch each shard's
+    {!endpoint} only appends requests to that shard's private outbox and
+    drains predictions from that shard's private inbox — no cross-domain
+    contention, no locks. At the barrier (on the main domain, via
+    [Campaign.run_parallel ~on_barrier]) {!flush} forwards the outboxes
+    to the service in shard order as one {!Inference.request_batch} and
+    broadcasts every completed prediction to all inboxes, keeping the
+    run bit-for-bit reproducible given [(seed, jobs)].
+
+    Predictions are broadcast (rather than routed to the requesting
+    shard) because shards frequently mutate the same corpus entries: a
+    prediction for a base test is useful to every shard that holds it,
+    and each shard's strategy memoizes by base-program hash anyway. *)
+
+type t
+
+val create : ?max_outbox:int -> shards:int -> Inference.t -> t
+(** [max_outbox] (default 64) bounds each shard's per-epoch outbox;
+    requests beyond it are refused exactly like a full service queue. *)
+
+val endpoint : t -> shard:int -> Inference.endpoint
+(** The view handed to shard [shard]'s strategy. Must only be used from
+    the domain running that shard — per-shard state is unsynchronized by
+    design. *)
+
+val flush : t -> now:float -> int
+(** Forward all outboxes (shard order) to the service as one batch at
+    virtual time [now], then poll the service and broadcast completions
+    to every inbox. Returns the number of predictions delivered. Call at
+    the barrier only — never while an epoch is running. *)
+
+val requests_deferred : t -> int
+(** Total requests accepted into outboxes so far. *)
+
+val dropped : t -> int
+(** Requests refused because an outbox was full. *)

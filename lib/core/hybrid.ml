@@ -45,8 +45,8 @@ let pick_targets _rng kernel ~covered (entry : Corpus.entry) ~max_targets =
    delivered, the mutation lands on a predicted argument; until the
    (asynchronous) prediction arrives, the stock random localizer acts as
    the fallback. *)
-let strategy ?(mutations_per_base = 8) ?(max_targets = 40) ?insertion
-    ~inference kernel =
+let strategy_with ?(mutations_per_base = 8) ?(max_targets = 40) ?insertion
+    ~endpoint kernel =
   let db = Kernel.spec_db kernel in
   (* Delivered predictions, keyed by program hash. Bounded (LRU, no TTL —
      recency alone bounds it) and collision-guarded: the base program is
@@ -105,10 +105,10 @@ let strategy ?(mutations_per_base = 8) ?(max_targets = 40) ?insertion
     List.iter
       (fun (prog, paths) ->
         Sp_util.Lru.put predictions ~now:0.0 (Prog.hash prog) (prog, paths))
-      (Inference.poll inference ~now);
+      (endpoint.Inference.ep_poll ~now);
     let targets = pick_targets rng kernel ~covered entry ~max_targets in
     if targets <> [] then
-      ignore (Inference.request inference ~now entry.Corpus.prog ~targets);
+      ignore (endpoint.Inference.ep_request ~now entry.Corpus.prog ~targets);
     let guided = find_prediction entry.Corpus.prog <> None in
     List.init mutations_per_base (fun _ ->
         let donor =
@@ -130,3 +130,7 @@ let strategy ?(mutations_per_base = 8) ?(max_targets = 40) ?insertion
     |> List.filter_map Fun.id
   in
   { Strategy.name = "Snowplow"; throughput_factor = 383.0 /. 390.0; propose }
+
+let strategy ?mutations_per_base ?max_targets ?insertion ~inference kernel =
+  strategy_with ?mutations_per_base ?max_targets ?insertion
+    ~endpoint:(Inference.endpoint inference) kernel

@@ -30,6 +30,18 @@ val pick_targets :
     [max_targets] (determinism keeps the inference cache valid until the
     frontier changes). *)
 
+val strategy_with :
+  ?mutations_per_base:int ->
+  ?max_targets:int ->
+  ?insertion:Insertion.t ->
+  endpoint:Inference.endpoint ->
+  Sp_kernel.Kernel.t ->
+  Sp_fuzz.Strategy.t
+(** Like {!strategy}, but against any {!Inference.endpoint} — in parallel
+    campaigns each shard's strategy is built over its {!Funnel.endpoint}
+    view of one shared service. Every instance owns its prediction memo,
+    so instances never share mutable state. *)
+
 val strategy :
   ?mutations_per_base:int ->
   ?max_targets:int ->

@@ -157,6 +157,24 @@ let poll t ~now =
       (p.prog, p.prediction))
     ready
 
+let request_batch t ~now reqs =
+  Metrics.incr t.metrics "inference.batches";
+  Metrics.observe t.metrics "inference.batch_size"
+    (float_of_int (List.length reqs));
+  List.fold_left
+    (fun accepted (prog, targets) ->
+      if request t ~now prog ~targets then accepted + 1 else accepted)
+    0 reqs
+
+type endpoint = {
+  ep_request : now:float -> Prog.t -> targets:int list -> bool;
+  ep_poll : now:float -> (Prog.t * Prog.path list) list;
+}
+
+let endpoint t =
+  { ep_request = (fun ~now prog ~targets -> request t ~now prog ~targets);
+    ep_poll = (fun ~now -> poll t ~now) }
+
 let served t = t.served
 
 let cache_hits t = t.cache_hits

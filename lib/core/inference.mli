@@ -47,6 +47,29 @@ val request :
 val poll : t -> now:float -> (Sp_syzlang.Prog.t * Sp_syzlang.Prog.path list) list
 (** Completed requests with ready time <= [now], oldest first. *)
 
+val request_batch :
+  t -> now:float -> (Sp_syzlang.Prog.t * int list) list -> int
+(** Submit a batch of queries collected from many workers in one call (the
+    funnel's barrier flush); returns how many were admitted. Individually
+    equivalent to [request] per element, but recorded as one batch
+    ([inference.batches] counter, [inference.batch_size] histogram) so the
+    amortization of the forward pass is observable. *)
+
+(** {1 Endpoints}
+
+    The hybrid strategy talks to inference through this record rather than
+    to the service directly, so the same strategy code runs against a
+    private service (sequential campaigns) or a per-shard view of a shared
+    funnel (parallel campaigns). *)
+
+type endpoint = {
+  ep_request : now:float -> Sp_syzlang.Prog.t -> targets:int list -> bool;
+  ep_poll : now:float -> (Sp_syzlang.Prog.t * Sp_syzlang.Prog.path list) list;
+}
+
+val endpoint : t -> endpoint
+(** The direct view of this service. *)
+
 val predict_now :
   t -> Sp_syzlang.Prog.t -> targets:int list -> Sp_syzlang.Prog.path list
 (** Synchronous prediction (used by offline analyses; bypasses the queue

@@ -1,6 +1,7 @@
 module Rng = Sp_util.Rng
 module Bitset = Sp_util.Bitset
 module Metrics = Sp_util.Metrics
+module Pool = Sp_util.Pool
 module Kernel = Sp_kernel.Kernel
 module Prog = Sp_syzlang.Prog
 module Accum = Sp_coverage.Accum
@@ -258,6 +259,220 @@ let run vm (strategy : Strategy.t) config =
     covered_blocks = Accum.snapshot_blocks st.accum;
     metrics = st.metrics;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Parallel executor                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* [run_parallel] shards the campaign across [jobs] domains. Shards fuzz
+   independently between snapshot barriers, against private copies of the
+   barrier-frozen global corpus and accumulator; at each barrier the main
+   domain folds every shard's epoch results into the global state in
+   shard order (0..jobs-1). Each shard's epoch is a pure function of the
+   frozen global snapshot and its own RNG stream, and the merge order is
+   fixed, so the whole run is bit-for-bit reproducible given
+   (config.seed, jobs) — thread scheduling can change wall-clock time,
+   never the report. *)
+let run_parallel ?(on_barrier = fun ~now:_ -> ()) ~jobs ~vm_for ~strategy_for
+    config =
+  if jobs < 1 then invalid_arg "Campaign.run_parallel: jobs must be >= 1";
+  if config.snapshot_every <= 0.0 then
+    invalid_arg "Campaign.run_parallel: snapshot_every must be positive";
+  if jobs = 1 then run (vm_for 0) (strategy_for 0) config
+  else begin
+    let metrics = Metrics.create () in
+    let root_rng = Rng.create config.seed in
+    (* Named splits do not advance the parent, so shard streams and the
+       merge stream are independent of jobs ordering and of each other. *)
+    let merge_rng = Rng.split_named root_rng "merge" in
+    let shards =
+      Array.init jobs (fun s ->
+          let seeds =
+            List.filteri (fun i _ -> i mod jobs = s) config.seed_corpus
+          in
+          Shard.create ~id:s ~vm:(vm_for s) ~strategy:(strategy_for s)
+            ~rng:(Rng.split_named root_rng (Printf.sprintf "shard-%d" s))
+            ~seeds)
+    in
+    let kernel = Vm.kernel (Shard.vm shards.(0)) in
+    let dist_to_target =
+      match config.target with
+      | Some b -> Sp_cfg.Cfg.distances_to (Kernel.cfg kernel) b
+      | None -> [||]
+    in
+    let entry_distance (entry : Corpus.entry) =
+      Bitset.fold
+        (fun b acc -> min acc dist_to_target.(b))
+        entry.Corpus.blocks max_int
+    in
+    let corpus =
+      Corpus.create
+        ?distance:(if config.target = None then None else Some entry_distance)
+        ()
+    in
+    let accum =
+      Accum.create ~num_blocks:(Kernel.num_blocks kernel)
+        ~num_edges:(Sp_cfg.Cfg.num_edges (Kernel.cfg kernel))
+    in
+    let triage = Triage.create kernel in
+    let origin_stats = Hashtbl.create 16 in
+    let series_rev = ref [] in
+    let next_snapshot = ref config.snapshot_every in
+    let crash_count = ref 0 in
+    let target_hit_at = ref None in
+    let total_execs () =
+      Array.fold_left (fun acc sh -> acc + Vm.executions (Shard.vm sh)) 0 shards
+    in
+    let take_snapshots now =
+      while now >= !next_snapshot -. 1e-9 && !next_snapshot <= config.duration do
+        series_rev :=
+          {
+            s_time = !next_snapshot;
+            s_blocks = Accum.blocks_covered accum;
+            s_edges = Accum.edges_covered accum;
+            s_crashes = !crash_count;
+            s_execs = total_execs ();
+          }
+          :: !series_rev;
+        next_snapshot := !next_snapshot +. config.snapshot_every
+      done
+    in
+    let merge_epoch (ep : Shard.epoch) =
+      (* Admissions first, re-judged against the evolving global
+         accumulator: an entry enters the global corpus only if it still
+         contributes coverage no earlier shard (or barrier) already has. *)
+      List.iter
+        (fun (entry : Corpus.entry) ->
+          let delta =
+            Accum.add accum ~blocks:entry.Corpus.blocks ~edges:entry.Corpus.edges
+          in
+          if delta.Accum.new_blocks > 0 || delta.Accum.new_edges > 0 then
+            if Corpus.add corpus entry then
+              Metrics.incr metrics "campaign.corpus_adds")
+        ep.Shard.ep_admissions;
+      (* Then the rest of the epoch's coverage (crashing and non-novel
+         executions contribute coverage without corpus entries). *)
+      ignore (Accum.add accum ~blocks:ep.Shard.ep_blocks ~edges:ep.Shard.ep_edges);
+      List.iter
+        (fun (ce : Shard.crash_event) ->
+          match
+            Triage.record ~attempt_repro:config.attempt_repro triage merge_rng
+              ~vm:(Shard.vm shards.(ep.Shard.ep_shard))
+              ~now:ce.Shard.ce_time ce.Shard.ce_crash ce.Shard.ce_prog
+          with
+          | Some _ ->
+            incr crash_count;
+            Metrics.incr metrics "campaign.crashes"
+          | None -> ())
+        ep.Shard.ep_crashes;
+      List.iter
+        (fun (origin, (execs, new_edges)) ->
+          let e0, n0 =
+            Option.value ~default:(0, 0) (Hashtbl.find_opt origin_stats origin)
+          in
+          Hashtbl.replace origin_stats origin (e0 + execs, n0 + new_edges))
+        ep.Shard.ep_origin
+    in
+    let pool_metrics = Metrics.create () in
+    let report =
+      Pool.with_pool ~metrics:pool_metrics ~workers:jobs (fun pool ->
+          let stop = ref false in
+          let barrier = ref 0 in
+          while not !stop do
+            incr barrier;
+            let now =
+              Float.min config.duration
+                (float_of_int !barrier *. config.snapshot_every)
+            in
+            Metrics.incr metrics "campaign.barriers";
+            let epochs =
+              Pool.run_all pool
+                (Array.to_list
+                   (Array.map
+                      (fun sh () ->
+                        Shard.run_epoch sh ~corpus ~accum ~target:config.target
+                          ~until:now)
+                      shards))
+            in
+            let epochs =
+              List.map
+                (function Ok ep -> ep | Error e -> raise e)
+                epochs
+            in
+            (* Fold in shard order — the whole determinism story. *)
+            List.iter merge_epoch epochs;
+            (* First barrier that observed the target wins; among shards
+               of one barrier, the earliest shard-local hit time. *)
+            (match config.target with
+            | Some _ when !target_hit_at = None ->
+              List.iter
+                (fun (ep : Shard.epoch) ->
+                  match ep.Shard.ep_target_hit_at with
+                  | Some at ->
+                    target_hit_at :=
+                      Some
+                        (match !target_hit_at with
+                        | None -> at
+                        | Some best -> Float.min best at)
+                  | None -> ())
+                epochs
+            | Some _ | None -> ());
+            on_barrier ~now;
+            take_snapshots now;
+            let all_idle =
+              List.for_all (fun (ep : Shard.epoch) -> ep.Shard.ep_idle) epochs
+            in
+            if
+              now >= config.duration
+              || (config.target <> None && !target_hit_at <> None)
+              || all_idle
+            then stop := true
+          done;
+          (* Close the series grid out to the configured duration, exactly
+             like the sequential executor does on early exit. *)
+          take_snapshots config.duration;
+          let needs_final =
+            match !series_rev with
+            | last :: _ -> last.s_time < config.duration
+            | [] -> true
+          in
+          if needs_final then
+            series_rev :=
+              {
+                s_time = config.duration;
+                s_blocks = Accum.blocks_covered accum;
+                s_edges = Accum.edges_covered accum;
+                s_crashes = !crash_count;
+                s_execs = total_execs ();
+              }
+              :: !series_rev;
+          {
+            series = List.rev !series_rev;
+            final_blocks = Accum.blocks_covered accum;
+            final_edges = Accum.edges_covered accum;
+            crashes = Triage.all_found triage;
+            new_crashes = Triage.new_crashes triage;
+            known_crashes = Triage.known_crashes triage;
+            executions = total_execs ();
+            corpus_size = Corpus.size corpus;
+            target_hit_at = !target_hit_at;
+            origin_stats =
+              Hashtbl.fold (fun k v acc -> (k, v) :: acc) origin_stats []
+              |> List.sort compare;
+            corpus;
+            covered_blocks = Accum.snapshot_blocks accum;
+            metrics;
+          })
+    in
+    (* Fold per-shard registries (loop + vm counters) and the pool's own
+       registry into the report's, in shard order; the workers are parked
+       by now, so no registry is written concurrently. *)
+    Array.iter
+      (fun sh -> Metrics.merge_into ~dst:metrics (Shard.metrics sh))
+      shards;
+    Metrics.merge_into ~dst:metrics pool_metrics;
+    report
+  end
 
 let coverage_at report time =
   let rec go last = function

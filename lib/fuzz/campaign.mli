@@ -54,6 +54,27 @@ type report = {
 
 val run : Vm.t -> Strategy.t -> config -> report
 
+val run_parallel :
+  ?on_barrier:(now:float -> unit) ->
+  jobs:int ->
+  vm_for:(int -> Vm.t) ->
+  strategy_for:(int -> Strategy.t) ->
+  config ->
+  report
+(** Shard the campaign across [jobs] worker domains (see {!Shard}). Each
+    shard owns the VM and strategy built by [vm_for]/[strategy_for] for
+    its index and a named split of the campaign RNG; seed tests are dealt
+    round-robin. Shards fuzz independently between snapshot barriers
+    (every [snapshot_every] virtual seconds); at each barrier the main
+    domain folds coverage, corpus admissions (re-judged for novelty) and
+    crashes into the global state {e in shard order}, making the run
+    bit-for-bit reproducible given [(config.seed, jobs)] regardless of
+    scheduling. [on_barrier] runs on the main domain after each merge —
+    the hook the snowplow layer uses to flush batched inference requests.
+    [jobs = 1] delegates to the sequential {!run}. The report's registry
+    additionally carries per-shard loop/vm metrics (merged in shard
+    order) and the worker pool's [pool.*] metrics. *)
+
 val coverage_at : report -> float -> int
 (** Edge coverage at a given virtual time, interpolated from the series
     (step function); used to compute the paper's time-to-coverage

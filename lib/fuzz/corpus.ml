@@ -37,6 +37,21 @@ let create ?(hash = Prog.hash) ?distance () =
     best_tier = [];
   }
 
+(* Shards run each epoch against a private copy of the barrier-frozen
+   global corpus: entries are immutable, so the arrays are copied shallow
+   and the distance closure is shared. *)
+let copy t =
+  {
+    items = Array.copy t.items;
+    count = t.count;
+    seen = Hashtbl.copy t.seen;
+    hash = t.hash;
+    distance = t.distance;
+    dists = Array.copy t.dists;
+    best_dist = t.best_dist;
+    best_tier = t.best_tier;
+  }
+
 let size t = t.count
 
 let nth t i =

@@ -28,6 +28,11 @@ val create :
     evaluated once per entry at [add] time (coverage is immutable, so the
     distance is too) and drives [choose_directed]. *)
 
+val copy : t -> t
+(** An independent corpus with the same entries and distance index;
+    entries themselves (immutable) are shared. Each shard epoch runs
+    against a copy of the barrier-frozen global corpus. *)
+
 val size : t -> int
 
 val entries : t -> entry list

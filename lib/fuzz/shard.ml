@@ -1,0 +1,209 @@
+module Rng = Sp_util.Rng
+module Bitset = Sp_util.Bitset
+module Metrics = Sp_util.Metrics
+module Kernel = Sp_kernel.Kernel
+module Bug = Sp_kernel.Bug
+module Prog = Sp_syzlang.Prog
+module Accum = Sp_coverage.Accum
+
+type t = {
+  id : int;
+  vm : Vm.t;
+  clock : Clock.t;
+  rng : Rng.t;
+  strategy : Strategy.t;
+  metrics : Metrics.t;
+  executed : (int, Prog.t list) Hashtbl.t;
+  crash_seen : (string, unit) Hashtbl.t;
+  mutable seeds : Prog.t list;
+}
+
+let create ~id ~vm ~strategy ~rng ~seeds =
+  let metrics = Metrics.create () in
+  Vm.set_metrics vm metrics;
+  Vm.set_throughput_factor vm strategy.Strategy.throughput_factor;
+  {
+    id;
+    vm;
+    clock = Clock.create ();
+    rng;
+    strategy;
+    metrics;
+    executed = Hashtbl.create 4096;
+    crash_seen = Hashtbl.create 16;
+    seeds;
+  }
+
+let id t = t.id
+
+let vm t = t.vm
+
+let now t = Clock.now t.clock
+
+let metrics t = t.metrics
+
+type crash_event = {
+  ce_crash : Kernel.crash;
+  ce_prog : Prog.t;
+  ce_time : float;
+}
+
+type epoch = {
+  ep_shard : int;
+  ep_admissions : Corpus.entry list;
+  ep_crashes : crash_event list;
+  ep_blocks : Bitset.t;
+  ep_edges : Bitset.t;
+  ep_origin : (string * (int * int)) list;
+  ep_target_hit_at : float option;
+  ep_idle : bool;
+}
+
+(* Mutable working set of one epoch. *)
+type ctx = {
+  acc : Accum.t;  (* private: global snapshot + this epoch's coverage *)
+  local : Corpus.t;  (* private copy of the barrier-frozen global corpus *)
+  obs_blocks : Bitset.t;  (* everything observed this epoch, for the merge *)
+  obs_edges : Bitset.t;
+  origin : (string, int * int) Hashtbl.t;
+  mutable admissions_rev : Corpus.entry list;
+  mutable crashes_rev : crash_event list;
+  mutable target_hit_at : float option;
+  mutable worked : bool;
+}
+
+let seen_executed t prog h =
+  match Hashtbl.find_opt t.executed h with
+  | None -> false
+  | Some bucket -> List.exists (Prog.equal prog) bucket
+
+let mark_executed t prog h =
+  let bucket = Option.value ~default:[] (Hashtbl.find_opt t.executed h) in
+  Hashtbl.replace t.executed h (prog :: bucket)
+
+let check_target t ctx target =
+  match target with
+  | Some b when ctx.target_hit_at = None && Accum.mem_block ctx.acc b ->
+    ctx.target_hit_at <- Some (Clock.now t.clock)
+  | Some _ | None -> ()
+
+let ingest ?(origin = "seed") t ctx target prog (r : Kernel.result) =
+  ctx.worked <- true;
+  let delta =
+    Accum.add ctx.acc ~blocks:r.Kernel.covered ~edges:r.Kernel.covered_edges
+  in
+  ignore (Bitset.union_into ~dst:ctx.obs_blocks r.Kernel.covered);
+  ignore (Bitset.union_into ~dst:ctx.obs_edges r.Kernel.covered_edges);
+  (let execs, new_edges =
+     Option.value ~default:(0, 0) (Hashtbl.find_opt ctx.origin origin)
+   in
+   Hashtbl.replace ctx.origin origin (execs + 1, new_edges + delta.Accum.new_edges));
+  (* Crashing programs never enter the corpus (see Campaign.ingest). *)
+  if r.Kernel.crash = None && (delta.Accum.new_blocks > 0 || delta.Accum.new_edges > 0)
+  then begin
+    let entry =
+      {
+        Corpus.prog;
+        blocks = r.Kernel.covered;
+        edges = r.Kernel.covered_edges;
+        added_at = Clock.now t.clock;
+      }
+    in
+    if Corpus.add ctx.local entry then
+      ctx.admissions_rev <- entry :: ctx.admissions_rev
+  end;
+  (match r.Kernel.crash with
+  | Some crash ->
+    (* One event per description per shard bounds the merge's work; the
+       global triage dedups across shards. *)
+    let d = Bug.description crash.Kernel.bug in
+    if not (Hashtbl.mem t.crash_seen d) then begin
+      Hashtbl.add t.crash_seen d ();
+      ctx.crashes_rev <-
+        { ce_crash = crash; ce_prog = prog; ce_time = Clock.now t.clock }
+        :: ctx.crashes_rev
+    end
+  | None -> ());
+  check_target t ctx target
+
+let run_epoch t ~corpus ~accum ~target ~until =
+  let kernel = Vm.kernel t.vm in
+  let ctx =
+    {
+      acc = Accum.copy accum;
+      local = Corpus.copy corpus;
+      obs_blocks = Bitset.create (Kernel.num_blocks kernel);
+      obs_edges = Bitset.create (Sp_cfg.Cfg.num_edges (Kernel.cfg kernel));
+      origin = Hashtbl.create 8;
+      admissions_rev = [];
+      crashes_rev = [];
+      target_hit_at = None;
+      worked = false;
+    }
+  in
+  let finished () =
+    Clock.now t.clock >= until || (target <> None && ctx.target_hit_at <> None)
+  in
+  (* Leftover seed slice first (all of it in the first epoch, normally). *)
+  while (not (finished ())) && t.seeds <> [] do
+    match t.seeds with
+    | [] -> ()
+    | prog :: rest ->
+      t.seeds <- rest;
+      let h = Prog.hash prog in
+      if not (seen_executed t prog h) then begin
+        mark_executed t prog h;
+        let r = Vm.run t.vm t.clock prog in
+        ingest t ctx target prog r
+      end
+  done;
+  (* Mutation loop, mirroring the sequential executor. *)
+  while (not (finished ())) && Corpus.size ctx.local > 0 do
+    ctx.worked <- true;
+    Metrics.incr t.metrics "campaign.iterations";
+    let iter_start = Clock.now t.clock in
+    let entry =
+      match target with
+      | Some _ -> Corpus.choose_directed t.rng ctx.local
+      | None -> Corpus.choose t.rng ctx.local
+    in
+    let proposals =
+      Metrics.time t.metrics "campaign.propose_cpu_s" (fun () ->
+          t.strategy.Strategy.propose t.rng ~now:(Clock.now t.clock)
+            ~covered:(Accum.blocks ctx.acc) ctx.local entry)
+    in
+    Metrics.incr ~by:(List.length proposals) t.metrics "campaign.proposals";
+    List.iter
+      (fun (p : Strategy.proposal) ->
+        if not (finished ()) then begin
+          let h = Prog.hash p.Strategy.prog in
+          if seen_executed t p.Strategy.prog h then begin
+            Metrics.incr t.metrics "campaign.duplicates";
+            Vm.charge_duplicate t.vm t.clock
+          end
+          else begin
+            mark_executed t p.Strategy.prog h;
+            let r = Vm.run t.vm t.clock p.Strategy.prog in
+            ingest ~origin:p.Strategy.origin t ctx target p.Strategy.prog r
+          end
+        end)
+      proposals;
+    Metrics.observe t.metrics "campaign.iter_virtual_s"
+      (Clock.now t.clock -. iter_start)
+  done;
+  (* Keep shards in lockstep: a shard that ran out of work (or hit the
+     target) still arrives at the barrier with clock = [until]. *)
+  if Clock.now t.clock < until then
+    Clock.advance t.clock (until -. Clock.now t.clock);
+  {
+    ep_shard = t.id;
+    ep_admissions = List.rev ctx.admissions_rev;
+    ep_crashes = List.rev ctx.crashes_rev;
+    ep_blocks = ctx.obs_blocks;
+    ep_edges = ctx.obs_edges;
+    ep_origin =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) ctx.origin []
+      |> List.sort compare;
+    ep_target_hit_at = ctx.target_hit_at;
+    ep_idle = not ctx.worked;
+  }

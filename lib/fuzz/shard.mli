@@ -1,0 +1,73 @@
+(** One worker's slice of a parallel campaign.
+
+    A shard owns a private {!Vm.t}, {!Clock.t}, RNG stream and mutation
+    strategy, plus its cross-epoch executed-set and metrics registry. The
+    parallel executor runs shards in lockstep epochs: between two snapshot
+    barriers each shard fuzzes {e independently} against a private copy of
+    the barrier-frozen global corpus and coverage accumulator, recording —
+    in discovery order — the corpus admissions, crash events and coverage
+    it produced. The executor then folds those epoch results back into the
+    global state in shard order, which is what makes a parallel run
+    bit-for-bit reproducible given [(seed, jobs)]: no shard ever observes
+    another shard's work except through the deterministic barrier merge. *)
+
+type t
+
+val create :
+  id:int ->
+  vm:Vm.t ->
+  strategy:Strategy.t ->
+  rng:Sp_util.Rng.t ->
+  seeds:Sp_syzlang.Prog.t list ->
+  t
+(** [seeds] is this shard's slice of the campaign seed corpus, executed
+    (once each) before mutation work. Attaches the shard's metrics
+    registry to [vm] and applies the strategy's throughput factor. *)
+
+val id : t -> int
+
+val vm : t -> Vm.t
+
+val now : t -> float
+(** The shard's virtual clock. *)
+
+val metrics : t -> Sp_util.Metrics.t
+(** Shard-local registry (campaign.* loop counters, vm.* costs); the
+    executor merges these into the report registry in shard order. *)
+
+type crash_event = {
+  ce_crash : Sp_kernel.Kernel.crash;
+  ce_prog : Sp_syzlang.Prog.t;
+  ce_time : float;  (** shard-local virtual time of the crash *)
+}
+
+type epoch = {
+  ep_shard : int;
+  ep_admissions : Corpus.entry list;
+      (** shard-local corpus admissions, in discovery order; the merge
+          re-checks each against the evolving global accumulator *)
+  ep_crashes : crash_event list;
+      (** first occurrence per crash description per shard, in discovery
+          order; cross-shard dedup happens in the merge's triage *)
+  ep_blocks : Sp_util.Bitset.t;  (** all block coverage observed this epoch *)
+  ep_edges : Sp_util.Bitset.t;
+  ep_origin : (string * (int * int)) list;
+      (** per proposal origin: executions, shard-locally-new edges *)
+  ep_target_hit_at : float option;
+  ep_idle : bool;
+      (** true when the shard had no work at all (no seeds left, empty
+          corpus) — the executor stops once every shard reports idle *)
+}
+
+val run_epoch :
+  t ->
+  corpus:Corpus.t ->
+  accum:Sp_coverage.Accum.t ->
+  target:int option ->
+  until:float ->
+  epoch
+(** Fuzz until the shard clock reaches [until] (or the target is hit),
+    against private copies of [corpus] and [accum] — both are only read,
+    so concurrent [run_epoch] calls on distinct shards may share them.
+    The shard clock is fast-forwarded to [until] when work runs out, so
+    shards stay in lockstep across epochs. *)

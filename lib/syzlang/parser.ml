@@ -89,10 +89,32 @@ let parse_quoted st =
     | Some '"' -> advance st
     | Some '\\' ->
       advance st;
+      (* The printer emits OCaml [%S] escapes: backslash, double quote,
+         \n \t \r \b, and \ddd (3 decimal digits) for the remaining
+         non-printables. *)
       (match peek st with
+      | Some ('0' .. '9') ->
+        let digit () =
+          match peek st with
+          | Some ('0' .. '9' as c) -> advance st; Char.code c - Char.code '0'
+          | Some _ | None -> error st "expected 3-digit decimal escape"
+        in
+        (* explicit sequencing: OCaml evaluates operands right-to-left *)
+        let d1 = digit () in
+        let d2 = digit () in
+        let d3 = digit () in
+        let code = (100 * d1) + (10 * d2) + d3 in
+        if code > 255 then error st "decimal escape out of range";
+        Buffer.add_char buf (Char.chr code)
       | Some c ->
         advance st;
-        Buffer.add_char buf (match c with 'n' -> '\n' | 't' -> '\t' | c -> c)
+        Buffer.add_char buf
+          (match c with
+          | 'n' -> '\n'
+          | 't' -> '\t'
+          | 'r' -> '\r'
+          | 'b' -> '\b'
+          | c -> c)
       | None -> error st "unterminated escape");
       go ()
     | Some c ->

@@ -1,0 +1,231 @@
+type task = unit -> unit
+
+type t = {
+  lock : Mutex.t;
+  work : Condition.t;  (* signalled on submit and on shutdown *)
+  queues : task Queue.t array;  (* one per worker, all guarded by [lock] *)
+  mutable rr : int;  (* next queue for round-robin submission *)
+  mutable live : bool;
+  mutable domains : unit Domain.t array;
+  metrics : Metrics.t;
+}
+
+type 'a handle = {
+  h_lock : Mutex.t;
+  h_done : Condition.t;
+  mutable result : ('a, exn) result option;
+}
+
+let now_ns () = Unix.gettimeofday () *. 1e9
+
+(* All [t.metrics] updates happen with [t.lock] held: the registry is not
+   thread-safe. *)
+
+let take t i =
+  if not (Queue.is_empty t.queues.(i)) then Some (Queue.pop t.queues.(i))
+  else begin
+    let n = Array.length t.queues in
+    let found = ref None in
+    let k = ref 1 in
+    while !found = None && !k < n do
+      let j = (i + !k) mod n in
+      if not (Queue.is_empty t.queues.(j)) then begin
+        Metrics.incr t.metrics "pool.steals";
+        found := Some (Queue.pop t.queues.(j))
+      end;
+      incr k
+    done;
+    !found
+  end
+
+let rec next_task t i =
+  match take t i with
+  | Some _ as task -> task
+  | None ->
+    if not t.live then None
+    else begin
+      let parked = now_ns () in
+      Condition.wait t.work t.lock;
+      Metrics.observe t.metrics "pool.idle_ns" (now_ns () -. parked);
+      next_task t i
+    end
+
+let worker t i () =
+  let rec loop () =
+    Mutex.lock t.lock;
+    match next_task t i with
+    | None -> Mutex.unlock t.lock
+    | Some task ->
+      Metrics.incr t.metrics "pool.tasks";
+      Mutex.unlock t.lock;
+      task ();
+      loop ()
+  in
+  loop ()
+
+let create ?metrics ~workers () =
+  if workers < 1 then invalid_arg "Pool.create: workers must be >= 1";
+  let t =
+    {
+      lock = Mutex.create ();
+      work = Condition.create ();
+      queues = Array.init workers (fun _ -> Queue.create ());
+      rr = 0;
+      live = true;
+      domains = [||];
+      metrics = (match metrics with Some m -> m | None -> Metrics.create ());
+    }
+  in
+  t.domains <- Array.init workers (fun i -> Domain.spawn (worker t i));
+  t
+
+let workers t = Array.length t.queues
+
+let metrics t = t.metrics
+
+let submit t f =
+  let h = { h_lock = Mutex.create (); h_done = Condition.create (); result = None } in
+  let task () =
+    let r = try Ok (f ()) with e -> Error e in
+    Mutex.lock h.h_lock;
+    h.result <- Some r;
+    Condition.broadcast h.h_done;
+    Mutex.unlock h.h_lock
+  in
+  Mutex.lock t.lock;
+  if not t.live then begin
+    Mutex.unlock t.lock;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  Queue.push task t.queues.(t.rr);
+  t.rr <- (t.rr + 1) mod Array.length t.queues;
+  Condition.broadcast t.work;
+  Mutex.unlock t.lock;
+  h
+
+let await h =
+  Mutex.lock h.h_lock;
+  while h.result = None do
+    Condition.wait h.h_done h.h_lock
+  done;
+  let r = match h.result with Some r -> r | None -> assert false in
+  Mutex.unlock h.h_lock;
+  r
+
+let run_all t thunks =
+  let handles = List.map (submit t) thunks in
+  let blocked = now_ns () in
+  let results = List.map await handles in
+  Mutex.lock t.lock;
+  Metrics.observe t.metrics "pool.barrier_wait_ns" (now_ns () -. blocked);
+  Mutex.unlock t.lock;
+  results
+
+let shutdown t =
+  Mutex.lock t.lock;
+  if t.live then begin
+    t.live <- false;
+    Condition.broadcast t.work;
+    Mutex.unlock t.lock;
+    Array.iter Domain.join t.domains
+  end
+  else Mutex.unlock t.lock
+
+let with_pool ?metrics ~workers f =
+  let t = create ?metrics ~workers () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+module Chan = struct
+  type 'a t = {
+    lock : Mutex.t;
+    not_full : Condition.t;
+    not_empty : Condition.t;
+    buf : 'a Queue.t;
+    capacity : int;
+    mutable closed : bool;
+  }
+
+  exception Closed
+
+  let create ~capacity =
+    if capacity < 1 then invalid_arg "Chan.create: capacity must be >= 1";
+    {
+      lock = Mutex.create ();
+      not_full = Condition.create ();
+      not_empty = Condition.create ();
+      buf = Queue.create ();
+      capacity;
+      closed = false;
+    }
+
+  let send t x =
+    Mutex.lock t.lock;
+    while (not t.closed) && Queue.length t.buf >= t.capacity do
+      Condition.wait t.not_full t.lock
+    done;
+    if t.closed then begin
+      Mutex.unlock t.lock;
+      raise Closed
+    end;
+    Queue.push x t.buf;
+    Condition.broadcast t.not_empty;
+    Mutex.unlock t.lock
+
+  let try_send t x =
+    Mutex.lock t.lock;
+    if t.closed then begin
+      Mutex.unlock t.lock;
+      raise Closed
+    end;
+    let ok = Queue.length t.buf < t.capacity in
+    if ok then begin
+      Queue.push x t.buf;
+      Condition.broadcast t.not_empty
+    end;
+    Mutex.unlock t.lock;
+    ok
+
+  let recv t =
+    Mutex.lock t.lock;
+    while Queue.is_empty t.buf && not t.closed do
+      Condition.wait t.not_empty t.lock
+    done;
+    let r =
+      if Queue.is_empty t.buf then None
+      else begin
+        let x = Queue.pop t.buf in
+        Condition.broadcast t.not_full;
+        Some x
+      end
+    in
+    Mutex.unlock t.lock;
+    r
+
+  let try_recv t =
+    Mutex.lock t.lock;
+    let r =
+      if Queue.is_empty t.buf then None
+      else begin
+        let x = Queue.pop t.buf in
+        Condition.broadcast t.not_full;
+        Some x
+      end
+    in
+    Mutex.unlock t.lock;
+    r
+
+  let close t =
+    Mutex.lock t.lock;
+    if not t.closed then begin
+      t.closed <- true;
+      Condition.broadcast t.not_empty;
+      Condition.broadcast t.not_full
+    end;
+    Mutex.unlock t.lock
+
+  let length t =
+    Mutex.lock t.lock;
+    let n = Queue.length t.buf in
+    Mutex.unlock t.lock;
+    n
+end

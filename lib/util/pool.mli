@@ -1,0 +1,75 @@
+(** Fixed-size domain worker pool with per-worker task queues.
+
+    The parallel campaign executor runs one epoch per shard between
+    snapshot barriers; this pool owns the worker domains so they are
+    spawned once per campaign, not once per epoch. Tasks are submitted
+    round-robin to per-worker queues; an idle worker steals from a
+    sibling's queue before sleeping, so one slow shard cannot strand
+    queued work behind it. A raising task resolves its handle to
+    [Error] — the worker survives and keeps draining the queues.
+
+    Observability lands in a {!Metrics} registry (updated only under the
+    pool lock, since registries are not thread-safe): [pool.tasks] and
+    [pool.steals] counters, [pool.idle_ns] (time a worker spent parked
+    waiting for work) and [pool.barrier_wait_ns] (time the submitter
+    spent blocked in {!run_all}) histograms. *)
+
+type t
+
+val create : ?metrics:Metrics.t -> workers:int -> unit -> t
+(** Spawn [workers] domains (>= 1). *)
+
+val workers : t -> int
+
+val metrics : t -> Metrics.t
+
+type 'a handle
+
+val submit : t -> (unit -> 'a) -> 'a handle
+(** Enqueue a task. Raises [Invalid_argument] after {!shutdown}. *)
+
+val await : 'a handle -> ('a, exn) result
+(** Block until the task has run. A task that raised reports its
+    exception here instead of killing the worker. *)
+
+val run_all : t -> (unit -> 'a) list -> ('a, exn) result list
+(** Submit every thunk, then await them all (a barrier); results are in
+    submission order. Records the blocked time as [pool.barrier_wait_ns]. *)
+
+val shutdown : t -> unit
+(** Drain every queued task, then join the worker domains. Idempotent. *)
+
+val with_pool : ?metrics:Metrics.t -> workers:int -> (t -> 'a) -> 'a
+(** [create], run, then [shutdown] (also on exceptions). *)
+
+(** Bounded multi-producer multi-consumer channel on [Mutex]/[Condition];
+    the cross-domain hand-off primitive for streaming pipelines (the pool
+    itself uses per-worker queues, not a channel). *)
+module Chan : sig
+  type 'a t
+
+  exception Closed
+
+  val create : capacity:int -> 'a t
+  (** Raises [Invalid_argument] when [capacity < 1]. *)
+
+  val send : 'a t -> 'a -> unit
+  (** Blocks while full. Raises {!Closed} if the channel is (or becomes)
+      closed while sending. *)
+
+  val try_send : 'a t -> 'a -> bool
+  (** Non-blocking; [false] when full. Raises {!Closed} when closed. *)
+
+  val recv : 'a t -> 'a option
+  (** Blocks while empty and open; [None] once the channel is closed and
+      drained. *)
+
+  val try_recv : 'a t -> 'a option
+  (** Non-blocking; [None] when currently empty (even if open). *)
+
+  val close : 'a t -> unit
+  (** Wake all blocked senders/receivers. Buffered items remain
+      receivable. Idempotent. *)
+
+  val length : 'a t -> int
+end

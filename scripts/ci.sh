@@ -1,0 +1,20 @@
+#!/bin/sh
+# CI entry point: full build + typecheck + test suite, then verify the
+# working tree stayed clean (no build artifacts or generated files leaked
+# outside _build/, which .gitignore must keep invisible to git).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build @ci (default + @check + runtest) =="
+dune build @ci
+
+echo "== working tree hygiene =="
+status="$(git status --short)"
+if printf '%s\n' "$status" | grep -q '_build'; then
+  echo "FAIL: _build/ artifacts visible to git:" >&2
+  printf '%s\n' "$status" >&2
+  exit 1
+fi
+
+echo "ci: OK"

@@ -243,6 +243,21 @@ let test_campaign_deterministic () =
   in
   Alcotest.(check int) "same seed, same result" (run ()) (run ())
 
+(* Golden regression: these exact values pin the sequential executor's
+   scheduling. Accidental nondeterminism — e.g. hashtable iteration order
+   leaking into base selection or proposal order — shows up here as a
+   value change even when coverage "looks fine". An intentional change to
+   the loop, the VM cost model, the mutation engine or the kernel
+   generator legitimately moves them: re-pin after understanding why. *)
+let test_campaign_golden () =
+  let vm = Vm.create ~seed:5 kernel in
+  let r = Campaign.run vm (Strategy.syzkaller db) short_cfg in
+  Alcotest.(check int) "final_blocks" 339 r.Campaign.final_blocks;
+  Alcotest.(check int) "final_edges" 392 r.Campaign.final_edges;
+  Alcotest.(check int) "executions" 3408 r.Campaign.executions;
+  Alcotest.(check int) "corpus_size" 62 r.Campaign.corpus_size;
+  Alcotest.(check int) "crashes" 5 (List.length r.Campaign.crashes)
+
 let test_campaign_coverage_helpers () =
   let vm = Vm.create ~seed:1 kernel in
   let r = Campaign.run vm (Strategy.syzkaller db) short_cfg in
@@ -362,6 +377,7 @@ let () =
           Alcotest.test_case "runs" `Quick test_campaign_runs;
           Alcotest.test_case "series monotone" `Quick test_campaign_series_monotone;
           Alcotest.test_case "deterministic" `Quick test_campaign_deterministic;
+          Alcotest.test_case "golden values pinned" `Quick test_campaign_golden;
           Alcotest.test_case "coverage helpers" `Quick test_campaign_coverage_helpers;
           Alcotest.test_case "directed easy target" `Quick test_campaign_directed_easy_target;
           Alcotest.test_case "loop metrics recorded" `Quick test_campaign_metrics_recorded;

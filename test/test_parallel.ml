@@ -1,0 +1,319 @@
+(* Tests for the parallel execution layer: the Sp_util.Pool worker pool
+   and its bounded channel, the deterministic sharded campaign executor,
+   and the barrier-batched inference funnel. The determinism properties
+   here are the contract the whole design hangs on: identical (seed,
+   jobs) must give identical reports, regardless of domain scheduling. *)
+
+module Rng = Sp_util.Rng
+module Pool = Sp_util.Pool
+module Metrics = Sp_util.Metrics
+module Kernel = Sp_kernel.Kernel
+module Build = Sp_kernel.Build
+module Prog = Sp_syzlang.Prog
+module Gen = Sp_syzlang.Gen
+module Vm = Sp_fuzz.Vm
+module Strategy = Sp_fuzz.Strategy
+module Campaign = Sp_fuzz.Campaign
+module Triage = Sp_fuzz.Triage
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* Pool                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_runs_tasks () =
+  Pool.with_pool ~workers:3 (fun pool ->
+      let results =
+        Pool.run_all pool (List.init 20 (fun i () -> i * i))
+      in
+      let values = List.map (function Ok v -> v | Error e -> raise e) results in
+      check (Alcotest.list Alcotest.int) "results in submission order"
+        (List.init 20 (fun i -> i * i))
+        values;
+      Alcotest.(check bool) "tasks counted" true
+        (Metrics.counter (Pool.metrics pool) "pool.tasks" >= 20))
+
+exception Boom of int
+
+let test_pool_survives_raising_task () =
+  Pool.with_pool ~workers:2 (fun pool ->
+      let results =
+        Pool.run_all pool
+          (List.init 10 (fun i () -> if i = 3 then raise (Boom i) else i))
+      in
+      (* the failing task reports its exception... *)
+      (match List.nth results 3 with
+      | Error (Boom 3) -> ()
+      | Error e -> Alcotest.failf "wrong exception: %s" (Printexc.to_string e)
+      | Ok _ -> Alcotest.fail "task 3 should have failed");
+      (* ...and every other task still ran to completion. *)
+      List.iteri
+        (fun i r ->
+          if i <> 3 then
+            match r with
+            | Ok v -> check Alcotest.int "succeeded" i v
+            | Error e -> Alcotest.failf "task %d died: %s" i (Printexc.to_string e))
+        results;
+      (* the pool is still usable afterwards *)
+      match Pool.run_all pool [ (fun () -> 41 + 1) ] with
+      | [ Ok 42 ] -> ()
+      | _ -> Alcotest.fail "pool unusable after a task raised")
+
+let test_pool_submit_after_shutdown () =
+  let pool = Pool.create ~workers:1 () in
+  Pool.shutdown pool;
+  Pool.shutdown pool (* idempotent *);
+  Alcotest.check_raises "submit refused"
+    (Invalid_argument "Pool.submit: pool is shut down") (fun () ->
+      ignore (Pool.submit pool (fun () -> ())))
+
+let test_pool_many_rounds () =
+  (* Several barrier rounds through one pool: per-worker queues must not
+     leak state between rounds. *)
+  Pool.with_pool ~workers:4 (fun pool ->
+      for round = 1 to 5 do
+        let results = Pool.run_all pool (List.init 8 (fun i () -> round * i)) in
+        List.iteri
+          (fun i r -> check Alcotest.int "value" (round * i)
+              (match r with Ok v -> v | Error e -> raise e))
+          results
+      done)
+
+(* ------------------------------------------------------------------ *)
+(* Chan                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_chan_fifo () =
+  let c = Pool.Chan.create ~capacity:8 in
+  List.iter (Pool.Chan.send c) [ 1; 2; 3 ];
+  check Alcotest.int "length" 3 (Pool.Chan.length c);
+  check (Alcotest.option Alcotest.int) "fifo 1" (Some 1) (Pool.Chan.recv c);
+  check (Alcotest.option Alcotest.int) "fifo 2" (Some 2) (Pool.Chan.try_recv c);
+  Pool.Chan.close c;
+  check (Alcotest.option Alcotest.int) "drains after close" (Some 3)
+    (Pool.Chan.recv c);
+  check (Alcotest.option Alcotest.int) "closed and empty" None (Pool.Chan.recv c);
+  Alcotest.check_raises "send to closed raises" Pool.Chan.Closed (fun () ->
+      Pool.Chan.send c 9)
+
+let test_chan_capacity () =
+  let c = Pool.Chan.create ~capacity:2 in
+  Alcotest.(check bool) "accepts under capacity" true (Pool.Chan.try_send c 1);
+  Alcotest.(check bool) "accepts at capacity" true (Pool.Chan.try_send c 2);
+  Alcotest.(check bool) "refuses over capacity" false (Pool.Chan.try_send c 3);
+  check (Alcotest.option Alcotest.int) "pop" (Some 1) (Pool.Chan.try_recv c);
+  Alcotest.(check bool) "accepts again" true (Pool.Chan.try_send c 3)
+
+let test_chan_cross_domain () =
+  (* A producer domain streams into a small channel while this domain
+     consumes: blocking send/recv must hand all items over, in order. *)
+  let c = Pool.Chan.create ~capacity:4 in
+  let producer =
+    Domain.spawn (fun () ->
+        for i = 1 to 100 do
+          Pool.Chan.send c i
+        done;
+        Pool.Chan.close c)
+  in
+  let received = ref [] in
+  let rec drain () =
+    match Pool.Chan.recv c with
+    | Some v ->
+      received := v :: !received;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Domain.join producer;
+  check (Alcotest.list Alcotest.int) "all items, in order"
+    (List.init 100 (fun i -> i + 1))
+    (List.rev !received)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel campaign                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let small_config =
+  { Build.default_config with num_syscalls = 16; handler_budget = 120; max_depth = 8 }
+
+let kernel = Kernel.generate small_config
+
+let db = Kernel.spec_db kernel
+
+let seeds = Gen.corpus (Rng.create 42) db ~size:30
+
+let short_cfg =
+  { Campaign.default_config with
+    seed_corpus = seeds; seed = 7; duration = 900.0; snapshot_every = 300.0 }
+
+let run_par ?(cfg = short_cfg) jobs =
+  Campaign.run_parallel ~jobs
+    ~vm_for:(fun s -> Vm.create ~seed:(100 + s) kernel)
+    ~strategy_for:(fun _ -> Strategy.syzkaller db)
+    cfg
+
+let snapshot_tuple (s : Campaign.snapshot) =
+  (s.Campaign.s_time, s.Campaign.s_blocks, s.Campaign.s_edges,
+   s.Campaign.s_crashes, s.Campaign.s_execs)
+
+(* Everything deterministic in a report (the metrics registry also carries
+   wall-clock pool timings, so it is deliberately excluded). *)
+let report_fingerprint (r : Campaign.report) =
+  ( List.map snapshot_tuple r.Campaign.series,
+    (r.Campaign.final_blocks, r.Campaign.final_edges, r.Campaign.executions,
+     r.Campaign.corpus_size, r.Campaign.target_hit_at),
+    List.map (fun (f : Triage.found) -> (f.Triage.description, f.Triage.found_at))
+      r.Campaign.crashes,
+    r.Campaign.origin_stats )
+
+let test_parallel_reproducible () =
+  let a = run_par 3 and b = run_par 3 in
+  Alcotest.(check bool) "identical reports for identical (seed, jobs)" true
+    (report_fingerprint a = report_fingerprint b);
+  Alcotest.(check bool) "did real work" true (a.Campaign.executions > 0);
+  Alcotest.(check bool) "found coverage" true (a.Campaign.final_edges > 0)
+
+let test_parallel_jobs1_matches_sequential () =
+  let vm = Vm.create ~seed:100 kernel in
+  let seq = Campaign.run vm (Strategy.syzkaller db) short_cfg in
+  let par = run_par 1 in
+  Alcotest.(check bool) "jobs=1 equals the sequential executor" true
+    (report_fingerprint seq = report_fingerprint par)
+
+let test_parallel_jobs_change_results_deterministically () =
+  (* Different shard counts give different (but each reproducible)
+     schedules; and more workers must not lose the ability to fuzz. *)
+  let two = run_par 2 and four = run_par 4 in
+  Alcotest.(check bool) "4 shards executed at least as much" true
+    (four.Campaign.executions > two.Campaign.executions / 2);
+  Alcotest.(check bool) "coverage found at both widths" true
+    (two.Campaign.final_edges > 0 && four.Campaign.final_edges > 0);
+  let four' = run_par 4 in
+  Alcotest.(check bool) "jobs=4 reproducible too" true
+    (report_fingerprint four = report_fingerprint four')
+
+let test_parallel_series_shape () =
+  let r = run_par 3 in
+  let times = List.map (fun (s : Campaign.snapshot) -> s.Campaign.s_time) r.Campaign.series in
+  check (Alcotest.list (Alcotest.float 1e-6)) "full snapshot grid"
+    [ 300.0; 600.0; 900.0 ] times;
+  (* executions accumulate monotonically across barriers *)
+  let execs = List.map (fun (s : Campaign.snapshot) -> s.Campaign.s_execs) r.Campaign.series in
+  Alcotest.(check bool) "monotone executions" true
+    (List.sort compare execs = execs);
+  Alcotest.(check bool) "pool metrics merged into the report" true
+    (Metrics.counter r.Campaign.metrics "pool.tasks" > 0)
+
+let test_parallel_validation () =
+  Alcotest.check_raises "jobs must be positive"
+    (Invalid_argument "Campaign.run_parallel: jobs must be >= 1") (fun () ->
+      ignore (run_par 0))
+
+(* ------------------------------------------------------------------ *)
+(* Funnel                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* A real (untrained) PMM behind the real service: creation is cheap, and
+   prediction content is irrelevant here — the funnel contract under test
+   is deferral, shard-ordered batched forwarding, and broadcast. *)
+let inference () =
+  let encoder =
+    Snowplow.Encoder.pretrain
+      ~config:{ Snowplow.Encoder.default_config with steps = 40 }
+      kernel
+  in
+  let model =
+    Snowplow.Pmm.create
+      ~encoder_dim:(Snowplow.Encoder.dim encoder)
+      ~num_syscalls:(Sp_syzlang.Spec.count db) ()
+  in
+  Snowplow.Inference.create ~kernel
+    ~block_embs:(Snowplow.Encoder.embed_kernel encoder kernel)
+    model
+
+let test_funnel_defers_and_broadcasts () =
+  let service = inference () in
+  let funnel = Snowplow.Funnel.create ~shards:2 service in
+  let ep0 = Snowplow.Funnel.endpoint funnel ~shard:0 in
+  let ep1 = Snowplow.Funnel.endpoint funnel ~shard:1 in
+  let prog s = Gen.program (Rng.create s) db () in
+  Alcotest.(check bool) "shard 0 request accepted" true
+    (ep0.Snowplow.Inference.ep_request ~now:0.0 (prog 1) ~targets:[ 0 ]);
+  Alcotest.(check bool) "shard 1 request accepted" true
+    (ep1.Snowplow.Inference.ep_request ~now:0.0 (prog 2) ~targets:[ 0 ]);
+  (* Nothing reaches the service until the barrier flush. *)
+  check Alcotest.int "service idle before flush" 0
+    (Snowplow.Inference.served service + Snowplow.Inference.pending service);
+  check Alcotest.int "nothing delivered mid-epoch" 0
+    (List.length (ep0.Snowplow.Inference.ep_poll ~now:0.0));
+  check Alcotest.int "deferred counted" 2
+    (Snowplow.Funnel.requests_deferred funnel);
+  (* Barrier 1: forward both; they complete after the service latency. *)
+  ignore (Snowplow.Funnel.flush funnel ~now:100.0);
+  check Alcotest.int "batch admitted" 2 (Snowplow.Inference.pending service);
+  let delivered = Snowplow.Funnel.flush funnel ~now:200.0 in
+  check Alcotest.int "both predictions completed" 2 delivered;
+  let inbox0 = ep0.Snowplow.Inference.ep_poll ~now:200.0 in
+  let inbox1 = ep1.Snowplow.Inference.ep_poll ~now:200.0 in
+  check Alcotest.int "broadcast to shard 0" 2 (List.length inbox0);
+  check Alcotest.int "broadcast to shard 1" 2 (List.length inbox1);
+  Alcotest.(check bool) "same predictions, same order" true
+    (List.map fst inbox0 = List.map fst inbox1);
+  check Alcotest.int "inbox drained by poll" 0
+    (List.length (ep0.Snowplow.Inference.ep_poll ~now:200.0));
+  check Alcotest.int "one batch recorded" 1
+    (Metrics.counter (Snowplow.Inference.metrics service) "inference.batches")
+
+let test_funnel_outbox_bound () =
+  let service = inference () in
+  let funnel = Snowplow.Funnel.create ~max_outbox:2 ~shards:1 service in
+  let ep = Snowplow.Funnel.endpoint funnel ~shard:0 in
+  let prog s = Gen.program (Rng.create s) db () in
+  Alcotest.(check bool) "1st accepted" true
+    (ep.Snowplow.Inference.ep_request ~now:0.0 (prog 1) ~targets:[ 0 ]);
+  Alcotest.(check bool) "2nd accepted" true
+    (ep.Snowplow.Inference.ep_request ~now:0.0 (prog 2) ~targets:[ 0 ]);
+  Alcotest.(check bool) "3rd refused (outbox full)" false
+    (ep.Snowplow.Inference.ep_request ~now:0.0 (prog 3) ~targets:[ 0 ]);
+  check Alcotest.int "drop counted" 1 (Snowplow.Funnel.dropped funnel)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "sp_parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "runs tasks, ordered results" `Quick test_pool_runs_tasks;
+          Alcotest.test_case "survives a raising task" `Quick
+            test_pool_survives_raising_task;
+          Alcotest.test_case "submit after shutdown" `Quick
+            test_pool_submit_after_shutdown;
+          Alcotest.test_case "many barrier rounds" `Quick test_pool_many_rounds;
+        ] );
+      ( "chan",
+        [
+          Alcotest.test_case "fifo and close" `Quick test_chan_fifo;
+          Alcotest.test_case "capacity bound" `Quick test_chan_capacity;
+          Alcotest.test_case "cross-domain streaming" `Quick test_chan_cross_domain;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "same (seed, jobs) => identical report" `Quick
+            test_parallel_reproducible;
+          Alcotest.test_case "jobs=1 matches sequential" `Quick
+            test_parallel_jobs1_matches_sequential;
+          Alcotest.test_case "width scaling stays deterministic" `Quick
+            test_parallel_jobs_change_results_deterministically;
+          Alcotest.test_case "series shape and pool metrics" `Quick
+            test_parallel_series_shape;
+          Alcotest.test_case "validation" `Quick test_parallel_validation;
+        ] );
+      ( "funnel",
+        [
+          Alcotest.test_case "defers, batches, broadcasts" `Quick
+            test_funnel_defers_and_broadcasts;
+          Alcotest.test_case "outbox bound" `Quick test_funnel_outbox_bound;
+        ] );
+    ]

@@ -116,6 +116,34 @@ let prop_roundtrip =
       | Ok p' -> Prog.equal p p'
       | Error _ -> false)
 
+(* The stock generator only draws strings from the spec's name lists, so
+   it can never shake out printer/parser escaping bugs; this property
+   plants adversarial payloads (quotes, backslashes, control characters,
+   arbitrary bytes) into every string argument before round-tripping. *)
+let prop_roundtrip_hostile_strings =
+  let hostile =
+    QCheck.Gen.(string_size ~gen:(map Char.chr (int_bound 255)) (int_bound 12))
+  in
+  QCheck.Test.make ~count:400 ~name:"round trip survives hostile string payloads"
+    (QCheck.make
+       ~print:(fun (p, s) -> Prog.to_string p ^ "  [payload " ^ String.escaped s ^ "]")
+       QCheck.Gen.(pair (QCheck.gen prog_gen) hostile))
+    (fun (p, s) ->
+      let str_paths =
+        List.filter_map
+          (fun (path, ty) ->
+            match ty with Ty.Str _ -> Some path | _ -> None)
+          (Prog.mutable_nodes p)
+      in
+      str_paths = []
+      ||
+      let p =
+        List.fold_left (fun p path -> Prog.set p path (Value.Vstr s)) p str_paths
+      in
+      match Parser.program db (Prog.to_string p) with
+      | Ok p' -> Prog.equal p p'
+      | Error _ -> false)
+
 let prop_get_set_roundtrip =
   QCheck.Test.make ~count:150 ~name:"set then get returns the new value"
     QCheck.(pair prog_gen (int_bound 100000))
@@ -236,6 +264,7 @@ let () =
         [
           prop_generated_valid;
           prop_roundtrip;
+          prop_roundtrip_hostile_strings;
           prop_get_set_roundtrip;
           prop_set_preserves_validity;
           prop_remove_call_valid;

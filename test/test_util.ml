@@ -307,6 +307,123 @@ let test_lru_model =
           Lru.length c <= 7 && Lru.find c ~now:0.0 k = Some v)
         kvs)
 
+(* Full op-sequence model check: every queue operation interleaved at
+   random, each step compared against a naive list reference. *)
+let test_fqueue_model_ops =
+  QCheck.Test.make ~count:300 ~name:"Fqueue op sequences match list model"
+    QCheck.(list (pair (int_bound 9) (int_bound 50)))
+    (fun ops ->
+      let q = Fqueue.create () in
+      let model = ref [] in
+      List.for_all
+        (fun (code, v) ->
+          let step_ok =
+            match code with
+            | 0 | 1 | 2 | 3 | 4 ->
+              Fqueue.push q v;
+              model := !model @ [ v ];
+              true
+            | 5 ->
+              let expect =
+                match !model with
+                | [] -> None
+                | x :: rest ->
+                  model := rest;
+                  Some x
+              in
+              Fqueue.pop_opt q = expect
+            | 6 ->
+              Fqueue.peek_opt q
+              = (match !model with [] -> None | x :: _ -> Some x)
+            | 7 ->
+              let keep x = x mod 3 <> v mod 3 in
+              let removed = Fqueue.partition (fun x -> not (keep x)) q in
+              let expect_removed = List.filter (fun x -> not (keep x)) !model in
+              model := List.filter keep !model;
+              removed = expect_removed
+            | 8 ->
+              Fqueue.fold (fun acc x -> acc + x) 0 q
+              = List.fold_left ( + ) 0 !model
+            | _ ->
+              Fqueue.clear q;
+              model := [];
+              true
+          in
+          step_ok
+          && Fqueue.to_list q = !model
+          && Fqueue.length q = List.length !model)
+        ops)
+
+(* Reference LRU: assoc list in MRU -> LRU order carrying write stamps.
+   Mirrors the documented semantics — a find refreshes recency but not
+   the TTL stamp; eviction takes the recency tail regardless of
+   freshness; expiry is strict (now - written > ttl). *)
+module Lru_model = struct
+  type t = (int * (int * float)) list ref  (* key -> value, written_at *)
+
+  let ttl = 10.0
+
+  let capacity = 4
+
+  let find (m : t) ~now k =
+    match List.assoc_opt k !m with
+    | None -> None
+    | Some (v, written) ->
+      if now -. written > ttl then begin
+        m := List.remove_assoc k !m;
+        None
+      end
+      else begin
+        m := (k, (v, written)) :: List.remove_assoc k !m;
+        Some v
+      end
+
+  let put (m : t) ~now k v =
+    if List.mem_assoc k !m then m := (k, (v, now)) :: List.remove_assoc k !m
+    else begin
+      let kept =
+        if List.length !m >= capacity then
+          (* drop the recency tail (last element) *)
+          List.filteri (fun i _ -> i < List.length !m - 1) !m
+        else !m
+      in
+      m := (k, (v, now)) :: kept
+    end
+
+  let remove (m : t) k = m := List.remove_assoc k !m
+end
+
+let test_lru_model_ops =
+  QCheck.Test.make ~count:300
+    ~name:"Lru op sequences (find/put/remove/TTL/evict) match assoc model"
+    QCheck.(
+      list
+        (quad (int_bound 5) (int_bound 8) (int_bound 100) (int_bound 4)))
+    (fun ops ->
+      let c = Lru.create ~ttl:Lru_model.ttl ~capacity:Lru_model.capacity () in
+      let m : Lru_model.t = ref [] in
+      let now = ref 0.0 in
+      List.for_all
+        (fun (code, k, v, dt) ->
+          now := !now +. float_of_int dt;
+          let step_ok =
+            match code with
+            | 0 | 1 ->
+              Lru.put c ~now:!now k v;
+              Lru_model.put m ~now:!now k v;
+              true
+            | 2 | 3 -> Lru.find c ~now:!now k = Lru_model.find m ~now:!now k
+            | 4 ->
+              Lru.remove c k;
+              Lru_model.remove m k;
+              true
+            | _ -> true (* pure time advance *)
+          in
+          step_ok
+          && Lru.length c = List.length !m
+          && Lru.length c <= Lru_model.capacity)
+        ops)
+
 (* ------------------------------------------------------------------ *)
 (* Metrics                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -484,7 +601,7 @@ let () =
           Alcotest.test_case "fifo order" `Quick test_fqueue_fifo;
           Alcotest.test_case "partition" `Quick test_fqueue_partition;
         ] );
-      qsuite "fqueue-props" [ test_fqueue_model ];
+      qsuite "fqueue-props" [ test_fqueue_model; test_fqueue_model_ops ];
       ( "lru",
         [
           Alcotest.test_case "bounded" `Quick test_lru_bounded;
@@ -492,7 +609,7 @@ let () =
           Alcotest.test_case "ttl expiry" `Quick test_lru_ttl;
           Alcotest.test_case "validation" `Quick test_lru_validation;
         ] );
-      qsuite "lru-props" [ test_lru_model ];
+      qsuite "lru-props" [ test_lru_model; test_lru_model_ops ];
       ( "metrics",
         [
           Alcotest.test_case "counters" `Quick test_metrics_counters;
