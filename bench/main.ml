@@ -4,6 +4,9 @@
    Usage:
      bench/main.exe            run everything (E1-E8 + ablations)
      bench/main.exe e1 e2 ...  run a subset (e1 e2 e3 e5 e7 e8 abl)
+
+   e11 (executor microbenchmark) also has a quick mode: set SNOWPLOW_QUICK
+   to run it as the CI smoke test (small kernel, hard-failing bars).
 *)
 
 let experiments =
@@ -15,6 +18,7 @@ let experiments =
     ("e8", Exp_perf.run);
     ("e9", Exp_extension.run);
     ("e10", Exp_parallel.run);
+    ("e11", Exp_exec.run);
     ("abl", Exp_ablation.run) ]
 
 let () =

@@ -32,6 +32,30 @@ let add t ~blocks ~edges =
   t.nedges <- t.nedges + new_edges;
   { new_blocks; new_edges }
 
+(* The scratch-execution variant: O(members) per execution instead of
+   O(universe/8) words, and no bitset materialization on the hot path. An
+   index loop (not [Stampset.iter]) keeps it closure-free. *)
+let add_stamped t ~blocks ~edges =
+  let new_blocks = ref 0 in
+  for k = 0 to Sp_util.Stampset.cardinal blocks - 1 do
+    let b = Sp_util.Stampset.member blocks k in
+    if not (Bitset.mem t.block_cover b) then begin
+      Bitset.add t.block_cover b;
+      incr new_blocks
+    end
+  done;
+  let new_edges = ref 0 in
+  for k = 0 to Sp_util.Stampset.cardinal edges - 1 do
+    let e = Sp_util.Stampset.member edges k in
+    if not (Bitset.mem t.edge_cover e) then begin
+      Bitset.add t.edge_cover e;
+      incr new_edges
+    end
+  done;
+  t.nblocks <- t.nblocks + !new_blocks;
+  t.nedges <- t.nedges + !new_edges;
+  { new_blocks = !new_blocks; new_edges = !new_edges }
+
 let would_add t ~blocks ~edges =
   {
     new_blocks = Bitset.diff_cardinal blocks t.block_cover;

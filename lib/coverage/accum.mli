@@ -16,6 +16,12 @@ type delta = { new_blocks : int; new_edges : int }
 val add : t -> blocks:Sp_util.Bitset.t -> edges:Sp_util.Bitset.t -> delta
 (** Merge one execution's coverage; returns how much of it was new. *)
 
+val add_stamped :
+  t -> blocks:Sp_util.Stampset.t -> edges:Sp_util.Stampset.t -> delta
+(** [add], but directly from an execution scratch's stamped coverage sets:
+    O(sets' cardinal) rather than O(universe), with no intermediate bitset.
+    The sets are only read. *)
+
 val would_add : t -> blocks:Sp_util.Bitset.t -> edges:Sp_util.Bitset.t -> delta
 (** Novelty of an execution without merging it. *)
 

@@ -1,13 +1,84 @@
-let edge_pairs trace =
-  let seen = Hashtbl.create 64 in
+(* A reusable stamped seen-set replaces the fresh-Hashtbl-per-call dedup
+   the dataset-extraction path used to pay: open addressing over parallel
+   int key arrays, with membership keyed to a generation stamp so reuse
+   across calls is an O(1) reset, not a table allocation. *)
+
+type seen = {
+  mutable ka : int array;  (* key halves; a slot is live iff its stamp *)
+  mutable kb : int array;  (* matches the current generation *)
+  mutable stamps : int array;
+  mutable stamp : int;
+  mutable used : int;
+}
+
+(* [kb] sentinel for single-int keys. Blocks are ids >= 0, so no pair key
+   (b1, b2) can collide with an int key (b, int_key_tag); and one [seen]
+   generation only ever holds keys of one kind anyway. *)
+let int_key_tag = min_int
+
+let create_seen () =
+  let cap = 64 in
+  {
+    ka = Array.make cap 0;
+    kb = Array.make cap 0;
+    stamps = Array.make cap 0;
+    stamp = 1;
+    used = 0;
+  }
+
+let reset_seen s =
+  s.stamp <- s.stamp + 1;
+  s.used <- 0
+
+let hash_pair a b =
+  ((a * 0x2545f4914f6cdd1d) lxor ((b + 1) * 0x9e3779b9)) land max_int
+
+let rec add_pair s a b =
+  let cap = Array.length s.ka in
+  if 2 * (s.used + 1) > cap then grow s;
+  let mask = Array.length s.ka - 1 in
+  let rec probe i =
+    if s.stamps.(i) <> s.stamp then begin
+      s.stamps.(i) <- s.stamp;
+      s.ka.(i) <- a;
+      s.kb.(i) <- b;
+      s.used <- s.used + 1;
+      true
+    end
+    else if s.ka.(i) = a && s.kb.(i) = b then false
+    else probe ((i + 1) land mask)
+  in
+  probe (hash_pair a b land mask)
+
+(* Double, re-inserting only the live (current-stamp) entries. *)
+and grow s =
+  let old_ka = s.ka and old_kb = s.kb and old_stamps = s.stamps in
+  let old_stamp = s.stamp in
+  let cap = 2 * Array.length old_ka in
+  s.ka <- Array.make cap 0;
+  s.kb <- Array.make cap 0;
+  s.stamps <- Array.make cap 0;
+  s.stamp <- 1;
+  s.used <- 0;
+  Array.iteri
+    (fun i st ->
+      if st = old_stamp then ignore (add_pair s old_ka.(i) old_kb.(i)))
+    old_stamps
+
+let add_int s a = add_pair s a int_key_tag
+
+let edge_pairs ?seen trace =
+  let s =
+    match seen with
+    | Some s ->
+      reset_seen s;
+      s
+    | None -> create_seen ()
+  in
   let rec go acc = function
     | [] | [ _ ] -> List.rev acc
     | b1 :: (b2 :: _ as rest) ->
-      if Hashtbl.mem seen (b1, b2) then go acc rest
-      else begin
-        Hashtbl.add seen (b1, b2) ();
-        go ((b1, b2) :: acc) rest
-      end
+      if add_pair s b1 b2 then go ((b1, b2) :: acc) rest else go acc rest
   in
   go [] trace
 
@@ -16,13 +87,12 @@ let block_set ~num_blocks trace =
   List.iter (fun b -> if b >= 0 && b < num_blocks then Sp_util.Bitset.add set b) trace;
   set
 
-let unique_blocks trace =
-  let seen = Hashtbl.create 64 in
-  List.filter
-    (fun b ->
-      if Hashtbl.mem seen b then false
-      else begin
-        Hashtbl.add seen b ();
-        true
-      end)
-    trace
+let unique_blocks ?seen trace =
+  let s =
+    match seen with
+    | Some s ->
+      reset_seen s;
+      s
+    | None -> create_seen ()
+  in
+  List.filter (fun b -> add_int s b) trace

@@ -3,12 +3,24 @@
     The paper collects KCOV traces (sequences of executed kernel basic
     blocks) and postprocesses them into "unique, directional pairs of basic
     blocks, or edges" (§5.3.1). These helpers implement that step plus the
-    per-trace block set. *)
+    per-trace block set.
 
-val edge_pairs : int list -> (int * int) list
+    Deduplication runs over a stamped open-addressed seen-set. Callers on a
+    hot path (dataset extraction postprocesses every trace of every mutant)
+    should allocate one {!seen} and pass it to every call: reuse resets it
+    in O(1) instead of building a fresh table per trace. *)
+
+type seen
+(** Reusable scratch for the dedup passes. Not shareable across domains,
+    and each call resets it — use one per concurrent postprocessing
+    pipeline. *)
+
+val create_seen : unit -> seen
+
+val edge_pairs : ?seen:seen -> int list -> (int * int) list
 (** Unique directional consecutive pairs, in first-occurrence order. *)
 
 val block_set : num_blocks:int -> int list -> Sp_util.Bitset.t
 
-val unique_blocks : int list -> int list
+val unique_blocks : ?seen:seen -> int list -> int list
 (** Distinct block ids in first-occurrence order. *)

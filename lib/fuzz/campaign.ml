@@ -99,9 +99,19 @@ let mark_executed st prog h =
   let bucket = Option.value ~default:[] (Hashtbl.find_opt st.executed h) in
   Hashtbl.replace st.executed h (prog :: bucket)
 
-let ingest ?(origin = "seed") st prog (r : Kernel.result) =
+(* Ingest the VM scratch's last execution. The stamped views are only
+   borrowed: novelty is judged with [Accum.add_stamped] directly on them,
+   and bitsets are materialized only for the rare corpus admission.
+   [scratch_crash] is read before [Triage.record], whose repro attempts
+   re-execute (into the kernel's per-domain default scratch, not this
+   VM's — the views stay valid regardless). *)
+let ingest_raw ?(origin = "seed") st prog =
+  let scratch = Vm.scratch st.vm in
+  let crash = Kernel.scratch_crash scratch in
   let delta =
-    Accum.add st.accum ~blocks:r.Kernel.covered ~edges:r.Kernel.covered_edges
+    Accum.add_stamped st.accum
+      ~blocks:(Kernel.scratch_blocks scratch)
+      ~edges:(Kernel.scratch_edges scratch)
   in
   (let execs, new_edges =
      Option.value ~default:(0, 0) (Hashtbl.find_opt st.origin_stats origin)
@@ -111,18 +121,18 @@ let ingest ?(origin = "seed") st prog (r : Kernel.result) =
   (* Crashing programs never enter the corpus: the VM died, and mutating
      them would mostly re-trigger the same crash (Syzkaller behaves the
      same way). *)
-  if r.Kernel.crash = None && (delta.Accum.new_blocks > 0 || delta.Accum.new_edges > 0)
+  if crash = None && (delta.Accum.new_blocks > 0 || delta.Accum.new_edges > 0)
   then
     if
       Corpus.add st.corpus
         {
           Corpus.prog;
-          blocks = r.Kernel.covered;
-          edges = r.Kernel.covered_edges;
+          blocks = Kernel.scratch_blocks_bitset scratch;
+          edges = Kernel.scratch_edges_bitset scratch;
           added_at = Clock.now st.clock;
         }
     then Metrics.incr st.metrics "campaign.corpus_adds";
-  (match r.Kernel.crash with
+  (match crash with
   | Some crash -> (
     match
       Triage.record ~attempt_repro:st.config.attempt_repro st.triage st.rng
@@ -187,8 +197,8 @@ let run vm (strategy : Strategy.t) config =
     (fun prog ->
       if not (finished st) then begin
         mark_executed st prog (Prog.hash prog);
-        let r = Vm.run st.vm st.clock prog in
-        ingest st prog r
+        Vm.run_raw st.vm st.clock prog;
+        ingest_raw st prog
       end)
     config.seed_corpus;
   (* Main loop. *)
@@ -216,8 +226,8 @@ let run vm (strategy : Strategy.t) config =
           end
           else begin
             mark_executed st p.Strategy.prog h;
-            let r = Vm.run st.vm st.clock p.Strategy.prog in
-            ingest ~origin:p.Strategy.origin st p.Strategy.prog r
+            Vm.run_raw st.vm st.clock p.Strategy.prog;
+            ingest_raw ~origin:p.Strategy.origin st p.Strategy.prog
           end
         end)
       proposals;

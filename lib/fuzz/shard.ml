@@ -87,32 +87,37 @@ let check_target t ctx target =
     ctx.target_hit_at <- Some (Clock.now t.clock)
   | Some _ | None -> ()
 
-let ingest ?(origin = "seed") t ctx target prog (r : Kernel.result) =
+(* Ingest the shard VM scratch's last execution (the per-shard mirror of
+   [Campaign.ingest_raw]); the epoch's observed-coverage sets take the
+   stamped members directly, no intermediate bitset. *)
+let ingest_raw ?(origin = "seed") t ctx target prog =
   ctx.worked <- true;
-  let delta =
-    Accum.add ctx.acc ~blocks:r.Kernel.covered ~edges:r.Kernel.covered_edges
-  in
-  ignore (Bitset.union_into ~dst:ctx.obs_blocks r.Kernel.covered);
-  ignore (Bitset.union_into ~dst:ctx.obs_edges r.Kernel.covered_edges);
+  let scratch = Vm.scratch t.vm in
+  let crash = Kernel.scratch_crash scratch in
+  let blocks = Kernel.scratch_blocks scratch in
+  let edges = Kernel.scratch_edges scratch in
+  let delta = Accum.add_stamped ctx.acc ~blocks ~edges in
+  Sp_util.Stampset.iter (Bitset.add ctx.obs_blocks) blocks;
+  Sp_util.Stampset.iter (Bitset.add ctx.obs_edges) edges;
   (let execs, new_edges =
      Option.value ~default:(0, 0) (Hashtbl.find_opt ctx.origin origin)
    in
    Hashtbl.replace ctx.origin origin (execs + 1, new_edges + delta.Accum.new_edges));
-  (* Crashing programs never enter the corpus (see Campaign.ingest). *)
-  if r.Kernel.crash = None && (delta.Accum.new_blocks > 0 || delta.Accum.new_edges > 0)
+  (* Crashing programs never enter the corpus (see Campaign.ingest_raw). *)
+  if crash = None && (delta.Accum.new_blocks > 0 || delta.Accum.new_edges > 0)
   then begin
     let entry =
       {
         Corpus.prog;
-        blocks = r.Kernel.covered;
-        edges = r.Kernel.covered_edges;
+        blocks = Kernel.scratch_blocks_bitset scratch;
+        edges = Kernel.scratch_edges_bitset scratch;
         added_at = Clock.now t.clock;
       }
     in
     if Corpus.add ctx.local entry then
       ctx.admissions_rev <- entry :: ctx.admissions_rev
   end;
-  (match r.Kernel.crash with
+  (match crash with
   | Some crash ->
     (* One event per description per shard bounds the merge's work; the
        global triage dedups across shards. *)
@@ -153,8 +158,8 @@ let run_epoch t ~corpus ~accum ~target ~until =
       let h = Prog.hash prog in
       if not (seen_executed t prog h) then begin
         mark_executed t prog h;
-        let r = Vm.run t.vm t.clock prog in
-        ingest t ctx target prog r
+        Vm.run_raw t.vm t.clock prog;
+        ingest_raw t ctx target prog
       end
   done;
   (* Mutation loop, mirroring the sequential executor. *)
@@ -183,8 +188,8 @@ let run_epoch t ~corpus ~accum ~target ~until =
           end
           else begin
             mark_executed t p.Strategy.prog h;
-            let r = Vm.run t.vm t.clock p.Strategy.prog in
-            ingest ~origin:p.Strategy.origin t ctx target p.Strategy.prog r
+            Vm.run_raw t.vm t.clock p.Strategy.prog;
+            ingest_raw ~origin:p.Strategy.origin t ctx target p.Strategy.prog
           end
         end)
       proposals;

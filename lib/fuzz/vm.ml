@@ -4,6 +4,7 @@ module Metrics = Sp_util.Metrics
 
 type t = {
   kernel : Kernel.t;
+  scratch : Kernel.scratch;  (* owned: one VM = one shard = one domain *)
   noise : float;
   noise_rng : Rng.t;
   base_cost : float;
@@ -17,6 +18,7 @@ let create ?(noise = 0.0) ?(execs_per_second = 390.0) ?(fleet_scale = 96.0)
     ?(crash_restart_s = 0.7) ~seed kernel =
   {
     kernel;
+    scratch = Kernel.create_scratch kernel;
     noise;
     noise_rng = Rng.create (seed lxor 0x5eed);
     base_cost = fleet_scale /. execs_per_second;
@@ -27,6 +29,8 @@ let create ?(noise = 0.0) ?(execs_per_second = 390.0) ?(fleet_scale = 96.0)
   }
 
 let kernel t = t.kernel
+
+let scratch t = t.scratch
 
 let set_metrics t m = t.metrics <- Some m
 
@@ -41,27 +45,45 @@ let execute t prog =
   if t.noise > 0.0 then Kernel.execute ~noise:(t.noise_rng, t.noise) t.kernel prog
   else Kernel.execute t.kernel prog
 
+let execute_raw t prog =
+  t.executions <- t.executions + 1;
+  if t.noise > 0.0 then
+    Kernel.execute_into ~noise:(t.noise_rng, t.noise) t.kernel t.scratch prog
+  else Kernel.execute_into t.kernel t.scratch prog
+
+(* Execution time scales with the number of system calls issued: the
+   fleet's 390 tests/s is calibrated for an average-size (5-call) test. *)
+let charge t clock ~crashed ~num_calls =
+  let calls = float_of_int num_calls in
+  let cost = t.base_cost /. t.factor *. (0.5 +. (0.1 *. calls)) in
+  let cost =
+    if crashed then begin
+      record_counter t "vm.crash_restarts";
+      cost +. t.crash_restart_s
+    end
+    else cost
+  in
+  record_counter t "vm.executions";
+  record_observation t "vm.exec_virtual_s" cost;
+  Clock.advance clock cost
+
 let run t clock prog =
   let r =
     match t.metrics with
     | Some m -> Metrics.time m "vm.exec_cpu_s" (fun () -> execute t prog)
     | None -> execute t prog
   in
-  (* Execution time scales with the number of system calls issued: the
-     fleet's 390 tests/s is calibrated for an average-size (5-call) test. *)
-  let calls = float_of_int (Array.length prog) in
-  let cost = t.base_cost /. t.factor *. (0.5 +. (0.1 *. calls)) in
-  let cost =
-    match r.Kernel.crash with
-    | None -> cost
-    | Some _ ->
-      record_counter t "vm.crash_restarts";
-      cost +. t.crash_restart_s
-  in
-  record_counter t "vm.executions";
-  record_observation t "vm.exec_virtual_s" cost;
-  Clock.advance clock cost;
+  charge t clock ~crashed:(r.Kernel.crash <> None)
+    ~num_calls:(Array.length prog);
   r
+
+let run_raw t clock prog =
+  (match t.metrics with
+  | Some m -> Metrics.time m "vm.exec_cpu_s" (fun () -> execute_raw t prog)
+  | None -> execute_raw t prog);
+  charge t clock
+    ~crashed:(Kernel.scratch_crashed t.scratch)
+    ~num_calls:(Array.length prog)
 
 let run_free t prog = execute t prog
 

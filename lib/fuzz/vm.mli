@@ -27,6 +27,12 @@ val create :
 
 val kernel : t -> Sp_kernel.Kernel.t
 
+val scratch : t -> Sp_kernel.Kernel.scratch
+(** The VM's owned execution scratch. Each VM has exactly one, created at
+    [create]; since one VM serves one campaign shard (one domain), the
+    campaign's allocation-free path executes into it via {!run_raw} and
+    reads the [Kernel.scratch_*] views before the next execution. *)
+
 val set_metrics : t -> Sp_util.Metrics.t -> unit
 (** Attach a metrics registry; the VM then records [vm.*] counters
     (executions, crash restarts, duplicate skips) and histograms (virtual
@@ -36,6 +42,13 @@ val set_metrics : t -> Sp_util.Metrics.t -> unit
 val run : t -> Clock.t -> Sp_syzlang.Prog.t -> Sp_kernel.Kernel.result
 (** Execute and advance the clock by the execution cost (plus the restart
     penalty on crash). *)
+
+val run_raw : t -> Clock.t -> Sp_syzlang.Prog.t -> unit
+(** [run], minus the materialized result: executes into the VM's own
+    {!scratch} and charges the clock identically. The caller reads the
+    outcome through [Kernel.scratch_*] views on [scratch t], which stay
+    valid until this VM's next execution. The campaign ingest path uses
+    this to keep the steady-state loop allocation-free. *)
 
 val run_free : t -> Sp_syzlang.Prog.t -> Sp_kernel.Kernel.result
 (** Execute without charging time (used by offline analyses). *)

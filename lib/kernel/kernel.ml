@@ -1,29 +1,27 @@
 module Rng = Sp_util.Rng
 module Bitset = Sp_util.Bitset
-module Spec = Sp_syzlang.Spec
-module Value = Sp_syzlang.Value
+module Stampset = Sp_util.Stampset
 module Prog = Sp_syzlang.Prog
 
 type t = {
   config : Build.config;
   built : Build.built;
-  (* per-block successor -> static edge id, for fast trace-to-edge mapping *)
-  succ_edges : (int * int) array array;
+  code : Exec.code;
+  (* Per-domain default scratch: [t] is shared across shard domains in
+     [Campaign.run_parallel], so the fallback scratch for plain [execute]
+     calls must be domain-local, never a field mutated from two domains. *)
+  default_scratch : Exec.scratch Domain.DLS.key;
 }
 
 let generate config =
   let built = Build.build config in
-  let cfg = built.Build.cfg in
-  let succ_edges =
-    Array.init (Array.length built.Build.blocks) (fun b ->
-        Sp_cfg.Cfg.succs cfg b
-        |> List.map (fun dst ->
-               match Sp_cfg.Cfg.edge_id cfg (b, dst) with
-               | Some e -> (dst, e)
-               | None -> assert false)
-        |> Array.of_list)
-  in
-  { config; built; succ_edges }
+  let code = Exec.compile built in
+  {
+    config;
+    built;
+    code;
+    default_scratch = Domain.DLS.new_key (fun () -> Exec.create_scratch code);
+  }
 
 let default () = generate Build.default_config
 
@@ -40,6 +38,8 @@ let linux_like ~seed ~version =
 let version t = t.config.Build.version
 
 let spec_db t = t.built.Build.db
+
+let built t = t.built
 
 let cfg t = t.built.Build.cfg
 
@@ -59,13 +59,13 @@ let bug_gate t i = t.built.Build.bug_gates.(i)
 
 let background_blocks t = t.built.Build.background
 
-type kobject = { okind : string; mode : int; oflags : int }
+type kobject = Exec.kobject = { okind : string; mode : int; oflags : int }
 
-type crash = { bug : Bug.t; crash_call : int }
+type crash = Exec.crash = { bug : Bug.t; crash_call : int }
 
-type call_trace = { call_idx : int; visited : int list }
+type call_trace = Exec.call_trace = { call_idx : int; visited : int list }
 
-type result = {
+type result = Exec.result = {
   traces : call_trace list;
   crash : crash option;
   covered : Bitset.t;
@@ -73,143 +73,48 @@ type result = {
   objects : kobject option array;
 }
 
-(* Scalar view of the argument at [path] of call [ci]; a dangling path
-   (e.g. reading through a NULL pointer) evaluates to 0, the error-path
-   outcome. *)
-let scalar_at prog ci path =
-  match Prog.get prog { Prog.call = ci; arg = path } with
-  | v -> Value.scalar v
-  | exception Invalid_argument _ -> 0
+type scratch = Exec.scratch
 
-let resource_at prog ci path =
-  match Prog.get prog { Prog.call = ci; arg = path } with
-  | Value.Vres i -> Some i
-  | _ -> None
-  | exception Invalid_argument _ -> None
+let create_scratch t = Exec.create_scratch t.code
 
-let eval_pred prog objects ci (pred : Ir.predicate) =
-  match pred with
-  | Ir.Arg { path; cmp; const; _ } -> Ir.eval_cmp cmp (scalar_at prog ci path) const
-  | Ir.Res_valid { path; _ } -> (
-    match resource_at prog ci path with
-    | Some i -> i >= 0 && i < ci && objects.(i) <> None
-    | None -> false)
-  | Ir.Res_state { path; field; cmp; const; _ } -> (
-    match resource_at prog ci path with
-    | Some i when i >= 0 && i < ci -> (
-      match objects.(i) with
-      | Some obj ->
-        let v = match field with `Mode -> obj.mode | `Oflags -> obj.oflags in
-        Ir.eval_cmp cmp v const
-      | None -> false)
-    | Some _ | None -> false)
+let execute_into ?noise t scratch prog = Exec.execute_raw ?noise t.code scratch prog
 
-(* Walk one handler; returns visited blocks in order and whether a crash
-   block was reached. Handler regions are acyclic by construction, but a
-   step guard keeps the interpreter total regardless. *)
-let run_call t prog objects ci =
-  let spec = prog.(ci).Prog.spec in
-  let entry = handler_entry t spec.Spec.sys_id in
-  let visited = ref [] in
-  let crashed = ref None in
-  let steps = ref 0 in
-  let max_steps = num_blocks t + 4 in
-  let rec walk bid =
-    incr steps;
-    if !steps > max_steps then ()
-    else begin
-      visited := bid :: !visited;
-      match (block t bid).Ir.term with
-      | Ir.Jump nxt -> walk nxt
-      | Ir.Cond { pred; if_true; if_false } ->
-        walk (if eval_pred prog objects ci pred then if_true else if_false)
-      | Ir.Ret -> ()
-      | Ir.Crash bug_id -> crashed := Some bug_id
-    end
+let scratch_crashed = Exec.crashed
+
+let scratch_crash = Exec.crash_of_scratch
+
+let scratch_blocks = Exec.covered_blocks
+
+let scratch_edges = Exec.covered_edges
+
+let scratch_blocks_bitset = Exec.blocks_bitset
+
+let scratch_edges_bitset = Exec.edges_bitset
+
+let scratch_calls = Exec.num_calls
+
+let scratch_result = Exec.result_of_scratch
+
+let execute ?noise ?scratch t prog =
+  let st =
+    match scratch with
+    | Some st -> st
+    | None -> Domain.DLS.get t.default_scratch
   in
-  walk entry;
-  (List.rev !visited, !crashed)
+  Exec.execute_raw ?noise t.code st prog;
+  Exec.result_of_scratch st
 
-let make_object t prog ci (spec : Spec.t) kind =
-  let mode_path, oflags_path = t.built.Build.mode_paths.(spec.Spec.sys_id) in
-  let field = function None -> 0 | Some p -> scalar_at prog ci p in
-  { okind = kind; mode = field mode_path; oflags = field oflags_path }
-
-let noise_blocks t rng level =
-  let extra = ref [] in
-  if Rng.coin rng level then begin
-    (* A timer-interrupt-style run through the background chain. *)
-    let bg = Array.of_list (background_blocks t) in
-    let start = Rng.int rng (Array.length bg) in
-    let len = min (Rng.int_in rng 2 8) (Array.length bg - start) in
-    for i = start + len - 1 downto start do
-      extra := bg.(i) :: !extra
-    done
-  end;
-  if Rng.coin rng (level /. 2.0) then begin
-    (* Phantom blocks from unrelated handlers (network-RPC pollution). *)
-    let n = Rng.int_in rng 1 3 in
-    for _ = 1 to n do
-      extra := Rng.int rng (num_blocks t) :: !extra
-    done
-  end;
-  !extra
-
-let execute ?noise t prog =
-  let n = Array.length prog in
-  let objects = Array.make n None in
-  let covered = Bitset.create (num_blocks t) in
-  let covered_edges = Bitset.create (Sp_cfg.Cfg.num_edges (cfg t)) in
-  let record_run blocks =
-    let edge_of b1 b2 =
-      let arr = t.succ_edges.(b1) in
-      let rec find i =
-        if i >= Array.length arr then None
-        else
-          let dst, e = arr.(i) in
-          if dst = b2 then Some e else find (i + 1)
-      in
-      find 0
-    in
-    let rec go = function
-      | [] -> ()
-      | [ b ] -> Bitset.add covered b
-      | b1 :: (b2 :: _ as rest) ->
-        Bitset.add covered b1;
-        (match edge_of b1 b2 with
-        | Some e -> Bitset.add covered_edges e
-        | None -> ());
-        go rest
-    in
-    go blocks
+let per_call_coverage t prog =
+  let r = execute t prog in
+  let covs =
+    Array.init (List.length r.traces) (fun _ -> Bitset.create (num_blocks t))
   in
-  let traces = ref [] in
-  let crash = ref None in
-  let ci = ref 0 in
-  while !ci < n && !crash = None do
-    let visited, crashed = run_call t prog objects !ci in
-    let visited =
-      match noise with
-      | Some (rng, level) when level > 0.0 -> visited @ noise_blocks t rng level
-      | Some _ | None -> visited
-    in
-    record_run visited;
-    traces := { call_idx = !ci; visited } :: !traces;
-    (match crashed with
-    | Some bug_id -> crash := Some { bug = bug t bug_id; crash_call = !ci }
-    | None ->
-      let spec = prog.(!ci).Prog.spec in
-      (match spec.Spec.ret with
-      | Some kind -> objects.(!ci) <- Some (make_object t prog !ci spec kind)
-      | None -> ()));
-    incr ci
-  done;
-  { traces = List.rev !traces; crash = !crash; covered; covered_edges; objects }
+  List.iter
+    (fun tr -> List.iter (Bitset.add covs.(tr.call_idx)) tr.visited)
+    r.traces;
+  covs
 
 let block_coverage_of_call t prog call_idx =
-  let r = execute t prog in
-  let cov = Bitset.create (num_blocks t) in
-  List.iter
-    (fun tr -> if tr.call_idx = call_idx then List.iter (Bitset.add cov) tr.visited)
-    r.traces;
-  cov
+  let covs = per_call_coverage t prog in
+  if call_idx >= 0 && call_idx < Array.length covs then covs.(call_idx)
+  else Bitset.create (num_blocks t)

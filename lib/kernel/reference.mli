@@ -1,0 +1,15 @@
+(** The original tree-walking interpreter, preserved as the compiled
+    executor's reference oracle.
+
+    Semantics are bit-for-bit those of {!Kernel.execute} (which now runs
+    {!Exec} bytecode): same traces, crash, coverage sets and object
+    post-states for any program and noise stream. Used by the differential
+    property tests and as bench e11's pre-compilation baseline — never on
+    a campaign hot path. *)
+
+type t
+
+val of_built : Build.built -> t
+
+val execute :
+  ?noise:Sp_util.Rng.t * float -> t -> Sp_syzlang.Prog.t -> Exec.result

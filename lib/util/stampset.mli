@@ -1,0 +1,43 @@
+(** Sparse mutable integer sets over [0, capacity) with O(1) bulk clear.
+
+    The complement of {!Bitset} for hot loops that fill and empty a set once
+    per execution: [clear] bumps a generation stamp instead of zeroing
+    storage, membership is one array load and compare, and iteration visits
+    only the members (in insertion order), not the whole universe. The
+    executor's per-run coverage scratch is the intended client; anything
+    that must outlive the next [clear] is materialized with {!to_bitset}. *)
+
+type t
+
+val create : int -> t
+(** [create capacity] is the empty set over [0, capacity). *)
+
+val capacity : t -> int
+
+val clear : t -> unit
+(** O(1): invalidates every member by advancing the generation stamp. *)
+
+val add : t -> int -> unit
+(** Idempotent. Raises [Invalid_argument] when the index is out of range. *)
+
+val mem : t -> int -> bool
+
+val cardinal : t -> int
+
+val is_empty : t -> bool
+
+val member : t -> int -> int
+(** [member t k] is the [k]-th element in insertion order,
+    [0 <= k < cardinal t]; an allocation-free alternative to {!iter}. *)
+
+val iter : (int -> unit) -> t -> unit
+(** Insertion order. *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+val elements : t -> int list
+(** Ascending order (matching {!Bitset.elements}). *)
+
+val to_bitset : t -> Bitset.t
+(** Independent dense snapshot sized [capacity t]; safe to hold across
+    later [clear]/[add] cycles. *)

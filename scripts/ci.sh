@@ -1,12 +1,14 @@
 #!/bin/sh
-# CI entry point: full build + typecheck + test suite, then verify the
-# working tree stayed clean (no build artifacts or generated files leaked
-# outside _build/, which .gitignore must keep invisible to git).
+# CI entry point: full build + typecheck + test suite + the e11 executor
+# smoke test (bench/main.exe e11 in SNOWPLOW_QUICK mode, via the @ci
+# alias), then verify the working tree stayed clean (no build artifacts or
+# generated files leaked outside _build/, which .gitignore must keep
+# invisible to git).
 set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "== dune build @ci (default + @check + runtest) =="
+echo "== dune build @ci (default + @check + runtest + e11 smoke) =="
 dune build @ci
 
 echo "== working tree hygiene =="

@@ -213,6 +213,59 @@ let test_trace_edge_pairs () =
   Alcotest.(check (list int)) "unique blocks" [ 1; 2; 3; 4 ]
     (Sp_coverage.Trace.unique_blocks [ 1; 2; 3; 2; 3; 4 ])
 
+(* Naive dedup implementations the stamped seen-set must agree with. *)
+let naive_edge_pairs trace =
+  let seen = Hashtbl.create 64 in
+  let rec go acc = function
+    | [] | [ _ ] -> List.rev acc
+    | b1 :: (b2 :: _ as rest) ->
+      if Hashtbl.mem seen (b1, b2) then go acc rest
+      else begin
+        Hashtbl.add seen (b1, b2) ();
+        go ((b1, b2) :: acc) rest
+      end
+  in
+  go [] trace
+
+let naive_unique_blocks trace =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun b ->
+      if Hashtbl.mem seen b then false
+      else begin
+        Hashtbl.add seen b ();
+        true
+      end)
+    trace
+
+(* Block ids up to 5000 on traces of up to 600 entries force the seen-set
+   through several grow cycles; negative-free but otherwise arbitrary. *)
+let trace_gen = QCheck.(list_of_size Gen.(int_range 0 600) (int_bound 5000))
+
+let prop_edge_pairs_model =
+  QCheck.Test.make ~count:200 ~name:"edge_pairs matches the naive Hashtbl dedup"
+    trace_gen
+    (fun trace -> Sp_coverage.Trace.edge_pairs trace = naive_edge_pairs trace)
+
+let prop_unique_blocks_model =
+  QCheck.Test.make ~count:200
+    ~name:"unique_blocks matches the naive Hashtbl dedup" trace_gen
+    (fun trace ->
+      Sp_coverage.Trace.unique_blocks trace = naive_unique_blocks trace)
+
+let prop_seen_reuse =
+  QCheck.Test.make ~count:100
+    ~name:"a reused seen-set gives the same answers as fresh ones"
+    QCheck.(pair trace_gen trace_gen)
+    (fun (t1, t2) ->
+      let seen = Sp_coverage.Trace.create_seen () in
+      (* interleave both entry kinds through one scratch, twice over *)
+      Sp_coverage.Trace.edge_pairs ~seen t1 = naive_edge_pairs t1
+      && Sp_coverage.Trace.unique_blocks ~seen t1 = naive_unique_blocks t1
+      && Sp_coverage.Trace.edge_pairs ~seen t2 = naive_edge_pairs t2
+      && Sp_coverage.Trace.unique_blocks ~seen t2 = naive_unique_blocks t2
+      && Sp_coverage.Trace.edge_pairs ~seen t1 = naive_edge_pairs t1)
+
 let test_accum () =
   let a = Sp_coverage.Accum.create ~num_blocks:10 ~num_edges:10 in
   let blocks = Bitset.of_list 10 [ 1; 2 ] and edges = Bitset.of_list 10 [ 0 ] in
@@ -321,6 +374,8 @@ let () =
           Alcotest.test_case "edge pairs" `Quick test_trace_edge_pairs;
           Alcotest.test_case "accumulator" `Quick test_accum;
         ] );
+      qsuite "trace-props"
+        [ prop_edge_pairs_model; prop_unique_blocks_model; prop_seen_reuse ];
       ( "tokens+specgen",
         [
           Alcotest.test_case "tokens" `Quick test_tokens;

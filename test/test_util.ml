@@ -192,6 +192,162 @@ let test_bitset_copy_isolated () =
   Alcotest.(check bool) "copy isolated" false (Bitset.mem s 5);
   Alcotest.(check bool) "copy kept contents" true (Bitset.mem c 3)
 
+(* Full op-sequence model check against Stdlib's Set.Make(Int): every
+   Bitset operation interleaved at random, the set-algebra queries
+   (union_into / diff_cardinal / inter_cardinal / subset) checked against
+   their mathematical definitions on the model. *)
+module ISet = Set.Make (Int)
+
+let test_bitset_model_ops =
+  QCheck.Test.make ~count:300 ~name:"Bitset op sequences match an IntSet model"
+    QCheck.(list (pair (int_bound 7) (int_bound 127)))
+    (fun ops ->
+      let n = 128 in
+      let s = Bitset.create n in
+      let other = Bitset.of_list n [ 3; 17; 64; 65; 127 ] in
+      let other_m = ISet.of_list [ 3; 17; 64; 65; 127 ] in
+      let model = ref ISet.empty in
+      List.for_all
+        (fun (code, v) ->
+          let step_ok =
+            match code with
+            | 0 | 1 | 2 ->
+              Bitset.add s v;
+              model := ISet.add v !model;
+              true
+            | 3 ->
+              Bitset.remove s v;
+              model := ISet.remove v !model;
+              true
+            | 4 -> Bitset.mem s v = ISet.mem v !model
+            | 5 ->
+              let added = Bitset.union_into ~dst:s other in
+              let union = ISet.union !model other_m in
+              let grew = ISet.cardinal union - ISet.cardinal !model in
+              model := union;
+              added = grew
+            | 6 ->
+              Bitset.diff_cardinal s other
+              = ISet.cardinal (ISet.diff !model other_m)
+              && Bitset.inter_cardinal s other
+                 = ISet.cardinal (ISet.inter !model other_m)
+            | _ -> Bitset.subset s other = ISet.subset !model other_m
+          in
+          step_ok
+          && Bitset.cardinal s = ISet.cardinal !model
+          && Bitset.elements s = ISet.elements !model)
+        ops)
+
+(* ------------------------------------------------------------------ *)
+(* Stampset                                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Stampset = Sp_util.Stampset
+
+let test_stampset_basics () =
+  let s = Stampset.create 100 in
+  Alcotest.(check int) "capacity" 100 (Stampset.capacity s);
+  Alcotest.(check bool) "empty" true (Stampset.is_empty s);
+  Stampset.add s 7;
+  Stampset.add s 3;
+  Stampset.add s 7;
+  (* idempotent *)
+  Alcotest.(check int) "cardinal" 2 (Stampset.cardinal s);
+  Alcotest.(check bool) "mem" true (Stampset.mem s 3);
+  Alcotest.(check bool) "not mem" false (Stampset.mem s 4);
+  (* insertion order via member/iter, ascending via elements *)
+  Alcotest.(check int) "member 0" 7 (Stampset.member s 0);
+  Alcotest.(check int) "member 1" 3 (Stampset.member s 1);
+  Alcotest.(check (list int)) "elements ascending" [ 3; 7 ]
+    (Stampset.elements s);
+  Alcotest.(check int) "fold sums members" 10
+    (Stampset.fold ( + ) s 0);
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Stampset: index out of range") (fun () ->
+      Stampset.add s 100);
+  Alcotest.check_raises "bad rank"
+    (Invalid_argument "Stampset.member: bad rank") (fun () ->
+      ignore (Stampset.member s 2))
+
+let test_stampset_clear () =
+  let s = Stampset.create 64 in
+  for i = 0 to 63 do
+    Stampset.add s i
+  done;
+  Stampset.clear s;
+  Alcotest.(check bool) "cleared" true (Stampset.is_empty s);
+  Alcotest.(check bool) "stale member gone" false (Stampset.mem s 17);
+  (* a fresh generation must not resurrect pre-clear members *)
+  Stampset.add s 5;
+  Alcotest.(check (list int)) "only new members" [ 5 ] (Stampset.elements s);
+  (* many generations: the stamp never wraps into a false positive in
+     practical use *)
+  for g = 0 to 1000 do
+    Stampset.clear s;
+    Stampset.add s (g mod 64);
+    if Stampset.cardinal s <> 1 then Alcotest.fail "stale stamp leaked"
+  done
+
+(* Op-sequence model check including the stamp-clear: the O(1) clear must
+   be observationally identical to emptying the model set. *)
+let test_stampset_model_ops =
+  QCheck.Test.make ~count:300
+    ~name:"Stampset op sequences (incl. clear) match an IntSet model"
+    QCheck.(list (pair (int_bound 9) (int_bound 63)))
+    (fun ops ->
+      let s = Stampset.create 64 in
+      let model = ref ISet.empty in
+      let order = ref [] in
+      (* insertion order, newest first *)
+      List.for_all
+        (fun (code, v) ->
+          let step_ok =
+            match code with
+            | 0 | 1 | 2 | 3 ->
+              if not (ISet.mem v !model) then order := v :: !order;
+              Stampset.add s v;
+              model := ISet.add v !model;
+              true
+            | 4 | 5 -> Stampset.mem s v = ISet.mem v !model
+            | 6 ->
+              Stampset.clear s;
+              model := ISet.empty;
+              order := [];
+              true
+            | 7 ->
+              (* to_bitset snapshots survive later mutation *)
+              let b = Stampset.to_bitset s in
+              let before = Bitset.elements b in
+              if not (ISet.mem v !model) then order := v :: !order;
+              Stampset.add s v;
+              model := ISet.add v !model;
+              Bitset.elements b = before
+            | _ ->
+              Stampset.fold (fun x acc -> acc + x) s 0
+              = ISet.fold ( + ) !model 0
+          in
+          (* [member]/[fold] walk insertion order (oldest first) *)
+          let insertion =
+            List.rev (Stampset.fold (fun x acc -> x :: acc) s [])
+          in
+          step_ok
+          && Stampset.cardinal s = ISet.cardinal !model
+          && Stampset.elements s = ISet.elements !model
+          && Stampset.is_empty s = ISet.is_empty !model
+          && insertion = List.rev !order
+          && List.mapi (fun k _ -> Stampset.member s k) insertion = insertion)
+        ops)
+
+let test_stampset_to_bitset =
+  QCheck.Test.make ~count:200 ~name:"Stampset.to_bitset is a faithful snapshot"
+    QCheck.(list (int_bound 99))
+    (fun xs ->
+      let s = Stampset.create 100 in
+      List.iter (Stampset.add s) xs;
+      let b = Stampset.to_bitset s in
+      Bitset.elements b = Stampset.elements s
+      && Bitset.cardinal b = Stampset.cardinal s)
+
 (* ------------------------------------------------------------------ *)
 (* Fqueue                                                               *)
 (* ------------------------------------------------------------------ *)
@@ -595,7 +751,18 @@ let () =
           Alcotest.test_case "copy isolation" `Quick test_bitset_copy_isolated;
         ] );
       qsuite "bitset-props"
-        [ test_bitset_union_model; test_bitset_diff_inter_model; test_bitset_subset ];
+        [
+          test_bitset_union_model;
+          test_bitset_diff_inter_model;
+          test_bitset_subset;
+          test_bitset_model_ops;
+        ];
+      ( "stampset",
+        [
+          Alcotest.test_case "basics" `Quick test_stampset_basics;
+          Alcotest.test_case "stamp clear" `Quick test_stampset_clear;
+        ] );
+      qsuite "stampset-props" [ test_stampset_model_ops; test_stampset_to_bitset ];
       ( "fqueue",
         [
           Alcotest.test_case "fifo order" `Quick test_fqueue_fifo;
