@@ -32,6 +32,27 @@ let pipeline () =
     shared := Some p;
     p
 
+(* Telemetry artifacts: when SNOWPLOW_ARTIFACTS names a directory, the
+   campaign experiments sample an [Sp_obs.Timeseries] per run and export
+   it there as <name>.jsonl (readable with `snowplow stats --timeseries`)
+   — the source of truth for coverage/throughput trajectories. Unset (the
+   default, including CI), nothing is allocated and nothing is written. *)
+let artifacts_dir = Sys.getenv_opt "SNOWPLOW_ARTIFACTS"
+
+let campaign_timeseries () =
+  Option.map (fun _ -> Sp_obs.Timeseries.create ()) artifacts_dir
+
+let emit_timeseries name ts =
+  match (artifacts_dir, ts) with
+  | Some dir, Some ts when Sp_obs.Timeseries.length ts > 0 ->
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let path = Filename.concat dir (name ^ ".jsonl") in
+    let oc = open_out_bin path in
+    output_string oc (Sp_obs.Timeseries.to_jsonl ts);
+    close_out oc;
+    log "timeseries artifact: %s" path
+  | _ -> ()
+
 let seed_corpus db ~seed ~size =
   Sp_syzlang.Gen.corpus (Sp_util.Rng.create seed) db ~size
 

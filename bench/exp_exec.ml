@@ -150,6 +150,20 @@ let run () =
   row "bytecode + result" m_mat;
   row "bytecode + scratch" m_scr;
   Table.print t;
+  (* Artifact: one row per executor mode (t = mode index), so executor
+     trajectories across commits have a machine-readable source. *)
+  (let ts = Sp_obs.Timeseries.create () in
+   List.iteri
+     (fun i (m : measurement) ->
+       Sp_obs.Timeseries.sample ts ~time:(float_of_int i)
+         [
+           ("execs_per_s", m.execs_per_s);
+           ("p50_us", m.p50_us);
+           ("p99_us", m.p99_us);
+           ("words_per_exec", m.words_per_exec);
+         ])
+     [ m_ref; m_mat; m_scr ];
+   Exp_common.emit_timeseries "e11-executor" (Some ts));
   let speedup = m_scr.execs_per_s /. m_ref.execs_per_s in
   bar "steady-state allocation"
     (m_scr.words_per_exec <= 8.0)

@@ -46,9 +46,16 @@ let timed f =
   (r, Unix.gettimeofday () -. t0)
 
 let run_jobs jobs =
-  timed (fun () ->
-      Campaign.run_parallel ~jobs ~vm_for ~strategy_for
-        (config ~duration:(workload /. float_of_int jobs)))
+  let ts = Exp_common.campaign_timeseries () in
+  let r =
+    timed (fun () ->
+        Campaign.run_parallel ?timeseries:ts ~jobs ~vm_for ~strategy_for
+          (config ~duration:(workload /. float_of_int jobs)))
+  in
+  (* The repeated -jobs 4 run overwrites its artifact with identical
+     bytes — the timeseries shares the report's determinism contract. *)
+  Exp_common.emit_timeseries (Printf.sprintf "e10-jobs%d" jobs) ts;
+  r
 
 let fingerprint (r : Campaign.report) =
   ( r.Campaign.final_blocks,

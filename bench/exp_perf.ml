@@ -48,15 +48,19 @@ let fuzz_throughput p =
   let cfg =
     { Campaign.default_config with seed_corpus = seeds; seed = 3; duration = 7200.0 }
   in
-  let run strategy =
+  let run name strategy =
+    let ts = Exp_common.campaign_timeseries () in
     let vm = Sp_fuzz.Vm.create ~seed:5 kernel in
-    let r = Campaign.run vm strategy cfg in
+    let r = Campaign.run ?timeseries:ts vm strategy cfg in
+    Exp_common.emit_timeseries name ts;
     (* tests per second of the modelled full-size fleet *)
     (float_of_int r.Campaign.executions /. cfg.Campaign.duration *. 96.0, r)
   in
-  let syz, _ = run (Sp_fuzz.Strategy.syzkaller db) in
+  let syz, _ = run "e8-syzkaller" (Sp_fuzz.Strategy.syzkaller db) in
   let inference = Snowplow.Pipeline.inference_for p kernel in
-  let snow, snow_report = run (Snowplow.Hybrid.strategy ~inference kernel) in
+  let snow, snow_report =
+    run "e8-snowplow" (Snowplow.Hybrid.strategy ~inference kernel)
+  in
   (syz, snow, snow_report, inference)
 
 (* A long campaign against deliberately tiny prediction caches: over >= 24
@@ -77,7 +81,12 @@ let cache_bound_run p =
       seed_corpus = seeds; seed = 11; duration = 86_400.0 }
   in
   let vm = Sp_fuzz.Vm.create ~seed:13 ~fleet_scale:(96.0 *. 24.0) kernel in
-  let r = Campaign.run vm (Snowplow.Hybrid.strategy ~inference kernel) cfg in
+  let ts = Exp_common.campaign_timeseries () in
+  let r =
+    Campaign.run ?timeseries:ts vm (Snowplow.Hybrid.strategy ~inference kernel)
+      cfg
+  in
+  Exp_common.emit_timeseries "e8-cache-bound" ts;
   (r, inference)
 
 let print_campaign_metrics (r : Campaign.report) inference =

@@ -5,13 +5,17 @@
    snowplow run          — execute a test program from a file or stdin
    snowplow fuzz         — run a coverage campaign (syzkaller or snowplow)
    snowplow train        — train PMM and print Table-1 metrics
-   snowplow directed     — directed fuzzing towards a bug's crash site *)
+   snowplow directed     — directed fuzzing towards a bug's crash site
+   snowplow stats        — inspect exported traces / time-series *)
 
 open Cmdliner
 
 module Kernel = Sp_kernel.Kernel
 module Campaign = Sp_fuzz.Campaign
 module Prog = Sp_syzlang.Prog
+module Trace = Sp_obs.Trace
+module Timeseries = Sp_obs.Timeseries
+module Trace_check = Sp_obs.Trace_check
 
 (* ------------------------------------------------------------------ *)
 (* Common arguments                                                    *)
@@ -131,7 +135,12 @@ let run_cmd =
 (* fuzz                                                                *)
 (* ------------------------------------------------------------------ *)
 
-let fuzz seed version hours run_seed system jobs =
+let write_text_file path data =
+  let oc = open_out_bin path in
+  output_string oc data;
+  close_out oc
+
+let fuzz seed version hours run_seed system jobs trace_file ts_file =
   if jobs < 1 then begin
     prerr_endline "snowplow fuzz: -jobs must be >= 1";
     exit 1
@@ -149,6 +158,15 @@ let fuzz seed version hours run_seed system jobs =
       attempt_repro = true;
     }
   in
+  let trace =
+    if trace_file = None then Trace.disabled
+    else Trace.create ~enabled:true ()
+  in
+  let timeseries = Option.map (fun _ -> Timeseries.create ()) ts_file in
+  (* Shared with the campaign's own pid-0 handout (Trace.tracer memoizes
+     by pid): the inference/funnel spans land in the main domain's lane,
+     which is also where their calls run. *)
+  let main_tracer = Trace.tracer trace ~pid:0 ~name:"campaign-main" in
   (* Per-shard VM seeds are a pure function of (run_seed, shard), so a
      parallel run is reproducible from (seed, jobs) alone. *)
   let vm_for s = Sp_fuzz.Vm.create ~seed:(run_seed + (7919 * s)) k in
@@ -157,23 +175,52 @@ let fuzz seed version hours run_seed system jobs =
     | `Syzkaller ->
       ( "Syzkaller",
         fun () ->
-          Campaign.run_parallel ~jobs ~vm_for
+          Campaign.run_parallel ~trace ?timeseries ~jobs ~vm_for
             ~strategy_for:(fun _ -> Sp_fuzz.Strategy.syzkaller db)
             cfg )
     | `Snowplow ->
       ( "Snowplow",
         fun () ->
           print_endline "training PMM first (this takes a few minutes)...";
-          let p = Snowplow.Pipeline.train () in
-          let inference = Snowplow.Pipeline.inference_for p k in
+          let p = Snowplow.Pipeline.train ~tracer:main_tracer () in
+          let inference =
+            Snowplow.Pipeline.inference_for ~tracer:main_tracer p k
+          in
+          (* Service-side columns for the time-series: all read at the
+             snapshot grid on the main domain from barrier-merged state,
+             so they stay inside the determinism contract. *)
+          let ts_extra () =
+            [
+              ("inference.pending",
+               float_of_int (Snowplow.Inference.pending inference));
+              ("inference.served",
+               float_of_int (Snowplow.Inference.served inference));
+              ("inference.cache_hits",
+               float_of_int (Snowplow.Inference.cache_hits inference));
+              ("inference.cache_size",
+               float_of_int (Snowplow.Inference.cache_size inference));
+            ]
+          in
           if jobs = 1 then
-            Campaign.run (vm_for 0) (Snowplow.Hybrid.strategy ~inference k) cfg
+            Campaign.run ~trace ?timeseries ~ts_extra (vm_for 0)
+              (Snowplow.Hybrid.strategy ~inference k) cfg
           else begin
             (* One inference service for the whole fleet: shards enqueue
                into per-shard outboxes and the funnel forwards them as one
                batch at each snapshot barrier. *)
-            let funnel = Snowplow.Funnel.create ~shards:jobs inference in
-            Campaign.run_parallel ~jobs ~vm_for
+            let funnel =
+              Snowplow.Funnel.create ~tracer:main_tracer ~shards:jobs inference
+            in
+            let ts_extra () =
+              ts_extra ()
+              @ [
+                  ("funnel.deferred",
+                   float_of_int (Snowplow.Funnel.requests_deferred funnel));
+                  ("funnel.dropped",
+                   float_of_int (Snowplow.Funnel.dropped funnel));
+                ]
+            in
+            Campaign.run_parallel ~trace ?timeseries ~ts_extra ~jobs ~vm_for
               ~strategy_for:(fun s ->
                 Snowplow.Hybrid.strategy_with
                   ~endpoint:(Snowplow.Funnel.endpoint funnel ~shard:s)
@@ -206,7 +253,22 @@ let fuzz seed version hours run_seed system jobs =
         (match f.Sp_fuzz.Triage.reproducer with
         | Some _ -> " (reproducer available)"
         | None -> ""))
-    r.Campaign.crashes
+    r.Campaign.crashes;
+  (match trace_file with
+  | Some path ->
+    Trace.write_file trace path;
+    Printf.printf "trace written to %s\n" path
+  | None -> ());
+  match (ts_file, timeseries) with
+  | Some path, Some ts ->
+    let data =
+      if Filename.check_suffix path ".csv" then Timeseries.to_csv ts
+      else Timeseries.to_jsonl ts
+    in
+    write_text_file path data;
+    Printf.printf "timeseries written to %s (%d rows)\n" path
+      (Timeseries.length ts)
+  | _ -> ()
 
 let system_arg =
   Arg.(
@@ -224,12 +286,34 @@ let jobs_arg =
            snapshot barriers and merge deterministically, so results are \
            reproducible given (run-seed, jobs).")
 
+let trace_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace_event JSON trace of the campaign to \
+           $(docv) (load it in chrome://tracing or Perfetto, or inspect \
+           it with $(b,snowplow stats --trace)).")
+
+let timeseries_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "timeseries" ] ~docv:"FILE"
+        ~doc:
+          "Write the campaign time-series to $(docv): one JSON object per \
+           snapshot-grid row (JSONL), or CSV when $(docv) ends in .csv. \
+           Rows are sampled from barrier-merged state on the virtual \
+           clock, so the file is bit-for-bit reproducible given \
+           (run-seed, jobs).")
+
 let fuzz_cmd =
   Cmd.v
     (Cmd.info "fuzz" ~doc:"Run a coverage-directed fuzzing campaign.")
     Term.(
       const fuzz $ seed_arg $ version_arg $ hours_arg $ campaign_seed_arg
-      $ system_arg $ jobs_arg)
+      $ system_arg $ jobs_arg $ trace_file_arg $ timeseries_file_arg)
 
 (* ------------------------------------------------------------------ *)
 (* train                                                               *)
@@ -306,6 +390,188 @@ let directed_cmd =
     Term.(const directed $ seed_arg $ version_arg $ hours_arg $ campaign_seed_arg $ bug_id)
 
 (* ------------------------------------------------------------------ *)
+(* stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let read_text_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let show_trace path ~top ~expect_spans problem =
+  match Sp_obs.Json.of_string (read_text_file path) with
+  | Error e -> problem (Printf.sprintf "trace %s: JSON parse error: %s" path e)
+  | Ok json -> (
+    match Trace_check.validate json with
+    | Error e -> problem (Printf.sprintf "trace %s: %s" path e)
+    | Ok s ->
+      Printf.printf "trace %s: %d events, %d process lanes, %d instants\n" path
+        s.Trace_check.events
+        (List.length s.Trace_check.pids)
+        (List.fold_left (fun acc (_, n) -> acc + n) 0 s.Trace_check.instants);
+      if s.Trace_check.span_stats <> [] then begin
+        Printf.printf "\n  %-24s %8s %12s %12s\n" "hottest spans" "count"
+          "total ms" "max ms";
+        List.iteri
+          (fun i (st : Trace_check.span_stat) ->
+            if i < top then
+              Printf.printf "  %-24s %8d %12.3f %12.3f\n" st.Trace_check.span
+                st.Trace_check.spans
+                (st.Trace_check.total_us /. 1000.0)
+                (st.Trace_check.max_us /. 1000.0))
+          s.Trace_check.span_stats
+      end;
+      if s.Trace_check.counter_stats <> [] then begin
+        Printf.printf "\n  %-24s %8s %12s\n" "counters" "samples" "last";
+        List.iteri
+          (fun i (c : Trace_check.counter_stat) ->
+            if i < top then
+              Printf.printf "  %-24s %8d %12g\n" c.Trace_check.counter
+                c.Trace_check.samples c.Trace_check.last)
+          s.Trace_check.counter_stats
+      end;
+      List.iter
+        (fun name ->
+          if not (Trace_check.has_span s name) then
+            problem (Printf.sprintf "trace %s: expected span %S missing" path name))
+        expect_spans)
+
+let show_timeseries path ~plot ~ascii ~csv_out ~expect_series problem =
+  match Timeseries.of_jsonl (read_text_file path) with
+  | Error e -> problem (Printf.sprintf "timeseries %s: %s" path e)
+  | Ok ts ->
+    let columns = Timeseries.columns ts in
+    Printf.printf "\ntimeseries %s: %d rows\n" path (Timeseries.length ts);
+    List.iter
+      (fun col ->
+        let values =
+          Array.of_list (List.map snd (Timeseries.column ts col))
+        in
+        Printf.printf "  %-22s %-24s last %g\n" col
+          (Sp_util.Ascii_plot.sparkline ~max_width:24 ~ascii values)
+          (Option.value ~default:Float.nan (Timeseries.last ts col)))
+      columns;
+    (* Full curves for the headline columns only — one coverage, one
+       throughput — so the default output stays one screen tall. *)
+    List.iter
+      (fun col ->
+        if List.mem col columns then
+          match Timeseries.column ts col with
+          | [] | [ _ ] -> ()
+          | points ->
+            let points = List.map (fun (t, v) -> (t /. 3600.0, v)) points in
+            print_newline ();
+            print_string
+              (Sp_util.Ascii_plot.render ~height:10 ~x_label:"uptime (h)"
+                 ~y_label:col ~title:col
+                 [ Sp_util.Ascii_plot.series ~label:col ~glyph:'*' points ]))
+      (if plot then [ "edges"; "execs_per_s" ] else []);
+    (match csv_out with
+    | Some out ->
+      write_text_file out (Timeseries.to_csv ts);
+      Printf.printf "\ncsv written to %s\n" out
+    | None -> ());
+    List.iter
+      (fun name ->
+        if not (List.mem name columns) then
+          problem
+            (Printf.sprintf "timeseries %s: expected series %S missing" path name))
+      expect_series
+
+let stats trace_file ts_file top plot ascii check expect_spans expect_series
+    csv_out =
+  if trace_file = None && ts_file = None then begin
+    prerr_endline "snowplow stats: provide --trace FILE and/or --timeseries FILE";
+    exit 2
+  end;
+  let problems = ref [] in
+  let problem msg = problems := msg :: !problems in
+  (match trace_file with
+  | Some path -> show_trace path ~top ~expect_spans problem
+  | None ->
+    if expect_spans <> [] then
+      problem "--expect-span requires --trace FILE");
+  (match ts_file with
+  | Some path -> show_timeseries path ~plot ~ascii ~csv_out ~expect_series problem
+  | None ->
+    if expect_series <> [] then
+      problem "--expect-series requires --timeseries FILE");
+  match List.rev !problems with
+  | [] -> if check then print_endline "stats check: OK"
+  | problems ->
+    List.iter (fun p -> Printf.eprintf "FAIL %s\n" p) problems;
+    exit 1
+
+let stats_cmd =
+  let trace_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Chrome trace written by $(b,snowplow fuzz --trace).")
+  in
+  let ts_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "timeseries" ] ~docv:"FILE"
+          ~doc:"JSONL time-series written by $(b,snowplow fuzz --timeseries).")
+  in
+  let top =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~docv:"N" ~doc:"Rows shown in the span/counter tables.")
+  in
+  let plot =
+    Arg.(
+      value & flag
+      & info [ "plot" ]
+          ~doc:"Render full coverage/throughput curves, not just sparklines.")
+  in
+  let ascii =
+    Arg.(
+      value & flag
+      & info [ "ascii" ] ~doc:"Pure-ASCII sparklines (no Unicode blocks).")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Validation mode for CI: print $(b,stats check: OK) when every \
+             artifact parses, every trace lane is balanced and monotone, \
+             and every --expect-span/--expect-series is present. Any \
+             problem exits 1.")
+  in
+  let expect_spans =
+    Arg.(
+      value & opt_all string []
+      & info [ "expect-span" ] ~docv:"NAME"
+          ~doc:"Fail unless the trace contains a span named $(docv).")
+  in
+  let expect_series =
+    Arg.(
+      value & opt_all string []
+      & info [ "expect-series" ] ~docv:"NAME"
+          ~doc:"Fail unless the time-series has a column named $(docv).")
+  in
+  let csv_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE"
+          ~doc:"Also convert the time-series to CSV at $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Inspect campaign telemetry: traces and time-series.")
+    Term.(
+      const stats $ trace_file $ ts_file $ top $ plot $ ascii $ check
+      $ expect_spans $ expect_series $ csv_out)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let info =
@@ -315,4 +581,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ kernel_info_cmd; gen_cmd; run_cmd; fuzz_cmd; train_cmd; directed_cmd ]))
+          [ kernel_info_cmd; gen_cmd; run_cmd; fuzz_cmd; train_cmd;
+            directed_cmd; stats_cmd ]))

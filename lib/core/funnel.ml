@@ -1,8 +1,10 @@
 module Prog = Sp_syzlang.Prog
 module Fqueue = Sp_util.Fqueue
+module Tracer = Sp_obs.Tracer
 
 type t = {
   service : Inference.t;
+  tracer : Tracer.t;
   max_outbox : int;
   outboxes : (Prog.t * int list) Fqueue.t array;
   inboxes : (Prog.t * Prog.path list) Fqueue.t array;
@@ -14,10 +16,11 @@ type t = {
   dropped : int array;
 }
 
-let create ?(max_outbox = 64) ~shards service =
+let create ?(max_outbox = 64) ?(tracer = Tracer.null) ~shards service =
   if shards < 1 then invalid_arg "Funnel.create: shards must be >= 1";
   {
     service;
+    tracer;
     max_outbox;
     outboxes = Array.init shards (fun _ -> Fqueue.create ());
     inboxes = Array.init shards (fun _ -> Fqueue.create ());
@@ -52,24 +55,28 @@ let endpoint t ~shard =
   }
 
 let flush t ~now =
-  let batch =
-    Array.fold_left
-      (fun acc outbox ->
-        let rec drain acc =
-          match Fqueue.pop_opt outbox with
-          | None -> acc
-          | Some r -> drain (r :: acc)
-        in
-        drain acc)
-      [] t.outboxes
-    |> List.rev
-  in
-  if batch <> [] then ignore (Inference.request_batch t.service ~now batch);
-  let completed = Inference.poll t.service ~now in
-  Array.iter
-    (fun inbox -> List.iter (fun p -> Fqueue.push inbox p) completed)
-    t.inboxes;
-  List.length completed
+  (* Runs at the barrier on the main domain — the tracer's only writer. *)
+  Tracer.span t.tracer "funnel.flush" (fun () ->
+      let batch =
+        Array.fold_left
+          (fun acc outbox ->
+            let rec drain acc =
+              match Fqueue.pop_opt outbox with
+              | None -> acc
+              | Some r -> drain (r :: acc)
+            in
+            drain acc)
+          [] t.outboxes
+        |> List.rev
+      in
+      Tracer.counter t.tracer "funnel.batch_size"
+        (float_of_int (List.length batch));
+      if batch <> [] then ignore (Inference.request_batch t.service ~now batch);
+      let completed = Inference.poll t.service ~now in
+      Array.iter
+        (fun inbox -> List.iter (fun p -> Fqueue.push inbox p) completed)
+        t.inboxes;
+      List.length completed)
 
 let requests_deferred t = Array.fold_left ( + ) 0 t.deferred
 

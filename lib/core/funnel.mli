@@ -20,9 +20,13 @@
 
 type t
 
-val create : ?max_outbox:int -> shards:int -> Inference.t -> t
+val create :
+  ?max_outbox:int -> ?tracer:Sp_obs.Tracer.t -> shards:int -> Inference.t -> t
 (** [max_outbox] (default 64) bounds each shard's per-epoch outbox;
-    requests beyond it are refused exactly like a full service queue. *)
+    requests beyond it are refused exactly like a full service queue.
+    [tracer] (default disabled) records a [funnel.flush] span and a
+    [funnel.batch_size] counter per {!flush}; it must be owned by the
+    domain calling [flush] (the campaign's main domain). *)
 
 val endpoint : t -> shard:int -> Inference.endpoint
 (** The view handed to shard [shard]'s strategy. Must only be used from

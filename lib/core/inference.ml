@@ -3,6 +3,7 @@ module Prog = Sp_syzlang.Prog
 module Fqueue = Sp_util.Fqueue
 module Lru = Sp_util.Lru
 module Metrics = Sp_util.Metrics
+module Tracer = Sp_obs.Tracer
 
 type pending = {
   ready_at : float;
@@ -39,11 +40,12 @@ type t = {
      slightly different target set is close enough while fresh *)
   by_prog : (int, cached) Lru.t;
   metrics : Metrics.t;
+  tracer : Tracer.t;
 }
 
 let create ?(latency = 0.69) ?(capacity_qps = 57.0) ?(max_pending = 16)
-    ?(cache_ttl = 1800.0) ?(cache_capacity = 4096) ?metrics ~kernel ~block_embs
-    model =
+    ?(cache_ttl = 1800.0) ?(cache_capacity = 4096) ?metrics
+    ?(tracer = Tracer.null) ~kernel ~block_embs model =
   {
     latency;
     capacity_qps;
@@ -60,6 +62,7 @@ let create ?(latency = 0.69) ?(capacity_qps = 57.0) ?(max_pending = 16)
     cache = Lru.create ~ttl:cache_ttl ~capacity:cache_capacity ();
     by_prog = Lru.create ~ttl:240.0 ~capacity:cache_capacity ();
     metrics = (match metrics with Some m -> m | None -> Metrics.create ());
+    tracer;
   }
 
 let predict_now t prog ~targets =
@@ -158,13 +161,21 @@ let poll t ~now =
     ready
 
 let request_batch t ~now reqs =
-  Metrics.incr t.metrics "inference.batches";
-  Metrics.observe t.metrics "inference.batch_size"
-    (float_of_int (List.length reqs));
-  List.fold_left
-    (fun accepted (prog, targets) ->
-      if request t ~now prog ~targets then accepted + 1 else accepted)
-    0 reqs
+  (* Batch flushes come from the barrier (main domain) — the same domain
+     that created the service, so the tracer is single-writer. *)
+  Tracer.span t.tracer "inference.batch" (fun () ->
+      Metrics.incr t.metrics "inference.batches";
+      Metrics.observe t.metrics "inference.batch_size"
+        (float_of_int (List.length reqs));
+      let accepted =
+        List.fold_left
+          (fun accepted (prog, targets) ->
+            if request t ~now prog ~targets then accepted + 1 else accepted)
+          0 reqs
+      in
+      Tracer.counter t.tracer "inference.pending"
+        (float_of_int (Fqueue.length t.queue));
+      accepted)
 
 type endpoint = {
   ep_request : now:float -> Prog.t -> targets:int list -> bool;

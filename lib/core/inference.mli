@@ -22,6 +22,7 @@ val create :
   ?cache_ttl:float ->
   ?cache_capacity:int ->
   ?metrics:Sp_util.Metrics.t ->
+  ?tracer:Sp_obs.Tracer.t ->
   kernel:Sp_kernel.Kernel.t ->
   block_embs:Sp_ml.Tensor.t ->
   Pmm.t ->
@@ -33,7 +34,11 @@ val create :
     cost, while any change in the uncovered frontier produces a fresh
     query. [kernel] is the kernel being fuzzed (used to rebuild the query
     graph). [metrics] is the registry service counters/timers are recorded
-    into (a private one is created when omitted). *)
+    into (a private one is created when omitted). [tracer] (default
+    disabled) records an [inference.batch] span and an
+    [inference.pending] queue-depth counter per {!request_batch}; it must
+    be owned by the domain calling the batch path (the campaign's main
+    domain). *)
 
 val request :
   t -> now:float -> Sp_syzlang.Prog.t -> targets:int list -> bool

@@ -69,13 +69,19 @@ let collect_bases config kernel =
     gen_bases @ corpus_bases
   end
 
-let train ?(config = default_config) () =
+let train ?(config = default_config) ?(tracer = Sp_obs.Tracer.null) () =
   let kernel =
     Kernel.linux_like ~seed:config.kernel_seed ~version:config.train_version
   in
-  let bases = collect_bases config kernel in
-  let split = Dataset.collect ~config:config.dataset kernel ~bases in
-  let encoder = Encoder.pretrain ~config:config.encoder kernel in
+  let span name f = Sp_obs.Tracer.span tracer name f in
+  let bases = span "pipeline.collect_bases" (fun () -> collect_bases config kernel) in
+  let split =
+    span "pipeline.dataset" (fun () ->
+        Dataset.collect ~config:config.dataset kernel ~bases)
+  in
+  let encoder =
+    span "pipeline.pretrain" (fun () -> Encoder.pretrain ~config:config.encoder kernel)
+  in
   let block_embs = Encoder.embed_kernel encoder kernel in
   let model =
     Pmm.create ~config:config.pmm ~encoder_dim:(Encoder.dim encoder)
@@ -83,7 +89,7 @@ let train ?(config = default_config) () =
       ()
   in
   let history =
-    Trainer.train ~config:config.trainer model ~block_embs
+    Trainer.train ~config:config.trainer ~tracer model ~block_embs
       ~train:split.Dataset.train ~valid:split.Dataset.valid
   in
   { config; kernel; bases; split; encoder; block_embs; model; history }
@@ -96,8 +102,8 @@ let embeddings_for t kernel =
   if Kernel.version kernel = t.config.train_version then t.block_embs
   else Encoder.embed_kernel t.encoder kernel
 
-let inference_for ?latency ?capacity_qps ?cache_capacity t kernel =
-  Inference.create ?latency ?capacity_qps ?cache_capacity ~kernel
+let inference_for ?latency ?capacity_qps ?cache_capacity ?tracer t kernel =
+  Inference.create ?latency ?capacity_qps ?cache_capacity ?tracer ~kernel
     ~block_embs:(embeddings_for t kernel) t.model
 
 let eval_scores t = Trainer.evaluate t.model ~block_embs:t.block_embs t.split.Dataset.eval

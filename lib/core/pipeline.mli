@@ -34,7 +34,10 @@ type t = {
   history : Trainer.progress list;
 }
 
-val train : ?config:config -> unit -> t
+val train : ?config:config -> ?tracer:Sp_obs.Tracer.t -> unit -> t
+(** [tracer] (default disabled) records [pipeline.collect_bases],
+    [pipeline.dataset] and [pipeline.pretrain] spans around the training
+    stages and is passed through to {!Trainer.train}. *)
 
 val kernel_version : t -> string -> Sp_kernel.Kernel.t
 (** Another version of the same kernel family (same seed). *)
@@ -46,12 +49,13 @@ val inference_for :
   ?latency:float ->
   ?capacity_qps:float ->
   ?cache_capacity:int ->
+  ?tracer:Sp_obs.Tracer.t ->
   t ->
   Sp_kernel.Kernel.t ->
   Inference.t
 (** A fresh inference service of the trained model against the given
-    kernel. [cache_capacity] bounds each prediction cache (see
-    [Inference.create]). *)
+    kernel. [cache_capacity] bounds each prediction cache and [tracer]
+    records batch-flush spans (see [Inference.create]). *)
 
 val eval_scores : t -> Sp_ml.Metrics.scores
 (** Held-out evaluation of the trained model (Table 1's PMM row). *)

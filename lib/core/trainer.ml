@@ -4,6 +4,7 @@ module Ad = Sp_ml.Ad
 module Optim = Sp_ml.Optim
 module Metrics = Sp_ml.Metrics
 module Tensor = Sp_ml.Tensor
+module Tracer = Sp_obs.Tracer
 
 type config = {
   epochs : int;
@@ -41,7 +42,8 @@ let calibrate_threshold model ~block_embs examples =
   Pmm.set_threshold model !best;
   !best
 
-let train ?(config = default_config) model ~block_embs ~train ~valid =
+let train ?(config = default_config) ?(tracer = Tracer.null) model ~block_embs
+    ~train ~valid =
   let rng = Rng.create config.seed in
   let optim = Optim.adam ~lr:config.lr (Pmm.params model) in
   let history = ref [] in
@@ -49,36 +51,39 @@ let train ?(config = default_config) model ~block_embs ~train ~valid =
   let in_batch = ref 0 in
   let running_loss = ref 0.0 and running_n = ref 0 in
   for _epoch = 1 to config.epochs do
-    let order = Array.init (Array.length train) Fun.id in
-    Rng.shuffle rng order;
-    Array.iter
-      (fun i ->
-        let ex = train.(i) in
-        if Array.length ex.Dataset.labels > 0 then begin
-          incr step;
-          let loss =
-            Pmm.loss model ~block_embs ex.Dataset.prepared ~labels:ex.Dataset.labels
-          in
-          (* Gradients accumulate across the mini-batch; one Adam step per
-             [config.batch] examples. *)
-          Ad.backward loss;
-          incr in_batch;
-          if !in_batch >= config.batch then begin
-            Optim.step optim;
-            Optim.zero_grad optim;
-            in_batch := 0
-          end;
-          running_loss := !running_loss +. Tensor.get (Ad.value loss) 0 0;
-          incr running_n;
-          if config.log_every > 0 && !step mod config.log_every = 0 then begin
-            history :=
-              { step = !step; loss = !running_loss /. float_of_int !running_n }
-              :: !history;
-            running_loss := 0.0;
-            running_n := 0
-          end
-        end)
-      order
+    Tracer.span tracer "trainer.epoch" (fun () ->
+        let order = Array.init (Array.length train) Fun.id in
+        Rng.shuffle rng order;
+        Array.iter
+          (fun i ->
+            let ex = train.(i) in
+            if Array.length ex.Dataset.labels > 0 then begin
+              incr step;
+              let loss =
+                Pmm.loss model ~block_embs ex.Dataset.prepared
+                  ~labels:ex.Dataset.labels
+              in
+              (* Gradients accumulate across the mini-batch; one Adam step
+                 per [config.batch] examples. *)
+              Ad.backward loss;
+              incr in_batch;
+              if !in_batch >= config.batch then begin
+                Optim.step optim;
+                Optim.zero_grad optim;
+                in_batch := 0
+              end;
+              running_loss := !running_loss +. Tensor.get (Ad.value loss) 0 0;
+              incr running_n;
+              if config.log_every > 0 && !step mod config.log_every = 0
+              then begin
+                let mean = !running_loss /. float_of_int !running_n in
+                history := { step = !step; loss = mean } :: !history;
+                Tracer.counter tracer "trainer.loss" mean;
+                running_loss := 0.0;
+                running_n := 0
+              end
+            end)
+          order)
   done;
   if !in_batch > 0 then begin
     Optim.step optim;

@@ -19,13 +19,16 @@ type progress = { step : int; loss : float (** mean loss since last record *) }
 
 val train :
   ?config:config ->
+  ?tracer:Sp_obs.Tracer.t ->
   Pmm.t ->
   block_embs:Sp_ml.Tensor.t ->
   train:Dataset.example array ->
   valid:Dataset.example array ->
   progress list
 (** Trains in place; afterwards the model's threshold is calibrated to
-    maximize mean F1 on [valid]. Returns the loss history. *)
+    maximize mean F1 on [valid]. Returns the loss history. [tracer]
+    (default disabled) records one [trainer.epoch] span per epoch and a
+    [trainer.loss] counter per history record. *)
 
 val evaluate :
   Pmm.t ->

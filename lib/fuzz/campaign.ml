@@ -2,6 +2,9 @@ module Rng = Sp_util.Rng
 module Bitset = Sp_util.Bitset
 module Metrics = Sp_util.Metrics
 module Pool = Sp_util.Pool
+module Trace = Sp_obs.Trace
+module Tracer = Sp_obs.Tracer
+module Timeseries = Sp_obs.Timeseries
 module Kernel = Sp_kernel.Kernel
 module Prog = Sp_syzlang.Prog
 module Accum = Sp_coverage.Accum
@@ -33,6 +36,43 @@ type snapshot = {
   s_execs : int;
 }
 
+(* Telemetry sampler: one timeseries row per snapshot-grid point, fed
+   from the same state the snapshot reads. Rows carry only virtual-clock
+   and merged-state values, so the exported series inherits the
+   executors' determinism contract — no wall clock, no scheduling. *)
+type sampler = {
+  sm_ts : Timeseries.t option;
+  sm_extra : unit -> (string * float) list;
+  mutable sm_prev_time : float;
+  mutable sm_prev_execs : int;
+}
+
+let make_sampler ?timeseries ?(ts_extra = fun () -> []) () =
+  { sm_ts = timeseries; sm_extra = ts_extra; sm_prev_time = 0.0;
+    sm_prev_execs = 0 }
+
+let sample_row sampler ~time ~blocks ~edges ~crashes ~execs ~corpus_size =
+  match sampler.sm_ts with
+  | None -> ()
+  | Some ts ->
+    let dt = time -. sampler.sm_prev_time in
+    let execs_per_s =
+      if dt > 0.0 then float_of_int (execs - sampler.sm_prev_execs) /. dt
+      else 0.0
+    in
+    sampler.sm_prev_time <- time;
+    sampler.sm_prev_execs <- execs;
+    Timeseries.sample ts ~time
+      ([
+         ("blocks", float_of_int blocks);
+         ("edges", float_of_int edges);
+         ("execs", float_of_int execs);
+         ("execs_per_s", execs_per_s);
+         ("corpus", float_of_int corpus_size);
+         ("crashes", float_of_int crashes);
+       ]
+      @ sampler.sm_extra ())
+
 type report = {
   series : snapshot list;
   final_blocks : int;
@@ -59,6 +99,8 @@ type state = {
   triage : Triage.t;
   config : config;
   metrics : Metrics.t;
+  tracer : Tracer.t;
+  sampler : sampler;
   mutable series_rev : snapshot list;
   mutable next_snapshot : float;
   mutable crash_count : int;
@@ -69,15 +111,23 @@ type state = {
 
 let take_snapshots st =
   while Clock.now st.clock >= st.next_snapshot do
+    let s_blocks = Accum.blocks_covered st.accum in
+    let s_edges = Accum.edges_covered st.accum in
+    let s_execs = Vm.executions st.vm in
     st.series_rev <-
       {
         s_time = st.next_snapshot;
-        s_blocks = Accum.blocks_covered st.accum;
-        s_edges = Accum.edges_covered st.accum;
+        s_blocks;
+        s_edges;
         s_crashes = st.crash_count;
-        s_execs = Vm.executions st.vm;
+        s_execs;
       }
       :: st.series_rev;
+    sample_row st.sampler ~time:st.next_snapshot ~blocks:s_blocks
+      ~edges:s_edges ~crashes:st.crash_count ~execs:s_execs
+      ~corpus_size:(Corpus.size st.corpus);
+    Tracer.instant st.tracer "campaign.snapshot";
+    Tracer.counter st.tracer "edges" (float_of_int s_edges);
     st.next_snapshot <- st.next_snapshot +. st.config.snapshot_every
   done
 
@@ -150,11 +200,14 @@ let finished st =
   Clock.now st.clock >= st.config.duration
   || (st.config.target <> None && st.target_hit_at <> None)
 
-let run vm (strategy : Strategy.t) config =
+let run ?(trace = Trace.disabled) ?timeseries ?ts_extra vm
+    (strategy : Strategy.t) config =
   Vm.set_throughput_factor vm strategy.Strategy.throughput_factor;
   let kernel = Vm.kernel vm in
   let metrics = Metrics.create () in
   Vm.set_metrics vm metrics;
+  let tracer = Trace.tracer trace ~pid:0 ~name:"campaign" in
+  Vm.set_tracer vm tracer;
   let dist_to_target =
     match config.target with
     | Some b -> Sp_cfg.Cfg.distances_to (Kernel.cfg kernel) b
@@ -184,6 +237,8 @@ let run vm (strategy : Strategy.t) config =
       triage = Triage.create kernel;
       config;
       metrics;
+      tracer;
+      sampler = make_sampler ?timeseries ?ts_extra ();
       series_rev = [];
       next_snapshot = config.snapshot_every;
       crash_count = 0;
@@ -242,14 +297,21 @@ let run vm (strategy : Strategy.t) config =
     | last :: _ -> last.s_time < config.duration
     | [] -> true
   in
-  if needs_final then
+  if needs_final then begin
+    let s_blocks = Accum.blocks_covered st.accum in
+    let s_edges = Accum.edges_covered st.accum in
+    let s_execs = Vm.executions st.vm in
     st.series_rev <-
       { s_time = config.duration;
-        s_blocks = Accum.blocks_covered st.accum;
-        s_edges = Accum.edges_covered st.accum;
+        s_blocks;
+        s_edges;
         s_crashes = st.crash_count;
-        s_execs = Vm.executions st.vm }
+        s_execs }
       :: st.series_rev;
+    sample_row st.sampler ~time:config.duration ~blocks:s_blocks
+      ~edges:s_edges ~crashes:st.crash_count ~execs:s_execs
+      ~corpus_size:(Corpus.size st.corpus)
+  end;
   {
     series = List.rev st.series_rev;
     final_blocks = Accum.blocks_covered st.accum;
@@ -283,14 +345,18 @@ let run vm (strategy : Strategy.t) config =
    fixed, so the whole run is bit-for-bit reproducible given
    (config.seed, jobs) — thread scheduling can change wall-clock time,
    never the report. *)
-let run_parallel ?(on_barrier = fun ~now:_ -> ()) ~jobs ~vm_for ~strategy_for
-    config =
+let run_parallel ?(on_barrier = fun ~now:_ -> ()) ?(trace = Trace.disabled)
+    ?timeseries ?ts_extra ~jobs ~vm_for ~strategy_for config =
   if jobs < 1 then invalid_arg "Campaign.run_parallel: jobs must be >= 1";
   if config.snapshot_every <= 0.0 then
     invalid_arg "Campaign.run_parallel: snapshot_every must be positive";
-  if jobs = 1 then run (vm_for 0) (strategy_for 0) config
+  if jobs = 1 then run ~trace ?timeseries ?ts_extra (vm_for 0) (strategy_for 0) config
   else begin
     let metrics = Metrics.create () in
+    (* Tracer handouts happen here, on the main domain, before any worker
+       exists; each shard/worker then owns its tracer exclusively. *)
+    let main_tracer = Trace.tracer trace ~pid:0 ~name:"campaign-main" in
+    let sampler = make_sampler ?timeseries ?ts_extra () in
     let root_rng = Rng.create config.seed in
     (* Named splits do not advance the parent, so shard streams and the
        merge stream are independent of jobs ordering and of each other. *)
@@ -300,9 +366,13 @@ let run_parallel ?(on_barrier = fun ~now:_ -> ()) ~jobs ~vm_for ~strategy_for
           let seeds =
             List.filteri (fun i _ -> i mod jobs = s) config.seed_corpus
           in
-          Shard.create ~id:s ~vm:(vm_for s) ~strategy:(strategy_for s)
+          Shard.create
+            ~tracer:
+              (Trace.tracer trace ~pid:(1 + s)
+                 ~name:(Printf.sprintf "shard-%d" s))
+            ~id:s ~vm:(vm_for s) ~strategy:(strategy_for s)
             ~rng:(Rng.split_named root_rng (Printf.sprintf "shard-%d" s))
-            ~seeds)
+            ~seeds ())
     in
     let kernel = Vm.kernel (Shard.vm shards.(0)) in
     let dist_to_target =
@@ -335,15 +405,25 @@ let run_parallel ?(on_barrier = fun ~now:_ -> ()) ~jobs ~vm_for ~strategy_for
     in
     let take_snapshots now =
       while now >= !next_snapshot -. 1e-9 && !next_snapshot <= config.duration do
+        let s_blocks = Accum.blocks_covered accum in
+        let s_edges = Accum.edges_covered accum in
+        let s_execs = total_execs () in
         series_rev :=
           {
             s_time = !next_snapshot;
-            s_blocks = Accum.blocks_covered accum;
-            s_edges = Accum.edges_covered accum;
+            s_blocks;
+            s_edges;
             s_crashes = !crash_count;
-            s_execs = total_execs ();
+            s_execs;
           }
           :: !series_rev;
+        (* Sampled after the shard-order merge, from merged global state
+           only: the timeseries stays bit-for-bit reproducible. *)
+        sample_row sampler ~time:!next_snapshot ~blocks:s_blocks
+          ~edges:s_edges ~crashes:!crash_count ~execs:s_execs
+          ~corpus_size:(Corpus.size corpus);
+        Tracer.instant main_tracer "campaign.snapshot";
+        Tracer.counter main_tracer "edges" (float_of_int s_edges);
         next_snapshot := !next_snapshot +. config.snapshot_every
       done
     in
@@ -385,7 +465,12 @@ let run_parallel ?(on_barrier = fun ~now:_ -> ()) ~jobs ~vm_for ~strategy_for
     in
     let pool_metrics = Metrics.create () in
     let report =
-      Pool.with_pool ~metrics:pool_metrics ~workers:jobs (fun pool ->
+      Pool.with_pool ~metrics:pool_metrics
+        ~tracer_for:(fun i ->
+          Trace.tracer trace ~pid:(1001 + i)
+            ~name:(Printf.sprintf "pool-worker-%d" i))
+        ~workers:jobs
+        (fun pool ->
           let stop = ref false in
           let barrier = ref 0 in
           while not !stop do
@@ -395,6 +480,7 @@ let run_parallel ?(on_barrier = fun ~now:_ -> ()) ~jobs ~vm_for ~strategy_for
                 (float_of_int !barrier *. config.snapshot_every)
             in
             Metrics.incr metrics "campaign.barriers";
+            Tracer.begin_span main_tracer "campaign.barrier";
             let epochs =
               Pool.run_all pool
                 (Array.to_list
@@ -410,7 +496,8 @@ let run_parallel ?(on_barrier = fun ~now:_ -> ()) ~jobs ~vm_for ~strategy_for
                 epochs
             in
             (* Fold in shard order — the whole determinism story. *)
-            List.iter merge_epoch epochs;
+            Tracer.span main_tracer "campaign.merge" (fun () ->
+                List.iter merge_epoch epochs);
             (* First barrier that observed the target wins; among shards
                of one barrier, the earliest shard-local hit time. *)
             (match config.target with
@@ -436,7 +523,8 @@ let run_parallel ?(on_barrier = fun ~now:_ -> ()) ~jobs ~vm_for ~strategy_for
               now >= config.duration
               || (config.target <> None && !target_hit_at <> None)
               || all_idle
-            then stop := true
+            then stop := true;
+            Tracer.end_span main_tracer "campaign.barrier"
           done;
           (* Close the series grid out to the configured duration, exactly
              like the sequential executor does on early exit. *)
@@ -446,16 +534,23 @@ let run_parallel ?(on_barrier = fun ~now:_ -> ()) ~jobs ~vm_for ~strategy_for
             | last :: _ -> last.s_time < config.duration
             | [] -> true
           in
-          if needs_final then
+          if needs_final then begin
+            let s_blocks = Accum.blocks_covered accum in
+            let s_edges = Accum.edges_covered accum in
+            let s_execs = total_execs () in
             series_rev :=
               {
                 s_time = config.duration;
-                s_blocks = Accum.blocks_covered accum;
-                s_edges = Accum.edges_covered accum;
+                s_blocks;
+                s_edges;
                 s_crashes = !crash_count;
-                s_execs = total_execs ();
+                s_execs;
               }
               :: !series_rev;
+            sample_row sampler ~time:config.duration ~blocks:s_blocks
+              ~edges:s_edges ~crashes:!crash_count ~execs:s_execs
+              ~corpus_size:(Corpus.size corpus)
+          end;
           {
             series = List.rev !series_rev;
             final_blocks = Accum.blocks_covered accum;

@@ -52,10 +52,33 @@ type report = {
           records into the same registry *)
 }
 
-val run : Vm.t -> Strategy.t -> config -> report
+val run :
+  ?trace:Sp_obs.Trace.t ->
+  ?timeseries:Sp_obs.Timeseries.t ->
+  ?ts_extra:(unit -> (string * float) list) ->
+  Vm.t ->
+  Strategy.t ->
+  config ->
+  report
+(** Telemetry (both executors): with [trace], the campaign records into
+    the collection — pid 0 is the main domain ([campaign.snapshot]
+    instants, an [edges] counter, and in parallel runs [campaign.barrier]
+    / [campaign.merge] spans), pid [1+s] is shard [s] ([shard.epoch]
+    spans, [vm.crash_restart] instants), pid [1001+i] is pool worker [i]
+    ([pool.task] spans, [pool.steal] instants). With [timeseries], one
+    row is appended per snapshot-grid point carrying [blocks], [edges],
+    [execs], [execs_per_s], [corpus] and [crashes] plus whatever
+    [ts_extra ()] returns (sampled on the main domain at the same grid
+    point). The timeseries reads only virtual-clock/merged state, so it
+    is bit-for-bit reproducible given [(config.seed, jobs)]; the trace
+    carries wall-clock timestamps and is explicitly {e not} part of that
+    determinism contract. *)
 
 val run_parallel :
   ?on_barrier:(now:float -> unit) ->
+  ?trace:Sp_obs.Trace.t ->
+  ?timeseries:Sp_obs.Timeseries.t ->
+  ?ts_extra:(unit -> (string * float) list) ->
   jobs:int ->
   vm_for:(int -> Vm.t) ->
   strategy_for:(int -> Strategy.t) ->

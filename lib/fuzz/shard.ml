@@ -1,6 +1,7 @@
 module Rng = Sp_util.Rng
 module Bitset = Sp_util.Bitset
 module Metrics = Sp_util.Metrics
+module Tracer = Sp_obs.Tracer
 module Kernel = Sp_kernel.Kernel
 module Bug = Sp_kernel.Bug
 module Prog = Sp_syzlang.Prog
@@ -13,14 +14,16 @@ type t = {
   rng : Rng.t;
   strategy : Strategy.t;
   metrics : Metrics.t;
+  tracer : Tracer.t;
   executed : (int, Prog.t list) Hashtbl.t;
   crash_seen : (string, unit) Hashtbl.t;
   mutable seeds : Prog.t list;
 }
 
-let create ~id ~vm ~strategy ~rng ~seeds =
+let create ?(tracer = Tracer.null) ~id ~vm ~strategy ~rng ~seeds () =
   let metrics = Metrics.create () in
   Vm.set_metrics vm metrics;
+  Vm.set_tracer vm tracer;
   Vm.set_throughput_factor vm strategy.Strategy.throughput_factor;
   {
     id;
@@ -29,6 +32,7 @@ let create ~id ~vm ~strategy ~rng ~seeds =
     rng;
     strategy;
     metrics;
+    tracer;
     executed = Hashtbl.create 4096;
     crash_seen = Hashtbl.create 16;
     seeds;
@@ -131,7 +135,7 @@ let ingest_raw ?(origin = "seed") t ctx target prog =
   | None -> ());
   check_target t ctx target
 
-let run_epoch t ~corpus ~accum ~target ~until =
+let run_epoch_inner t ~corpus ~accum ~target ~until =
   let kernel = Vm.kernel t.vm in
   let ctx =
     {
@@ -173,7 +177,8 @@ let run_epoch t ~corpus ~accum ~target ~until =
       | None -> Corpus.choose t.rng ctx.local
     in
     let proposals =
-      Metrics.time t.metrics "campaign.propose_cpu_s" (fun () ->
+      (* Wall clock: this runs on a worker domain (see Metrics.time). *)
+      Metrics.time_wall t.metrics "campaign.propose_wall_s" (fun () ->
           t.strategy.Strategy.propose t.rng ~now:(Clock.now t.clock)
             ~covered:(Accum.blocks ctx.acc) ctx.local entry)
     in
@@ -212,3 +217,9 @@ let run_epoch t ~corpus ~accum ~target ~until =
     ep_target_hit_at = ctx.target_hit_at;
     ep_idle = not ctx.worked;
   }
+
+(* The span runs on the worker domain executing the epoch — each shard
+   owns its tracer, so this is race-free by construction. *)
+let run_epoch t ~corpus ~accum ~target ~until =
+  Tracer.span t.tracer "shard.epoch" (fun () ->
+      run_epoch_inner t ~corpus ~accum ~target ~until)

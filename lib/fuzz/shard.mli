@@ -14,15 +14,20 @@
 type t
 
 val create :
+  ?tracer:Sp_obs.Tracer.t ->
   id:int ->
   vm:Vm.t ->
   strategy:Strategy.t ->
   rng:Sp_util.Rng.t ->
   seeds:Sp_syzlang.Prog.t list ->
+  unit ->
   t
 (** [seeds] is this shard's slice of the campaign seed corpus, executed
     (once each) before mutation work. Attaches the shard's metrics
-    registry to [vm] and applies the strategy's throughput factor. *)
+    registry and [tracer] (default disabled) to [vm] and applies the
+    strategy's throughput factor. The tracer must be private to this
+    shard: {!run_epoch} records a [shard.epoch] span into it from the
+    worker domain running the epoch. *)
 
 val id : t -> int
 

@@ -1,6 +1,7 @@
 module Rng = Sp_util.Rng
 module Kernel = Sp_kernel.Kernel
 module Metrics = Sp_util.Metrics
+module Tracer = Sp_obs.Tracer
 
 type t = {
   kernel : Kernel.t;
@@ -12,6 +13,7 @@ type t = {
   mutable factor : float;
   mutable executions : int;
   mutable metrics : Metrics.t option;
+  mutable tracer : Tracer.t;
 }
 
 let create ?(noise = 0.0) ?(execs_per_second = 390.0) ?(fleet_scale = 96.0)
@@ -26,6 +28,7 @@ let create ?(noise = 0.0) ?(execs_per_second = 390.0) ?(fleet_scale = 96.0)
     factor = 1.0;
     executions = 0;
     metrics = None;
+    tracer = Tracer.null;
   }
 
 let kernel t = t.kernel
@@ -33,6 +36,8 @@ let kernel t = t.kernel
 let scratch t = t.scratch
 
 let set_metrics t m = t.metrics <- Some m
+
+let set_tracer t tr = t.tracer <- tr
 
 let record_counter t name =
   match t.metrics with Some m -> Metrics.incr m name | None -> ()
@@ -59,6 +64,9 @@ let charge t clock ~crashed ~num_calls =
   let cost =
     if crashed then begin
       record_counter t "vm.crash_restarts";
+      (* Rare enough for a trace event: a reboot is exactly the kind of
+         spike the inspector should be able to line up with the series. *)
+      Tracer.instant t.tracer "vm.crash_restart";
       cost +. t.crash_restart_s
     end
     else cost
@@ -67,10 +75,13 @@ let charge t clock ~crashed ~num_calls =
   record_observation t "vm.exec_virtual_s" cost;
   Clock.advance clock cost
 
+(* Wall clock, not [Metrics.time]: one VM per shard means this timer runs
+   on a worker domain, where [Sys.time] would charge every other domain's
+   concurrent work to this shard's histogram. *)
 let run t clock prog =
   let r =
     match t.metrics with
-    | Some m -> Metrics.time m "vm.exec_cpu_s" (fun () -> execute t prog)
+    | Some m -> Metrics.time_wall m "vm.exec_wall_s" (fun () -> execute t prog)
     | None -> execute t prog
   in
   charge t clock ~crashed:(r.Kernel.crash <> None)
@@ -79,7 +90,7 @@ let run t clock prog =
 
 let run_raw t clock prog =
   (match t.metrics with
-  | Some m -> Metrics.time m "vm.exec_cpu_s" (fun () -> execute_raw t prog)
+  | Some m -> Metrics.time_wall m "vm.exec_wall_s" (fun () -> execute_raw t prog)
   | None -> execute_raw t prog);
   charge t clock
     ~crashed:(Kernel.scratch_crashed t.scratch)

@@ -35,9 +35,18 @@ val scratch : t -> Sp_kernel.Kernel.scratch
 
 val set_metrics : t -> Sp_util.Metrics.t -> unit
 (** Attach a metrics registry; the VM then records [vm.*] counters
-    (executions, crash restarts, duplicate skips) and histograms (virtual
-    cost per execution, CPU time per execution). No metrics are recorded
-    before a registry is attached — [Campaign.run] attaches its own. *)
+    (executions, crash restarts, duplicate skips) and histograms:
+    [vm.exec_virtual_s] (virtual cost per execution) and
+    [vm.exec_wall_s] (wall-clock time per execution — wall, not CPU,
+    because one VM serves one shard domain and [Sys.time] is process-wide
+    under [Campaign.run_parallel]). No metrics are recorded before a
+    registry is attached — [Campaign.run] attaches its own. *)
+
+val set_tracer : t -> Sp_obs.Tracer.t -> unit
+(** Attach the owning shard's tracer; the VM then records a
+    [vm.crash_restart] instant per guest-kernel crash (executions
+    themselves are far too hot to trace individually). Defaults to the
+    disabled tracer. *)
 
 val run : t -> Clock.t -> Sp_syzlang.Prog.t -> Sp_kernel.Kernel.result
 (** Execute and advance the clock by the execution cost (plus the restart

@@ -1,0 +1,37 @@
+type t = {
+  enabled : bool;
+  capacity : int option;
+  mutable tracers : (int * Tracer.t) list;  (* newest first; pid-keyed *)
+}
+
+let create ?capacity ~enabled () = { enabled; capacity; tracers = [] }
+
+let disabled = create ~enabled:false ()
+
+let enabled t = t.enabled
+
+let tracer t ~pid ~name =
+  if not t.enabled then Tracer.null
+  else
+    match List.assoc_opt pid t.tracers with
+    | Some tr -> tr
+    | None ->
+      let tr = Tracer.create ?capacity:t.capacity ~pid ~name () in
+      t.tracers <- (pid, tr) :: t.tracers;
+      tr
+
+let tracers t =
+  List.sort (fun (a, _) (b, _) -> compare a b) t.tracers |> List.map snd
+
+let export t =
+  let events = List.concat_map Tracer.to_json_events (tracers t) in
+  Json.Obj
+    [ ("traceEvents", Json.Arr events); ("displayTimeUnit", Json.Str "ms") ]
+
+let export_string t = Json.to_string (export t)
+
+let write_file t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (export_string t))

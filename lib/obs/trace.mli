@@ -1,0 +1,43 @@
+(** A campaign's tracer collection and Chrome [trace_event] exporter.
+
+    One {!t} spans a whole run; components ask it for per-domain tracers
+    keyed by pid ({!tracer} memoizes, so asking twice for the same pid
+    returns the same tracer). When the collection is disabled every
+    handout is {!Tracer.null} and recording costs one branch.
+
+    Handing out tracers mutates the collection and must happen on the
+    coordinating (main) domain — the campaign registers every shard and
+    pool-worker tracer before the workers start. Recording into the
+    handed-out tracers is then per-domain and unsynchronized by design.
+
+    Pid conventions used by the campaign layer: pid 0 is the main/merge
+    domain, pid [1+s] is campaign shard [s], pid [1001+i] is pool worker
+    [i]. *)
+
+type t
+
+val create : ?capacity:int -> enabled:bool -> unit -> t
+(** [capacity] is per-tracer ring capacity (see {!Tracer.create}). *)
+
+val disabled : t
+(** The shared never-recording collection; {!export} is still
+    well-formed (an empty event array). *)
+
+val enabled : t -> bool
+
+val tracer : t -> pid:int -> name:string -> Tracer.t
+(** The tracer for [pid], created (with [name]) on first request. *)
+
+val tracers : t -> Tracer.t list
+(** All handed-out tracers, in pid order. *)
+
+val export : t -> Json.t
+(** The whole collection as one Chrome [trace_event] JSON object
+    ([{"traceEvents": [...], "displayTimeUnit": "ms"}]), loadable in
+    [chrome://tracing] or Perfetto. Every lane is balanced and
+    time-ordered (see {!Tracer.to_json_events}). *)
+
+val export_string : t -> string
+
+val write_file : t -> string -> unit
+(** [export_string] to a file. *)

@@ -1,0 +1,146 @@
+(* The ring is four parallel arrays indexed by [n mod cap]: phase byte,
+   name, timestamp, counter value. Everything is preallocated at [create];
+   a record call writes four slots and bumps [n]. *)
+
+type t = {
+  enabled : bool;
+  pid : int;
+  pname : string;
+  cap : int;
+  phs : Bytes.t;
+  names : string array;
+  tss : float array;
+  vals : float array;
+  mutable n : int;
+  mutable last_ts : float;
+}
+
+let create ?(capacity = 16384) ?(enabled = true) ~pid ~name () =
+  if capacity < 1 then invalid_arg "Tracer.create: capacity must be >= 1";
+  {
+    enabled;
+    pid;
+    pname = name;
+    cap = capacity;
+    phs = Bytes.make capacity ' ';
+    names = Array.make capacity "";
+    tss = Array.make capacity 0.0;
+    vals = Array.make capacity 0.0;
+    n = 0;
+    last_ts = 0.0;
+  }
+
+let null = create ~capacity:1 ~enabled:false ~pid:(-1) ~name:"disabled" ()
+
+let enabled t = t.enabled
+
+let pid t = t.pid
+
+(* gettimeofday can step backwards under clock adjustment; per-tracer
+   clamping keeps every exported lane monotone. *)
+let record t ph name v =
+  if t.enabled then begin
+    let ts = Unix.gettimeofday () *. 1e6 in
+    let ts = if ts < t.last_ts then t.last_ts else ts in
+    t.last_ts <- ts;
+    let i = t.n mod t.cap in
+    Bytes.unsafe_set t.phs i ph;
+    t.names.(i) <- name;
+    t.tss.(i) <- ts;
+    t.vals.(i) <- v;
+    t.n <- t.n + 1
+  end
+
+let begin_span t name = record t 'B' name 0.0
+
+let end_span t name = record t 'E' name 0.0
+
+let span t name f =
+  if not t.enabled then f ()
+  else begin
+    begin_span t name;
+    Fun.protect ~finally:(fun () -> end_span t name) f
+  end
+
+let instant t name = record t 'I' name 0.0
+
+let counter t name v = record t 'C' name v
+
+let recorded t = t.n
+
+let dropped t = max 0 (t.n - t.cap)
+
+(* The live window, oldest first. *)
+let live_events t =
+  let live = min t.n t.cap in
+  let start = t.n - live in
+  Array.init live (fun k ->
+      let i = (start + k) mod t.cap in
+      (Bytes.get t.phs i, t.names.(i), t.tss.(i), t.vals.(i)))
+
+(* A wrapped ring can hold an E whose B was evicted, and an unclosed span
+   leaves a dangling B; both would make the exported trace ill-formed.
+   One stack pass keeps exactly the properly nested matched pairs. *)
+let balance evs =
+  let n = Array.length evs in
+  let keep = Array.make n true in
+  let stack = ref [] in
+  Array.iteri
+    (fun idx (ph, name, _, _) ->
+      match ph with
+      | 'B' -> stack := idx :: !stack
+      | 'E' -> (
+        match !stack with
+        | top :: rest ->
+          let _, bname, _, _ = evs.(top) in
+          if String.equal bname name then stack := rest
+          else keep.(idx) <- false
+        | [] -> keep.(idx) <- false)
+      | _ -> ())
+    evs;
+  List.iter (fun idx -> keep.(idx) <- false) !stack;
+  keep
+
+let to_json_events t =
+  if not t.enabled then []
+  else begin
+    let evs = live_events t in
+    let keep = balance evs in
+    let meta =
+      Json.Obj
+        [
+          ("name", Json.Str "process_name");
+          ("ph", Json.Str "M");
+          ("pid", Json.Num (float_of_int t.pid));
+          ("tid", Json.Num 0.0);
+          ("args", Json.Obj [ ("name", Json.Str t.pname) ]);
+        ]
+    in
+    let base name ph ts =
+      [
+        ("name", Json.Str name);
+        ("ph", Json.Str ph);
+        ("pid", Json.Num (float_of_int t.pid));
+        ("tid", Json.Num 0.0);
+        ("ts", Json.Num ts);
+      ]
+    in
+    let events = ref [] in
+    for idx = Array.length evs - 1 downto 0 do
+      if keep.(idx) then begin
+        let ph, name, ts, v = evs.(idx) in
+        let ev =
+          match ph with
+          | 'B' -> Json.Obj (base name "B" ts)
+          | 'E' -> Json.Obj (base name "E" ts)
+          | 'I' -> Json.Obj (base name "I" ts @ [ ("s", Json.Str "t") ])
+          | 'C' ->
+            Json.Obj
+              (base name "C" ts @ [ ("args", Json.Obj [ ("value", Json.Num v) ]) ])
+          | _ -> assert false
+        in
+        events := ev :: !events
+      end
+    done;
+    meta :: !events
+  end

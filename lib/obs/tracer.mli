@@ -1,0 +1,59 @@
+(** Per-domain span/event tracer with a bounded ring buffer.
+
+    One tracer belongs to one domain (a campaign shard, a pool worker, or
+    the main/merge domain) and is written without synchronization; the
+    cross-domain picture is assembled at export time by {!Trace}. Recording
+    appends into preallocated parallel arrays (no allocation beyond the
+    name string the caller already holds), so spans are safe on paths hit
+    millions of times per campaign; once the ring wraps, the oldest events
+    are overwritten and the export drops any span half whose partner was
+    evicted. A disabled tracer ({!null}, or any tracer created with
+    [enabled:false]) short-circuits every record call on one branch.
+
+    Timestamps are monotonic wall-clock microseconds: [Unix.gettimeofday]
+    (never [Sys.time], which is process-wide CPU time and meaningless
+    across domains), clamped to be non-decreasing per tracer. *)
+
+type t
+
+val create : ?capacity:int -> ?enabled:bool -> pid:int -> name:string -> unit -> t
+(** [capacity] (default 16384) is the ring size in events; [pid] and
+    [name] identify the emitting process lane in the exported Chrome
+    trace. Raises [Invalid_argument] when [capacity < 1]. *)
+
+val null : t
+(** The shared disabled tracer: every record call is a no-op, every
+    export is empty. *)
+
+val enabled : t -> bool
+
+val pid : t -> int
+
+val begin_span : t -> string -> unit
+
+val end_span : t -> string -> unit
+(** Must close the most recent open {!begin_span} with the same name;
+    mismatched halves are dropped at export, not errors at record. *)
+
+val span : t -> string -> (unit -> 'a) -> 'a
+(** [begin_span]/[end_span] around the thunk (also on raise). When the
+    tracer is disabled this is a single branch around the thunk. *)
+
+val instant : t -> string -> unit
+(** A point event (Chrome phase [I]). *)
+
+val counter : t -> string -> float -> unit
+(** A sampled counter value (Chrome phase [C]). *)
+
+val recorded : t -> int
+(** Total events recorded since creation (including overwritten ones). *)
+
+val dropped : t -> int
+(** Events evicted by ring wrap-around: [max 0 (recorded - capacity)]. *)
+
+val to_json_events : t -> Json.t list
+(** This tracer's live window as Chrome [trace_event] objects: a
+    [process_name] metadata event, then the events in chronological
+    order with unmatched span halves (ring eviction, or an unclosed
+    span) filtered out — the output always has balanced [B]/[E] pairs
+    and non-decreasing timestamps. *)

@@ -21,6 +21,48 @@ let fmt_tick v =
   else if Float.abs v >= 100.0 then Printf.sprintf "%.0f" v
   else Printf.sprintf "%.2g" v
 
+(* 8-level vertical ramps. The Unicode one uses the block elements
+   U+2581..U+2588; the ASCII fallback approximates the same ordering. *)
+let spark_glyphs_unicode =
+  [| "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83"; "\xe2\x96\x84";
+     "\xe2\x96\x85"; "\xe2\x96\x86"; "\xe2\x96\x87"; "\xe2\x96\x88" |]
+
+let spark_glyphs_ascii = [| "."; ":"; "-"; "="; "+"; "*"; "#"; "@" |]
+
+let sparkline ?(max_width = 64) ?(ascii = false) values =
+  let vs = Array.of_seq (Seq.filter Float.is_finite (Array.to_seq values)) in
+  let n = Array.length vs in
+  if n = 0 then ""
+  else begin
+    let glyphs = if ascii then spark_glyphs_ascii else spark_glyphs_unicode in
+    let w = min n (max 1 max_width) in
+    (* When there are more points than cells, each cell is the mean of its
+       bucket, so a long series keeps its overall shape. *)
+    let cell i =
+      let lo = i * n / w and hi = max (((i + 1) * n / w) - 1) (i * n / w) in
+      let sum = ref 0.0 in
+      for j = lo to hi do
+        sum := !sum +. vs.(j)
+      done;
+      !sum /. float_of_int (hi - lo + 1)
+    in
+    let cells = Array.init w cell in
+    let lo = Array.fold_left Float.min cells.(0) cells in
+    let hi = Array.fold_left Float.max cells.(0) cells in
+    let buf = Buffer.create (w * 3) in
+    Array.iter
+      (fun v ->
+        let level =
+          if hi <= lo then 3 (* constant series: a flat mid-height bar *)
+          else
+            min 7
+              (int_of_float ((v -. lo) /. (hi -. lo) *. 8.0))
+        in
+        Buffer.add_string buf glyphs.(level))
+      cells;
+    Buffer.contents buf
+  end
+
 let render ?(width = 64) ?(height = 16) ?(x_label = "") ?(y_label = "") ~title
     seriess =
   let all_points =

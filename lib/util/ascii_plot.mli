@@ -29,3 +29,12 @@ val render :
   string
 (** Render the plot with axes, tick labels and a legend. [width]/[height]
     are the plotting area in characters (defaults 64x16). *)
+
+val sparkline : ?max_width:int -> ?ascii:bool -> float array -> string
+(** A single-row mini-trend of the values, scaled to the series min/max:
+    Unicode block glyphs (▁▂▃▄▅▆▇█) by default, a pure-ASCII ramp with
+    [~ascii:true]. Non-finite values are filtered out first; an empty (or
+    all-non-finite) series renders as [""]; a constant series renders as
+    a flat mid-height bar. Series longer than [max_width] (default 64)
+    are resampled by bucket means. Used by [snowplow stats] for
+    per-metric trends. *)

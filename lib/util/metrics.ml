@@ -77,6 +77,10 @@ let time t name f =
   let t0 = Sys.time () in
   Fun.protect ~finally:(fun () -> observe t name (Sys.time () -. t0)) f
 
+let time_wall t name f =
+  let t0 = Unix.gettimeofday () in
+  Fun.protect ~finally:(fun () -> observe t name (Unix.gettimeofday () -. t0)) f
+
 type summary = {
   count : int;
   sum : float;

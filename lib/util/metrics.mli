@@ -29,7 +29,22 @@ val observe : t -> string -> float -> unit
 
 val time : t -> string -> (unit -> 'a) -> 'a
 (** Run the thunk and [observe] its CPU time ([Sys.time]) in seconds under
-    the given name, whether it returns or raises. *)
+    the given name, whether it returns or raises.
+
+    [Sys.time] is {e process-wide} CPU time: under a multi-domain run
+    every domain reads the same accumulating clock, so a per-shard timer
+    recorded with [time] is inflated by whatever the other domains were
+    doing concurrently. Only use [time] for work that runs while no other
+    domain is busy (e.g. merge-time work on the main domain); use
+    {!time_wall} for anything recorded from (or compared across) worker
+    domains. By convention metric names state which clock they carry:
+    [*_cpu_s] for [time], [*_wall_s] / [*_ns] for wall-clock, and
+    [*_virtual_s] for the campaign's virtual clock. *)
+
+val time_wall : t -> string -> (unit -> 'a) -> 'a
+(** [time] on the monotonic wall clock ([Unix.gettimeofday]) instead of
+    process CPU time — the correct timer for durations measured on worker
+    domains, where [Sys.time] counts every domain's CPU at once. *)
 
 type summary = {
   count : int;

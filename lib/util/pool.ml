@@ -1,9 +1,12 @@
+module Tracer = Sp_obs.Tracer
+
 type task = unit -> unit
 
 type t = {
   lock : Mutex.t;
   work : Condition.t;  (* signalled on submit and on shutdown *)
   queues : task Queue.t array;  (* one per worker, all guarded by [lock] *)
+  tracers : Tracer.t array;  (* one per worker; written only by its owner *)
   mutable rr : int;  (* next queue for round-robin submission *)
   mutable live : bool;
   mutable domains : unit Domain.t array;
@@ -31,6 +34,7 @@ let take t i =
       let j = (i + !k) mod n in
       if not (Queue.is_empty t.queues.(j)) then begin
         Metrics.incr t.metrics "pool.steals";
+        Tracer.instant t.tracers.(i) "pool.steal";
         found := Some (Queue.pop t.queues.(j))
       end;
       incr k
@@ -58,18 +62,26 @@ let worker t i () =
     | Some task ->
       Metrics.incr t.metrics "pool.tasks";
       Mutex.unlock t.lock;
-      task ();
+      Tracer.span t.tracers.(i) "pool.task" task;
       loop ()
   in
   loop ()
 
-let create ?metrics ~workers () =
+let create ?metrics ?tracer_for ~workers () =
   if workers < 1 then invalid_arg "Pool.create: workers must be >= 1";
+  let tracers =
+    (* Handed out before the domains spawn, on the caller's domain; each
+       worker then writes only its own tracer. *)
+    match tracer_for with
+    | Some f -> Array.init workers f
+    | None -> Array.make workers Tracer.null
+  in
   let t =
     {
       lock = Mutex.create ();
       work = Condition.create ();
       queues = Array.init workers (fun _ -> Queue.create ());
+      tracers;
       rr = 0;
       live = true;
       domains = [||];
@@ -131,8 +143,8 @@ let shutdown t =
   end
   else Mutex.unlock t.lock
 
-let with_pool ?metrics ~workers f =
-  let t = create ?metrics ~workers () in
+let with_pool ?metrics ?tracer_for ~workers f =
+  let t = create ?metrics ?tracer_for ~workers () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
 module Chan = struct

@@ -12,12 +12,21 @@
     pool lock, since registries are not thread-safe): [pool.tasks] and
     [pool.steals] counters, [pool.idle_ns] (time a worker spent parked
     waiting for work) and [pool.barrier_wait_ns] (time the submitter
-    spent blocked in {!run_all}) histograms. *)
+    spent blocked in {!run_all}) histograms. With [tracer_for], each
+    worker additionally records a [pool.task] span per executed task and
+    a [pool.steal] instant per steal into its own per-worker tracer. *)
 
 type t
 
-val create : ?metrics:Metrics.t -> workers:int -> unit -> t
-(** Spawn [workers] domains (>= 1). *)
+val create :
+  ?metrics:Metrics.t ->
+  ?tracer_for:(int -> Sp_obs.Tracer.t) ->
+  workers:int ->
+  unit ->
+  t
+(** Spawn [workers] domains (>= 1). [tracer_for i] is called once per
+    worker, on the calling domain, before any worker starts; worker [i]
+    then owns (and is the only writer of) that tracer. *)
 
 val workers : t -> int
 
@@ -39,7 +48,12 @@ val run_all : t -> (unit -> 'a) list -> ('a, exn) result list
 val shutdown : t -> unit
 (** Drain every queued task, then join the worker domains. Idempotent. *)
 
-val with_pool : ?metrics:Metrics.t -> workers:int -> (t -> 'a) -> 'a
+val with_pool :
+  ?metrics:Metrics.t ->
+  ?tracer_for:(int -> Sp_obs.Tracer.t) ->
+  workers:int ->
+  (t -> 'a) ->
+  'a
 (** [create], run, then [shutdown] (also on exceptions). *)
 
 (** Bounded multi-producer multi-consumer channel on [Mutex]/[Condition];

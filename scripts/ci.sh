@@ -1,14 +1,17 @@
 #!/bin/sh
 # CI entry point: full build + typecheck + test suite + the e11 executor
 # smoke test (bench/main.exe e11 in SNOWPLOW_QUICK mode, via the @ci
-# alias), then verify the working tree stayed clean (no build artifacts or
-# generated files leaked outside _build/, which .gitignore must keep
-# invisible to git).
+# alias) + the telemetry smoke-run (a short 2-job `snowplow fuzz` with
+# --trace/--timeseries, validated by `snowplow stats --check`, which exits
+# nonzero on malformed artifacts or missing span/series names), then
+# verify the working tree stayed clean (no build artifacts or generated
+# files leaked outside _build/, which .gitignore must keep invisible to
+# git).
 set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "== dune build @ci (default + @check + runtest + e11 smoke) =="
+echo "== dune build @ci (default + @check + runtest + e11 + telemetry smoke) =="
 dune build @ci
 
 echo "== working tree hygiene =="

@@ -1,0 +1,330 @@
+(* Tests for sp_obs, the telemetry subsystem: the JSON emitter/parser
+   (byte-exact string and float round-trips), the ring-buffer tracer and
+   its Chrome trace_event export (always balanced, always monotone, even
+   after ring eviction), the trace validator, and the time-series
+   sampler's JSONL/CSV writers. *)
+
+module Json = Sp_obs.Json
+module Tracer = Sp_obs.Tracer
+module Trace = Sp_obs.Trace
+module Trace_check = Sp_obs.Trace_check
+module Timeseries = Sp_obs.Timeseries
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* Json                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let roundtrip v =
+  match Json.of_string (Json.to_string v) with
+  | Ok v' -> v'
+  | Error e -> Alcotest.failf "re-parse failed: %s (input %s)" e (Json.to_string v)
+
+let test_json_basics () =
+  check Alcotest.string "null" "null" (Json.to_string Json.Null);
+  check Alcotest.string "bool" "true" (Json.to_string (Json.Bool true));
+  check Alcotest.string "int-valued float" "42" (Json.to_string (Json.Num 42.0));
+  check Alcotest.string "array" "[1,2]"
+    (Json.to_string (Json.Arr [ Json.Num 1.0; Json.Num 2.0 ]));
+  check Alcotest.string "object field order" {|{"b":1,"a":2}|}
+    (Json.to_string (Json.Obj [ ("b", Json.Num 1.0); ("a", Json.Num 2.0) ]));
+  Alcotest.(check bool) "structural round-trip" true
+    (Json.equal
+       (Json.Obj
+          [ ("xs", Json.Arr [ Json.Null; Json.Bool false; Json.Str "hi" ]) ])
+       (roundtrip
+          (Json.Obj
+             [ ("xs", Json.Arr [ Json.Null; Json.Bool false; Json.Str "hi" ]) ])))
+
+let test_json_string_escaping () =
+  (* Every byte value must survive a round-trip: control characters via
+     \uXXXX, quote/backslash via their short escapes, the rest verbatim. *)
+  let all_bytes = String.init 256 Char.chr in
+  (match roundtrip (Json.Str all_bytes) with
+  | Json.Str s -> check Alcotest.string "all 256 bytes round-trip" all_bytes s
+  | _ -> Alcotest.fail "expected a string");
+  let encoded = Json.to_string (Json.Str "a\n\t\"\\\x01b") in
+  check Alcotest.string "escape forms" {|"a\n\t\"\\\u0001b"|} encoded;
+  (* Non-ASCII (UTF-8) passes through verbatim... *)
+  check Alcotest.string "utf-8 verbatim" "\"\xc3\xa9\""
+    (Json.to_string (Json.Str "\xc3\xa9"));
+  (* ...and \uXXXX escapes (incl. surrogate pairs) decode to UTF-8. *)
+  (match Json.of_string {|"é 😀"|} with
+  | Ok (Json.Str s) -> check Alcotest.string "unicode escapes" "\xc3\xa9 \xf0\x9f\x98\x80" s
+  | Ok _ -> Alcotest.fail "expected a string"
+  | Error e -> Alcotest.fail e)
+
+let test_json_float_exact () =
+  List.iter
+    (fun f ->
+      match roundtrip (Json.Num f) with
+      | Json.Num f' ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%h round-trips exactly" f)
+          true (Float.equal f f')
+      | _ -> Alcotest.fail "expected a number")
+    [ 0.0; -0.0; 1.0; -1.5; 0.1; 1e-300; 1.7976931348623157e308;
+      4.9e-324; 3.141592653589793; 1234567890123456.0; 6.858333333333333 ];
+  check Alcotest.string "integral without exponent" "1234567890123456"
+    (Json.num_to_string 1234567890123456.0);
+  check Alcotest.string "nan is null" "null" (Json.num_to_string Float.nan);
+  check Alcotest.string "inf is null" "null" (Json.num_to_string Float.infinity)
+
+let test_json_float_exact_prop =
+  QCheck.Test.make ~count:500 ~name:"every finite float re-parses exactly"
+    QCheck.float (fun f ->
+      QCheck.assume (Float.is_finite f);
+      match Json.of_string (Json.num_to_string f) with
+      | Ok (Json.Num f') -> Float.equal f f'
+      | _ -> false)
+
+let test_json_string_roundtrip_prop =
+  QCheck.Test.make ~count:500 ~name:"every string round-trips byte-exactly"
+    QCheck.string (fun s ->
+      match Json.of_string (Json.to_string (Json.Str s)) with
+      | Ok (Json.Str s') -> String.equal s s'
+      | _ -> false)
+
+let test_json_parse_errors () =
+  List.iter
+    (fun input ->
+      match Json.of_string input with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted malformed input %S" input)
+    [ ""; "{"; "[1,"; "tru"; "\"unterminated"; "{\"a\" 1}"; "[1] trailing";
+      "\"bad \\q escape\"" ]
+
+(* ------------------------------------------------------------------ *)
+(* Tracer and export                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let validated trace =
+  match Trace_check.validate (Trace.export trace) with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "export failed validation: %s" e
+
+let test_tracer_spans_and_export () =
+  let trace = Trace.create ~enabled:true () in
+  let tr = Trace.tracer trace ~pid:0 ~name:"main" in
+  Tracer.span tr "outer" (fun () ->
+      Tracer.span tr "inner" (fun () -> ());
+      Tracer.instant tr "tick";
+      Tracer.counter tr "depth" 2.0);
+  let s = validated trace in
+  Alcotest.(check bool) "outer span" true (Trace_check.has_span s "outer");
+  Alcotest.(check bool) "inner span" true (Trace_check.has_span s "inner");
+  Alcotest.(check bool) "counter" true (Trace_check.has_counter s "depth");
+  check (Alcotest.list Alcotest.int) "one pid lane" [ 0 ] s.Trace_check.pids;
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+    "instants" [ ("tick", 1) ] s.Trace_check.instants;
+  (* Spans aggregate: inner nests inside outer, so outer's total >= inner's. *)
+  let total name =
+    match
+      List.find_opt
+        (fun (st : Trace_check.span_stat) -> st.Trace_check.span = name)
+        s.Trace_check.span_stats
+    with
+    | Some st -> st.Trace_check.total_us
+    | None -> Alcotest.failf "span %s missing from stats" name
+  in
+  Alcotest.(check bool) "outer contains inner" true
+    (total "outer" >= total "inner")
+
+let test_tracer_span_reraises () =
+  let trace = Trace.create ~enabled:true () in
+  let tr = Trace.tracer trace ~pid:0 ~name:"main" in
+  (try Tracer.span tr "will-raise" (fun () -> failwith "boom") with
+  | Failure _ -> ());
+  (* The span closed on the exception path, so the export stays valid. *)
+  let s = validated trace in
+  Alcotest.(check bool) "span recorded despite raise" true
+    (Trace_check.has_span s "will-raise")
+
+let test_tracer_ring_eviction_stays_balanced () =
+  (* Overflow a tiny ring so B halves are evicted: the export must drop
+     the orphaned E halves rather than emit an unbalanced trace. *)
+  let trace = Trace.create ~capacity:8 ~enabled:true () in
+  let tr = Trace.tracer trace ~pid:3 ~name:"hot" in
+  for i = 1 to 100 do
+    Tracer.span tr (Printf.sprintf "task-%d" (i mod 5)) (fun () -> ())
+  done;
+  Alcotest.(check bool) "events were dropped" true (Tracer.dropped tr > 0);
+  check Alcotest.int "recorded counts everything" 200 (Tracer.recorded tr);
+  let s = validated trace in
+  Alcotest.(check bool) "still has complete spans" true
+    (List.exists
+       (fun (st : Trace_check.span_stat) -> st.Trace_check.spans > 0)
+       s.Trace_check.span_stats)
+
+let test_tracer_unclosed_span_dropped () =
+  let trace = Trace.create ~enabled:true () in
+  let tr = Trace.tracer trace ~pid:0 ~name:"main" in
+  Tracer.begin_span tr "never-closed";
+  Tracer.span tr "complete" (fun () -> ());
+  let s = validated trace in
+  Alcotest.(check bool) "complete span exported" true
+    (Trace_check.has_span s "complete");
+  Alcotest.(check bool) "unclosed span dropped" false
+    (Trace_check.has_span s "never-closed")
+
+let test_tracer_disabled_is_noop () =
+  let tr = Tracer.null in
+  Tracer.span tr "x" (fun () -> ());
+  Tracer.instant tr "y";
+  Tracer.counter tr "z" 1.0;
+  check Alcotest.int "nothing recorded" 0 (Tracer.recorded tr);
+  let trace = Trace.disabled in
+  let tr' = Trace.tracer trace ~pid:7 ~name:"shard" in
+  Tracer.span tr' "x" (fun () -> ());
+  check Alcotest.int "disabled collection hands out null" 0 (Tracer.recorded tr');
+  let s = validated trace in
+  check Alcotest.int "empty export still validates" 0 s.Trace_check.events
+
+let test_trace_multi_pid_export () =
+  let trace = Trace.create ~enabled:true () in
+  let a = Trace.tracer trace ~pid:1 ~name:"shard-0" in
+  let b = Trace.tracer trace ~pid:2 ~name:"shard-1" in
+  Tracer.span a "epoch" (fun () -> Tracer.span b "epoch" (fun () -> ()));
+  Alcotest.(check bool) "same pid memoized" true
+    (Trace.tracer trace ~pid:1 ~name:"whatever" == a);
+  let s = validated trace in
+  check (Alcotest.list Alcotest.int) "both lanes" [ 1; 2 ] s.Trace_check.pids
+
+let test_trace_check_rejects_malformed () =
+  let ev ?(ts = 1.0) ?(pid = 0) name ph =
+    Json.Obj
+      [ ("name", Json.Str name); ("ph", Json.Str ph); ("ts", Json.Num ts);
+        ("pid", Json.Num (float_of_int pid)); ("tid", Json.Num 0.0) ]
+  in
+  let file events = Json.Obj [ ("traceEvents", Json.Arr events) ] in
+  let rejects label events =
+    match Trace_check.validate (file events) with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "validator accepted %s" label
+  in
+  rejects "orphan E" [ ev "a" "E" ];
+  rejects "unclosed B" [ ev "a" "B" ];
+  rejects "name-mismatched pair" [ ev ~ts:1.0 "a" "B"; ev ~ts:2.0 "b" "E" ];
+  rejects "backwards time"
+    [ ev ~ts:2.0 "a" "B"; ev ~ts:1.0 "a" "E" ];
+  rejects "unknown phase" [ ev "a" "X" ];
+  (match Trace_check.validate (Json.Obj []) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "validator accepted an object with no traceEvents");
+  (* Interleaved lanes are independent: B/E balance is per (pid, tid). *)
+  match
+    Trace_check.validate
+      (file [ ev ~ts:1.0 ~pid:1 "a" "B"; ev ~ts:1.5 ~pid:2 "b" "B";
+              ev ~ts:2.0 ~pid:1 "a" "E"; ev ~ts:2.5 ~pid:2 "b" "E" ])
+  with
+  | Ok s -> check Alcotest.int "events counted" 4 s.Trace_check.events
+  | Error e -> Alcotest.failf "independent lanes rejected: %s" e
+
+(* ------------------------------------------------------------------ *)
+(* Timeseries                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_timeseries_sampling () =
+  let ts = Timeseries.create () in
+  check Alcotest.int "empty" 0 (Timeseries.length ts);
+  Timeseries.sample ts ~time:300.0 [ ("edges", 10.0); ("execs", 100.0) ];
+  Timeseries.sample ts ~time:600.0 [ ("edges", 25.0); ("corpus", 3.0) ];
+  check Alcotest.int "rows" 2 (Timeseries.length ts);
+  check (Alcotest.list Alcotest.string) "columns in first-seen order"
+    [ "edges"; "execs"; "corpus" ] (Timeseries.columns ts);
+  check
+    (Alcotest.list (Alcotest.pair (Alcotest.float 0.0) (Alcotest.float 0.0)))
+    "column extraction" [ (300.0, 10.0); (600.0, 25.0) ]
+    (Timeseries.column ts "edges");
+  check (Alcotest.option (Alcotest.float 0.0)) "last" (Some 25.0)
+    (Timeseries.last ts "edges");
+  check (Alcotest.option (Alcotest.float 0.0)) "last of sparse column"
+    (Some 100.0) (Timeseries.last ts "execs")
+
+let test_timeseries_jsonl_roundtrip () =
+  let ts = Timeseries.create () in
+  Timeseries.sample ts ~time:300.0 [ ("edges", 10.5); ("execs_per_s", 6.858333333333333) ];
+  Timeseries.sample ts ~time:600.0 [ ("edges", 25.0); ("execs_per_s", 7.25) ];
+  let jsonl = Timeseries.to_jsonl ts in
+  (match Timeseries.of_jsonl jsonl with
+  | Ok ts' ->
+    check Alcotest.string "byte-exact re-serialization" jsonl
+      (Timeseries.to_jsonl ts')
+  | Error e -> Alcotest.fail e);
+  (* Each line is a standalone JSON object with "t" first. *)
+  List.iter
+    (fun line ->
+      Alcotest.(check bool) "line starts with t field" true
+        (String.length line > 5 && String.sub line 0 5 = {|{"t":|});
+      match Json.of_string line with
+      | Ok (Json.Obj _) -> ()
+      | _ -> Alcotest.failf "line is not an object: %s" line)
+    (String.split_on_char '\n' (String.trim jsonl))
+
+let test_timeseries_csv () =
+  let ts = Timeseries.create () in
+  Timeseries.sample ts ~time:1.0 [ ("a", 1.0) ];
+  Timeseries.sample ts ~time:2.0 [ ("a", 2.0); ("b", 0.5) ];
+  check Alcotest.string "rectangular with empty cells"
+    "t,a,b\n1,1,\n2,2,0.5\n" (Timeseries.to_csv ts)
+
+let test_timeseries_of_jsonl_errors () =
+  (match Timeseries.of_jsonl "{\"edges\":1}\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted a row without t");
+  (match Timeseries.of_jsonl "not json\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted garbage");
+  match Timeseries.of_jsonl "" with
+  | Ok ts -> check Alcotest.int "empty input, empty series" 0 (Timeseries.length ts)
+  | Error e -> Alcotest.fail e
+
+(* ------------------------------------------------------------------ *)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "sp_obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "emit and parse basics" `Quick test_json_basics;
+          Alcotest.test_case "string escaping round-trips" `Quick
+            test_json_string_escaping;
+          Alcotest.test_case "floats round-trip exactly" `Quick
+            test_json_float_exact;
+          Alcotest.test_case "malformed input rejected" `Quick
+            test_json_parse_errors;
+        ] );
+      qsuite "json-props"
+        [ test_json_float_exact_prop; test_json_string_roundtrip_prop ];
+      ( "tracer",
+        [
+          Alcotest.test_case "spans, instants, counters export" `Quick
+            test_tracer_spans_and_export;
+          Alcotest.test_case "span closes on raise" `Quick
+            test_tracer_span_reraises;
+          Alcotest.test_case "ring eviction keeps export balanced" `Quick
+            test_tracer_ring_eviction_stays_balanced;
+          Alcotest.test_case "unclosed span dropped at export" `Quick
+            test_tracer_unclosed_span_dropped;
+          Alcotest.test_case "disabled tracer is a no-op" `Quick
+            test_tracer_disabled_is_noop;
+          Alcotest.test_case "multi-pid collection" `Quick
+            test_trace_multi_pid_export;
+          Alcotest.test_case "validator rejects malformed traces" `Quick
+            test_trace_check_rejects_malformed;
+        ] );
+      ( "timeseries",
+        [
+          Alcotest.test_case "sampling and columns" `Quick
+            test_timeseries_sampling;
+          Alcotest.test_case "jsonl round-trip" `Quick
+            test_timeseries_jsonl_roundtrip;
+          Alcotest.test_case "csv shape" `Quick test_timeseries_csv;
+          Alcotest.test_case "of_jsonl validation" `Quick
+            test_timeseries_of_jsonl_errors;
+        ] );
+    ]

@@ -210,6 +210,45 @@ let test_parallel_validation () =
     (Invalid_argument "Campaign.run_parallel: jobs must be >= 1") (fun () ->
       ignore (run_par 0))
 
+let test_parallel_telemetry_deterministic () =
+  (* The timeseries is inside the determinism contract (sampled from
+     merged state on the snapshot grid): two runs at the same (seed, jobs)
+     must serialize to the same bytes. Traces carry wall clock and are
+     only required to be structurally valid. *)
+  let run () =
+    let trace = Sp_obs.Trace.create ~enabled:true () in
+    let ts = Sp_obs.Timeseries.create () in
+    let r =
+      Campaign.run_parallel ~jobs:3 ~trace ~timeseries:ts
+        ~vm_for:(fun s -> Vm.create ~seed:(100 + s) kernel)
+        ~strategy_for:(fun _ -> Strategy.syzkaller db)
+        short_cfg
+    in
+    (r, trace, Sp_obs.Timeseries.to_jsonl ts)
+  in
+  let r1, trace, jsonl1 = run () in
+  let r2, _, jsonl2 = run () in
+  Alcotest.(check bool) "telemetry does not perturb the campaign" true
+    (report_fingerprint r1 = report_fingerprint r2);
+  Alcotest.(check string) "timeseries bit-for-bit reproducible" jsonl1 jsonl2;
+  (match Sp_obs.Timeseries.of_jsonl jsonl1 with
+  | Ok ts ->
+    check (Alcotest.list Alcotest.string) "expected columns"
+      [ "blocks"; "edges"; "execs"; "execs_per_s"; "corpus"; "crashes" ]
+      (Sp_obs.Timeseries.columns ts);
+    Alcotest.(check int) "one row per snapshot" 3 (Sp_obs.Timeseries.length ts)
+  | Error e -> Alcotest.fail e);
+  match Sp_obs.Trace_check.validate (Sp_obs.Trace.export trace) with
+  | Error e -> Alcotest.failf "trace fails validation: %s" e
+  | Ok s ->
+    List.iter
+      (fun name ->
+        Alcotest.(check bool) (name ^ " span present") true
+          (Sp_obs.Trace_check.has_span s name))
+      [ "shard.epoch"; "campaign.barrier"; "campaign.merge"; "pool.task" ];
+    Alcotest.(check bool) "edges counter present" true
+      (Sp_obs.Trace_check.has_counter s "edges")
+
 (* ------------------------------------------------------------------ *)
 (* Funnel                                                               *)
 (* ------------------------------------------------------------------ *)
@@ -309,6 +348,8 @@ let () =
           Alcotest.test_case "series shape and pool metrics" `Quick
             test_parallel_series_shape;
           Alcotest.test_case "validation" `Quick test_parallel_validation;
+          Alcotest.test_case "telemetry determinism" `Quick
+            test_parallel_telemetry_deterministic;
         ] );
       ( "funnel",
         [

@@ -662,6 +662,53 @@ let test_metrics_merge () =
   | Some s -> Alcotest.(check int) "observations merged" 1 s.Metrics.count
   | None -> Alcotest.fail "histogram not merged"
 
+(* The campaign's barrier merge relies on this: folding per-shard
+   registries into an empty one in shard order must be indistinguishable
+   from having recorded every event directly, no matter how the events
+   were batched across shards. With fewer observations than the reservoir
+   size the merge replays every sample in order, so counters AND every
+   summary field (moments and percentiles) must match bitwise. *)
+let test_metrics_merge_batching_invariant =
+  let shard_gen =
+    QCheck.Gen.(
+      list_size (int_range 1 5)
+        (pair
+           (list_size (int_range 0 20) (float_bound_exclusive 100.0))
+           (int_range 0 10)))
+  in
+  QCheck.Test.make ~count:100
+    ~name:"merge_into in shard order == direct observation"
+    (QCheck.make shard_gen) (fun shards ->
+      let direct = Metrics.create () in
+      List.iter
+        (fun (obs, c) ->
+          List.iter (fun v -> Metrics.observe direct "h" v) obs;
+          Metrics.incr direct "c" ~by:c)
+        shards;
+      let merged = Metrics.create () in
+      List.iter
+        (fun (obs, c) ->
+          let shard = Metrics.create () in
+          List.iter (fun v -> Metrics.observe shard "h" v) obs;
+          Metrics.incr shard "c" ~by:c;
+          Metrics.merge_into ~dst:merged shard)
+        shards;
+      Metrics.counter merged "c" = Metrics.counter direct "c"
+      && Metrics.counters merged = Metrics.counters direct
+      &&
+      match (Metrics.summary merged "h", Metrics.summary direct "h") with
+      | None, None -> true
+      | Some m, Some d ->
+        m.Metrics.count = d.Metrics.count
+        && Float.equal m.Metrics.sum d.Metrics.sum
+        && Float.equal m.Metrics.mean d.Metrics.mean
+        && Float.equal m.Metrics.min d.Metrics.min
+        && Float.equal m.Metrics.max d.Metrics.max
+        && Float.equal m.Metrics.p50 d.Metrics.p50
+        && Float.equal m.Metrics.p90 d.Metrics.p90
+        && Float.equal m.Metrics.p99 d.Metrics.p99
+      | _ -> false)
+
 (* ------------------------------------------------------------------ *)
 (* Table                                                                *)
 (* ------------------------------------------------------------------ *)
@@ -714,6 +761,41 @@ let test_plot_renders () =
     &&
     let lines = String.split_on_char '\n' out in
     List.exists (fun l -> l = "  a = a" || l = "  b = b (band: min..max shown as '.')") lines)
+
+let utf8_length s =
+  (* glyph count, not byte count: sparkline cells are multi-byte blocks *)
+  let n = ref 0 in
+  String.iter (fun c -> if Char.code c land 0xC0 <> 0x80 then incr n) s;
+  !n
+
+let test_sparkline_edge_cases () =
+  Alcotest.(check string) "empty input" "" (Plot.sparkline [||]);
+  Alcotest.(check string) "all non-finite is empty" ""
+    (Plot.sparkline [| Float.nan; Float.infinity; Float.neg_infinity |]);
+  (* Constant series: a flat mid-height bar, one cell per value. *)
+  let flat = Plot.sparkline ~ascii:true [| 5.0; 5.0; 5.0 |] in
+  Alcotest.(check string) "constant is a flat mid bar" "===" flat;
+  (* NaN values are dropped, not plotted as cells. *)
+  Alcotest.(check string) "nan filtered"
+    (Plot.sparkline ~ascii:true [| 1.0; 3.0 |])
+    (Plot.sparkline ~ascii:true [| 1.0; Float.nan; 3.0 |]);
+  (* Monotone ramp hits the extreme glyphs at both ends. *)
+  let ramp = Plot.sparkline ~ascii:true [| 0.0; 1.0; 2.0; 3.0; 4.0; 5.0; 6.0; 7.0 |] in
+  Alcotest.(check char) "ramp starts at min glyph" '.' ramp.[0];
+  Alcotest.(check char) "ramp ends at max glyph" '@' ramp.[String.length ramp - 1]
+
+let test_sparkline_resample () =
+  let long = Array.init 1000 (fun i -> float_of_int i) in
+  Alcotest.(check int) "default width caps cells" 64
+    (utf8_length (Plot.sparkline long));
+  Alcotest.(check int) "custom width respected" 8
+    (String.length (Plot.sparkline ~ascii:true ~max_width:8 long));
+  Alcotest.(check int) "short series keeps one cell per value" 3
+    (utf8_length (Plot.sparkline [| 1.0; 2.0; 3.0 |]));
+  (* Bucket-mean resampling preserves monotone shape end to end. *)
+  let s = Plot.sparkline ~ascii:true ~max_width:8 long in
+  Alcotest.(check char) "resampled min end" '.' s.[0];
+  Alcotest.(check char) "resampled max end" '@' s.[String.length s - 1]
 
 let test_plot_degenerate () =
   (* single point, flat series: must not crash or divide by zero *)
@@ -785,6 +867,7 @@ let () =
           Alcotest.test_case "time and render" `Quick test_metrics_time_and_render;
           Alcotest.test_case "merge" `Quick test_metrics_merge;
         ] );
+      qsuite "metrics-props" [ test_metrics_merge_batching_invariant ];
       ( "table",
         [
           Alcotest.test_case "renders aligned" `Quick test_table_renders;
@@ -793,6 +876,8 @@ let () =
       ( "plot",
         [
           Alcotest.test_case "renders series, bands, legend" `Quick test_plot_renders;
+          Alcotest.test_case "sparkline edge cases" `Quick test_sparkline_edge_cases;
+          Alcotest.test_case "sparkline resampling" `Quick test_sparkline_resample;
           Alcotest.test_case "degenerate input" `Quick test_plot_degenerate;
         ] );
     ]
