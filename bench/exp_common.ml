@@ -47,11 +47,44 @@ let emit_timeseries name ts =
   | Some dir, Some ts when Sp_obs.Timeseries.length ts > 0 ->
     if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
     let path = Filename.concat dir (name ^ ".jsonl") in
-    let oc = open_out_bin path in
-    output_string oc (Sp_obs.Timeseries.to_jsonl ts);
-    close_out oc;
+    Sp_obs.Io.write_atomic path (Sp_obs.Timeseries.to_jsonl ts);
     log "timeseries artifact: %s" path
   | _ -> ()
+
+(* Perf-trajectory files: each perf-sensitive experiment persists its
+   headline numbers as BENCH_<NAME>.json at the repo root, so regressions
+   show up as diffs in review. The bench binary runs from _build/default;
+   walking up past the [_build] component finds the source root. Quick
+   mode (SNOWPLOW_QUICK, used by @ci) runs reduced workloads whose
+   numbers are junk — it must never overwrite the committed trajectory. *)
+let repo_root () =
+  let cwd = Sys.getcwd () in
+  let rec strip dir =
+    let base = Filename.basename dir in
+    let parent = Filename.dirname dir in
+    if base = "_build" then Some parent
+    else if parent = dir then None
+    else strip parent
+  in
+  (* No [_build] component: the binary was invoked from the source tree
+     itself (e.g. a copied executable), so the cwd is the root. *)
+  Option.value (strip cwd) ~default:cwd
+
+let quick_mode () = Sys.getenv_opt "SNOWPLOW_QUICK" <> None
+
+let emit_bench name fields =
+  if quick_mode () then
+    log "quick mode: not writing BENCH_%s.json (reduced workload)" name
+  else begin
+    let path = Filename.concat (repo_root ()) (Printf.sprintf "BENCH_%s.json" name) in
+    let json =
+      Sp_obs.Json.Obj
+        (("experiment", Sp_obs.Json.Str name)
+        :: List.map (fun (k, v) -> (k, Sp_obs.Json.Num v)) fields)
+    in
+    Sp_obs.Io.write_atomic path (Sp_obs.Json.to_string json ^ "\n");
+    log "bench trajectory: %s" path
+  end
 
 let seed_corpus db ~seed ~size =
   Sp_syzlang.Gen.corpus (Sp_util.Rng.create seed) db ~size

@@ -164,6 +164,15 @@ let run () =
          ])
      [ m_ref; m_mat; m_scr ];
    Exp_common.emit_timeseries "e11-executor" (Some ts));
+  Exp_common.emit_bench "E11"
+    [ ("ref_execs_per_s", m_ref.execs_per_s);
+      ("bytecode_execs_per_s", m_mat.execs_per_s);
+      ("scratch_execs_per_s", m_scr.execs_per_s);
+      ("scratch_p50_us", m_scr.p50_us);
+      ("scratch_p99_us", m_scr.p99_us);
+      ("scratch_words_per_exec", m_scr.words_per_exec);
+      ("speedup_vs_reference", m_scr.execs_per_s /. m_ref.execs_per_s)
+    ];
   let speedup = m_scr.execs_per_s /. m_ref.execs_per_s in
   bar "steady-state allocation"
     (m_scr.words_per_exec <= 8.0)

@@ -104,6 +104,16 @@ let run () =
           Printf.sprintf "%.2fx" (seq_wall /. wall) ])
     results;
   Table.print t;
+  Exp_common.emit_bench "E10"
+    (("seq_wall_s", seq_wall)
+    :: ("seq_execs", float_of_int seq.Campaign.executions)
+    :: List.concat_map
+         (fun (jobs, r, wall) ->
+           [ (Printf.sprintf "jobs%d_wall_s" jobs, wall);
+             (Printf.sprintf "jobs%d_speedup" jobs, seq_wall /. wall);
+             (Printf.sprintf "jobs%d_execs" jobs, float_of_int r.Campaign.executions)
+           ])
+         results);
   (match List.find_opt (fun (jobs, _, _) -> jobs = 4) results with
   | Some (_, _, wall4) ->
     let speedup = seq_wall /. wall4 in

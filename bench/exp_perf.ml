@@ -172,6 +172,12 @@ let run () =
         (float_of_int snow_report.Campaign.executions /. 7200.0);
       "-" ];
   Table.print t;
+  Exp_common.emit_bench "E8"
+    [ ("inference_saturation_qps", qps);
+      ("inference_latency_s", latency);
+      ("syzkaller_fleet_tests_per_s", syz_tps);
+      ("snowplow_fleet_tests_per_s", snow_tps)
+    ];
   print_newline ();
   print_endline "Campaign + inference loop metrics (2 h Snowplow run):";
   print_campaign_metrics snow_report snow_inference;

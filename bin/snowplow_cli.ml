@@ -135,12 +135,12 @@ let run_cmd =
 (* fuzz                                                                *)
 (* ------------------------------------------------------------------ *)
 
-let write_text_file path data =
-  let oc = open_out_bin path in
-  output_string oc data;
-  close_out oc
+(* All artifact writes go through the atomic writer: the old in-place
+   writer leaked its channel on exception and could leave a torn file. *)
+let write_text_file path data = Sp_obs.Io.write_atomic path data
 
-let fuzz seed version hours run_seed system jobs trace_file ts_file =
+let fuzz seed version hours run_seed system jobs trace_file ts_file
+    snapshot_dir resume_file =
   if jobs < 1 then begin
     prerr_endline "snowplow fuzz: -jobs must be >= 1";
     exit 1
@@ -170,14 +170,37 @@ let fuzz seed version hours run_seed system jobs trace_file ts_file =
   (* Per-shard VM seeds are a pure function of (run_seed, shard), so a
      parallel run is reproducible from (seed, jobs) alone. *)
   let vm_for s = Sp_fuzz.Vm.create ~seed:(run_seed + (7919 * s)) k in
+  (* One launcher for both systems: fresh campaigns go through
+     [run_parallel] (which snapshots at barriers when --snapshot-dir is
+     given), resumed ones load the snapshot file and validate it against
+     the flags — resuming demands the same seed/hours/jobs/system flags
+     the snapshotted campaign was launched with. *)
+  let launch ?ts_extra ?on_barrier ~strategy_for () =
+    match resume_file with
+    | None ->
+      Campaign.run_parallel ~trace ?timeseries ?ts_extra ?on_barrier
+        ?snapshot_dir ~jobs ~vm_for ~strategy_for cfg
+    | Some file -> (
+      match Sp_fuzz.Snapshot.read file with
+      | Error msg ->
+        Printf.eprintf "snowplow fuzz: cannot read snapshot %s: %s\n" file msg;
+        exit 1
+      | Ok snap -> (
+        match
+          Campaign.resume ~trace ?timeseries ?ts_extra ?on_barrier
+            ?snapshot_dir ~snapshot:snap ~jobs ~vm_for ~strategy_for cfg
+        with
+        | Ok r -> r
+        | Error msg ->
+          Printf.eprintf "snowplow fuzz: cannot resume from %s: %s\n" file msg;
+          exit 1))
+  in
   let name, run_campaign =
     match system with
     | `Syzkaller ->
       ( "Syzkaller",
         fun () ->
-          Campaign.run_parallel ~trace ?timeseries ~jobs ~vm_for
-            ~strategy_for:(fun _ -> Sp_fuzz.Strategy.syzkaller db)
-            cfg )
+          launch ~strategy_for:(fun _ -> Sp_fuzz.Strategy.syzkaller db) () )
     | `Snowplow ->
       ( "Snowplow",
         fun () ->
@@ -201,7 +224,12 @@ let fuzz seed version hours run_seed system jobs trace_file ts_file =
                float_of_int (Snowplow.Inference.cache_size inference));
             ]
           in
-          if jobs = 1 then
+          if resume_file <> None then
+            prerr_endline
+              "note: inference caches are not part of snapshots; a resumed \
+               snowplow campaign is deterministic but may differ from the \
+               uninterrupted run.";
+          if jobs = 1 && snapshot_dir = None && resume_file = None then
             Campaign.run ~trace ?timeseries ~ts_extra (vm_for 0)
               (Snowplow.Hybrid.strategy ~inference k) cfg
           else begin
@@ -220,13 +248,13 @@ let fuzz seed version hours run_seed system jobs trace_file ts_file =
                    float_of_int (Snowplow.Funnel.dropped funnel));
                 ]
             in
-            Campaign.run_parallel ~trace ?timeseries ~ts_extra ~jobs ~vm_for
+            launch ~ts_extra
               ~strategy_for:(fun s ->
                 Snowplow.Hybrid.strategy_with
                   ~endpoint:(Snowplow.Funnel.endpoint funnel ~shard:s)
                   k)
               ~on_barrier:(fun ~now -> ignore (Snowplow.Funnel.flush funnel ~now))
-              cfg
+              ()
           end )
   in
   Printf.printf "fuzzing %s for %.1f virtual hours with %s (%d job%s)...\n%!"
@@ -269,6 +297,30 @@ let fuzz seed version hours run_seed system jobs trace_file ts_file =
     Printf.printf "timeseries written to %s (%d rows)\n" path
       (Timeseries.length ts)
   | _ -> ()
+
+let snapshot_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "snapshot-dir" ] ~docv:"DIR"
+        ~doc:
+          "Persist the campaign state to $(docv)/snapshot-NNNNNN.json after \
+           every merge barrier (written atomically: a kill mid-write leaves \
+           the previous snapshot intact). A killed campaign can then be \
+           continued with $(b,--resume). Forces the barrier-merged executor \
+           even with --jobs 1.")
+
+let resume_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "resume" ] ~docv:"FILE"
+        ~doc:
+          "Resume a campaign from a snapshot file written via \
+           $(b,--snapshot-dir). Pass the same seed/hours/jobs/system flags \
+           as the original launch (validated against the snapshot). The \
+           resumed report is bit-identical to the uninterrupted run's for \
+           the syzkaller system.")
 
 let system_arg =
   Arg.(
@@ -313,7 +365,8 @@ let fuzz_cmd =
     (Cmd.info "fuzz" ~doc:"Run a coverage-directed fuzzing campaign.")
     Term.(
       const fuzz $ seed_arg $ version_arg $ hours_arg $ campaign_seed_arg
-      $ system_arg $ jobs_arg $ trace_file_arg $ timeseries_file_arg)
+      $ system_arg $ jobs_arg $ trace_file_arg $ timeseries_file_arg
+      $ snapshot_dir_arg $ resume_arg)
 
 (* ------------------------------------------------------------------ *)
 (* train                                                               *)
@@ -393,12 +446,7 @@ let directed_cmd =
 (* stats                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let read_text_file path =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
+let read_text_file path = Sp_obs.Io.read_file path
 
 let show_trace path ~top ~expect_spans problem =
   match Sp_obs.Json.of_string (read_text_file path) with

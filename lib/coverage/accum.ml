@@ -62,11 +62,55 @@ let would_add t ~blocks ~edges =
     new_edges = Bitset.diff_cardinal edges t.edge_cover;
   }
 
+module Json = Sp_obs.Json
+
+let bitset_to_json b =
+  Json.Obj
+    [ ("capacity", Json.Num (float_of_int (Bitset.capacity b)));
+      ( "elements",
+        Json.Arr
+          (List.map (fun i -> Json.Num (float_of_int i)) (Bitset.elements b))
+      )
+    ]
+
+let bitset_of_json j =
+  let open Json.Decode in
+  let cap = int_field "capacity" j in
+  let elems =
+    List.map
+      (function
+        | Json.Num f when Float.is_integer f -> int_of_float f
+        | _ -> error "bitset elements: expected integers")
+      (arr_field "elements" j)
+  in
+  match Bitset.of_list cap elems with
+  | b -> b
+  | exception Invalid_argument msg -> Json.Decode.error "bitset: %s" msg
+
+let to_json t =
+  Json.Obj
+    [ ("blocks", bitset_to_json t.block_cover);
+      ("edges", bitset_to_json t.edge_cover)
+    ]
+
+let of_json j =
+  let open Json.Decode in
+  let block_cover = bitset_of_json (field "blocks" j) in
+  let edge_cover = bitset_of_json (field "edges" j) in
+  {
+    block_cover;
+    edge_cover;
+    nblocks = Bitset.cardinal block_cover;
+    nedges = Bitset.cardinal edge_cover;
+  }
+
 let blocks t = t.block_cover
 
 let snapshot_blocks t = Bitset.copy t.block_cover
 
 let mem_block t b = Bitset.mem t.block_cover b
+
+let capacities t = (Bitset.capacity t.block_cover, Bitset.capacity t.edge_cover)
 
 let blocks_covered t = t.nblocks
 

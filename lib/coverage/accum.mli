@@ -39,6 +39,29 @@ val snapshot_blocks : t -> Sp_util.Bitset.t
 val mem_block : t -> int -> bool
 (** Read-only membership test on the accumulated block set. *)
 
+val capacities : t -> int * int
+(** [(block capacity, edge capacity)] of the underlying bitsets — used to
+    validate a deserialized accumulator against the kernel it is resumed
+    on. *)
+
 val blocks_covered : t -> int
 
 val edges_covered : t -> int
+
+(** {1 Serialization}
+
+    Campaign snapshots persist the accumulator as sorted element lists
+    (deterministic output for a given coverage state). *)
+
+val bitset_to_json : Sp_util.Bitset.t -> Sp_obs.Json.t
+(** Shared bitset codec ([capacity] + ascending [elements]); also used for
+    corpus entry coverage in snapshots. *)
+
+val bitset_of_json : Sp_obs.Json.t -> Sp_util.Bitset.t
+(** Raises [Sp_obs.Json.Decode.Error] on malformed input. *)
+
+val to_json : t -> Sp_obs.Json.t
+
+val of_json : Sp_obs.Json.t -> t
+(** Rebuilds the accumulator (cardinal counters recomputed). Raises
+    [Sp_obs.Json.Decode.Error] on malformed input. *)

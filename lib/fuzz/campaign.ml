@@ -6,8 +6,11 @@ module Trace = Sp_obs.Trace
 module Tracer = Sp_obs.Tracer
 module Timeseries = Sp_obs.Timeseries
 module Kernel = Sp_kernel.Kernel
+module Bug = Sp_kernel.Bug
 module Prog = Sp_syzlang.Prog
+module Parser = Sp_syzlang.Parser
 module Accum = Sp_coverage.Accum
+module Json = Sp_obs.Json
 
 type config = {
   duration : float;
@@ -89,6 +92,75 @@ type report = {
   covered_blocks : Sp_util.Bitset.t;
   metrics : Metrics.t;
 }
+
+(* ------------------------------------------------------------------ *)
+(* Serialization helpers (snapshot documents and report fingerprints)   *)
+(* ------------------------------------------------------------------ *)
+
+let row_to_json s =
+  Json.Obj
+    [ ("time", Json.Num s.s_time);
+      ("blocks", Json.Num (float_of_int s.s_blocks));
+      ("edges", Json.Num (float_of_int s.s_edges));
+      ("crashes", Json.Num (float_of_int s.s_crashes));
+      ("execs", Json.Num (float_of_int s.s_execs))
+    ]
+
+let row_of_json j =
+  let open Json.Decode in
+  {
+    s_time = num_field "time" j;
+    s_blocks = int_field "blocks" j;
+    s_edges = int_field "edges" j;
+    s_crashes = int_field "crashes" j;
+    s_execs = int_field "execs" j;
+  }
+
+let origin_stats_to_json stats =
+  Json.Arr
+    (List.map
+       (fun (origin, (execs, new_edges)) ->
+         Json.Obj
+           [ ("origin", Json.Str origin);
+             ("execs", Json.Num (float_of_int execs));
+             ("new_edges", Json.Num (float_of_int new_edges))
+           ])
+       stats)
+
+let origin_stats_of_json j =
+  let open Json.Decode in
+  match j with
+  | Json.Arr items ->
+    List.map
+      (fun it ->
+        (str_field "origin" it, (int_field "execs" it, int_field "new_edges" it)))
+      items
+  | _ -> Json.Decode.error "origin_stats: expected array"
+
+let opt_time_to_json = function None -> Json.Null | Some t -> Json.Num t
+
+let opt_time_of_json name j =
+  match Json.Decode.field name j with
+  | Json.Null -> None
+  | Json.Num t -> Some t
+  | _ -> Json.Decode.error "field %S: expected number or null" name
+
+let report_json r =
+  Json.Obj
+    [ ("series", Json.Arr (List.map row_to_json r.series));
+      ("final_blocks", Json.Num (float_of_int r.final_blocks));
+      ("final_edges", Json.Num (float_of_int r.final_edges));
+      ("crashes", Json.Arr (List.map Triage.found_to_json r.crashes));
+      ("new_crashes", Json.Arr (List.map Triage.found_to_json r.new_crashes));
+      ( "known_crashes",
+        Json.Arr (List.map Triage.found_to_json r.known_crashes) );
+      ("executions", Json.Num (float_of_int r.executions));
+      ("corpus_size", Json.Num (float_of_int r.corpus_size));
+      ("target_hit_at", opt_time_to_json r.target_hit_at);
+      ("origin_stats", origin_stats_to_json r.origin_stats);
+      ("corpus", Snapshot.corpus_to_json r.corpus);
+      ("covered_blocks", Accum.bitset_to_json r.covered_blocks)
+    ]
 
 type state = {
   vm : Vm.t;
@@ -345,13 +417,13 @@ let run ?(trace = Trace.disabled) ?timeseries ?ts_extra vm
    fixed, so the whole run is bit-for-bit reproducible given
    (config.seed, jobs) — thread scheduling can change wall-clock time,
    never the report. *)
-let run_parallel ?(on_barrier = fun ~now:_ -> ()) ?(trace = Trace.disabled)
-    ?timeseries ?ts_extra ~jobs ~vm_for ~strategy_for config =
+let run_sharded ?snapshot_dir ?restore ?(on_barrier = fun ~now:_ -> ())
+    ?(trace = Trace.disabled) ?timeseries ?ts_extra ~jobs ~vm_for ~strategy_for
+    config =
   if jobs < 1 then invalid_arg "Campaign.run_parallel: jobs must be >= 1";
   if config.snapshot_every <= 0.0 then
     invalid_arg "Campaign.run_parallel: snapshot_every must be positive";
-  if jobs = 1 then run ~trace ?timeseries ?ts_extra (vm_for 0) (strategy_for 0) config
-  else begin
+  begin
     let metrics = Metrics.create () in
     (* Tracer handouts happen here, on the main domain, before any worker
        exists; each shard/worker then owns its tracer exclusively. *)
@@ -390,9 +462,17 @@ let run_parallel ?(on_barrier = fun ~now:_ -> ()) ?(trace = Trace.disabled)
         ?distance:(if config.target = None then None else Some entry_distance)
         ()
     in
+    let num_blocks = Kernel.num_blocks kernel in
+    let num_edges = Sp_cfg.Cfg.num_edges (Kernel.cfg kernel) in
     let accum =
-      Accum.create ~num_blocks:(Kernel.num_blocks kernel)
-        ~num_edges:(Sp_cfg.Cfg.num_edges (Kernel.cfg kernel))
+      match restore with
+      | None -> Accum.create ~num_blocks ~num_edges
+      | Some snap ->
+        let a = Accum.of_json (Json.Decode.field "accum" snap) in
+        if Accum.capacities a <> (num_blocks, num_edges) then
+          Json.Decode.error
+            "snapshot accumulator capacities do not match the kernel";
+        a
     in
     let triage = Triage.create kernel in
     let origin_stats = Hashtbl.create 16 in
@@ -400,6 +480,77 @@ let run_parallel ?(on_barrier = fun ~now:_ -> ()) ?(trace = Trace.disabled)
     let next_snapshot = ref config.snapshot_every in
     let crash_count = ref 0 in
     let target_hit_at = ref None in
+    let parse = Parser.program (Kernel.spec_db kernel) in
+    let barrier0 = ref 0 in
+    let stopped0 = ref false in
+    (* Restore the merged global state and each shard's private stream
+       state from a barrier snapshot. Everything below is exactly the
+       state the uninterrupted run held at that barrier, so the loop
+       continues bit-for-bit. *)
+    (match restore with
+    | None -> ()
+    | Some snap ->
+      let open Json.Decode in
+      Rng.set_state merge_rng (int64_field "merge_rng" snap);
+      List.iter
+        (fun e -> ignore (Corpus.add corpus e))
+        (Snapshot.corpus_entries_of_json ~parse (field "corpus" snap));
+      Triage.restore_state triage
+        ~bug_of_id:(fun id ->
+          Array.find_opt (fun b -> b.Bug.id = id) (Kernel.bugs kernel))
+        ~parse (field "triage" snap);
+      crash_count := List.length (Triage.all_found triage);
+      target_hit_at := opt_time_of_json "target_hit_at" snap;
+      next_snapshot := num_field "next_snapshot" snap;
+      series_rev := List.rev_map row_of_json (arr_field "series" snap);
+      (match !series_rev with
+      | last :: _ ->
+        sampler.sm_prev_time <- last.s_time;
+        sampler.sm_prev_execs <- last.s_execs
+      | [] -> ());
+      List.iter
+        (fun (o, v) -> Hashtbl.replace origin_stats o v)
+        (origin_stats_of_json (field "origin_stats" snap));
+      let shard_states = arr_field "shards" snap in
+      if List.length shard_states <> jobs then
+        error "snapshot has %d shards, resuming with jobs=%d"
+          (List.length shard_states) jobs;
+      List.iteri (fun i sj -> Shard.restore_state shards.(i) ~parse sj) shard_states;
+      barrier0 := int_field "barrier" snap;
+      stopped0 := bool_field "stopped" snap);
+    let snapshot_doc ~stopped ~barrier =
+      Json.Obj
+        [ ("format", Json.Str "snowplow-campaign-snapshot");
+          ("version", Json.Num (float_of_int Snapshot.format_version));
+          ( "config",
+            Json.Obj
+              [ ("seed", Json.Num (float_of_int config.seed));
+                ("jobs", Json.Num (float_of_int jobs));
+                ("duration", Json.Num config.duration);
+                ("snapshot_every", Json.Num config.snapshot_every);
+                ("attempt_repro", Json.Bool config.attempt_repro);
+                ( "target",
+                  match config.target with
+                  | None -> Json.Null
+                  | Some b -> Json.Num (float_of_int b) )
+              ] );
+          ("barrier", Json.Num (float_of_int barrier));
+          ("next_snapshot", Json.Num !next_snapshot);
+          ("stopped", Json.Bool stopped);
+          ("target_hit_at", opt_time_to_json !target_hit_at);
+          ("series", Json.Arr (List.rev_map row_to_json !series_rev));
+          ( "origin_stats",
+            origin_stats_to_json
+              (Hashtbl.fold (fun k v acc -> (k, v) :: acc) origin_stats []
+              |> List.sort compare) );
+          ("merge_rng", Json.Decode.int64_to_json (Rng.state merge_rng));
+          ("corpus", Snapshot.corpus_to_json corpus);
+          ("accum", Accum.to_json accum);
+          ("triage", Triage.state_json triage);
+          ( "shards",
+            Json.Arr (Array.to_list (Array.map Shard.state_json shards)) )
+        ]
+    in
     let total_execs () =
       Array.fold_left (fun acc sh -> acc + Vm.executions (Shard.vm sh)) 0 shards
     in
@@ -471,8 +622,8 @@ let run_parallel ?(on_barrier = fun ~now:_ -> ()) ?(trace = Trace.disabled)
             ~name:(Printf.sprintf "pool-worker-%d" i))
         ~workers:jobs
         (fun pool ->
-          let stop = ref false in
-          let barrier = ref 0 in
+          let stop = ref !stopped0 in
+          let barrier = ref !barrier0 in
           while not !stop do
             incr barrier;
             let now =
@@ -524,6 +675,16 @@ let run_parallel ?(on_barrier = fun ~now:_ -> ()) ?(trace = Trace.disabled)
               || (config.target <> None && !target_hit_at <> None)
               || all_idle
             then stop := true;
+            (* Persist the merged state after the stop decision, so the
+               snapshot carries it: resuming from a final snapshot goes
+               straight to report assembly instead of re-entering the
+               loop. *)
+            (match snapshot_dir with
+            | Some dir ->
+              ignore
+                (Snapshot.write ~dir ~barrier:!barrier
+                   (snapshot_doc ~stopped:!stop ~barrier:!barrier))
+            | None -> ());
             Tracer.end_span main_tracer "campaign.barrier"
           done;
           (* Close the series grid out to the configured duration, exactly
@@ -578,6 +739,47 @@ let run_parallel ?(on_barrier = fun ~now:_ -> ()) ?(trace = Trace.disabled)
     Metrics.merge_into ~dst:metrics pool_metrics;
     report
   end
+
+let run_parallel ?on_barrier ?(trace = Trace.disabled) ?timeseries ?ts_extra
+    ?snapshot_dir ~jobs ~vm_for ~strategy_for config =
+  if jobs < 1 then invalid_arg "Campaign.run_parallel: jobs must be >= 1";
+  if config.snapshot_every <= 0.0 then
+    invalid_arg "Campaign.run_parallel: snapshot_every must be positive";
+  (* Snapshotting needs the barrier structure, so it forces the sharded
+     path even for a single job; without it jobs = 1 keeps delegating to
+     the sequential executor (and stays bit-identical to it). *)
+  if jobs = 1 && snapshot_dir = None then
+    run ~trace ?timeseries ?ts_extra (vm_for 0) (strategy_for 0) config
+  else
+    run_sharded ?snapshot_dir ?on_barrier ~trace ?timeseries ?ts_extra ~jobs
+      ~vm_for ~strategy_for config
+
+let resume ?on_barrier ?(trace = Trace.disabled) ?timeseries ?ts_extra
+    ?snapshot_dir ~snapshot ~jobs ~vm_for ~strategy_for config =
+  Json.Decode.run (fun () ->
+      let open Json.Decode in
+      (match Json.member "format" snapshot with
+      | Some (Json.Str "snowplow-campaign-snapshot") -> ()
+      | _ -> error "not a campaign snapshot (missing or wrong \"format\")");
+      let v = int_field "version" snapshot in
+      if v <> Snapshot.format_version then
+        error "snapshot format version %d, this build reads %d" v
+          Snapshot.format_version;
+      let c = field "config" snapshot in
+      let mismatch what = error "snapshot config mismatch: %s differs" what in
+      if int_field "seed" c <> config.seed then mismatch "seed";
+      if int_field "jobs" c <> jobs then mismatch "jobs";
+      if num_field "duration" c <> config.duration then mismatch "duration";
+      if num_field "snapshot_every" c <> config.snapshot_every then
+        mismatch "snapshot_every";
+      if bool_field "attempt_repro" c <> config.attempt_repro then
+        mismatch "attempt_repro";
+      (match (field "target" c, config.target) with
+      | Json.Null, None -> ()
+      | Json.Num f, Some b when Float.is_integer f && int_of_float f = b -> ()
+      | _ -> mismatch "target");
+      run_sharded ~restore:snapshot ?snapshot_dir ?on_barrier ~trace
+        ?timeseries ?ts_extra ~jobs ~vm_for ~strategy_for config)
 
 let coverage_at report time =
   let rec go last = function

@@ -79,6 +79,7 @@ val run_parallel :
   ?trace:Sp_obs.Trace.t ->
   ?timeseries:Sp_obs.Timeseries.t ->
   ?ts_extra:(unit -> (string * float) list) ->
+  ?snapshot_dir:string ->
   jobs:int ->
   vm_for:(int -> Vm.t) ->
   strategy_for:(int -> Strategy.t) ->
@@ -96,7 +97,47 @@ val run_parallel :
     the hook the snowplow layer uses to flush batched inference requests.
     [jobs = 1] delegates to the sequential {!run}. The report's registry
     additionally carries per-shard loop/vm metrics (merged in shard
-    order) and the worker pool's [pool.*] metrics. *)
+    order) and the worker pool's [pool.*] metrics.
+
+    With [snapshot_dir], the merged campaign state is persisted after
+    every barrier as [snapshot_dir/snapshot-NNNNNN.json] (written
+    atomically; a kill mid-write leaves the previous barrier's file
+    intact), and {!resume} can continue the campaign from any of them.
+    Snapshotting requires the barrier structure, so [jobs = 1] then runs
+    the sharded executor (one shard) rather than delegating to {!run}. *)
+
+val resume :
+  ?on_barrier:(now:float -> unit) ->
+  ?trace:Sp_obs.Trace.t ->
+  ?timeseries:Sp_obs.Timeseries.t ->
+  ?ts_extra:(unit -> (string * float) list) ->
+  ?snapshot_dir:string ->
+  snapshot:Sp_obs.Json.t ->
+  jobs:int ->
+  vm_for:(int -> Vm.t) ->
+  strategy_for:(int -> Strategy.t) ->
+  config ->
+  (report, string) result
+(** Continue a campaign from a barrier snapshot (parsed from a file
+    written under [run_parallel ~snapshot_dir]; see {!Snapshot.read}).
+    [config] and [jobs] must match the snapshot's recorded launch
+    parameters — seed, jobs, duration, snapshot grid, repro and target
+    settings are validated and any mismatch is an [Error] (the
+    [seed_corpus] is not consulted: each shard's unexecuted seed slice is
+    part of the snapshot). The resumed run replays the remaining barriers
+    from restored state, so its report is bit-for-bit identical
+    ({!report_json}) to the uninterrupted run's for stateless strategies
+    (syzkaller); the snowplow strategy's inference caches are not
+    persisted, so a resumed snowplow campaign is deterministic but may
+    differ from the uninterrupted run in proposal timing. Resuming from a
+    final snapshot (one whose campaign had already stopped) reassembles
+    the report without fuzzing further. *)
+
+val report_json : report -> Sp_obs.Json.t
+(** The deterministic portion of a report (everything except [metrics],
+    which carries wall-clock timings) as a canonical JSON document —
+    serialized twice, byte-equal iff the campaigns behaved identically.
+    The resume determinism tests compare these. *)
 
 val coverage_at : report -> float -> int
 (** Edge coverage at a given virtual time, interpolated from the series

@@ -46,6 +46,65 @@ let now t = Clock.now t.clock
 
 let metrics t = t.metrics
 
+module Json = Sp_obs.Json
+
+let state_json t =
+  (* The executed set is flattened and sorted by program text so the
+     snapshot bytes are canonical — independent of Hashtbl layout, which
+     differs between an uninterrupted run and a resumed one. Membership is
+     all that matters semantically. *)
+  let executed =
+    Hashtbl.fold (fun _ bucket acc -> List.rev_append bucket acc) t.executed []
+    |> List.map Prog.to_string
+    |> List.sort String.compare
+  in
+  let crash_seen =
+    Hashtbl.fold (fun d () acc -> d :: acc) t.crash_seen []
+    |> List.sort String.compare
+  in
+  Json.Obj
+    [ ("id", Json.Num (float_of_int t.id));
+      ("clock", Json.Num (Clock.now t.clock));
+      ("rng", Json.Decode.int64_to_json (Rng.state t.rng));
+      ("vm", Vm.state_json t.vm);
+      ("seeds", Json.Arr (List.map (fun p -> Json.Str (Prog.to_string p)) t.seeds));
+      ("executed", Json.Arr (List.map (fun s -> Json.Str s) executed));
+      ("crash_seen", Json.Arr (List.map (fun d -> Json.Str d) crash_seen))
+    ]
+
+let restore_state t ~parse j =
+  let open Json.Decode in
+  let id = int_field "id" j in
+  if id <> t.id then error "shard state: id %d restored into shard %d" id t.id;
+  let str_items name =
+    List.map
+      (function
+        | Json.Str s -> s
+        | _ -> error "shard %s: expected strings" name)
+      (arr_field name j)
+  in
+  let parse_prog name s =
+    match parse s with
+    | Ok p -> p
+    | Error msg -> error "shard %s: %s" name msg
+  in
+  (* The clock was created at 0; a single advance reproduces the stored
+     value exactly (0. +. x = x in floats). *)
+  Clock.advance t.clock (num_field "clock" j);
+  Rng.set_state t.rng (int64_field "rng" j);
+  Vm.restore_state t.vm (field "vm" j);
+  t.seeds <- List.map (parse_prog "seeds") (str_items "seeds");
+  Hashtbl.reset t.executed;
+  List.iter
+    (fun s ->
+      let p = parse_prog "executed" s in
+      let h = Prog.hash p in
+      let bucket = Option.value ~default:[] (Hashtbl.find_opt t.executed h) in
+      Hashtbl.replace t.executed h (p :: bucket))
+    (str_items "executed");
+  Hashtbl.reset t.crash_seen;
+  List.iter (fun d -> Hashtbl.replace t.crash_seen d ()) (str_items "crash_seen")
+
 type crash_event = {
   ce_crash : Kernel.crash;
   ce_prog : Prog.t;

@@ -40,6 +40,23 @@ val metrics : t -> Sp_util.Metrics.t
 (** Shard-local registry (campaign.* loop counters, vm.* costs); the
     executor merges these into the report registry in shard order. *)
 
+val state_json : t -> Sp_obs.Json.t
+(** Cross-epoch mutable state for campaign snapshots: clock, RNG stream,
+    VM counters, unexecuted seed slice, the executed-program dedup set
+    (canonically sorted — duplicate skips charge different virtual time
+    than executions, so membership is determinism-relevant) and the
+    per-shard crash dedup set. Metrics/tracers are observability, not
+    semantics, and are not persisted. *)
+
+val restore_state :
+  t ->
+  parse:(string -> (Sp_syzlang.Prog.t, string) result) ->
+  Sp_obs.Json.t ->
+  unit
+(** Restore state captured by {!state_json} into a freshly created shard
+    (same id, fresh clock). Raises [Sp_obs.Json.Decode.Error] on malformed
+    input or an id mismatch. *)
+
 type crash_event = {
   ce_crash : Sp_kernel.Kernel.crash;
   ce_prog : Sp_syzlang.Prog.t;

@@ -1,0 +1,60 @@
+module Json = Sp_obs.Json
+module Io = Sp_obs.Io
+module Prog = Sp_syzlang.Prog
+module Accum = Sp_coverage.Accum
+
+let format_version = 1
+
+let entry_to_json (e : Corpus.entry) =
+  Json.Obj
+    [ ("prog", Json.Str (Prog.to_string e.Corpus.prog));
+      ("blocks", Accum.bitset_to_json e.Corpus.blocks);
+      ("edges", Accum.bitset_to_json e.Corpus.edges);
+      ("added_at", Json.Num e.Corpus.added_at)
+    ]
+
+let entry_of_json ~parse j =
+  let open Json.Decode in
+  let text = str_field "prog" j in
+  let prog =
+    match parse text with
+    | Ok p -> p
+    | Error msg -> error "corpus entry: %s" msg
+  in
+  {
+    Corpus.prog;
+    blocks = Accum.bitset_of_json (field "blocks" j);
+    edges = Accum.bitset_of_json (field "edges" j);
+    added_at = num_field "added_at" j;
+  }
+
+(* Entries oldest-first (insertion order): restore re-adds them in the
+   original order, which rebuilds the dedup index and the directed
+   distance tiers exactly as the uninterrupted run had them. *)
+let corpus_to_json c =
+  Json.Arr (List.rev_map entry_to_json (Corpus.entries c))
+
+let corpus_entries_of_json ~parse j =
+  match j with
+  | Json.Arr items -> List.map (entry_of_json ~parse) items
+  | _ -> Json.Decode.error "corpus: expected array"
+
+let path ~dir ~barrier = Filename.concat dir (Printf.sprintf "snapshot-%06d.json" barrier)
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    (try Sys.mkdir dir 0o755 with Sys_error _ when Sys.is_directory dir -> ())
+  end
+
+let write ~dir ~barrier json =
+  mkdir_p dir;
+  let p = path ~dir ~barrier in
+  Io.write_atomic p (Json.to_string json);
+  p
+
+let read file =
+  match Io.read_file file with
+  | exception Sys_error msg -> Error msg
+  | data -> Json.of_string data

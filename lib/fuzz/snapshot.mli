@@ -1,0 +1,43 @@
+(** Campaign snapshot files: the corpus codec and on-disk layout.
+
+    A snapshot is one JSON document capturing the merged campaign state at
+    a barrier of the sharded executor (see DESIGN.md): campaign-level
+    counters and series, the global corpus/accumulator/triage, and each
+    shard's private stream state. [Campaign] assembles and consumes the
+    document; this module owns the pieces that are not private to
+    [Campaign] — the corpus entry codec and the snapshot directory
+    layout ([snapshot-NNNNNN.json] per barrier, written atomically so a
+    kill mid-write never leaves a torn file; the previous snapshot
+    survives). *)
+
+val format_version : int
+
+val entry_to_json : Corpus.entry -> Sp_obs.Json.t
+
+val entry_of_json :
+  parse:(string -> (Sp_syzlang.Prog.t, string) result) ->
+  Sp_obs.Json.t ->
+  Corpus.entry
+(** Raises [Sp_obs.Json.Decode.Error] on malformed input. *)
+
+val corpus_to_json : Corpus.t -> Sp_obs.Json.t
+(** Entries in insertion order (oldest first), so re-adding them in list
+    order reproduces the corpus — dedup index and directed distance tiers
+    included. *)
+
+val corpus_entries_of_json :
+  parse:(string -> (Sp_syzlang.Prog.t, string) result) ->
+  Sp_obs.Json.t ->
+  Corpus.entry list
+(** Insertion order. Raises [Sp_obs.Json.Decode.Error] on malformed
+    input. *)
+
+val path : dir:string -> barrier:int -> string
+(** [snapshot-NNNNNN.json] under [dir]. *)
+
+val write : dir:string -> barrier:int -> Sp_obs.Json.t -> string
+(** Atomically write a barrier snapshot (creating [dir] if needed);
+    returns the path written. *)
+
+val read : string -> (Sp_obs.Json.t, string) result
+(** Read and parse a snapshot file. *)

@@ -90,6 +90,59 @@ let record ?(attempt_repro = true) t rng ~vm ~now (crash : Kernel.crash) prog =
 
 let all_found t = List.rev t.found_rev
 
+module Json = Sp_obs.Json
+
+let found_to_json f =
+  Json.Obj
+    [ ("bug_id", Json.Num (float_of_int f.bug.Bug.id));
+      ("description", Json.Str f.description);
+      ("found_at", Json.Num f.found_at);
+      ("witness", Json.Str (Prog.to_string f.witness));
+      ( "reproducer",
+        match f.reproducer with
+        | Some p -> Json.Str (Prog.to_string p)
+        | None -> Json.Null )
+    ]
+
+let found_of_json ~bug_of_id ~parse j =
+  let open Json.Decode in
+  let bug_id = int_field "bug_id" j in
+  let bug =
+    match bug_of_id bug_id with
+    | Some b -> b
+    | None -> error "triage: unknown bug id %d" bug_id
+  in
+  let parse_prog name =
+    match parse (str_field name j) with
+    | Ok p -> p
+    | Error msg -> error "triage %s: %s" name msg
+  in
+  {
+    bug;
+    description = str_field "description" j;
+    found_at = num_field "found_at" j;
+    witness = parse_prog "witness";
+    reproducer =
+      (match field "reproducer" j with
+      | Json.Null -> None
+      | Json.Str _ -> Some (parse_prog "reproducer")
+      | _ -> error "triage reproducer: expected string or null");
+  }
+
+let state_json t = Json.Arr (List.map found_to_json (all_found t))
+
+let restore_state t ~bug_of_id ~parse j =
+  let open Json.Decode in
+  let items =
+    match j with
+    | Json.Arr items -> items
+    | _ -> error "triage state: expected array"
+  in
+  let found = List.map (found_of_json ~bug_of_id ~parse) items in
+  Hashtbl.reset t.seen;
+  List.iter (fun f -> Hashtbl.replace t.seen f.description ()) found;
+  t.found_rev <- List.rev found
+
 let new_crashes t =
   List.filter (fun f -> not (is_known t f.description)) (all_found t)
 

@@ -59,3 +59,23 @@ val reproduce :
 (** The syz-repro analogue: replay up to 3 times (racy bugs replay only
     rarely per attempt), then greedily drop calls while the crash
     persists. *)
+
+(** {1 Serialization}
+
+    Campaign snapshots persist the found-crash list (programs as syz-like
+    text, which round-trips exactly); the dedup set is the set of found
+    descriptions and is rebuilt from the list on restore. The known-crash
+    list comes from the kernel at [create] and is not persisted. *)
+
+val found_to_json : found -> Sp_obs.Json.t
+
+val state_json : t -> Sp_obs.Json.t
+
+val restore_state :
+  t ->
+  bug_of_id:(int -> Sp_kernel.Bug.t option) ->
+  parse:(string -> (Sp_syzlang.Prog.t, string) result) ->
+  Sp_obs.Json.t ->
+  unit
+(** Restore into a freshly created triage. Raises
+    [Sp_obs.Json.Decode.Error] on malformed input or unknown bug ids. *)

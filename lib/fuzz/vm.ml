@@ -106,6 +106,19 @@ let charge_duplicate t clock =
 
 let executions t = t.executions
 
+module Json = Sp_obs.Json
+
+let state_json t =
+  Json.Obj
+    [ ("executions", Json.Num (float_of_int t.executions));
+      ("noise_rng", Json.Decode.int64_to_json (Rng.state t.noise_rng))
+    ]
+
+let restore_state t j =
+  let open Json.Decode in
+  t.executions <- int_field "executions" j;
+  Rng.set_state t.noise_rng (int64_field "noise_rng" j)
+
 let set_throughput_factor t f =
   if f <= 0.0 then invalid_arg "Vm.set_throughput_factor: must be positive";
   t.factor <- f

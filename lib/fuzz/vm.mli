@@ -68,6 +68,15 @@ val charge_duplicate : t -> Clock.t -> unit
 
 val executions : t -> int
 
+val state_json : t -> Sp_obs.Json.t
+(** Mutable state for campaign snapshots: the execution counter and the
+    noise RNG stream. The rest of the VM (kernel, cost model, throughput
+    factor) is reconstructed from the campaign config on resume. *)
+
+val restore_state : t -> Sp_obs.Json.t -> unit
+(** Restore state captured by {!state_json} into a freshly created VM.
+    Raises [Sp_obs.Json.Decode.Error] on malformed input. *)
+
 val set_throughput_factor : t -> float -> unit
 (** Scale the per-test cost; Snowplow runs at 383/390 of Syzkaller's
     throughput (§5.5). *)

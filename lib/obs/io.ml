@@ -1,0 +1,17 @@
+let write_atomic_with path writer =
+  let dir = Filename.dirname path in
+  let tmp = Filename.temp_file ~temp_dir:dir (Filename.basename path ^ ".") ".tmp" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists tmp then Sys.remove tmp)
+    (fun () ->
+      let oc = open_out_bin tmp in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> writer oc);
+      Sys.rename tmp path)
+
+let write_atomic path data = write_atomic_with path (fun oc -> output_string oc data)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))

@@ -1,0 +1,21 @@
+(** Crash-safe file writes.
+
+    Every artifact the reproduction persists — traces, time-series, campaign
+    snapshots, bench results — must never be observable half-written: a
+    campaign killed mid-snapshot has to leave the previous snapshot intact,
+    or resume would load a torn file. All writers therefore go through
+    [write_atomic]: the data lands in a temporary file in the destination
+    directory (same filesystem, so the final step is a plain [rename]) and is
+    moved over the target only once fully flushed. Any exception mid-write
+    removes the temporary and leaves the target untouched. *)
+
+val write_atomic : string -> string -> unit
+(** [write_atomic path data] atomically replaces [path] with [data]. *)
+
+val write_atomic_with : string -> (out_channel -> unit) -> unit
+(** [write_atomic_with path writer] like [write_atomic], but [writer] streams
+    into the temporary file's channel. The channel is closed (and the
+    temporary removed on failure) even if [writer] raises. *)
+
+val read_file : string -> string
+(** [read_file path] reads the whole file, closing the channel on error. *)

@@ -281,6 +281,59 @@ let str_opt = function Str s -> Some s | _ -> None
 
 let arr_opt = function Arr items -> Some items | _ -> None
 
+module Decode = struct
+  exception Error of string
+
+  let error fmt = Printf.ksprintf (fun msg -> raise (Error msg)) fmt
+
+  let field name j =
+    match member name j with
+    | Some v -> v
+    | None -> error "missing field %S" name
+
+  let num_field name j =
+    match field name j with
+    | Num f -> f
+    | _ -> error "field %S: expected number" name
+
+  let int_field name j =
+    let f = num_field name j in
+    if Float.is_integer f && Float.abs f <= 2.0 ** 53.0 then int_of_float f
+    else error "field %S: expected integer, got %s" name (num_to_string f)
+
+  let str_field name j =
+    match field name j with
+    | Str s -> s
+    | _ -> error "field %S: expected string" name
+
+  let bool_field name j =
+    match field name j with
+    | Bool b -> b
+    | _ -> error "field %S: expected bool" name
+
+  let arr_field name j =
+    match field name j with
+    | Arr items -> items
+    | _ -> error "field %S: expected array" name
+
+  let obj_field name j =
+    match field name j with
+    | Obj _ as o -> o
+    | _ -> error "field %S: expected object" name
+
+  (* Int64 values (RNG states) exceed the float-exact integer range, so
+     they travel as 16-digit hex strings rather than [Num]. *)
+  let int64_to_json v = Str (Printf.sprintf "%016Lx" v)
+
+  let int64_field name j =
+    let s = str_field name j in
+    match Int64.of_string_opt ("0x" ^ s) with
+    | Some v when String.length s = 16 -> v
+    | _ -> error "field %S: expected 16-digit hex int64, got %S" name s
+
+  let run f = match f () with v -> Ok v | exception Error msg -> Error msg
+end
+
 let rec equal a b =
   match (a, b) with
   | Null, Null -> true

@@ -50,3 +50,44 @@ val arr_opt : t -> t list option
 val equal : t -> t -> bool
 (** Structural equality; [Num] compared with [Float.equal] (so [nan]
     equals [nan], and [0.] differs from [-0.]). *)
+
+(** {1 Decoding}
+
+    Exception-based field extractors for reading structured documents
+    (campaign snapshots). Decoders compose as plain function calls and a
+    top-level {!Decode.run} converts the first failure into a [result],
+    carrying which field was malformed. *)
+module Decode : sig
+  exception Error of string
+
+  val error : ('a, unit, string, 'b) format4 -> 'a
+  (** Raise {!Error} with a formatted message. *)
+
+  val field : string -> t -> t
+  (** Required field of an object; raises {!Error} if absent. *)
+
+  val num_field : string -> t -> float
+
+  val int_field : string -> t -> int
+  (** Number field that must be integral and within the float-exact range. *)
+
+  val str_field : string -> t -> string
+
+  val bool_field : string -> t -> bool
+
+  val arr_field : string -> t -> t list
+
+  val obj_field : string -> t -> t
+  (** Required field that must itself be an object (returned as-is). *)
+
+  val int64_to_json : int64 -> t
+  (** Encode an int64 as a 16-digit hex [Str] — int64 values (RNG states)
+      exceed the float-exact integer range, so they cannot travel as
+      [Num]. *)
+
+  val int64_field : string -> t -> int64
+  (** Decode a field written by {!int64_to_json}. *)
+
+  val run : (unit -> 'a) -> ('a, string) result
+  (** Run a decoder, converting {!Error} into [Error msg]. *)
+end

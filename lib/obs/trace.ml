@@ -30,8 +30,4 @@ let export t =
 
 let export_string t = Json.to_string (export t)
 
-let write_file t path =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (export_string t))
+let write_file t path = Io.write_atomic path (export_string t)

@@ -12,6 +12,12 @@ let create seed = { state = mix64 (Int64.of_int seed) }
 
 let copy t = { state = t.state }
 
+let state t = t.state
+
+let set_state t s = t.state <- s
+
+let of_state s = { state = s }
+
 let bits64 t =
   t.state <- Int64.add t.state golden_gamma;
   mix64 t.state
@@ -32,8 +38,19 @@ let split_named t label =
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
   let mask = Int64.of_int max_int in
-  let v = Int64.to_int (Int64.logand (bits64 t) mask) in
-  v mod bound
+  (* Rejection sampling: the masked draw is uniform over [0, max_int]
+     (2^62 values), and plain [v mod bound] is biased towards small
+     residues whenever [bound] does not divide 2^62. Discarding the
+     topmost partial cycle — the [2^62 mod bound] values above [limit] —
+     makes every residue exactly equally likely; the rejection
+     probability is below [bound / 2^62] per draw. *)
+  let rem = ((max_int mod bound) + 1) mod bound in
+  let limit = max_int - rem in
+  let rec draw () =
+    let v = Int64.to_int (Int64.logand (bits64 t) mask) in
+    if v > limit then draw () else v mod bound
+  in
+  draw ()
 
 let int_in t lo hi =
   if hi < lo then invalid_arg "Rng.int_in: empty range";
@@ -81,14 +98,20 @@ let sample t arr k =
   end
 
 let weighted t choices =
-  let total = List.fold_left (fun acc (_, w) -> acc +. Float.max w 0.0) 0.0 choices in
-  if total <= 0.0 then invalid_arg "Rng.weighted: no positive weight";
+  (* Non-finite weights count as zero. [Float.max nan 0.0] is NaN, and a
+     NaN total slips past a [total <= 0.0] guard (NaN compares false), so
+     a single NaN weight used to poison the cumulative scan and return an
+     arbitrary element; an infinite weight has no meaningful proportional
+     draw either. *)
+  let clamp w = if Float.is_finite w && w > 0.0 then w else 0.0 in
+  let total = List.fold_left (fun acc (_, w) -> acc +. clamp w) 0.0 choices in
+  if not (total > 0.0) then invalid_arg "Rng.weighted: no positive weight";
   let x = float t total in
   let rec pick acc = function
     | [] -> invalid_arg "Rng.weighted: empty list"
     | [ (v, _) ] -> v
     | (v, w) :: rest ->
-      let acc = acc +. Float.max w 0.0 in
+      let acc = acc +. clamp w in
       if x < acc then v else pick acc rest
   in
   pick 0.0 choices

@@ -14,6 +14,19 @@ val create : int -> t
 val copy : t -> t
 (** [copy t] duplicates the generator state; the copy evolves separately. *)
 
+val state : t -> int64
+(** The full internal state. [state]/[set_state]/[of_state] exist so that
+    campaign snapshots can persist and later resume a stream exactly:
+    a generator restored from [state t] replays [t]'s future draws
+    bit-for-bit. *)
+
+val set_state : t -> int64 -> unit
+(** Overwrite the internal state with a previously captured one. *)
+
+val of_state : int64 -> t
+(** A fresh generator whose next draws equal those of the generator
+    [state] was captured from. *)
+
 val split : t -> t
 (** [split t] advances [t] and returns a new generator whose stream is
     statistically independent of [t]'s subsequent output. *)
@@ -27,7 +40,10 @@ val bits64 : t -> int64
 (** Next raw 64-bit output. *)
 
 val int : t -> int -> int
-(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive.
+    Exactly uniform: draws in the topmost partial cycle of the 62-bit
+    range are rejected and retried rather than folded (modulo-biased)
+    onto small residues. *)
 
 val int_in : t -> int -> int -> int
 (** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive. *)
@@ -54,8 +70,10 @@ val shuffle : t -> 'a array -> unit
 (** In-place Fisher–Yates shuffle. *)
 
 val weighted : t -> ('a * float) list -> 'a
-(** [weighted t choices] draws proportionally to the (positive) weights.
-    Raises [Invalid_argument] if the list is empty or total weight is 0. *)
+(** [weighted t choices] draws proportionally to the (positive) weights;
+    non-finite weights (NaN, infinities) are treated as 0. Raises
+    [Invalid_argument] if the list is empty or no weight is positive and
+    finite. *)
 
 val gaussian : t -> float
 (** Standard normal deviate (Box–Muller). *)

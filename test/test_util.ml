@@ -79,6 +79,58 @@ let test_weighted () =
   done;
   Alcotest.(check bool) "weights respected" true (!heavy > 820 && !heavy < 980)
 
+let test_weighted_non_finite () =
+  (* Regression: a NaN weight used to poison the cumulative total
+     ([Float.max nan 0.0] is NaN, and NaN <= 0.0 is false, so the
+     positive-total guard was bypassed and the scan returned an arbitrary
+     element). Non-finite weights must count as zero. *)
+  let rng = Rng.create 29 in
+  for _ = 1 to 500 do
+    Alcotest.(check bool) "NaN weight never drawn" true
+      (Rng.weighted rng [ (`Bad, Float.nan); (`Good, 1.0) ] = `Good);
+    Alcotest.(check bool) "infinite weight never drawn" true
+      (Rng.weighted rng [ (`Bad, Float.infinity); (`Good, 1.0) ] = `Good);
+    Alcotest.(check bool) "neg_infinity weight never drawn" true
+      (Rng.weighted rng [ (`Bad, Float.neg_infinity); (`Good, 1.0) ] = `Good)
+  done;
+  Alcotest.check_raises "all weights non-finite"
+    (Invalid_argument "Rng.weighted: no positive weight") (fun () ->
+      ignore (Rng.weighted rng [ (`A, Float.nan); (`B, Float.infinity) ]))
+
+let test_rng_int_rejection_exact () =
+  (* Rejection sampling must make every residue exactly as likely: for a
+     bound of the form 2^k the draw is a pure mask (never rejects), and
+     for other bounds all values stay in range. The statistical check is
+     [test_rng_uniformity]; here we pin the degenerate bounds. *)
+  let rng = Rng.create 31 in
+  for _ = 1 to 1000 do
+    check Alcotest.int "bound 1 is always 0" 0 (Rng.int rng 1);
+    let v = Rng.int rng 3 in
+    Alcotest.(check bool) "bound 3 in range" true (v >= 0 && v < 3);
+    let v = Rng.int rng max_int in
+    Alcotest.(check bool) "huge bound in range" true (v >= 0)
+  done;
+  Alcotest.check_raises "bound must be positive"
+    (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Rng.int rng 0))
+
+let test_rng_state_roundtrip () =
+  let rng = Rng.create 37 in
+  for _ = 1 to 17 do ignore (Rng.bits64 rng) done;
+  let saved = Rng.state rng in
+  let future = List.init 50 (fun _ -> Rng.bits64 rng) in
+  let replay = Rng.of_state saved in
+  check
+    (Alcotest.list Alcotest.int64)
+    "of_state replays the stream" future
+    (List.init 50 (fun _ -> Rng.bits64 replay));
+  let target = Rng.create 0 in
+  Rng.set_state target saved;
+  check
+    (Alcotest.list Alcotest.int64)
+    "set_state replays the stream" future
+    (List.init 50 (fun _ -> Rng.bits64 target))
+
 let test_sample_distinct =
   QCheck.Test.make ~count:200 ~name:"Rng.sample draws distinct elements"
     QCheck.(pair small_nat (int_bound 1000))
@@ -819,6 +871,11 @@ let () =
           Alcotest.test_case "bounds" `Quick test_rng_bounds;
           Alcotest.test_case "uniformity" `Quick test_rng_uniformity;
           Alcotest.test_case "weighted" `Quick test_weighted;
+          Alcotest.test_case "weighted ignores non-finite weights" `Quick
+            test_weighted_non_finite;
+          Alcotest.test_case "int rejection sampling" `Quick
+            test_rng_int_rejection_exact;
+          Alcotest.test_case "state round-trip" `Quick test_rng_state_roundtrip;
         ] );
       qsuite "rng-props" [ test_sample_distinct; test_shuffle_permutation ];
       ( "stats",
