@@ -141,10 +141,10 @@ let run () =
   let m = again.Campaign.metrics in
   Exp_common.log "pool: %d tasks, %d steals" (Metrics.counter m "pool.tasks")
     (Metrics.counter m "pool.steals");
-  (match Metrics.summary m "pool.barrier_wait_ns" with
+  (match Metrics.summary m "pool.barrier_wait_s" with
   | Some s ->
     Exp_common.log "pool: barrier wait mean %.1f ms over %d barriers"
-      (s.Metrics.mean /. 1e6) s.Metrics.count
+      (s.Metrics.mean *. 1e3) s.Metrics.count
   | None -> ());
   (match Metrics.summary m "pool.idle_ns" with
   | Some s -> Exp_common.log "pool: worker idle mean %.1f ms" (s.Metrics.mean /. 1e6)

@@ -35,7 +35,7 @@ let service_numbers p =
       if Snowplow.Inference.request inference ~now prog ~targets then incr sent)
     with_targets;
   let horizon = 120.0 in
-  let completed = Snowplow.Inference.poll inference ~now:horizon in
+  let completed = Snowplow.Inference.poll inference ~now:horizon () in
   ( Snowplow.Inference.saturation_qps inference,
     Snowplow.Inference.mean_latency inference,
     !sent,

@@ -19,6 +19,7 @@ let experiments =
     ("e9", Exp_extension.run);
     ("e10", Exp_parallel.run);
     ("e11", Exp_exec.run);
+    ("e12", Exp_sched.run);
     ("abl", Exp_ablation.run) ]
 
 let () =

@@ -4,6 +4,7 @@
    snowplow gen          — generate and print random test programs
    snowplow run          — execute a test program from a file or stdin
    snowplow fuzz         — run a coverage campaign (syzkaller or snowplow)
+   snowplow serve        — multiplex several campaigns over one shared pool
    snowplow train        — train PMM and print Table-1 metrics
    snowplow directed     — directed fuzzing towards a bug's crash site
    snowplow stats        — inspect exported traces / time-series *)
@@ -175,10 +176,10 @@ let fuzz seed version hours run_seed system jobs trace_file ts_file
      given), resumed ones load the snapshot file and validate it against
      the flags — resuming demands the same seed/hours/jobs/system flags
      the snapshotted campaign was launched with. *)
-  let launch ?ts_extra ?on_barrier ~strategy_for () =
+  let launch ?ts_extra ?on_barrier ?aux ~strategy_for () =
     match resume_file with
     | None ->
-      Campaign.run_parallel ~trace ?timeseries ?ts_extra ?on_barrier
+      Campaign.run_parallel ~trace ?timeseries ?ts_extra ?on_barrier ?aux
         ?snapshot_dir ~jobs ~vm_for ~strategy_for cfg
     | Some file -> (
       match Sp_fuzz.Snapshot.read file with
@@ -187,7 +188,7 @@ let fuzz seed version hours run_seed system jobs trace_file ts_file
         exit 1
       | Ok snap -> (
         match
-          Campaign.resume ~trace ?timeseries ?ts_extra ?on_barrier
+          Campaign.resume ~trace ?timeseries ?ts_extra ?on_barrier ?aux
             ?snapshot_dir ~snapshot:snap ~jobs ~vm_for ~strategy_for cfg
         with
         | Ok r -> r
@@ -224,11 +225,6 @@ let fuzz seed version hours run_seed system jobs trace_file ts_file
                float_of_int (Snowplow.Inference.cache_size inference));
             ]
           in
-          if resume_file <> None then
-            prerr_endline
-              "note: inference caches are not part of snapshots; a resumed \
-               snowplow campaign is deterministic but may differ from the \
-               uninterrupted run.";
           if jobs = 1 && snapshot_dir = None && resume_file = None then
             Campaign.run ~trace ?timeseries ~ts_extra (vm_for 0)
               (Snowplow.Hybrid.strategy ~inference k) cfg
@@ -239,6 +235,17 @@ let fuzz seed version hours run_seed system jobs trace_file ts_file
             let funnel =
               Snowplow.Funnel.create ~tracer:main_tracer ~shards:jobs inference
             in
+            (* Service, funnel lanes and per-shard prediction memos ride
+               in the snapshot's aux field, so a resumed snowplow
+               campaign matches its uninterrupted run exactly. *)
+            let predictions =
+              Array.init jobs (fun _ -> Snowplow.Hybrid.make_predictions ())
+            in
+            let aux =
+              Snowplow.Persist.aux
+                ~parse:(Sp_syzlang.Parser.program db)
+                ~inference ~funnel ~predictions
+            in
             let ts_extra () =
               ts_extra ()
               @ [
@@ -248,9 +255,9 @@ let fuzz seed version hours run_seed system jobs trace_file ts_file
                    float_of_int (Snowplow.Funnel.dropped funnel));
                 ]
             in
-            launch ~ts_extra
+            launch ~ts_extra ~aux
               ~strategy_for:(fun s ->
-                Snowplow.Hybrid.strategy_with
+                Snowplow.Hybrid.strategy_with ~predictions:(predictions.(s))
                   ~endpoint:(Snowplow.Funnel.endpoint funnel ~shard:s)
                   k)
               ~on_barrier:(fun ~now -> ignore (Snowplow.Funnel.flush funnel ~now))
@@ -319,8 +326,8 @@ let resume_arg =
           "Resume a campaign from a snapshot file written via \
            $(b,--snapshot-dir). Pass the same seed/hours/jobs/system flags \
            as the original launch (validated against the snapshot). The \
-           resumed report is bit-identical to the uninterrupted run's for \
-           the syzkaller system.")
+           resumed report is bit-identical to the uninterrupted run's — \
+           snowplow's inference/funnel caches are part of the snapshot.")
 
 let system_arg =
   Arg.(
@@ -367,6 +374,263 @@ let fuzz_cmd =
       const fuzz $ seed_arg $ version_arg $ hours_arg $ campaign_seed_arg
       $ system_arg $ jobs_arg $ trace_file_arg $ timeseries_file_arg
       $ snapshot_dir_arg $ resume_arg)
+
+(* ------------------------------------------------------------------ *)
+(* serve                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type tenant_spec = {
+  tn_name : string;
+  tn_system : [ `Syzkaller | `Snowplow ];
+  tn_jobs : int;
+  tn_hours : float;
+  tn_seed : int;
+  tn_weight : float;
+  tn_budget : int option;
+  tn_corpus : int;
+}
+
+(* The --tenants file: a JSON array of {"name", "system", "jobs",
+   "hours", "run_seed", "weight", "exec_budget", "corpus_size"}; only
+   "name" is required. *)
+let tenant_specs_of_json j =
+  let module J = Sp_obs.Json in
+  let module D = J.Decode in
+  let opt name f default tj = if J.member name tj = None then default else f name tj in
+  let spec tj =
+    {
+      tn_name = D.str_field "name" tj;
+      tn_system =
+        (match opt "system" D.str_field "syzkaller" tj with
+        | "syzkaller" -> `Syzkaller
+        | "snowplow" -> `Snowplow
+        | s -> D.error "system: unknown fuzzer %S" s);
+      tn_jobs = opt "jobs" D.int_field 1 tj;
+      tn_hours = opt "hours" D.num_field 1.0 tj;
+      tn_seed = opt "run_seed" D.int_field 11 tj;
+      tn_weight = opt "weight" D.num_field 1.0 tj;
+      tn_budget =
+        (if J.member "exec_budget" tj = None then None
+         else Some (D.int_field "exec_budget" tj));
+      tn_corpus = opt "corpus_size" D.int_field 100 tj;
+    }
+  in
+  D.run (fun () ->
+      match j with
+      | J.Arr tenants when tenants <> [] -> List.map spec tenants
+      | J.Arr _ -> D.error "tenants file: at least one tenant required"
+      | _ -> D.error "tenants file: expected a JSON array of tenant objects")
+
+let serve seed version tenants_file workers snapshot_root resume trace_file
+    ts_file max_slices =
+  let k = make_kernel seed version in
+  let db = Kernel.spec_db k in
+  let specs =
+    match Sp_obs.Json.of_string (Sp_obs.Io.read_file tenants_file) with
+    | Error e ->
+      Printf.eprintf "snowplow serve: %s: JSON parse error: %s\n" tenants_file e;
+      exit 1
+    | Ok j -> (
+      match tenant_specs_of_json j with
+      | Error e ->
+        Printf.eprintf "snowplow serve: %s: %s\n" tenants_file e;
+        exit 1
+      | Ok specs -> specs)
+  in
+  let trace =
+    if trace_file = None then Trace.disabled else Trace.create ~enabled:true ()
+  in
+  let timeseries = Option.map (fun _ -> Timeseries.create ()) ts_file in
+  (* One warm service + one multi-tenant funnel for every snowplow
+     tenant: the shared-inference deployment the paper runs, and the
+     cold-start amortization bench/exp_sched.ml measures. Each tenant
+     gets its own funnel lane (outboxes/inboxes + request tag), so its
+     prediction stream depends only on its own request history. *)
+  let service =
+    if not (List.exists (fun s -> s.tn_system = `Snowplow) specs) then None
+    else begin
+      print_endline "training PMM first (this takes a few minutes)...";
+      let p = Snowplow.Pipeline.train () in
+      let inference = Snowplow.Pipeline.inference_for p k in
+      let funnel =
+        Snowplow.Funnel.create_multi
+          ~tenant_shards:(Array.of_list (List.map (fun s -> s.tn_jobs) specs))
+          inference
+      in
+      Some (inference, funnel)
+    end
+  in
+  let tenants =
+    List.mapi
+      (fun i s ->
+        let cfg =
+          {
+            Campaign.default_config with
+            seed_corpus =
+              Sp_syzlang.Gen.corpus
+                (Sp_util.Rng.create (s.tn_seed lxor 0x5eed))
+                db ~size:s.tn_corpus;
+            seed = s.tn_seed;
+            duration = s.tn_hours *. 3600.0;
+            snapshot_every = Float.max 600.0 (s.tn_hours *. 3600.0 /. 12.0);
+            attempt_repro = true;
+          }
+        in
+        let vm_for sh = Sp_fuzz.Vm.create ~seed:(s.tn_seed + (7919 * sh)) k in
+        let snapshot_dir =
+          Option.map (fun root -> Filename.concat root s.tn_name) snapshot_root
+        in
+        let restore =
+          match (resume, snapshot_dir) with
+          | false, _ | _, None -> None
+          | true, Some dir -> (
+            match Sp_fuzz.Snapshot.latest ~dir with
+            | None ->
+              Printf.printf "tenant %-12s no snapshot in %s, starting fresh\n"
+                s.tn_name dir;
+              None
+            | Some (_, file) -> (
+              match Sp_fuzz.Snapshot.read file with
+              | Error msg ->
+                Printf.eprintf
+                  "snowplow serve: tenant %s: cannot read snapshot %s: %s\n"
+                  s.tn_name file msg;
+                exit 1
+              | Ok snap ->
+                Printf.printf "tenant %-12s resuming from %s\n" s.tn_name file;
+                Some snap))
+        in
+        let strategy_for, on_barrier, aux =
+          match s.tn_system with
+          | `Syzkaller ->
+            ((fun _ -> Sp_fuzz.Strategy.syzkaller db), None, None)
+          | `Snowplow ->
+            let inference, funnel = Option.get service in
+            let predictions =
+              Array.init s.tn_jobs (fun _ ->
+                  Snowplow.Hybrid.make_predictions ())
+            in
+            ( (fun sh ->
+                Snowplow.Hybrid.strategy_with
+                  ~predictions:(predictions.(sh))
+                  ~endpoint:(Snowplow.Funnel.endpoint_for funnel ~tenant:i ~shard:sh)
+                  k),
+              Some
+                (fun ~now ->
+                  ignore (Snowplow.Funnel.flush_tenant funnel ~tenant:i ~now)),
+              (* Shared-service state rides in every snowplow tenant's
+                 snapshot; on a multi-tenant resume the last restored
+                 tenant's view wins (best effort — solo resume is
+                 exact). *)
+              Some
+                (Snowplow.Persist.aux
+                   ~parse:(Sp_syzlang.Parser.program db)
+                   ~inference ~funnel ~predictions) )
+        in
+        Sp_fuzz.Scheduler.tenant ~weight:s.tn_weight ?exec_budget:s.tn_budget
+          ?on_barrier ?snapshot_dir ?restore ?aux ~name:s.tn_name
+          ~jobs:s.tn_jobs ~vm_for ~strategy_for cfg)
+      specs
+  in
+  Printf.printf "serving %d tenant%s on kernel %s...\n%!" (List.length specs)
+    (if List.length specs = 1 then "" else "s")
+    version;
+  match Sp_fuzz.Scheduler.run ?workers ~trace ?timeseries ?max_slices tenants with
+  | Error msg ->
+    Printf.eprintf "snowplow serve: %s\n" msg;
+    exit 1
+  | Ok r ->
+    let module S = Sp_fuzz.Scheduler in
+    Printf.printf "%d slices over %d workers\n\n" r.S.sr_slices r.S.sr_workers;
+    Printf.printf "%-12s %6s %6s %10s %8s %7s  %s\n" "tenant" "weight"
+      "slices" "execs" "crashes" "corpus" "status";
+    List.iter
+      (fun tr ->
+        Printf.printf "%-12s %6.1f %6d %10d %8d %7d  %s\n" tr.S.tr_name
+          tr.S.tr_weight tr.S.tr_slices tr.S.tr_executions
+          (List.length tr.S.tr_report.Campaign.crashes)
+          tr.S.tr_report.Campaign.corpus_size
+          (if tr.S.tr_completed then "completed"
+           else if tr.S.tr_budget_exhausted then "budget exhausted"
+           else "cut by --max-slices"))
+      r.S.sr_tenants;
+    (match trace_file with
+    | Some path ->
+      Trace.write_file trace path;
+      Printf.printf "trace written to %s\n" path
+    | None -> ());
+    (match (ts_file, timeseries) with
+    | Some path, Some ts ->
+      let data =
+        if Filename.check_suffix path ".csv" then Timeseries.to_csv ts
+        else Timeseries.to_jsonl ts
+      in
+      write_text_file path data;
+      Printf.printf "timeseries written to %s (%d rows)\n" path
+        (Timeseries.length ts)
+    | _ -> ())
+
+let serve_cmd =
+  let tenants_file =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "tenants" ] ~docv:"FILE"
+          ~doc:
+            "JSON tenant roster: an array of objects with fields \
+             $(b,name) (required), $(b,system) (syzkaller|snowplow), \
+             $(b,jobs), $(b,hours), $(b,run_seed), $(b,weight), \
+             $(b,exec_budget), $(b,corpus_size).")
+  in
+  let workers =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "Shared pool size (defaults to the largest tenant's jobs). \
+             Each scheduler round admits tenants in stride order while \
+             their summed jobs fit.")
+  in
+  let snapshot_root =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "snapshot-root" ] ~docv:"DIR"
+          ~doc:
+            "Per-tenant snapshot directories $(docv)/NAME, written at each \
+             tenant's merge barriers exactly as $(b,snowplow fuzz \
+             --snapshot-dir) does.")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Resume every tenant from its latest snapshot under \
+             $(b,--snapshot-root) (tenants without one start fresh). Each \
+             tenant's resumed report is bit-identical to its \
+             uninterrupted scheduled run.")
+  in
+  let max_slices =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-slices" ] ~docv:"N"
+          ~doc:
+            "Stop after admitting $(docv) barrier slices (with \
+             $(b,--snapshot-root), a clean kill point to $(b,--resume) \
+             from).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Multiplex several campaigns over one shared worker pool (and, \
+          for snowplow tenants, one shared warm inference service).")
+    Term.(
+      const serve $ seed_arg $ version_arg $ tenants_file $ workers
+      $ snapshot_root $ resume $ trace_file_arg $ timeseries_file_arg
+      $ max_slices)
 
 (* ------------------------------------------------------------------ *)
 (* train                                                               *)
@@ -629,5 +893,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ kernel_info_cmd; gen_cmd; run_cmd; fuzz_cmd; train_cmd;
-            directed_cmd; stats_cmd ]))
+          [ kernel_info_cmd; gen_cmd; run_cmd; fuzz_cmd; serve_cmd;
+            train_cmd; directed_cmd; stats_cmd ]))

@@ -40,7 +40,7 @@ let strategy ?(mutations_per_base = 8) ?(max_targets = 8) ?(per_arg = 2)
   let propose rng ~now ~covered corpus (entry : Corpus.entry) =
     let engine = Engine.create db in
     let delivered =
-      Inference.poll inference ~now
+      Inference.poll inference ~now ()
       |> List.concat_map (fun (prog, paths) ->
              Hybrid.guided_mutants rng engine prog paths ~per_arg)
     in

@@ -1,11 +1,17 @@
 module Prog = Sp_syzlang.Prog
 module Fqueue = Sp_util.Fqueue
 module Tracer = Sp_obs.Tracer
+module Json = Sp_obs.Json
 
+(* Tenant [i]'s shard slots are the contiguous range
+   [offsets.(i) .. offsets.(i) + counts.(i) - 1] of the flattened
+   arrays; the single-tenant [create] is the one-range special case. *)
 type t = {
   service : Inference.t;
   tracer : Tracer.t;
   max_outbox : int;
+  offsets : int array;
+  counts : int array;
   outboxes : (Prog.t * int list) Fqueue.t array;
   inboxes : (Prog.t * Prog.path list) Fqueue.t array;
   (* Written by shard domains during an epoch, read at the barrier; the
@@ -16,31 +22,57 @@ type t = {
   dropped : int array;
 }
 
-let create ?(max_outbox = 64) ?(tracer = Tracer.null) ~shards service =
-  if shards < 1 then invalid_arg "Funnel.create: shards must be >= 1";
+let create_multi ?(max_outbox = 64) ?(tracer = Tracer.null) ~tenant_shards
+    service =
+  let tenants = Array.length tenant_shards in
+  if tenants < 1 then
+    invalid_arg "Funnel.create_multi: at least one tenant required";
+  Array.iter
+    (fun s ->
+      if s < 1 then invalid_arg "Funnel.create_multi: shards must be >= 1")
+    tenant_shards;
+  let offsets = Array.make tenants 0 in
+  for i = 1 to tenants - 1 do
+    offsets.(i) <- offsets.(i - 1) + tenant_shards.(i - 1)
+  done;
+  let total = offsets.(tenants - 1) + tenant_shards.(tenants - 1) in
   {
     service;
     tracer;
     max_outbox;
-    outboxes = Array.init shards (fun _ -> Fqueue.create ());
-    inboxes = Array.init shards (fun _ -> Fqueue.create ());
-    deferred = Array.make shards 0;
-    dropped = Array.make shards 0;
+    offsets;
+    counts = Array.copy tenant_shards;
+    outboxes = Array.init total (fun _ -> Fqueue.create ());
+    inboxes = Array.init total (fun _ -> Fqueue.create ());
+    deferred = Array.make total 0;
+    dropped = Array.make total 0;
   }
 
-let endpoint t ~shard =
-  if shard < 0 || shard >= Array.length t.outboxes then
-    invalid_arg "Funnel.endpoint: shard out of range";
-  let outbox = t.outboxes.(shard) and inbox = t.inboxes.(shard) in
+let create ?max_outbox ?tracer ~shards service =
+  if shards < 1 then invalid_arg "Funnel.create: shards must be >= 1";
+  create_multi ?max_outbox ?tracer ~tenant_shards:[| shards |] service
+
+let tenants t = Array.length t.counts
+
+let slot name t ~tenant ~shard =
+  if tenant < 0 || tenant >= Array.length t.counts then
+    invalid_arg (name ^ ": tenant out of range");
+  if shard < 0 || shard >= t.counts.(tenant) then
+    invalid_arg (name ^ ": shard out of range");
+  t.offsets.(tenant) + shard
+
+let endpoint_for t ~tenant ~shard =
+  let s = slot "Funnel.endpoint_for" t ~tenant ~shard in
+  let outbox = t.outboxes.(s) and inbox = t.inboxes.(s) in
   {
     Inference.ep_request =
       (fun ~now:_ prog ~targets ->
         if Fqueue.length outbox >= t.max_outbox then begin
-          t.dropped.(shard) <- t.dropped.(shard) + 1;
+          t.dropped.(s) <- t.dropped.(s) + 1;
           false
         end
         else begin
-          t.deferred.(shard) <- t.deferred.(shard) + 1;
+          t.deferred.(s) <- t.deferred.(s) + 1;
           Fqueue.push outbox (prog, targets);
           true
         end);
@@ -54,30 +86,128 @@ let endpoint t ~shard =
         drain []);
   }
 
-let flush t ~now =
-  (* Runs at the barrier on the main domain — the tracer's only writer. *)
+let endpoint t ~shard = endpoint_for t ~tenant:0 ~shard
+
+let flush_tenant t ~tenant ~now =
+  if tenant < 0 || tenant >= Array.length t.counts then
+    invalid_arg "Funnel.flush_tenant: tenant out of range";
+  (* Runs at the tenant's barrier on the scheduling domain — the
+     tracer's only writer. *)
   Tracer.span t.tracer "funnel.flush" (fun () ->
+      let off = t.offsets.(tenant) and n = t.counts.(tenant) in
       let batch =
-        Array.fold_left
-          (fun acc outbox ->
-            let rec drain acc =
-              match Fqueue.pop_opt outbox with
-              | None -> acc
-              | Some r -> drain (r :: acc)
-            in
-            drain acc)
-          [] t.outboxes
-        |> List.rev
+        List.concat
+          (List.init n (fun i ->
+               let rec drain acc =
+                 match Fqueue.pop_opt t.outboxes.(off + i) with
+                 | None -> List.rev acc
+                 | Some r -> drain (r :: acc)
+               in
+               drain []))
       in
       Tracer.counter t.tracer "funnel.batch_size"
         (float_of_int (List.length batch));
-      if batch <> [] then ignore (Inference.request_batch t.service ~now batch);
-      let completed = Inference.poll t.service ~now in
-      Array.iter
-        (fun inbox -> List.iter (fun p -> Fqueue.push inbox p) completed)
-        t.inboxes;
+      if batch <> [] then
+        ignore (Inference.request_batch t.service ~tag:tenant ~now batch);
+      (* Poll only this tenant's completions: another tenant's barrier
+         must not be able to steal (or even observe) them, or a tenant's
+         prediction stream would depend on the schedule. *)
+      let completed = Inference.poll t.service ~tag:tenant ~now () in
+      for s = off to off + n - 1 do
+        List.iter (fun p -> Fqueue.push t.inboxes.(s) p) completed
+      done;
       List.length completed)
+
+let flush t ~now =
+  let total = ref 0 in
+  for tenant = 0 to Array.length t.counts - 1 do
+    total := !total + flush_tenant t ~tenant ~now
+  done;
+  !total
+
+let tenant_fold name t ~tenant arr =
+  if tenant < 0 || tenant >= Array.length t.counts then
+    invalid_arg (name ^ ": tenant out of range");
+  let off = t.offsets.(tenant) in
+  let acc = ref 0 in
+  for s = off to off + t.counts.(tenant) - 1 do
+    acc := !acc + arr.(s)
+  done;
+  !acc
+
+let tenant_deferred t ~tenant =
+  tenant_fold "Funnel.tenant_deferred" t ~tenant t.deferred
+
+let tenant_dropped t ~tenant =
+  tenant_fold "Funnel.tenant_dropped" t ~tenant t.dropped
 
 let requests_deferred t = Array.fold_left ( + ) 0 t.deferred
 
 let dropped t = Array.fold_left ( + ) 0 t.dropped
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot codec                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let out_to_json (prog, targets) =
+  Json.Obj
+    [ ("prog", Codec.prog_to_json prog);
+      ("targets", Codec.int_list_to_json targets)
+    ]
+
+let out_of_json ~parse j =
+  ( Codec.prog_of_json ~parse "outbox prog" (Json.Decode.field "prog" j),
+    Codec.int_list_of_json "outbox targets" (Json.Decode.field "targets" j) )
+
+let in_to_json (prog, paths) =
+  Json.Obj
+    [ ("prog", Codec.prog_to_json prog); ("paths", Codec.paths_to_json paths) ]
+
+let in_of_json ~parse j =
+  ( Codec.prog_of_json ~parse "inbox prog" (Json.Decode.field "prog" j),
+    Codec.paths_of_json (Json.Decode.field "paths" j) )
+
+let slot_arrays_json t =
+  let per to_json q = Json.Arr (List.map to_json (Fqueue.to_list q)) in
+  Json.Obj
+    [ ( "outboxes",
+        Json.Arr (Array.to_list (Array.map (per out_to_json) t.outboxes)) );
+      ( "inboxes",
+        Json.Arr (Array.to_list (Array.map (per in_to_json) t.inboxes)) );
+      ( "deferred",
+        Codec.int_list_to_json (Array.to_list t.deferred) );
+      ("dropped", Codec.int_list_to_json (Array.to_list t.dropped))
+    ]
+
+let state_json t = slot_arrays_json t
+
+let restore_state t ~parse j =
+  let open Json.Decode in
+  let total = Array.length t.outboxes in
+  let slots name of_json dst =
+    match field name j with
+    | Json.Arr qs ->
+      if List.length qs <> total then
+        error "Funnel.restore_state: %s has %d slots, funnel has %d" name
+          (List.length qs) total;
+      List.iteri
+        (fun s qj ->
+          match qj with
+          | Json.Arr items ->
+            Fqueue.clear dst.(s);
+            List.iter (fun it -> Fqueue.push dst.(s) (of_json it)) items
+          | _ -> error "Funnel.restore_state: %s slot: expected array" name)
+        qs
+    | _ -> error "Funnel.restore_state: %s: expected array" name
+  in
+  slots "outboxes" (out_of_json ~parse) t.outboxes;
+  slots "inboxes" (in_of_json ~parse) t.inboxes;
+  let ints name dst =
+    let xs = Codec.int_list_of_json name (field name j) in
+    if List.length xs <> total then
+      error "Funnel.restore_state: %s has %d slots, funnel has %d" name
+        (List.length xs) total;
+    List.iteri (fun s v -> dst.(s) <- v) xs
+  in
+  ints "deferred" t.deferred;
+  ints "dropped" t.dropped

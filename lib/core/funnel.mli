@@ -16,7 +16,16 @@
     Predictions are broadcast (rather than routed to the requesting
     shard) because shards frequently mutate the same corpus entries: a
     prediction for a base test is useful to every shard that holds it,
-    and each shard's strategy memoizes by base-program hash anyway. *)
+    and each shard's strategy memoizes by base-program hash anyway.
+
+    {b Multi-tenancy.} {!create_multi} gives each of N campaigns its own
+    lane — a private range of shard slots — over the single shared
+    service. Requests are tagged with the tenant index
+    ({!Inference.request_batch}'s [tag]) and {!flush_tenant} polls only
+    that tag, so one tenant's barrier can never steal (or observe)
+    another's completions: each tenant's prediction stream depends only
+    on its own request history, never on the schedule. [create ~shards]
+    is the one-tenant special case. *)
 
 type t
 
@@ -28,19 +37,55 @@ val create :
     [funnel.batch_size] counter per {!flush}; it must be owned by the
     domain calling [flush] (the campaign's main domain). *)
 
+val create_multi :
+  ?max_outbox:int ->
+  ?tracer:Sp_obs.Tracer.t ->
+  tenant_shards:int array ->
+  Inference.t ->
+  t
+(** One lane per tenant: [tenant_shards.(i)] is tenant [i]'s shard
+    count. Raises [Invalid_argument] on an empty array or a shard count
+    < 1. *)
+
+val tenants : t -> int
+
 val endpoint : t -> shard:int -> Inference.endpoint
-(** The view handed to shard [shard]'s strategy. Must only be used from
-    the domain running that shard — per-shard state is unsynchronized by
-    design. *)
+(** [endpoint_for ~tenant:0]. *)
+
+val endpoint_for : t -> tenant:int -> shard:int -> Inference.endpoint
+(** The view handed to tenant [tenant]'s shard [shard]'s strategy. Must
+    only be used from the domain running that shard — per-shard state is
+    unsynchronized by design. *)
 
 val flush : t -> now:float -> int
-(** Forward all outboxes (shard order) to the service as one batch at
-    virtual time [now], then poll the service and broadcast completions
-    to every inbox. Returns the number of predictions delivered. Call at
-    the barrier only — never while an epoch is running. *)
+(** {!flush_tenant} for every tenant in index order; returns the total
+    number of predictions delivered. *)
+
+val flush_tenant : t -> tenant:int -> now:float -> int
+(** Forward the tenant's outboxes (shard order) to the service as one
+    tagged batch at virtual time [now], then poll the service for that
+    tag only and broadcast completions to the tenant's inboxes. Returns
+    the number of predictions delivered. Call at the tenant's barrier
+    only — never while one of its epochs is running. *)
 
 val requests_deferred : t -> int
 (** Total requests accepted into outboxes so far. *)
 
 val dropped : t -> int
 (** Requests refused because an outbox was full. *)
+
+val tenant_deferred : t -> tenant:int -> int
+
+val tenant_dropped : t -> tenant:int -> int
+
+val state_json : t -> Sp_obs.Json.t
+(** In-flight lane state — outbox/inbox contents and the
+    deferred/dropped counters — for campaign snapshots. The service's
+    own state is {!Inference.state_json}, serialized separately (it is
+    shared across tenants). *)
+
+val restore_state :
+  t -> parse:(string -> (Sp_syzlang.Prog.t, string) result) -> Sp_obs.Json.t -> unit
+(** Restore {!state_json} output into a funnel of the same shape (same
+    [tenant_shards]). Raises [Sp_obs.Json.Decode.Error] on malformed
+    input or a slot-count mismatch. *)

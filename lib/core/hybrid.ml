@@ -38,6 +38,34 @@ let pick_targets _rng kernel ~covered (entry : Corpus.entry) ~max_targets =
     uncovered_entries
   |> List.filteri (fun i _ -> i < max_targets)
 
+(* Delivered predictions, keyed by program hash. Bounded (LRU, no TTL —
+   recency alone bounds it) and collision-guarded: the base program is
+   stored alongside its paths and confirmed structurally on lookup, so a
+   hash collision degrades to "no prediction" instead of mutating the
+   wrong argument of the wrong program. The LRU clock is irrelevant
+   without a TTL, so lookups pass now = 0. *)
+type predictions = (int, Prog.t * Prog.path list) Sp_util.Lru.t
+
+let make_predictions () : predictions = Sp_util.Lru.create ~capacity:4096 ()
+
+let predictions_json (p : predictions) =
+  Codec.lru_to_json ~key_to_json:Codec.key_to_json
+    ~value_to_json:(fun (prog, paths) ->
+      Sp_obs.Json.Obj
+        [ ("prog", Codec.prog_to_json prog);
+          ("paths", Codec.paths_to_json paths)
+        ])
+    p
+
+let restore_predictions ~parse (p : predictions) j =
+  Codec.lru_restore
+    ~key_of_json:(Codec.key_of_json "prediction key")
+    ~value_of_json:(fun v ->
+      ( Codec.prog_of_json ~parse "prediction prog"
+          (Sp_obs.Json.Decode.field "prog" v),
+        Codec.paths_of_json (Sp_obs.Json.Decode.field "paths" v) ))
+    p j
+
 (* Snowplow is Syzkaller with the argument-mutation localizer swapped out
    (§3.4): mutation-type selection, insertion, removal, splicing and their
    relative volumes are untouched. When the selector picks
@@ -46,16 +74,10 @@ let pick_targets _rng kernel ~covered (entry : Corpus.entry) ~max_targets =
    (asynchronous) prediction arrives, the stock random localizer acts as
    the fallback. *)
 let strategy_with ?(mutations_per_base = 8) ?(max_targets = 40) ?insertion
-    ~endpoint kernel =
+    ?predictions ~endpoint kernel =
   let db = Kernel.spec_db kernel in
-  (* Delivered predictions, keyed by program hash. Bounded (LRU, no TTL —
-     recency alone bounds it) and collision-guarded: the base program is
-     stored alongside its paths and confirmed structurally on lookup, so a
-     hash collision degrades to "no prediction" instead of mutating the
-     wrong argument of the wrong program. The LRU clock is irrelevant
-     without a TTL, so lookups pass now = 0. *)
-  let predictions : (int, Prog.t * Prog.path list) Sp_util.Lru.t =
-    Sp_util.Lru.create ~capacity:4096 ()
+  let predictions =
+    match predictions with Some p -> p | None -> make_predictions ()
   in
   let find_prediction prog =
     match Sp_util.Lru.find predictions ~now:0.0 (Prog.hash prog) with

@@ -30,17 +30,36 @@ val pick_targets :
     [max_targets] (determinism keeps the inference cache valid until the
     frontier changes). *)
 
+type predictions
+(** A shard strategy's delivered-prediction memo (base-program hash →
+    predicted paths; bounded LRU, collision-guarded). Owned by exactly
+    one strategy instance — never share one across shards. *)
+
+val make_predictions : unit -> predictions
+
+val predictions_json : predictions -> Sp_obs.Json.t
+
+val restore_predictions :
+  parse:(string -> (Sp_syzlang.Prog.t, string) result) ->
+  predictions ->
+  Sp_obs.Json.t ->
+  unit
+(** Restore {!predictions_json} output (recency order and contents
+    exactly). Raises [Sp_obs.Json.Decode.Error] on malformed input. *)
+
 val strategy_with :
   ?mutations_per_base:int ->
   ?max_targets:int ->
   ?insertion:Insertion.t ->
+  ?predictions:predictions ->
   endpoint:Inference.endpoint ->
   Sp_kernel.Kernel.t ->
   Sp_fuzz.Strategy.t
 (** Like {!strategy}, but against any {!Inference.endpoint} — in parallel
     campaigns each shard's strategy is built over its {!Funnel.endpoint}
-    view of one shared service. Every instance owns its prediction memo,
-    so instances never share mutable state. *)
+    view of one shared service. Every instance owns its prediction memo
+    (a private one unless [predictions] hands it one to make it
+    snapshot-persistable), so instances never share mutable state. *)
 
 val strategy :
   ?mutations_per_base:int ->

@@ -11,6 +11,7 @@ type pending = {
   prog : Prog.t;
   prediction : Prog.path list;
   from_cache : bool;
+  tag : int;  (* tenant id under the scheduler; 0 for solo campaigns *)
 }
 
 (* Cache values carry the program (and target set) they were computed for:
@@ -39,8 +40,17 @@ type t = {
   (* secondary memo per base test: a recent answer for the same base with a
      slightly different target set is close enough while fresh *)
   by_prog : (int, cached) Lru.t;
+  (* per-tenant accounting under the scheduler: tag -> counters *)
+  tag_stats : (int, tag_stats) Hashtbl.t;
   metrics : Metrics.t;
   tracer : Tracer.t;
+}
+
+and tag_stats = {
+  mutable ts_requests : int;
+  mutable ts_served : int;
+  mutable ts_cache_hits : int;
+  mutable ts_dropped : int;
 }
 
 let create ?(latency = 0.69) ?(capacity_qps = 57.0) ?(max_pending = 16)
@@ -61,9 +71,18 @@ let create ?(latency = 0.69) ?(capacity_qps = 57.0) ?(max_pending = 16)
     latency_sum = 0.0;
     cache = Lru.create ~ttl:cache_ttl ~capacity:cache_capacity ();
     by_prog = Lru.create ~ttl:240.0 ~capacity:cache_capacity ();
+    tag_stats = Hashtbl.create 8;
     metrics = (match metrics with Some m -> m | None -> Metrics.create ());
     tracer;
   }
+
+let stats_for t tag =
+  match Hashtbl.find_opt t.tag_stats tag with
+  | Some s -> s
+  | None ->
+    let s = { ts_requests = 0; ts_served = 0; ts_cache_hits = 0; ts_dropped = 0 } in
+    Hashtbl.add t.tag_stats tag s;
+    s
 
 let predict_now t prog ~targets =
   let result = Kernel.execute t.kernel prog in
@@ -96,8 +115,10 @@ let lookup t ~now prog ~sorted_targets key =
   | None ->
     confirmed ~check_targets:false (Lru.find t.by_prog ~now (Prog.hash prog))
 
-let request t ~now prog ~targets =
+let request t ?(tag = 0) ~now prog ~targets =
   Metrics.incr t.metrics "inference.requests";
+  let ts = stats_for t tag in
+  ts.ts_requests <- ts.ts_requests + 1;
   let sorted_targets = List.sort compare targets in
   let key = targets_key prog targets in
   let enqueue p ok = Fqueue.push t.queue p; ok in
@@ -107,6 +128,7 @@ let request t ~now prog ~targets =
     (* The bound applies to every admission: a memoized answer still
        occupies a pending slot until the fuzzer polls it. *)
     t.dropped <- t.dropped + 1;
+    ts.ts_dropped <- ts.ts_dropped + 1;
     Metrics.incr t.metrics "inference.dropped";
     false
   | Some cached ->
@@ -114,14 +136,16 @@ let request t ~now prog ~targets =
        service (the integration layer memoizes per base test). Zero
        service latency — counted as a hit, not as a served request. *)
     t.cache_hits <- t.cache_hits + 1;
+    ts.ts_cache_hits <- ts.ts_cache_hits + 1;
     Metrics.incr t.metrics "inference.cache_hits";
     enqueue
       { ready_at = now; requested_at = now; prog; prediction = cached;
-        from_cache = true }
+        from_cache = true; tag }
       true
   | None ->
     if full then begin
       t.dropped <- t.dropped + 1;
+      ts.ts_dropped <- ts.ts_dropped + 1;
       Metrics.incr t.metrics "inference.dropped";
       false
     end
@@ -141,12 +165,16 @@ let request t ~now prog ~targets =
       Lru.put t.by_prog ~now (Prog.hash prog)
         { src_prog = prog; src_targets = []; answer = prediction };
       enqueue
-        { ready_at; requested_at = now; prog; prediction; from_cache = false }
+        { ready_at; requested_at = now; prog; prediction; from_cache = false;
+          tag }
         true
     end
 
-let poll t ~now =
-  let ready = Fqueue.partition (fun p -> p.ready_at <= now) t.queue in
+let poll t ?tag ~now () =
+  let wanted p =
+    p.ready_at <= now && match tag with None -> true | Some g -> p.tag = g
+  in
+  let ready = Fqueue.partition wanted t.queue in
   List.map
     (fun p ->
       if not p.from_cache then begin
@@ -154,13 +182,15 @@ let poll t ~now =
            service mean would deflate it. *)
         t.served <- t.served + 1;
         t.latency_sum <- t.latency_sum +. (p.ready_at -. p.requested_at);
+        let ts = stats_for t p.tag in
+        ts.ts_served <- ts.ts_served + 1;
         Metrics.incr t.metrics "inference.served";
         Metrics.observe t.metrics "inference.latency_s" (p.ready_at -. p.requested_at)
       end;
       (p.prog, p.prediction))
     ready
 
-let request_batch t ~now reqs =
+let request_batch t ?tag ~now reqs =
   (* Batch flushes come from the barrier (main domain) — the same domain
      that created the service, so the tracer is single-writer. *)
   Tracer.span t.tracer "inference.batch" (fun () ->
@@ -170,7 +200,8 @@ let request_batch t ~now reqs =
       let accepted =
         List.fold_left
           (fun accepted (prog, targets) ->
-            if request t ~now prog ~targets then accepted + 1 else accepted)
+            if request t ?tag ~now prog ~targets then accepted + 1
+            else accepted)
           0 reqs
       in
       Tracer.counter t.tracer "inference.pending"
@@ -184,7 +215,7 @@ type endpoint = {
 
 let endpoint t =
   { ep_request = (fun ~now prog ~targets -> request t ~now prog ~targets);
-    ep_poll = (fun ~now -> poll t ~now) }
+    ep_poll = (fun ~now -> poll t ~now ()) }
 
 let served t = t.served
 
@@ -204,3 +235,108 @@ let mean_latency t =
   if t.served = 0 then 0.0 else t.latency_sum /. float_of_int t.served
 
 let saturation_qps t = t.capacity_qps
+
+let tenant_stats t ~tag =
+  match Hashtbl.find_opt t.tag_stats tag with
+  | None -> (0, 0, 0, 0)
+  | Some s -> (s.ts_requests, s.ts_served, s.ts_cache_hits, s.ts_dropped)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot codec                                                       *)
+(* ------------------------------------------------------------------ *)
+
+module Json = Sp_obs.Json
+
+let pending_to_json p =
+  Json.Obj
+    [ ("ready_at", Json.Num p.ready_at);
+      ("requested_at", Json.Num p.requested_at);
+      ("prog", Codec.prog_to_json p.prog);
+      ("prediction", Codec.paths_to_json p.prediction);
+      ("from_cache", Json.Bool p.from_cache);
+      ("tag", Json.Num (float_of_int p.tag))
+    ]
+
+let pending_of_json ~parse j =
+  let open Json.Decode in
+  {
+    ready_at = num_field "ready_at" j;
+    requested_at = num_field "requested_at" j;
+    prog = Codec.prog_of_json ~parse "pending prog" (field "prog" j);
+    prediction = Codec.paths_of_json (field "prediction" j);
+    from_cache = bool_field "from_cache" j;
+    tag = int_field "tag" j;
+  }
+
+let cached_to_json c =
+  Json.Obj
+    [ ("src_prog", Codec.prog_to_json c.src_prog);
+      ("src_targets", Codec.int_list_to_json c.src_targets);
+      ("answer", Codec.paths_to_json c.answer)
+    ]
+
+let cached_of_json ~parse j =
+  let open Json.Decode in
+  {
+    src_prog = Codec.prog_of_json ~parse "cached prog" (field "src_prog" j);
+    src_targets = Codec.int_list_of_json "src_targets" (field "src_targets" j);
+    answer = Codec.paths_of_json (field "answer" j);
+  }
+
+let state_json t =
+  let tag_stats =
+    Hashtbl.fold (fun tag s acc -> (tag, s) :: acc) t.tag_stats []
+    |> List.sort compare
+    |> List.map (fun (tag, s) ->
+           Json.Obj
+             [ ("tag", Json.Num (float_of_int tag));
+               ("requests", Json.Num (float_of_int s.ts_requests));
+               ("served", Json.Num (float_of_int s.ts_served));
+               ("cache_hits", Json.Num (float_of_int s.ts_cache_hits));
+               ("dropped", Json.Num (float_of_int s.ts_dropped))
+             ])
+  in
+  Json.Obj
+    [ ("next_free", Json.Num t.next_free);
+      ("served", Json.Num (float_of_int t.served));
+      ("dropped", Json.Num (float_of_int t.dropped));
+      ("cache_hits", Json.Num (float_of_int t.cache_hits));
+      ("latency_sum", Json.Num t.latency_sum);
+      ("queue", Json.Arr (List.map pending_to_json (Fqueue.to_list t.queue)));
+      ( "cache",
+        Codec.lru_to_json ~key_to_json:Codec.key_to_json
+          ~value_to_json:cached_to_json t.cache );
+      ( "by_prog",
+        Codec.lru_to_json ~key_to_json:Codec.key_to_json
+          ~value_to_json:cached_to_json t.by_prog );
+      ("tag_stats", Json.Arr tag_stats)
+    ]
+
+let restore_state t ~parse j =
+  let open Json.Decode in
+  t.next_free <- num_field "next_free" j;
+  t.served <- int_field "served" j;
+  t.dropped <- int_field "dropped" j;
+  t.cache_hits <- int_field "cache_hits" j;
+  t.latency_sum <- num_field "latency_sum" j;
+  Fqueue.clear t.queue;
+  List.iter
+    (fun pj -> Fqueue.push t.queue (pending_of_json ~parse pj))
+    (arr_field "queue" j);
+  Codec.lru_restore
+    ~key_of_json:(Codec.key_of_json "cache key")
+    ~value_of_json:(cached_of_json ~parse) t.cache (field "cache" j);
+  Codec.lru_restore
+    ~key_of_json:(Codec.key_of_json "by_prog key")
+    ~value_of_json:(cached_of_json ~parse) t.by_prog (field "by_prog" j);
+  Hashtbl.reset t.tag_stats;
+  List.iter
+    (fun sj ->
+      Hashtbl.replace t.tag_stats (int_field "tag" sj)
+        {
+          ts_requests = int_field "requests" sj;
+          ts_served = int_field "served" sj;
+          ts_cache_hits = int_field "cache_hits" sj;
+          ts_dropped = int_field "dropped" sj;
+        })
+    (arr_field "tag_stats" j)

@@ -41,19 +41,28 @@ val create :
     domain). *)
 
 val request :
-  t -> now:float -> Sp_syzlang.Prog.t -> targets:int list -> bool
+  t -> ?tag:int -> now:float -> Sp_syzlang.Prog.t -> targets:int list -> bool
 (** Enqueue a localization query; returns false (dropped) when the service
     queue already holds [max_pending] requests — including when the answer
     would have come from the cache, since a memoized answer still occupies
     a pending slot until polled. The prediction is computed immediately but
     delivered at its virtual completion time (immediately for cache
-    hits). *)
+    hits). [tag] (default 0) labels the request with its tenant for
+    multi-tenant deployments: {!poll} can filter by it and
+    {!tenant_stats} accounts per tag. *)
 
-val poll : t -> now:float -> (Sp_syzlang.Prog.t * Sp_syzlang.Prog.path list) list
-(** Completed requests with ready time <= [now], oldest first. *)
+val poll :
+  t ->
+  ?tag:int ->
+  now:float ->
+  unit ->
+  (Sp_syzlang.Prog.t * Sp_syzlang.Prog.path list) list
+(** Completed requests with ready time <= [now], oldest first. With
+    [tag], only completions carrying that tag are removed and returned —
+    other tenants' completions stay queued for their own poll. *)
 
 val request_batch :
-  t -> now:float -> (Sp_syzlang.Prog.t * int list) list -> int
+  t -> ?tag:int -> now:float -> (Sp_syzlang.Prog.t * int list) list -> int
 (** Submit a batch of queries collected from many workers in one call (the
     funnel's barrier flush); returns how many were admitted. Individually
     equivalent to [request] per element, but recorded as one batch
@@ -109,3 +118,28 @@ val mean_latency : t -> float
 
 val saturation_qps : t -> float
 (** The service's configured capacity. *)
+
+val tenant_stats : t -> tag:int -> int * int * int * int
+(** [(requests, served, cache_hits, dropped)] accounted to [tag]. The
+    scheduler's per-tenant accounting: summed over all tags these equal
+    the service-wide counters. *)
+
+(** {1 Snapshot codec}
+
+    Queue contents, the virtual clock, both prediction caches (recency
+    order and TTL stamps exactly) and the per-tag stats — everything a
+    resumed campaign needs for the service to behave bit-for-bit as if
+    it had never stopped. Model weights and [inference.*] metrics are
+    {e not} included: weights are rebuilt by the caller (training is
+    seeded) and metrics registries are merged, not restored. *)
+
+val state_json : t -> Sp_obs.Json.t
+
+val restore_state :
+  t ->
+  parse:(string -> (Sp_syzlang.Prog.t, string) result) ->
+  Sp_obs.Json.t ->
+  unit
+(** Restore {!state_json} output into a service created with the same
+    configuration. Raises [Sp_obs.Json.Decode.Error] on malformed
+    input. *)

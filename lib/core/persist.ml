@@ -1,0 +1,33 @@
+module Json = Sp_obs.Json
+
+(* The snowplow strategy's live state outside the campaign proper:
+   the inference service (queue, clock, caches), the funnel lanes
+   (outboxes/inboxes in flight at the barrier) and each shard's
+   delivered-prediction memo. Bundled as the campaign snapshot's [aux]
+   field so a resumed snowplow campaign is bit-for-bit the
+   uninterrupted one. *)
+let aux ~parse ~inference ~funnel ~predictions =
+  let aux_json () =
+    Json.Obj
+      [ ("inference", Inference.state_json inference);
+        ("funnel", Funnel.state_json funnel);
+        ( "predictions",
+          Json.Arr
+            (Array.to_list (Array.map Hybrid.predictions_json predictions)) )
+      ]
+  in
+  let aux_restore j =
+    let open Json.Decode in
+    Inference.restore_state inference ~parse (field "inference" j);
+    Funnel.restore_state funnel ~parse (field "funnel" j);
+    match field "predictions" j with
+    | Json.Arr ps ->
+      if List.length ps <> Array.length predictions then
+        error "Persist.aux: snapshot has %d prediction memos, campaign has %d"
+          (List.length ps) (Array.length predictions);
+      List.iteri
+        (fun i pj -> Hybrid.restore_predictions ~parse predictions.(i) pj)
+        ps
+    | _ -> error "Persist.aux: predictions: expected array"
+  in
+  { Sp_fuzz.Campaign.aux_json; aux_restore }

@@ -405,343 +405,475 @@ let run ?(trace = Trace.disabled) ?timeseries ?ts_extra vm
   }
 
 (* ------------------------------------------------------------------ *)
-(* Parallel executor                                                    *)
+(* Parallel executor: campaign instances                                *)
 (* ------------------------------------------------------------------ *)
 
-(* [run_parallel] shards the campaign across [jobs] domains. Shards fuzz
-   independently between snapshot barriers, against private copies of the
-   barrier-frozen global corpus and accumulator; at each barrier the main
-   domain folds every shard's epoch results into the global state in
-   shard order (0..jobs-1). Each shard's epoch is a pure function of the
-   frozen global snapshot and its own RNG stream, and the merge order is
-   fixed, so the whole run is bit-for-bit reproducible given
-   (config.seed, jobs) — thread scheduling can change wall-clock time,
-   never the report. *)
-let run_sharded ?snapshot_dir ?restore ?(on_barrier = fun ~now:_ -> ())
-    ?(trace = Trace.disabled) ?timeseries ?ts_extra ~jobs ~vm_for ~strategy_for
-    config =
+(* A parallel campaign is an [instance]: the merged global state plus the
+   shard array, stepped one barrier slice at a time against a worker pool
+   the caller owns. [run_parallel] drives one instance to completion over
+   a private pool; the multi-tenant {!Scheduler} interleaves slices of
+   many instances over one shared pool. Shards fuzz independently between
+   snapshot barriers, against private copies of the barrier-frozen global
+   corpus and accumulator; at each barrier the main domain folds every
+   shard's epoch results into the global state in shard order
+   (0..jobs-1). Each shard's epoch is a pure function of the frozen
+   global snapshot and its own RNG stream, and the merge order is fixed,
+   so the whole run is bit-for-bit reproducible given
+   (config.seed, jobs) — thread scheduling (and, for the scheduler,
+   slice interleaving) can change wall-clock time, never the report. *)
+
+type aux = {
+  aux_json : unit -> Json.t;
+  aux_restore : Json.t -> unit;
+}
+
+type instance = {
+  i_config : config;
+  i_jobs : int;
+  i_shards : Shard.t array;
+  i_corpus : Corpus.t;
+  i_accum : Accum.t;
+  i_triage : Triage.t;
+  i_metrics : Metrics.t;
+  i_tracer : Tracer.t;  (* the instance's main-domain lane *)
+  i_sampler : sampler;
+  i_merge_rng : Rng.t;
+  i_origin_stats : (string, int * int) Hashtbl.t;
+  i_on_barrier : now:float -> unit;
+  i_snapshot_dir : string option;
+  i_aux : aux option;
+  mutable i_series_rev : snapshot list;
+  mutable i_next_snapshot : float;
+  mutable i_crash_count : int;
+  mutable i_target_hit_at : float option;
+  mutable i_barrier : int;
+  mutable i_stopped : bool;
+}
+
+type slice = {
+  sl_now : float;
+  sl_handles : Shard.epoch Pool.handle array;
+}
+
+let create_instance ?snapshot_dir ?restore ?(on_barrier = fun ~now:_ -> ())
+    ?(trace = Trace.disabled) ?timeseries ?ts_extra ?aux ?(pid_base = 0)
+    ?label ~jobs ~vm_for ~strategy_for config =
   if jobs < 1 then invalid_arg "Campaign.run_parallel: jobs must be >= 1";
   if config.snapshot_every <= 0.0 then
     invalid_arg "Campaign.run_parallel: snapshot_every must be positive";
-  begin
-    let metrics = Metrics.create () in
-    (* Tracer handouts happen here, on the main domain, before any worker
-       exists; each shard/worker then owns its tracer exclusively. *)
-    let main_tracer = Trace.tracer trace ~pid:0 ~name:"campaign-main" in
-    let sampler = make_sampler ?timeseries ?ts_extra () in
-    let root_rng = Rng.create config.seed in
-    (* Named splits do not advance the parent, so shard streams and the
-       merge stream are independent of jobs ordering and of each other. *)
-    let merge_rng = Rng.split_named root_rng "merge" in
-    let shards =
-      Array.init jobs (fun s ->
-          let seeds =
-            List.filteri (fun i _ -> i mod jobs = s) config.seed_corpus
-          in
-          Shard.create
-            ~tracer:
-              (Trace.tracer trace ~pid:(1 + s)
-                 ~name:(Printf.sprintf "shard-%d" s))
-            ~id:s ~vm:(vm_for s) ~strategy:(strategy_for s)
-            ~rng:(Rng.split_named root_rng (Printf.sprintf "shard-%d" s))
-            ~seeds ())
-    in
-    let kernel = Vm.kernel (Shard.vm shards.(0)) in
-    let dist_to_target =
-      match config.target with
-      | Some b -> Sp_cfg.Cfg.distances_to (Kernel.cfg kernel) b
-      | None -> [||]
-    in
-    let entry_distance (entry : Corpus.entry) =
-      Bitset.fold
-        (fun b acc -> min acc dist_to_target.(b))
-        entry.Corpus.blocks max_int
-    in
-    let corpus =
-      Corpus.create
-        ?distance:(if config.target = None then None else Some entry_distance)
-        ()
-    in
-    let num_blocks = Kernel.num_blocks kernel in
-    let num_edges = Sp_cfg.Cfg.num_edges (Kernel.cfg kernel) in
-    let accum =
-      match restore with
-      | None -> Accum.create ~num_blocks ~num_edges
-      | Some snap ->
-        let a = Accum.of_json (Json.Decode.field "accum" snap) in
-        if Accum.capacities a <> (num_blocks, num_edges) then
-          Json.Decode.error
-            "snapshot accumulator capacities do not match the kernel";
-        a
-    in
-    let triage = Triage.create kernel in
-    let origin_stats = Hashtbl.create 16 in
-    let series_rev = ref [] in
-    let next_snapshot = ref config.snapshot_every in
-    let crash_count = ref 0 in
-    let target_hit_at = ref None in
-    let parse = Parser.program (Kernel.spec_db kernel) in
-    let barrier0 = ref 0 in
-    let stopped0 = ref false in
-    (* Restore the merged global state and each shard's private stream
-       state from a barrier snapshot. Everything below is exactly the
-       state the uninterrupted run held at that barrier, so the loop
-       continues bit-for-bit. *)
-    (match restore with
-    | None -> ()
+  let metrics = Metrics.create () in
+  (* Tracer handouts happen here, on the main domain, before any worker
+     exists; each shard then owns its tracer exclusively. *)
+  let lane suffix =
+    match label with None -> suffix | Some l -> l ^ "-" ^ suffix
+  in
+  let main_tracer =
+    Trace.tracer trace ~pid:pid_base ~name:(lane "campaign-main")
+  in
+  let sampler = make_sampler ?timeseries ?ts_extra () in
+  let root_rng = Rng.create config.seed in
+  (* Named splits do not advance the parent, so shard streams and the
+     merge stream are independent of jobs ordering and of each other. *)
+  let merge_rng = Rng.split_named root_rng "merge" in
+  let shards =
+    Array.init jobs (fun s ->
+        let seeds =
+          List.filteri (fun i _ -> i mod jobs = s) config.seed_corpus
+        in
+        Shard.create
+          ~tracer:
+            (Trace.tracer trace ~pid:(pid_base + 1 + s)
+               ~name:(lane (Printf.sprintf "shard-%d" s)))
+          ~id:s ~vm:(vm_for s) ~strategy:(strategy_for s)
+          ~rng:(Rng.split_named root_rng (Printf.sprintf "shard-%d" s))
+          ~seeds ())
+  in
+  let kernel = Vm.kernel (Shard.vm shards.(0)) in
+  let dist_to_target =
+    match config.target with
+    | Some b -> Sp_cfg.Cfg.distances_to (Kernel.cfg kernel) b
+    | None -> [||]
+  in
+  let entry_distance (entry : Corpus.entry) =
+    Bitset.fold
+      (fun b acc -> min acc dist_to_target.(b))
+      entry.Corpus.blocks max_int
+  in
+  let corpus =
+    Corpus.create
+      ?distance:(if config.target = None then None else Some entry_distance)
+      ()
+  in
+  let num_blocks = Kernel.num_blocks kernel in
+  let num_edges = Sp_cfg.Cfg.num_edges (Kernel.cfg kernel) in
+  let accum =
+    match restore with
+    | None -> Accum.create ~num_blocks ~num_edges
     | Some snap ->
-      let open Json.Decode in
-      Rng.set_state merge_rng (int64_field "merge_rng" snap);
-      List.iter
-        (fun e -> ignore (Corpus.add corpus e))
-        (Snapshot.corpus_entries_of_json ~parse (field "corpus" snap));
-      Triage.restore_state triage
-        ~bug_of_id:(fun id ->
-          Array.find_opt (fun b -> b.Bug.id = id) (Kernel.bugs kernel))
-        ~parse (field "triage" snap);
-      crash_count := List.length (Triage.all_found triage);
-      target_hit_at := opt_time_of_json "target_hit_at" snap;
-      next_snapshot := num_field "next_snapshot" snap;
-      series_rev := List.rev_map row_of_json (arr_field "series" snap);
-      (match !series_rev with
-      | last :: _ ->
-        sampler.sm_prev_time <- last.s_time;
-        sampler.sm_prev_execs <- last.s_execs
-      | [] -> ());
-      List.iter
-        (fun (o, v) -> Hashtbl.replace origin_stats o v)
-        (origin_stats_of_json (field "origin_stats" snap));
-      let shard_states = arr_field "shards" snap in
-      if List.length shard_states <> jobs then
-        error "snapshot has %d shards, resuming with jobs=%d"
-          (List.length shard_states) jobs;
-      List.iteri (fun i sj -> Shard.restore_state shards.(i) ~parse sj) shard_states;
-      barrier0 := int_field "barrier" snap;
-      stopped0 := bool_field "stopped" snap);
-    let snapshot_doc ~stopped ~barrier =
-      Json.Obj
-        [ ("format", Json.Str "snowplow-campaign-snapshot");
-          ("version", Json.Num (float_of_int Snapshot.format_version));
-          ( "config",
-            Json.Obj
-              [ ("seed", Json.Num (float_of_int config.seed));
-                ("jobs", Json.Num (float_of_int jobs));
-                ("duration", Json.Num config.duration);
-                ("snapshot_every", Json.Num config.snapshot_every);
-                ("attempt_repro", Json.Bool config.attempt_repro);
-                ( "target",
-                  match config.target with
-                  | None -> Json.Null
-                  | Some b -> Json.Num (float_of_int b) )
-              ] );
-          ("barrier", Json.Num (float_of_int barrier));
-          ("next_snapshot", Json.Num !next_snapshot);
-          ("stopped", Json.Bool stopped);
-          ("target_hit_at", opt_time_to_json !target_hit_at);
-          ("series", Json.Arr (List.rev_map row_to_json !series_rev));
-          ( "origin_stats",
-            origin_stats_to_json
-              (Hashtbl.fold (fun k v acc -> (k, v) :: acc) origin_stats []
-              |> List.sort compare) );
-          ("merge_rng", Json.Decode.int64_to_json (Rng.state merge_rng));
-          ("corpus", Snapshot.corpus_to_json corpus);
-          ("accum", Accum.to_json accum);
-          ("triage", Triage.state_json triage);
-          ( "shards",
-            Json.Arr (Array.to_list (Array.map Shard.state_json shards)) )
-        ]
-    in
-    let total_execs () =
-      Array.fold_left (fun acc sh -> acc + Vm.executions (Shard.vm sh)) 0 shards
-    in
-    let take_snapshots now =
-      while now >= !next_snapshot -. 1e-9 && !next_snapshot <= config.duration do
-        let s_blocks = Accum.blocks_covered accum in
-        let s_edges = Accum.edges_covered accum in
-        let s_execs = total_execs () in
-        series_rev :=
-          {
-            s_time = !next_snapshot;
-            s_blocks;
-            s_edges;
-            s_crashes = !crash_count;
-            s_execs;
-          }
-          :: !series_rev;
-        (* Sampled after the shard-order merge, from merged global state
-           only: the timeseries stays bit-for-bit reproducible. *)
-        sample_row sampler ~time:!next_snapshot ~blocks:s_blocks
-          ~edges:s_edges ~crashes:!crash_count ~execs:s_execs
-          ~corpus_size:(Corpus.size corpus);
-        Tracer.instant main_tracer "campaign.snapshot";
-        Tracer.counter main_tracer "edges" (float_of_int s_edges);
-        next_snapshot := !next_snapshot +. config.snapshot_every
-      done
-    in
-    let merge_epoch (ep : Shard.epoch) =
-      (* Admissions first, re-judged against the evolving global
-         accumulator: an entry enters the global corpus only if it still
-         contributes coverage no earlier shard (or barrier) already has. *)
-      List.iter
-        (fun (entry : Corpus.entry) ->
-          let delta =
-            Accum.add accum ~blocks:entry.Corpus.blocks ~edges:entry.Corpus.edges
-          in
-          if delta.Accum.new_blocks > 0 || delta.Accum.new_edges > 0 then
-            if Corpus.add corpus entry then
-              Metrics.incr metrics "campaign.corpus_adds")
-        ep.Shard.ep_admissions;
-      (* Then the rest of the epoch's coverage (crashing and non-novel
-         executions contribute coverage without corpus entries). *)
-      ignore (Accum.add accum ~blocks:ep.Shard.ep_blocks ~edges:ep.Shard.ep_edges);
-      List.iter
-        (fun (ce : Shard.crash_event) ->
-          match
-            Triage.record ~attempt_repro:config.attempt_repro triage merge_rng
-              ~vm:(Shard.vm shards.(ep.Shard.ep_shard))
-              ~now:ce.Shard.ce_time ce.Shard.ce_crash ce.Shard.ce_prog
-          with
-          | Some _ ->
-            incr crash_count;
-            Metrics.incr metrics "campaign.crashes"
-          | None -> ())
-        ep.Shard.ep_crashes;
-      List.iter
-        (fun (origin, (execs, new_edges)) ->
-          let e0, n0 =
-            Option.value ~default:(0, 0) (Hashtbl.find_opt origin_stats origin)
-          in
-          Hashtbl.replace origin_stats origin (e0 + execs, n0 + new_edges))
-        ep.Shard.ep_origin
-    in
-    let pool_metrics = Metrics.create () in
-    let report =
-      Pool.with_pool ~metrics:pool_metrics
-        ~tracer_for:(fun i ->
-          Trace.tracer trace ~pid:(1001 + i)
-            ~name:(Printf.sprintf "pool-worker-%d" i))
-        ~workers:jobs
-        (fun pool ->
-          let stop = ref !stopped0 in
-          let barrier = ref !barrier0 in
-          while not !stop do
-            incr barrier;
-            let now =
-              Float.min config.duration
-                (float_of_int !barrier *. config.snapshot_every)
-            in
-            Metrics.incr metrics "campaign.barriers";
-            Tracer.begin_span main_tracer "campaign.barrier";
-            let epochs =
-              Pool.run_all pool
-                (Array.to_list
-                   (Array.map
-                      (fun sh () ->
-                        Shard.run_epoch sh ~corpus ~accum ~target:config.target
-                          ~until:now)
-                      shards))
-            in
-            let epochs =
-              List.map
-                (function Ok ep -> ep | Error e -> raise e)
-                epochs
-            in
-            (* Fold in shard order — the whole determinism story. *)
-            Tracer.span main_tracer "campaign.merge" (fun () ->
-                List.iter merge_epoch epochs);
-            (* First barrier that observed the target wins; among shards
-               of one barrier, the earliest shard-local hit time. *)
-            (match config.target with
-            | Some _ when !target_hit_at = None ->
-              List.iter
-                (fun (ep : Shard.epoch) ->
-                  match ep.Shard.ep_target_hit_at with
-                  | Some at ->
-                    target_hit_at :=
-                      Some
-                        (match !target_hit_at with
-                        | None -> at
-                        | Some best -> Float.min best at)
-                  | None -> ())
-                epochs
-            | Some _ | None -> ());
-            on_barrier ~now;
-            take_snapshots now;
-            let all_idle =
-              List.for_all (fun (ep : Shard.epoch) -> ep.Shard.ep_idle) epochs
-            in
-            if
-              now >= config.duration
-              || (config.target <> None && !target_hit_at <> None)
-              || all_idle
-            then stop := true;
-            (* Persist the merged state after the stop decision, so the
-               snapshot carries it: resuming from a final snapshot goes
-               straight to report assembly instead of re-entering the
-               loop. *)
-            (match snapshot_dir with
-            | Some dir ->
-              ignore
-                (Snapshot.write ~dir ~barrier:!barrier
-                   (snapshot_doc ~stopped:!stop ~barrier:!barrier))
-            | None -> ());
-            Tracer.end_span main_tracer "campaign.barrier"
-          done;
-          (* Close the series grid out to the configured duration, exactly
-             like the sequential executor does on early exit. *)
-          take_snapshots config.duration;
-          let needs_final =
-            match !series_rev with
-            | last :: _ -> last.s_time < config.duration
-            | [] -> true
-          in
-          if needs_final then begin
-            let s_blocks = Accum.blocks_covered accum in
-            let s_edges = Accum.edges_covered accum in
-            let s_execs = total_execs () in
-            series_rev :=
-              {
-                s_time = config.duration;
-                s_blocks;
-                s_edges;
-                s_crashes = !crash_count;
-                s_execs;
-              }
-              :: !series_rev;
-            sample_row sampler ~time:config.duration ~blocks:s_blocks
-              ~edges:s_edges ~crashes:!crash_count ~execs:s_execs
-              ~corpus_size:(Corpus.size corpus)
-          end;
-          {
-            series = List.rev !series_rev;
-            final_blocks = Accum.blocks_covered accum;
-            final_edges = Accum.edges_covered accum;
-            crashes = Triage.all_found triage;
-            new_crashes = Triage.new_crashes triage;
-            known_crashes = Triage.known_crashes triage;
-            executions = total_execs ();
-            corpus_size = Corpus.size corpus;
-            target_hit_at = !target_hit_at;
-            origin_stats =
-              Hashtbl.fold (fun k v acc -> (k, v) :: acc) origin_stats []
-              |> List.sort compare;
-            corpus;
-            covered_blocks = Accum.snapshot_blocks accum;
-            metrics;
-          })
-    in
-    (* Fold per-shard registries (loop + vm counters) and the pool's own
-       registry into the report's, in shard order; the workers are parked
-       by now, so no registry is written concurrently. *)
-    Array.iter
-      (fun sh -> Metrics.merge_into ~dst:metrics (Shard.metrics sh))
-      shards;
-    Metrics.merge_into ~dst:metrics pool_metrics;
-    report
-  end
+      let a = Accum.of_json (Json.Decode.field "accum" snap) in
+      if Accum.capacities a <> (num_blocks, num_edges) then
+        Json.Decode.error
+          "snapshot accumulator capacities do not match the kernel";
+      a
+  in
+  let inst =
+    {
+      i_config = config;
+      i_jobs = jobs;
+      i_shards = shards;
+      i_corpus = corpus;
+      i_accum = accum;
+      i_triage = Triage.create kernel;
+      i_metrics = metrics;
+      i_tracer = main_tracer;
+      i_sampler = sampler;
+      i_merge_rng = merge_rng;
+      i_origin_stats = Hashtbl.create 16;
+      i_on_barrier = on_barrier;
+      i_snapshot_dir = snapshot_dir;
+      i_aux = aux;
+      i_series_rev = [];
+      i_next_snapshot = config.snapshot_every;
+      i_crash_count = 0;
+      i_target_hit_at = None;
+      i_barrier = 0;
+      i_stopped = false;
+    }
+  in
+  let parse = Parser.program (Kernel.spec_db kernel) in
+  (* Restore the merged global state and each shard's private stream
+     state from a barrier snapshot. Everything below is exactly the
+     state the uninterrupted run held at that barrier, so the loop
+     continues bit-for-bit. *)
+  (match restore with
+  | None -> ()
+  | Some snap ->
+    let open Json.Decode in
+    Rng.set_state merge_rng (int64_field "merge_rng" snap);
+    List.iter
+      (fun e -> ignore (Corpus.add corpus e))
+      (Snapshot.corpus_entries_of_json ~parse (field "corpus" snap));
+    Triage.restore_state inst.i_triage
+      ~bug_of_id:(fun id ->
+        Array.find_opt (fun b -> b.Bug.id = id) (Kernel.bugs kernel))
+      ~parse (field "triage" snap);
+    inst.i_crash_count <- List.length (Triage.all_found inst.i_triage);
+    inst.i_target_hit_at <- opt_time_of_json "target_hit_at" snap;
+    inst.i_next_snapshot <- num_field "next_snapshot" snap;
+    inst.i_series_rev <- List.rev_map row_of_json (arr_field "series" snap);
+    (match inst.i_series_rev with
+    | last :: _ ->
+      sampler.sm_prev_time <- last.s_time;
+      sampler.sm_prev_execs <- last.s_execs
+    | [] -> ());
+    List.iter
+      (fun (o, v) -> Hashtbl.replace inst.i_origin_stats o v)
+      (origin_stats_of_json (field "origin_stats" snap));
+    let shard_states = arr_field "shards" snap in
+    if List.length shard_states <> jobs then
+      error "snapshot has %d shards, resuming with jobs=%d"
+        (List.length shard_states) jobs;
+    List.iteri (fun i sj -> Shard.restore_state shards.(i) ~parse sj) shard_states;
+    (* Strategy-side state (inference/funnel/prediction caches) rides in
+       the snapshot's [aux] field; a caller that supplies an [aux] hook
+       gets it back, others ignore it. *)
+    (match (aux, Json.member "aux" snap) with
+    | Some a, Some (Json.Obj _ as j) -> a.aux_restore j
+    | Some _, (Some Json.Null | None) -> ()
+    | Some _, Some _ -> error "snapshot aux: expected object or null"
+    | None, _ -> ());
+    inst.i_barrier <- int_field "barrier" snap;
+    inst.i_stopped <- bool_field "stopped" snap);
+  inst
+
+let instance_stopped inst = inst.i_stopped
+
+let instance_barrier inst = inst.i_barrier
+
+let instance_jobs inst = inst.i_jobs
+
+let instance_executions inst =
+  Array.fold_left
+    (fun acc sh -> acc + Vm.executions (Shard.vm sh))
+    0 inst.i_shards
+
+(* Virtual time the next slice will run up to — the stride scheduler's
+   per-tenant virtual clock. *)
+let instance_next_time inst =
+  Float.min inst.i_config.duration
+    (float_of_int (inst.i_barrier + 1) *. inst.i_config.snapshot_every)
+
+let snapshot_doc inst ~stopped ~barrier =
+  let config = inst.i_config in
+  Json.Obj
+    [ ("format", Json.Str "snowplow-campaign-snapshot");
+      ("version", Json.Num (float_of_int Snapshot.format_version));
+      ( "config",
+        Json.Obj
+          [ ("seed", Json.Num (float_of_int config.seed));
+            ("jobs", Json.Num (float_of_int inst.i_jobs));
+            ("duration", Json.Num config.duration);
+            ("snapshot_every", Json.Num config.snapshot_every);
+            ("attempt_repro", Json.Bool config.attempt_repro);
+            ( "target",
+              match config.target with
+              | None -> Json.Null
+              | Some b -> Json.Num (float_of_int b) )
+          ] );
+      ("barrier", Json.Num (float_of_int barrier));
+      ("next_snapshot", Json.Num inst.i_next_snapshot);
+      ("stopped", Json.Bool stopped);
+      ("target_hit_at", opt_time_to_json inst.i_target_hit_at);
+      ("series", Json.Arr (List.rev_map row_to_json inst.i_series_rev));
+      ( "origin_stats",
+        origin_stats_to_json
+          (Hashtbl.fold (fun k v acc -> (k, v) :: acc) inst.i_origin_stats []
+          |> List.sort compare) );
+      ("merge_rng", Json.Decode.int64_to_json (Rng.state inst.i_merge_rng));
+      ("corpus", Snapshot.corpus_to_json inst.i_corpus);
+      ("accum", Accum.to_json inst.i_accum);
+      ("triage", Triage.state_json inst.i_triage);
+      ( "shards",
+        Json.Arr (Array.to_list (Array.map Shard.state_json inst.i_shards)) );
+      ( "aux",
+        match inst.i_aux with None -> Json.Null | Some a -> a.aux_json () )
+    ]
+
+let take_instance_snapshots inst now =
+  let config = inst.i_config in
+  while
+    now >= inst.i_next_snapshot -. 1e-9
+    && inst.i_next_snapshot <= config.duration
+  do
+    let s_blocks = Accum.blocks_covered inst.i_accum in
+    let s_edges = Accum.edges_covered inst.i_accum in
+    let s_execs = instance_executions inst in
+    inst.i_series_rev <-
+      {
+        s_time = inst.i_next_snapshot;
+        s_blocks;
+        s_edges;
+        s_crashes = inst.i_crash_count;
+        s_execs;
+      }
+      :: inst.i_series_rev;
+    (* Sampled after the shard-order merge, from merged global state
+       only: the timeseries stays bit-for-bit reproducible. *)
+    sample_row inst.i_sampler ~time:inst.i_next_snapshot ~blocks:s_blocks
+      ~edges:s_edges ~crashes:inst.i_crash_count ~execs:s_execs
+      ~corpus_size:(Corpus.size inst.i_corpus);
+    Tracer.instant inst.i_tracer "campaign.snapshot";
+    Tracer.counter inst.i_tracer "edges" (float_of_int s_edges);
+    inst.i_next_snapshot <- inst.i_next_snapshot +. config.snapshot_every
+  done
+
+let merge_epoch inst (ep : Shard.epoch) =
+  (* Admissions first, re-judged against the evolving global
+     accumulator: an entry enters the global corpus only if it still
+     contributes coverage no earlier shard (or barrier) already has. *)
+  List.iter
+    (fun (entry : Corpus.entry) ->
+      let delta =
+        Accum.add inst.i_accum ~blocks:entry.Corpus.blocks
+          ~edges:entry.Corpus.edges
+      in
+      if delta.Accum.new_blocks > 0 || delta.Accum.new_edges > 0 then
+        if Corpus.add inst.i_corpus entry then
+          Metrics.incr inst.i_metrics "campaign.corpus_adds")
+    ep.Shard.ep_admissions;
+  (* Then the rest of the epoch's coverage (crashing and non-novel
+     executions contribute coverage without corpus entries). *)
+  ignore
+    (Accum.add inst.i_accum ~blocks:ep.Shard.ep_blocks
+       ~edges:ep.Shard.ep_edges);
+  List.iter
+    (fun (ce : Shard.crash_event) ->
+      match
+        Triage.record ~attempt_repro:inst.i_config.attempt_repro inst.i_triage
+          inst.i_merge_rng
+          ~vm:(Shard.vm inst.i_shards.(ep.Shard.ep_shard))
+          ~now:ce.Shard.ce_time ce.Shard.ce_crash ce.Shard.ce_prog
+      with
+      | Some _ ->
+        inst.i_crash_count <- inst.i_crash_count + 1;
+        Metrics.incr inst.i_metrics "campaign.crashes"
+      | None -> ())
+    ep.Shard.ep_crashes;
+  List.iter
+    (fun (origin, (execs, new_edges)) ->
+      let e0, n0 =
+        Option.value ~default:(0, 0)
+          (Hashtbl.find_opt inst.i_origin_stats origin)
+      in
+      Hashtbl.replace inst.i_origin_stats origin (e0 + execs, n0 + new_edges))
+    ep.Shard.ep_origin
+
+(* Submit one barrier slice (all shards' next epoch) to [pool]. The
+   instance is in-slice until {!complete_slice} folds the results back —
+   interleaving other instances' slices in between is what the scheduler
+   does, and it cannot affect this instance's state: the epochs already
+   hold their frozen inputs.
+
+   [max_execs] caps the slice's total VM executions; the cap is dealt
+   across shards as evenly as possible (floor per shard, remainder to
+   the lowest shard ids) so the split — like everything else — is a pure
+   function of (cap, jobs). *)
+let begin_slice inst ~pool ?max_execs () =
+  if inst.i_stopped then invalid_arg "Campaign.begin_slice: instance stopped";
+  inst.i_barrier <- inst.i_barrier + 1;
+  let now =
+    Float.min inst.i_config.duration
+      (float_of_int inst.i_barrier *. inst.i_config.snapshot_every)
+  in
+  Metrics.incr inst.i_metrics "campaign.barriers";
+  Tracer.begin_span inst.i_tracer "campaign.barrier";
+  let cap_for s =
+    match max_execs with
+    | None -> None
+    | Some c ->
+      let base = c / inst.i_jobs and rem = c mod inst.i_jobs in
+      Some (base + if s < rem then 1 else 0)
+  in
+  let handles =
+    Array.map
+      (fun sh ->
+        Pool.submit pool (fun () ->
+            Shard.run_epoch sh
+              ?max_execs:(cap_for (Shard.id sh))
+              ~corpus:inst.i_corpus ~accum:inst.i_accum
+              ~target:inst.i_config.target ~until:now ()))
+      inst.i_shards
+  in
+  { sl_now = now; sl_handles = handles }
+
+let complete_slice inst slice =
+  let config = inst.i_config in
+  let now = slice.sl_now in
+  let epochs =
+    Metrics.time_wall inst.i_metrics "pool.barrier_wait_s" (fun () ->
+        Array.to_list
+          (Array.map
+             (fun h ->
+               match Pool.await h with Ok ep -> ep | Error e -> raise e)
+             slice.sl_handles))
+  in
+  (* Fold in shard order — the whole determinism story. *)
+  Tracer.span inst.i_tracer "campaign.merge" (fun () ->
+      List.iter (merge_epoch inst) epochs);
+  (* First barrier that observed the target wins; among shards of one
+     barrier, the earliest shard-local hit time. *)
+  (match config.target with
+  | Some _ when inst.i_target_hit_at = None ->
+    List.iter
+      (fun (ep : Shard.epoch) ->
+        match ep.Shard.ep_target_hit_at with
+        | Some at ->
+          inst.i_target_hit_at <-
+            Some
+              (match inst.i_target_hit_at with
+              | None -> at
+              | Some best -> Float.min best at)
+        | None -> ())
+      epochs
+  | Some _ | None -> ());
+  inst.i_on_barrier ~now;
+  take_instance_snapshots inst now;
+  let all_idle =
+    List.for_all (fun (ep : Shard.epoch) -> ep.Shard.ep_idle) epochs
+  in
+  if
+    now >= config.duration
+    || (config.target <> None && inst.i_target_hit_at <> None)
+    || all_idle
+  then inst.i_stopped <- true;
+  (* Persist the merged state after the stop decision, so the snapshot
+     carries it: resuming from a final snapshot goes straight to report
+     assembly instead of re-entering the loop. *)
+  (match inst.i_snapshot_dir with
+  | Some dir ->
+    ignore
+      (Snapshot.write ~dir ~barrier:inst.i_barrier
+         (snapshot_doc inst ~stopped:inst.i_stopped ~barrier:inst.i_barrier))
+  | None -> ());
+  Tracer.end_span inst.i_tracer "campaign.barrier"
+
+let step_instance inst ~pool ?max_execs () =
+  complete_slice inst (begin_slice inst ~pool ?max_execs ())
+
+let finish_instance inst =
+  let config = inst.i_config in
+  (* Close the series grid out to the configured duration, exactly like
+     the sequential executor does on early exit. *)
+  take_instance_snapshots inst config.duration;
+  let needs_final =
+    match inst.i_series_rev with
+    | last :: _ -> last.s_time < config.duration
+    | [] -> true
+  in
+  if needs_final then begin
+    let s_blocks = Accum.blocks_covered inst.i_accum in
+    let s_edges = Accum.edges_covered inst.i_accum in
+    let s_execs = instance_executions inst in
+    inst.i_series_rev <-
+      {
+        s_time = config.duration;
+        s_blocks;
+        s_edges;
+        s_crashes = inst.i_crash_count;
+        s_execs;
+      }
+      :: inst.i_series_rev;
+    sample_row inst.i_sampler ~time:config.duration ~blocks:s_blocks
+      ~edges:s_edges ~crashes:inst.i_crash_count ~execs:s_execs
+      ~corpus_size:(Corpus.size inst.i_corpus)
+  end;
+  (* Fold per-shard registries (loop + vm counters) into the report's,
+     in shard order; no slice is in flight, so no registry is written
+     concurrently. *)
+  Array.iter
+    (fun sh -> Metrics.merge_into ~dst:inst.i_metrics (Shard.metrics sh))
+    inst.i_shards;
+  {
+    series = List.rev inst.i_series_rev;
+    final_blocks = Accum.blocks_covered inst.i_accum;
+    final_edges = Accum.edges_covered inst.i_accum;
+    crashes = Triage.all_found inst.i_triage;
+    new_crashes = Triage.new_crashes inst.i_triage;
+    known_crashes = Triage.known_crashes inst.i_triage;
+    executions = instance_executions inst;
+    corpus_size = Corpus.size inst.i_corpus;
+    target_hit_at = inst.i_target_hit_at;
+    origin_stats =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) inst.i_origin_stats []
+      |> List.sort compare;
+    corpus = inst.i_corpus;
+    covered_blocks = Accum.snapshot_blocks inst.i_accum;
+    metrics = inst.i_metrics;
+  }
+
+let run_sharded ?snapshot_dir ?restore ?on_barrier ?(trace = Trace.disabled)
+    ?timeseries ?ts_extra ?aux ~jobs ~vm_for ~strategy_for config =
+  let inst =
+    create_instance ?snapshot_dir ?restore ?on_barrier ~trace ?timeseries
+      ?ts_extra ?aux ~jobs ~vm_for ~strategy_for config
+  in
+  let pool_metrics = Metrics.create () in
+  Pool.with_pool ~metrics:pool_metrics
+    ~tracer_for:(fun i ->
+      Trace.tracer trace ~pid:(1001 + i)
+        ~name:(Printf.sprintf "pool-worker-%d" i))
+    ~workers:jobs
+    (fun pool ->
+      while not inst.i_stopped do
+        step_instance inst ~pool ()
+      done);
+  let report = finish_instance inst in
+  (* The pool's registry merges after shutdown: workers are joined. *)
+  Metrics.merge_into ~dst:report.metrics pool_metrics;
+  report
 
 let run_parallel ?on_barrier ?(trace = Trace.disabled) ?timeseries ?ts_extra
-    ?snapshot_dir ~jobs ~vm_for ~strategy_for config =
+    ?snapshot_dir ?aux ~jobs ~vm_for ~strategy_for config =
   if jobs < 1 then invalid_arg "Campaign.run_parallel: jobs must be >= 1";
   if config.snapshot_every <= 0.0 then
     invalid_arg "Campaign.run_parallel: snapshot_every must be positive";
@@ -751,35 +883,39 @@ let run_parallel ?on_barrier ?(trace = Trace.disabled) ?timeseries ?ts_extra
   if jobs = 1 && snapshot_dir = None then
     run ~trace ?timeseries ?ts_extra (vm_for 0) (strategy_for 0) config
   else
-    run_sharded ?snapshot_dir ?on_barrier ~trace ?timeseries ?ts_extra ~jobs
-      ~vm_for ~strategy_for config
+    run_sharded ?snapshot_dir ?on_barrier ~trace ?timeseries ?ts_extra ?aux
+      ~jobs ~vm_for ~strategy_for config
+
+(* Raises [Json.Decode.Error]; callers wrap in [Json.Decode.run]. *)
+let validate_snapshot ~snapshot ~jobs config =
+  let open Json.Decode in
+  (match Json.member "format" snapshot with
+  | Some (Json.Str "snowplow-campaign-snapshot") -> ()
+  | _ -> error "not a campaign snapshot (missing or wrong \"format\")");
+  let v = int_field "version" snapshot in
+  if v <> Snapshot.format_version then
+    error "snapshot format version %d, this build reads %d" v
+      Snapshot.format_version;
+  let c = field "config" snapshot in
+  let mismatch what = error "snapshot config mismatch: %s differs" what in
+  if int_field "seed" c <> config.seed then mismatch "seed";
+  if int_field "jobs" c <> jobs then mismatch "jobs";
+  if num_field "duration" c <> config.duration then mismatch "duration";
+  if num_field "snapshot_every" c <> config.snapshot_every then
+    mismatch "snapshot_every";
+  if bool_field "attempt_repro" c <> config.attempt_repro then
+    mismatch "attempt_repro";
+  match (field "target" c, config.target) with
+  | Json.Null, None -> ()
+  | Json.Num f, Some b when Float.is_integer f && int_of_float f = b -> ()
+  | _ -> mismatch "target"
 
 let resume ?on_barrier ?(trace = Trace.disabled) ?timeseries ?ts_extra
-    ?snapshot_dir ~snapshot ~jobs ~vm_for ~strategy_for config =
+    ?snapshot_dir ?aux ~snapshot ~jobs ~vm_for ~strategy_for config =
   Json.Decode.run (fun () ->
-      let open Json.Decode in
-      (match Json.member "format" snapshot with
-      | Some (Json.Str "snowplow-campaign-snapshot") -> ()
-      | _ -> error "not a campaign snapshot (missing or wrong \"format\")");
-      let v = int_field "version" snapshot in
-      if v <> Snapshot.format_version then
-        error "snapshot format version %d, this build reads %d" v
-          Snapshot.format_version;
-      let c = field "config" snapshot in
-      let mismatch what = error "snapshot config mismatch: %s differs" what in
-      if int_field "seed" c <> config.seed then mismatch "seed";
-      if int_field "jobs" c <> jobs then mismatch "jobs";
-      if num_field "duration" c <> config.duration then mismatch "duration";
-      if num_field "snapshot_every" c <> config.snapshot_every then
-        mismatch "snapshot_every";
-      if bool_field "attempt_repro" c <> config.attempt_repro then
-        mismatch "attempt_repro";
-      (match (field "target" c, config.target) with
-      | Json.Null, None -> ()
-      | Json.Num f, Some b when Float.is_integer f && int_of_float f = b -> ()
-      | _ -> mismatch "target");
+      validate_snapshot ~snapshot ~jobs config;
       run_sharded ~restore:snapshot ?snapshot_dir ?on_barrier ~trace
-        ?timeseries ?ts_extra ~jobs ~vm_for ~strategy_for config)
+        ?timeseries ?ts_extra ?aux ~jobs ~vm_for ~strategy_for config)
 
 let coverage_at report time =
   let rec go last = function

@@ -74,12 +74,25 @@ val run :
     carries wall-clock timestamps and is explicitly {e not} part of that
     determinism contract. *)
 
+type aux = {
+  aux_json : unit -> Sp_obs.Json.t;
+  aux_restore : Sp_obs.Json.t -> unit;
+}
+(** Strategy-side state that rides along in barrier snapshots — the hook
+    the snowplow layer uses to persist its inference service, funnel and
+    prediction caches (see [Snowplow.Persist]). [aux_json] is called
+    after every barrier merge, at quiescence (no epoch in flight);
+    [aux_restore] is called once during {!resume} with the snapshot's
+    [aux] field (when it is not [Null]). Campaigns without an [aux]
+    write [Null] and ignore the field on restore. *)
+
 val run_parallel :
   ?on_barrier:(now:float -> unit) ->
   ?trace:Sp_obs.Trace.t ->
   ?timeseries:Sp_obs.Timeseries.t ->
   ?ts_extra:(unit -> (string * float) list) ->
   ?snapshot_dir:string ->
+  ?aux:aux ->
   jobs:int ->
   vm_for:(int -> Vm.t) ->
   strategy_for:(int -> Strategy.t) ->
@@ -112,6 +125,7 @@ val resume :
   ?timeseries:Sp_obs.Timeseries.t ->
   ?ts_extra:(unit -> (string * float) list) ->
   ?snapshot_dir:string ->
+  ?aux:aux ->
   snapshot:Sp_obs.Json.t ->
   jobs:int ->
   vm_for:(int -> Vm.t) ->
@@ -126,12 +140,98 @@ val resume :
     [seed_corpus] is not consulted: each shard's unexecuted seed slice is
     part of the snapshot). The resumed run replays the remaining barriers
     from restored state, so its report is bit-for-bit identical
-    ({!report_json}) to the uninterrupted run's for stateless strategies
-    (syzkaller); the snowplow strategy's inference caches are not
-    persisted, so a resumed snowplow campaign is deterministic but may
-    differ from the uninterrupted run in proposal timing. Resuming from a
-    final snapshot (one whose campaign had already stopped) reassembles
-    the report without fuzzing further. *)
+    ({!report_json}) to the uninterrupted run's — for stateless
+    strategies (syzkaller) unconditionally, and for the snowplow
+    strategy when the same [aux] hook that wrote the snapshot's
+    inference/funnel/prediction caches is supplied to restore them.
+    Resuming from a final snapshot (one whose campaign had already
+    stopped) reassembles the report without fuzzing further. *)
+
+(** {2 Campaign instances}
+
+    The parallel executor, opened up: an [instance] is one campaign's
+    merged global state plus its shard array, stepped one barrier slice
+    at a time against a {!Sp_util.Pool} the {e caller} owns.
+    [run_parallel] is [create_instance] + step-until-stopped over a
+    private pool; the multi-tenant {!Scheduler} interleaves slices of
+    many instances over one shared pool. Because every slice is a pure
+    function of the instance's barrier-frozen state and the merge runs
+    on the calling domain in shard order, an instance's report is
+    bit-for-bit independent of {e when} its slices run relative to other
+    instances' — the determinism guarantee extends from (seed, jobs) to
+    (seed, jobs, schedule). *)
+
+type instance
+
+type slice
+(** One in-flight barrier slice: every shard's next epoch, submitted. *)
+
+val create_instance :
+  ?snapshot_dir:string ->
+  ?restore:Sp_obs.Json.t ->
+  ?on_barrier:(now:float -> unit) ->
+  ?trace:Sp_obs.Trace.t ->
+  ?timeseries:Sp_obs.Timeseries.t ->
+  ?ts_extra:(unit -> (string * float) list) ->
+  ?aux:aux ->
+  ?pid_base:int ->
+  ?label:string ->
+  jobs:int ->
+  vm_for:(int -> Vm.t) ->
+  strategy_for:(int -> Strategy.t) ->
+  config ->
+  instance
+(** Build the shards and merged global state (optionally from a
+    [restore] snapshot — validate it with {!validate_snapshot} first;
+    malformed input raises [Sp_obs.Json.Decode.Error]). [pid_base]
+    (default 0) offsets the instance's trace lanes — the main lane is
+    pid [pid_base], shard [s] is pid [pid_base + 1 + s] — so a scheduler
+    can give every tenant a disjoint pid range; [label] prefixes the
+    lane names. *)
+
+val begin_slice : instance -> pool:Sp_util.Pool.t -> ?max_execs:int -> unit -> slice
+(** Submit every shard's next epoch to [pool] and return without
+    waiting. [max_execs] caps the slice's total VM executions (dealt
+    evenly across shards, remainder to the lowest shard ids) — the
+    scheduler's exact budget enforcement. Raises [Invalid_argument] on a
+    stopped instance. *)
+
+val complete_slice : instance -> slice -> unit
+(** Await the slice's epochs (recording the blocked time as the
+    [pool.barrier_wait_s] summary) and fold them into the instance in
+    shard order, run the barrier hook, sample the series, decide whether
+    the campaign stops, and persist a snapshot when configured. Must run
+    on the domain that owns the instance, with slices completed in the
+    order they began. A raising epoch re-raises here. *)
+
+val step_instance : instance -> pool:Sp_util.Pool.t -> ?max_execs:int -> unit -> unit
+(** [begin_slice] + [complete_slice]. *)
+
+val finish_instance : instance -> report
+(** Close the series grid and assemble the report (merging per-shard
+    metrics). Call once, after the instance stopped — or early, to
+    report on a budget-exhausted tenant as of its last completed
+    barrier. *)
+
+val instance_stopped : instance -> bool
+
+val instance_barrier : instance -> int
+(** Completed barriers (monotone; restored by {!resume} snapshots). *)
+
+val instance_jobs : instance -> int
+
+val instance_executions : instance -> int
+(** Total VM executions across the instance's shards so far. *)
+
+val instance_next_time : instance -> float
+(** Virtual time the next slice will run up to — the stride scheduler's
+    per-tenant progress clock. *)
+
+val validate_snapshot : snapshot:Sp_obs.Json.t -> jobs:int -> config -> unit
+(** Check a snapshot document's format marker, version and config echo
+    against the launch parameters. Raises [Sp_obs.Json.Decode.Error]
+    (with a human-readable message) on any mismatch; {!resume} calls
+    this for you. *)
 
 val report_json : report -> Sp_obs.Json.t
 (** The deterministic portion of a report (everything except [metrics],

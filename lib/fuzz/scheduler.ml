@@ -1,0 +1,275 @@
+module Rng = Sp_util.Rng
+module Metrics = Sp_util.Metrics
+module Pool = Sp_util.Pool
+module Trace = Sp_obs.Trace
+module Tracer = Sp_obs.Tracer
+module Timeseries = Sp_obs.Timeseries
+module Json = Sp_obs.Json
+
+type tenant = {
+  t_name : string;
+  t_weight : float;
+  t_exec_budget : int option;
+  t_jobs : int;
+  t_config : Campaign.config;
+  t_vm_for : int -> Vm.t;
+  t_strategy_for : int -> Strategy.t;
+  t_on_barrier : (now:float -> unit) option;
+  t_snapshot_dir : string option;
+  t_restore : Json.t option;
+  t_aux : Campaign.aux option;
+}
+
+let tenant ?(weight = 1.0) ?exec_budget ?on_barrier ?snapshot_dir ?restore
+    ?aux ~name ~jobs ~vm_for ~strategy_for config =
+  if name = "" then invalid_arg "Scheduler.tenant: name must be non-empty";
+  if not (Float.is_finite weight && weight > 0.0) then
+    invalid_arg "Scheduler.tenant: weight must be finite and positive";
+  (match exec_budget with
+  | Some b when b < 0 -> invalid_arg "Scheduler.tenant: exec_budget must be >= 0"
+  | Some _ | None -> ());
+  if jobs < 1 then invalid_arg "Scheduler.tenant: jobs must be >= 1";
+  {
+    t_name = name;
+    t_weight = weight;
+    t_exec_budget = exec_budget;
+    t_jobs = jobs;
+    t_config = config;
+    t_vm_for = vm_for;
+    t_strategy_for = strategy_for;
+    t_on_barrier = on_barrier;
+    t_snapshot_dir = snapshot_dir;
+    t_restore = restore;
+    t_aux = aux;
+  }
+
+type tenant_report = {
+  tr_name : string;
+  tr_weight : float;
+  tr_slices : int;
+  tr_executions : int;  (* executions performed under this scheduler run *)
+  tr_budget_exhausted : bool;
+  tr_completed : bool;
+  tr_report : Campaign.report;
+}
+
+type report = {
+  sr_tenants : tenant_report list;
+  sr_slices : int;
+  sr_schedule : string list;
+  sr_workers : int;
+  sr_metrics : Metrics.t;
+}
+
+(* Per-tenant live state while the loop runs. *)
+type seat = {
+  st_tenant : tenant;
+  st_index : int;
+  st_inst : Campaign.instance;
+  st_exec0 : int;  (* instance executions at admission (restore included) *)
+  mutable st_slices : int;
+  mutable st_exhausted : bool;
+}
+
+let seat_executions st = Campaign.instance_executions st.st_inst - st.st_exec0
+
+let seat_remaining st =
+  match st.st_tenant.t_exec_budget with
+  | None -> max_int
+  | Some b -> b - seat_executions st
+
+let seat_runnable st =
+  (not (Campaign.instance_stopped st.st_inst)) && not st.st_exhausted
+
+(* Stride scheduling: a tenant's pass is its next barrier's virtual time
+   divided by its weight; the lowest pass runs next (ties to the lowest
+   tenant index). The pass is derived entirely from the tenant's barrier
+   count — no accumulated credit — so a killed-and-resumed schedule
+   continues exactly where the uninterrupted one was. *)
+let pass st = Campaign.instance_next_time st.st_inst /. st.st_tenant.t_weight
+
+let by_pass a b =
+  match Float.compare (pass a) (pass b) with
+  | 0 -> Int.compare a.st_index b.st_index
+  | c -> c
+
+(* Tenant [i] owns trace pids [100 * (i + 1) ..]: disjoint from the
+   scheduler lane (pid 0) and the shared pool workers (100_001 + w) for
+   any plausible jobs count. *)
+let tenant_pid_base i = 100 * (i + 1)
+
+let pool_worker_pid w = 100_001 + w
+
+let run ?workers ?(trace = Trace.disabled) ?timeseries ?max_slices tenants =
+  Json.Decode.run (fun () ->
+      if tenants = [] then
+        invalid_arg "Scheduler.run: at least one tenant required";
+      let names = Hashtbl.create 8 in
+      List.iter
+        (fun t ->
+          if Hashtbl.mem names t.t_name then
+            invalid_arg
+              (Printf.sprintf "Scheduler.run: duplicate tenant name %S"
+                 t.t_name);
+          Hashtbl.add names t.t_name ())
+        tenants;
+      let workers =
+        match workers with
+        | Some w ->
+          if w < 1 then invalid_arg "Scheduler.run: workers must be >= 1";
+          w
+        | None -> List.fold_left (fun acc t -> max acc t.t_jobs) 1 tenants
+      in
+      let metrics = Metrics.create () in
+      let sched_tracer = Trace.tracer trace ~pid:0 ~name:"scheduler" in
+      (* All instances are built (and restore snapshots validated) before
+         any slice runs, so a bad tenant fails the whole launch instead
+         of dying mid-schedule. *)
+      let seats =
+        List.mapi
+          (fun i t ->
+            (match t.t_restore with
+            | Some snap ->
+              Campaign.validate_snapshot ~snapshot:snap ~jobs:t.t_jobs
+                t.t_config
+            | None -> ());
+            let inst =
+              Campaign.create_instance ?snapshot_dir:t.t_snapshot_dir
+                ?restore:t.t_restore ?on_barrier:t.t_on_barrier ~trace
+                ?aux:t.t_aux ~pid_base:(tenant_pid_base i) ~label:t.t_name
+                ~jobs:t.t_jobs ~vm_for:t.t_vm_for
+                ~strategy_for:t.t_strategy_for t.t_config
+            in
+            {
+              st_tenant = t;
+              st_index = i;
+              st_inst = inst;
+              st_exec0 = Campaign.instance_executions inst;
+              st_slices = 0;
+              st_exhausted = false;
+            })
+          tenants
+      in
+      let refresh_exhausted st =
+        if (not st.st_exhausted) && seat_remaining st <= 0 then
+          st.st_exhausted <- true
+      in
+      List.iter refresh_exhausted seats;
+      let total_slices = ref 0 in
+      let total_execs = ref 0 in
+      let schedule_rev = ref [] in
+      let pool_metrics = Metrics.create () in
+      Pool.with_pool ~metrics:pool_metrics
+        ~tracer_for:(fun w ->
+          Trace.tracer trace ~pid:(pool_worker_pid w)
+            ~name:(Printf.sprintf "pool-worker-%d" w))
+        ~workers
+        (fun pool ->
+          let slices_left () =
+            match max_slices with
+            | None -> max_int
+            | Some m -> m - !total_slices
+          in
+          let continue = ref true in
+          while !continue do
+            let runnable = List.filter seat_runnable seats in
+            if runnable = [] || slices_left () <= 0 then continue := false
+            else begin
+              (* Admission batch: walk the stride order, admitting while
+                 the batch's summed jobs fit the pool. The head of the
+                 order is always admitted — even a tenant with
+                 jobs > workers makes progress (its shards just queue) —
+                 so the scheduler is work-conserving by construction.
+                 The batch is computed from tenant state alone (not the
+                 live [Pool.in_flight], which races with completing
+                 workers), keeping the schedule itself deterministic. *)
+              let order = List.stable_sort by_pass runnable in
+              let admitted = ref [] in
+              let batch_jobs = ref 0 in
+              List.iteri
+                (fun k st ->
+                  if
+                    slices_left () > 0
+                    && (k = 0 || !batch_jobs + st.st_tenant.t_jobs <= workers)
+                  then begin
+                    batch_jobs := !batch_jobs + st.st_tenant.t_jobs;
+                    let max_execs =
+                      match st.st_tenant.t_exec_budget with
+                      | None -> None
+                      | Some _ -> Some (seat_remaining st)
+                    in
+                    (* Baseline before any of this slice's work is
+                       submitted: workers run concurrently with this
+                       domain, so reading it any later would race with
+                       the slice's own executions. *)
+                    let exec_before = seat_executions st in
+                    let slice =
+                      Campaign.begin_slice st.st_inst ~pool ?max_execs ()
+                    in
+                    admitted := (st, exec_before, slice) :: !admitted;
+                    schedule_rev := st.st_tenant.t_name :: !schedule_rev;
+                    incr total_slices
+                  end)
+                order;
+              (* Completions fold on this domain, in admission order:
+                 tenants are independent, so the order only affects
+                 wall-clock overlap, never any tenant's state. *)
+              List.iter
+                (fun (st, exec_before, slice) ->
+                  Tracer.span sched_tracer "scheduler.slice" (fun () ->
+                      Campaign.complete_slice st.st_inst slice;
+                      let delta = seat_executions st - exec_before in
+                      st.st_slices <- st.st_slices + 1;
+                      total_execs := !total_execs + delta;
+                      refresh_exhausted st;
+                      Metrics.incr metrics "scheduler.slices";
+                      Metrics.incr ~by:delta metrics "scheduler.execs_total";
+                      Metrics.incr metrics
+                        (Printf.sprintf "scheduler.tenant.%s.slices"
+                           st.st_tenant.t_name);
+                      Metrics.incr ~by:delta metrics
+                        (Printf.sprintf "scheduler.tenant.%s.execs"
+                           st.st_tenant.t_name);
+                      Tracer.counter sched_tracer "execs_total"
+                        (float_of_int !total_execs);
+                      match timeseries with
+                      | None -> ()
+                      | Some ts ->
+                        (* The slice ordinal is the time axis: strictly
+                           monotone and schedule-deterministic. *)
+                        Timeseries.sample ts
+                          ~time:(float_of_int !total_slices)
+                          [
+                            ("tenant", float_of_int st.st_index);
+                            ( "tenant_barrier",
+                              float_of_int
+                                (Campaign.instance_barrier st.st_inst) );
+                            ( "tenant_execs",
+                              float_of_int (seat_executions st) );
+                            ("execs_total", float_of_int !total_execs);
+                          ]))
+                (List.rev !admitted)
+            end
+          done);
+      Metrics.merge_into ~dst:metrics pool_metrics;
+      let sr_tenants =
+        List.map
+          (fun st ->
+            {
+              tr_name = st.st_tenant.t_name;
+              tr_weight = st.st_tenant.t_weight;
+              tr_slices = st.st_slices;
+              tr_executions = seat_executions st;
+              tr_budget_exhausted = st.st_exhausted;
+              tr_completed = Campaign.instance_stopped st.st_inst;
+              tr_report = Campaign.finish_instance st.st_inst;
+            })
+          seats
+      in
+      {
+        sr_tenants;
+        sr_slices = !total_slices;
+        sr_schedule = List.rev !schedule_rev;
+        sr_workers = workers;
+        sr_metrics = metrics;
+      })

@@ -1,0 +1,110 @@
+(** Multi-tenant campaign scheduler: N concurrent campaigns over one
+    shared worker pool.
+
+    The real Snowplow deployment splits many fuzzer machines from one
+    warm batched inference service; this is that shape in-process. Each
+    {e tenant} is an independent campaign — its own config, seed,
+    corpus, coverage accumulator and RNG streams — advanced one barrier
+    slice at a time (see {!Campaign.begin_slice}) over a single
+    {!Sp_util.Pool}. Snowplow tenants additionally share one warm
+    [Snowplow.Funnel]-backed inference endpoint via their barrier hooks;
+    the CLI's [serve] command wires that up.
+
+    {b Determinism.} A tenant's slice runs against its own barrier-frozen
+    state and merges on the scheduling domain in shard order, so its
+    {!Campaign.report_json} is byte-identical to the same campaign run
+    solo with the same (seed, jobs) — the (seed, jobs) guarantee extends
+    to (seed, jobs, schedule). "Solo" means {!Campaign.run_parallel} on
+    the barrier-sliced instance path, the one it always takes except the
+    jobs = 1, no-snapshot case, where it delegates to the sequential
+    executor (a different instruction stream). The schedule itself is
+    also deterministic: admission is a pure function of tenant state,
+    never of wall-clock timing.
+
+    {b Fairness.} Stride scheduling over virtual time: a tenant's pass is
+    its next barrier's virtual time divided by its weight, lowest pass
+    first (ties to the lowest tenant index); a weight-2 tenant therefore
+    advances its virtual clock twice as fast as a weight-1 one. Each
+    round admits a batch of slices in stride order while their summed
+    jobs fit the pool (the head of the order is always admitted), so the
+    pool is kept busy — work-conserving — without starving anyone.
+
+    {b Quotas.} A tenant's [exec_budget] caps the VM executions it may
+    perform under this scheduler run, enforced exactly: every slice is
+    capped at the tenant's remaining budget ({!Campaign.begin_slice}'s
+    [max_execs]), so the budget can never be overrun. An exhausted
+    tenant stops being scheduled and is reported with
+    [tr_budget_exhausted = true]. *)
+
+type tenant
+
+val tenant :
+  ?weight:float ->
+  ?exec_budget:int ->
+  ?on_barrier:(now:float -> unit) ->
+  ?snapshot_dir:string ->
+  ?restore:Sp_obs.Json.t ->
+  ?aux:Campaign.aux ->
+  name:string ->
+  jobs:int ->
+  vm_for:(int -> Vm.t) ->
+  strategy_for:(int -> Strategy.t) ->
+  Campaign.config ->
+  tenant
+(** [weight] (default 1.0) must be finite and positive; [exec_budget]
+    (default unlimited) must be >= 0; [jobs] >= 1; [name] non-empty and
+    unique within a {!run}. [snapshot_dir]/[restore]/[aux]/[on_barrier]
+    have {!Campaign.run_parallel}/{!Campaign.resume} semantics, per
+    tenant. Raises [Invalid_argument] on a bad parameter. *)
+
+type tenant_report = {
+  tr_name : string;
+  tr_weight : float;
+  tr_slices : int;  (** barrier slices this run scheduled for the tenant *)
+  tr_executions : int;
+      (** VM executions performed under this scheduler run (a resumed
+          tenant's pre-snapshot executions are not counted) *)
+  tr_budget_exhausted : bool;
+  tr_completed : bool;  (** the campaign reached its own stop condition *)
+  tr_report : Campaign.report;
+      (** for a completed tenant, byte-identical ({!Campaign.report_json})
+          to the same campaign run solo; for a budget- or
+          [max_slices]-cut tenant, the state as of its last completed
+          barrier *)
+}
+
+type report = {
+  sr_tenants : tenant_report list;  (** in the order tenants were given *)
+  sr_slices : int;
+  sr_schedule : string list;
+      (** tenant name per slice, in admission order — the full,
+          deterministic schedule *)
+  sr_workers : int;
+  sr_metrics : Sp_util.Metrics.t;
+      (** [scheduler.slices], [scheduler.execs_total],
+          [scheduler.tenant.<name>.slices]/[.execs], plus the shared
+          pool's [pool.*] metrics (merged after shutdown) *)
+}
+
+val run :
+  ?workers:int ->
+  ?trace:Sp_obs.Trace.t ->
+  ?timeseries:Sp_obs.Timeseries.t ->
+  ?max_slices:int ->
+  tenant list ->
+  (report, string) result
+(** Multiplex the tenants over one shared pool until every tenant has
+    completed or exhausted its budget (or [max_slices] slices have been
+    admitted — the kill point the resume tests use). [workers] defaults
+    to the largest tenant's [jobs]. Restore snapshots are validated
+    before any slice runs; a malformed one is an [Error] and nothing is
+    scheduled. Raises [Invalid_argument] on an empty tenant list, a
+    duplicate name, or [workers < 1].
+
+    Telemetry: with [trace], pid 0 is the scheduler lane
+    ([scheduler.slice] spans, an [execs_total] counter), tenant [i] owns
+    pids [100 * (i + 1) ..] (its campaign-main + shard lanes, labelled
+    with the tenant name), and shared pool worker [w] is pid
+    [100_001 + w]. With [timeseries], one row is appended per completed
+    slice — time axis = slice ordinal — carrying [tenant] (index),
+    [tenant_barrier], [tenant_execs] and [execs_total]. *)

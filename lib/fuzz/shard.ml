@@ -194,8 +194,9 @@ let ingest_raw ?(origin = "seed") t ctx target prog =
   | None -> ());
   check_target t ctx target
 
-let run_epoch_inner t ~corpus ~accum ~target ~until =
+let run_epoch_inner t ?max_execs ~corpus ~accum ~target ~until () =
   let kernel = Vm.kernel t.vm in
+  let exec0 = Vm.executions t.vm in
   let ctx =
     {
       acc = Accum.copy accum;
@@ -209,8 +210,15 @@ let run_epoch_inner t ~corpus ~accum ~target ~until =
       worked = false;
     }
   in
+  let capped () =
+    match max_execs with
+    | None -> false
+    | Some c -> Vm.executions t.vm - exec0 >= c
+  in
   let finished () =
-    Clock.now t.clock >= until || (target <> None && ctx.target_hit_at <> None)
+    Clock.now t.clock >= until
+    || (target <> None && ctx.target_hit_at <> None)
+    || capped ()
   in
   (* Leftover seed slice first (all of it in the first epoch, normally). *)
   while (not (finished ())) && t.seeds <> [] do
@@ -279,6 +287,6 @@ let run_epoch_inner t ~corpus ~accum ~target ~until =
 
 (* The span runs on the worker domain executing the epoch — each shard
    owns its tracer, so this is race-free by construction. *)
-let run_epoch t ~corpus ~accum ~target ~until =
+let run_epoch t ?max_execs ~corpus ~accum ~target ~until () =
   Tracer.span t.tracer "shard.epoch" (fun () ->
-      run_epoch_inner t ~corpus ~accum ~target ~until)
+      run_epoch_inner t ?max_execs ~corpus ~accum ~target ~until ())

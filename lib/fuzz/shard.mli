@@ -83,13 +83,22 @@ type epoch = {
 
 val run_epoch :
   t ->
+  ?max_execs:int ->
   corpus:Corpus.t ->
   accum:Sp_coverage.Accum.t ->
   target:int option ->
   until:float ->
+  unit ->
   epoch
 (** Fuzz until the shard clock reaches [until] (or the target is hit),
     against private copies of [corpus] and [accum] — both are only read,
     so concurrent [run_epoch] calls on distinct shards may share them.
     The shard clock is fast-forwarded to [until] when work runs out, so
-    shards stay in lockstep across epochs. *)
+    shards stay in lockstep across epochs.
+
+    [max_execs] caps the VM executions this epoch may perform — the
+    scheduler's exec-budget enforcement. A capped shard still
+    fast-forwards its clock to [until]; the cap is exact (the shard
+    stops before exceeding it), so a tenant can never overrun its
+    budget. Capping changes what the shard explores, so budget-limited
+    runs are deterministic but not comparable to uncapped solo runs. *)

@@ -3,7 +3,10 @@ module Io = Sp_obs.Io
 module Prog = Sp_syzlang.Prog
 module Accum = Sp_coverage.Accum
 
-let format_version = 1
+(* Version 2 added the always-present "aux" field (strategy-side state:
+   the snowplow inference/funnel/prediction caches; [Null] for stateless
+   strategies). Version-1 documents lack it and are rejected. *)
+let format_version = 2
 
 let entry_to_json (e : Corpus.entry) =
   Json.Obj
@@ -58,3 +61,19 @@ let read file =
   match Io.read_file file with
   | exception Sys_error msg -> Error msg
   | data -> Json.of_string data
+
+(* Highest-numbered snapshot in [dir]: what `--resume` continues from.
+   Matching on the exact file-name shape (not lexicographic order of
+   everything in the directory) keeps temp files and strangers out. *)
+let latest ~dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> None
+  | names ->
+    Array.fold_left
+      (fun best name ->
+        match Scanf.sscanf_opt name "snapshot-%06d.json%!" (fun b -> b) with
+        | Some b when (match best with None -> true | Some (b0, _) -> b > b0)
+          ->
+          Some (b, Filename.concat dir name)
+        | Some _ | None -> best)
+      None names

@@ -41,3 +41,8 @@ val write : dir:string -> barrier:int -> Sp_obs.Json.t -> string
 
 val read : string -> (Sp_obs.Json.t, string) result
 (** Read and parse a snapshot file. *)
+
+val latest : dir:string -> (int * string) option
+(** Highest barrier snapshot in [dir] as [(barrier, path)], matching
+    only the [snapshot-NNNNNN.json] name shape; [None] when the
+    directory is missing, unreadable or holds no snapshots. *)

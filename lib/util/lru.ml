@@ -114,6 +114,13 @@ let put t ~now k v =
 let fold f acc t =
   Hashtbl.fold (fun k node acc -> f acc k node.value) t.table acc
 
+let to_list t =
+  let rec walk acc = function
+    | None -> List.rev acc
+    | Some node -> walk ((node.key, node.value, node.written_at) :: acc) node.next
+  in
+  walk [] t.head
+
 let clear t =
   Hashtbl.reset t.table;
   t.head <- None;

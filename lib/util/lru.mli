@@ -44,4 +44,10 @@ val expirations : ('k, 'v) t -> int
 val fold : ('a -> 'k -> 'v -> 'a) -> 'a -> ('k, 'v) t -> 'a
 (** Unspecified order. *)
 
+val to_list : ('k, 'v) t -> ('k * 'v * float) list
+(** Entries in recency order, most recently used first, each with its
+    TTL write stamp. Replaying the result in reverse with
+    [put ~now:written_at] reconstructs an equivalent cache — the basis
+    for snapshot serialization. *)
+
 val clear : ('k, 'v) t -> unit

@@ -2,13 +2,21 @@ module Tracer = Sp_obs.Tracer
 
 type task = unit -> unit
 
+(* Shutdown is a one-way walk Live -> Draining -> Down. Exactly one
+   caller performs the Draining work (broadcast + join); every other
+   concurrent [shutdown] blocks on [idle] until the pool is Down, so no
+   caller ever returns while worker domains are still running. *)
+type lifecycle = Live | Draining | Down
+
 type t = {
   lock : Mutex.t;
   work : Condition.t;  (* signalled on submit and on shutdown *)
+  idle : Condition.t;  (* signalled when the pool reaches Down *)
   queues : task Queue.t array;  (* one per worker, all guarded by [lock] *)
   tracers : Tracer.t array;  (* one per worker; written only by its owner *)
   mutable rr : int;  (* next queue for round-robin submission *)
-  mutable live : bool;
+  mutable state : lifecycle;
+  mutable in_flight : int;  (* submitted tasks whose handle is unresolved *)
   mutable domains : unit Domain.t array;
   metrics : Metrics.t;
 }
@@ -46,7 +54,7 @@ let rec next_task t i =
   match take t i with
   | Some _ as task -> task
   | None ->
-    if not t.live then None
+    if t.state <> Live then None
     else begin
       let parked = now_ns () in
       Condition.wait t.work t.lock;
@@ -80,10 +88,12 @@ let create ?metrics ?tracer_for ~workers () =
     {
       lock = Mutex.create ();
       work = Condition.create ();
+      idle = Condition.create ();
       queues = Array.init workers (fun _ -> Queue.create ());
       tracers;
       rr = 0;
-      live = true;
+      state = Live;
+      in_flight = 0;
       domains = [||];
       metrics = (match metrics with Some m -> m | None -> Metrics.create ());
     }
@@ -95,20 +105,30 @@ let workers t = Array.length t.queues
 
 let metrics t = t.metrics
 
+let in_flight t =
+  Mutex.lock t.lock;
+  let n = t.in_flight in
+  Mutex.unlock t.lock;
+  n
+
 let submit t f =
   let h = { h_lock = Mutex.create (); h_done = Condition.create (); result = None } in
   let task () =
     let r = try Ok (f ()) with e -> Error e in
+    Mutex.lock t.lock;
+    t.in_flight <- t.in_flight - 1;
+    Mutex.unlock t.lock;
     Mutex.lock h.h_lock;
     h.result <- Some r;
     Condition.broadcast h.h_done;
     Mutex.unlock h.h_lock
   in
   Mutex.lock t.lock;
-  if not t.live then begin
+  if t.state <> Live then begin
     Mutex.unlock t.lock;
     invalid_arg "Pool.submit: pool is shut down"
   end;
+  t.in_flight <- t.in_flight + 1;
   Queue.push task t.queues.(t.rr);
   t.rr <- (t.rr + 1) mod Array.length t.queues;
   Condition.broadcast t.work;
@@ -135,13 +155,24 @@ let run_all t thunks =
 
 let shutdown t =
   Mutex.lock t.lock;
-  if t.live then begin
-    t.live <- false;
+  match t.state with
+  | Live ->
+    t.state <- Draining;
     Condition.broadcast t.work;
     Mutex.unlock t.lock;
-    Array.iter Domain.join t.domains
-  end
-  else Mutex.unlock t.lock
+    (* Workers finish already-queued tasks (they only park on [work]
+       while Live), then exit; joining outside the lock lets them drain. *)
+    Array.iter Domain.join t.domains;
+    Mutex.lock t.lock;
+    t.state <- Down;
+    Condition.broadcast t.idle;
+    Mutex.unlock t.lock
+  | Draining ->
+    while t.state <> Down do
+      Condition.wait t.idle t.lock
+    done;
+    Mutex.unlock t.lock
+  | Down -> Mutex.unlock t.lock
 
 let with_pool ?metrics ?tracer_for ~workers f =
   let t = create ?metrics ?tracer_for ~workers () in

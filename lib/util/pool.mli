@@ -32,6 +32,12 @@ val workers : t -> int
 
 val metrics : t -> Metrics.t
 
+val in_flight : t -> int
+(** Submitted tasks whose handle has not yet resolved — the scheduler's
+    admission signal ([workers t - in_flight t] slots are free). Reads
+    under the pool lock; the value is advisory (a task may resolve
+    between the read and any decision taken on it). *)
+
 type 'a handle
 
 val submit : t -> (unit -> 'a) -> 'a handle
@@ -46,7 +52,12 @@ val run_all : t -> (unit -> 'a) list -> ('a, exn) result list
     submission order. Records the blocked time as [pool.barrier_wait_ns]. *)
 
 val shutdown : t -> unit
-(** Drain every queued task, then join the worker domains. Idempotent. *)
+(** Drain every queued task, then join the worker domains. Idempotent
+    and safe under concurrency: the first caller performs the drain +
+    join; any concurrent caller blocks until the pool is fully down, so
+    no [shutdown] ever returns while workers are still running. A
+    [submit] racing with shutdown either enqueues (and is drained) or
+    raises [Invalid_argument] — it never deadlocks. *)
 
 val with_pool :
   ?metrics:Metrics.t ->

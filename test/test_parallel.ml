@@ -68,6 +68,59 @@ let test_pool_submit_after_shutdown () =
     (Invalid_argument "Pool.submit: pool is shut down") (fun () ->
       ignore (Pool.submit pool (fun () -> ())))
 
+let test_pool_concurrent_shutdown () =
+  (* Two domains racing shutdown on one pool: the second caller must
+     block until the drain completes and then return — not deadlock, not
+     double-join the worker domains. *)
+  for _ = 1 to 20 do
+    let pool = Pool.create ~workers:2 () in
+    let handles = List.init 8 (fun i -> Pool.submit pool (fun () -> i)) in
+    let other = Domain.spawn (fun () -> Pool.shutdown pool) in
+    Pool.shutdown pool;
+    Domain.join other;
+    (* Tasks submitted before shutdown were drained, not dropped. *)
+    List.iteri
+      (fun i h ->
+        match Pool.await h with
+        | Ok v -> check Alcotest.int "drained task" i v
+        | Error e -> Alcotest.failf "task %d died: %s" i (Printexc.to_string e))
+      handles;
+    check Alcotest.int "nothing in flight after shutdown" 0
+      (Pool.in_flight pool);
+    Alcotest.check_raises "submit refused after racing shutdowns"
+      (Invalid_argument "Pool.submit: pool is shut down") (fun () ->
+        ignore (Pool.submit pool (fun () -> ())))
+  done
+
+let test_pool_shutdown_races_submitters () =
+  (* Submitter domains hammer the pool while the main domain shuts it
+     down: every submit either lands (and its handle resolves) or raises
+     the documented Invalid_argument — never a hang, never a third
+     outcome. *)
+  for _ = 1 to 10 do
+    let pool = Pool.create ~workers:2 () in
+    let submitter =
+      Domain.spawn (fun () ->
+          let landed = ref 0 in
+          (try
+             for i = 0 to 199 do
+               let h = Pool.submit pool (fun () -> i) in
+               match Pool.await h with
+               | Ok v when v = i -> incr landed
+               | Ok v -> Alcotest.failf "task %d returned %d" i v
+               | Error e -> raise e
+             done
+           with Invalid_argument msg ->
+             check Alcotest.string "documented refusal"
+               "Pool.submit: pool is shut down" msg);
+          !landed)
+    in
+    Pool.shutdown pool;
+    let landed = Domain.join submitter in
+    Alcotest.(check bool) "submitter observed a clean cutoff" true
+      (landed >= 0 && landed <= 200)
+  done
+
 let test_pool_many_rounds () =
   (* Several barrier rounds through one pool: per-worker queues must not
      leak state between rounds. *)
@@ -304,6 +357,45 @@ let test_funnel_defers_and_broadcasts () =
   check Alcotest.int "one batch recorded" 1
     (Metrics.counter (Snowplow.Inference.metrics service) "inference.batches")
 
+let test_funnel_tenant_lanes () =
+  (* Two tenants over one service: a tenant's flush must deliver only
+     its own completions — the other tenant's stay queued for its own
+     barrier, so neither's prediction stream depends on the schedule. *)
+  let service = inference () in
+  let funnel =
+    Snowplow.Funnel.create_multi ~tenant_shards:[| 2; 1 |] service
+  in
+  let ep00 = Snowplow.Funnel.endpoint_for funnel ~tenant:0 ~shard:0 in
+  let ep10 = Snowplow.Funnel.endpoint_for funnel ~tenant:1 ~shard:0 in
+  let prog s = Gen.program (Rng.create s) db () in
+  Alcotest.(check bool) "tenant 0 request accepted" true
+    (ep00.Snowplow.Inference.ep_request ~now:0.0 (prog 1) ~targets:[ 0 ]);
+  Alcotest.(check bool) "tenant 1 request accepted" true
+    (ep10.Snowplow.Inference.ep_request ~now:0.0 (prog 2) ~targets:[ 0 ]);
+  check Alcotest.int "per-tenant deferral counted" 1
+    (Snowplow.Funnel.tenant_deferred funnel ~tenant:0);
+  (* Forward both tenants' batches, then let both complete. *)
+  ignore (Snowplow.Funnel.flush_tenant funnel ~tenant:0 ~now:100.0);
+  ignore (Snowplow.Funnel.flush_tenant funnel ~tenant:1 ~now:100.0);
+  check Alcotest.int "tenant 0 receives only its prediction" 1
+    (Snowplow.Funnel.flush_tenant funnel ~tenant:0 ~now:200.0);
+  check Alcotest.int "tenant 0's inbox has only its prediction" 1
+    (List.length (ep00.Snowplow.Inference.ep_poll ~now:200.0));
+  (* Tenant 1's completion was not stolen by tenant 0's poll. *)
+  check Alcotest.int "tenant 1's prediction still delivered" 1
+    (Snowplow.Funnel.flush_tenant funnel ~tenant:1 ~now:200.0);
+  let inbox1 = ep10.Snowplow.Inference.ep_poll ~now:200.0 in
+  check Alcotest.int "tenant 1's inbox" 1 (List.length inbox1);
+  Alcotest.(check bool) "tenant 1 got its own program back" true
+    (List.map fst inbox1 = [ prog 2 ]);
+  (* Per-tag service accounting sums to the service-wide counters. *)
+  let r0, s0, _, _ = Snowplow.Inference.tenant_stats service ~tag:0 in
+  let r1, s1, _, _ = Snowplow.Inference.tenant_stats service ~tag:1 in
+  check Alcotest.int "tagged requests sum" 2 (r0 + r1);
+  check Alcotest.int "tagged served sum"
+    (Snowplow.Inference.served service)
+    (s0 + s1)
+
 let test_funnel_outbox_bound () =
   let service = inference () in
   let funnel = Snowplow.Funnel.create ~max_outbox:2 ~shards:1 service in
@@ -329,6 +421,10 @@ let () =
             test_pool_survives_raising_task;
           Alcotest.test_case "submit after shutdown" `Quick
             test_pool_submit_after_shutdown;
+          Alcotest.test_case "concurrent double shutdown" `Quick
+            test_pool_concurrent_shutdown;
+          Alcotest.test_case "shutdown races submitters" `Quick
+            test_pool_shutdown_races_submitters;
           Alcotest.test_case "many barrier rounds" `Quick test_pool_many_rounds;
         ] );
       ( "chan",
@@ -355,6 +451,8 @@ let () =
         [
           Alcotest.test_case "defers, batches, broadcasts" `Quick
             test_funnel_defers_and_broadcasts;
+          Alcotest.test_case "tenant lanes stay isolated" `Quick
+            test_funnel_tenant_lanes;
           Alcotest.test_case "outbox bound" `Quick test_funnel_outbox_bound;
         ] );
     ]

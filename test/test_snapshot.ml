@@ -297,6 +297,141 @@ let test_resume_rejects_garbage () =
   | Error _ -> ()
 
 (* ------------------------------------------------------------------ *)
+(* Snowplow aux state: inference / funnel / prediction memos            *)
+(* ------------------------------------------------------------------ *)
+
+(* A real (untrained) PMM behind the real service, as in test_parallel:
+   creation is cheap and deterministic, so two calls build services with
+   identical initial state — which is what lets a resumed run recreate
+   the service fresh and restore the snapshot's aux into it. *)
+let inference () =
+  let encoder =
+    Snowplow.Encoder.pretrain
+      ~config:{ Snowplow.Encoder.default_config with steps = 40 }
+      kernel
+  in
+  let model =
+    Snowplow.Pmm.create
+      ~encoder_dim:(Snowplow.Encoder.dim encoder)
+      ~num_syscalls:(Sp_syzlang.Spec.count db) ()
+  in
+  Snowplow.Inference.create ~kernel
+    ~block_embs:(Snowplow.Encoder.embed_kernel encoder kernel)
+    model
+
+let test_inference_state_roundtrip () =
+  let service = inference () in
+  let prog s = Gen.program (Rng.create s) db () in
+  (* Mixed-tag traffic, partially drained: the surviving state holds a
+     non-empty queue, warm caches and per-tag counters. *)
+  for s = 1 to 6 do
+    ignore
+      (Snowplow.Inference.request service ~tag:(s mod 2)
+         ~now:(float_of_int s) (prog s) ~targets:[ 0 ])
+  done;
+  ignore (Snowplow.Inference.poll service ~tag:1 ~now:1000.0 ());
+  let j = Snowplow.Inference.state_json service in
+  let service' = inference () in
+  Snowplow.Inference.restore_state service' ~parse j;
+  check Alcotest.string "canonical state serialization"
+    (Json.to_string j)
+    (Json.to_string (Snowplow.Inference.state_json service'));
+  check Alcotest.int "pending queue restored"
+    (Snowplow.Inference.pending service)
+    (Snowplow.Inference.pending service');
+  List.iter
+    (fun tag ->
+      Alcotest.(check bool)
+        (Printf.sprintf "tag %d stats restored" tag)
+        true
+        (Snowplow.Inference.tenant_stats service ~tag
+        = Snowplow.Inference.tenant_stats service' ~tag))
+    [ 0; 1 ];
+  (* The restored queue drains identically. *)
+  check Alcotest.int "same completions deliverable"
+    (List.length (Snowplow.Inference.poll service ~now:1e9 ()))
+    (List.length (Snowplow.Inference.poll service' ~now:1e9 ()))
+
+let test_snapshot_latest () =
+  with_dir "snap-latest" (fun dir ->
+      check
+        (Alcotest.option (Alcotest.pair Alcotest.int Alcotest.string))
+        "empty dir has no snapshot" None
+        (Snapshot.latest ~dir);
+      List.iter
+        (fun b -> ignore (Snapshot.write ~dir ~barrier:b Json.Null))
+        [ 1; 3; 2 ];
+      check
+        (Alcotest.option (Alcotest.pair Alcotest.int Alcotest.string))
+        "highest barrier wins"
+        (Some (3, Snapshot.path ~dir ~barrier:3))
+        (Snapshot.latest ~dir))
+
+(* The headline aux property: a snowplow campaign — strategy state in the
+   shared inference service, the funnel lanes and per-shard prediction
+   memos, all outside the campaign record — killed at a barrier and
+   resumed from its snapshot still reproduces the uninterrupted report
+   byte-for-byte, because [Persist.aux] rides that state in the
+   snapshot's [aux] field. *)
+let aux_cfg =
+  { Campaign.default_config with
+    seed_corpus = Gen.corpus (Rng.create 29) db ~size:20;
+    seed = 13;
+    duration = 900.0;
+    snapshot_every = 300.0 }
+
+let aux_jobs = 2
+
+let snowplow_run ?snapshot_dir ?restore () =
+  let service = inference () in
+  let funnel = Snowplow.Funnel.create ~shards:aux_jobs service in
+  let predictions =
+    Array.init aux_jobs (fun _ -> Snowplow.Hybrid.make_predictions ())
+  in
+  let aux =
+    Snowplow.Persist.aux ~parse ~inference:service ~funnel ~predictions
+  in
+  let strategy_for s =
+    Snowplow.Hybrid.strategy_with
+      ~predictions:(predictions.(s))
+      ~endpoint:(Snowplow.Funnel.endpoint funnel ~shard:s)
+      kernel
+  in
+  let on_barrier ~now = ignore (Snowplow.Funnel.flush funnel ~now) in
+  match restore with
+  | None ->
+    Ok
+      (Campaign.run_parallel ?snapshot_dir ~on_barrier ~aux ~jobs:aux_jobs
+         ~vm_for ~strategy_for aux_cfg)
+  | Some snapshot ->
+    Campaign.resume ~snapshot ~on_barrier ~aux ~jobs:aux_jobs ~vm_for
+      ~strategy_for aux_cfg
+
+let test_snowplow_resume_matches_uninterrupted () =
+  let dir = "snap-aux" in
+  let oracle =
+    with_dir dir (fun dir ->
+        match snowplow_run ~snapshot_dir:dir () with
+        | Ok r -> report_bytes r
+        | Error e -> Alcotest.failf "snowplow baseline failed: %s" e)
+  in
+  List.iter
+    (fun barrier ->
+      let snapshot =
+        match Snapshot.read (Snapshot.path ~dir ~barrier) with
+        | Ok s -> s
+        | Error e -> Alcotest.failf "snapshot %d unreadable: %s" barrier e
+      in
+      match snowplow_run ~restore:snapshot () with
+      | Error e -> Alcotest.failf "snowplow resume at %d failed: %s" barrier e
+      | Ok r ->
+        check Alcotest.string
+          (Printf.sprintf
+             "snowplow resume at barrier %d is byte-identical" barrier)
+          oracle (report_bytes r))
+    [ 1; 2 ]
+
+(* ------------------------------------------------------------------ *)
 
 let qtest = QCheck_alcotest.to_alcotest
 
@@ -332,4 +467,11 @@ let () =
           Alcotest.test_case "config mismatch rejected" `Quick
             test_resume_rejects_config_mismatch;
           Alcotest.test_case "garbage snapshot rejected" `Quick
-            test_resume_rejects_garbage ] ) ]
+            test_resume_rejects_garbage ] );
+      ( "aux",
+        [ Alcotest.test_case "inference state round-trip" `Quick
+            test_inference_state_roundtrip;
+          Alcotest.test_case "latest snapshot in a dir" `Quick
+            test_snapshot_latest;
+          Alcotest.test_case "snowplow resume == uninterrupted" `Slow
+            test_snowplow_resume_matches_uninterrupted ] ) ]

@@ -269,13 +269,13 @@ let test_inference_latency_and_cache () =
   Alcotest.(check bool) "request accepted" true
     (Snowplow.Inference.request inference ~now:0.0 prog ~targets);
   Alcotest.(check (list (pair int int))) "not ready immediately" []
-    (List.map (fun _ -> (0, 0)) (Snowplow.Inference.poll inference ~now:0.1));
-  let done_at_1s = Snowplow.Inference.poll inference ~now:1.0 in
+    (List.map (fun _ -> (0, 0)) (Snowplow.Inference.poll inference ~now:0.1 ()));
+  let done_at_1s = Snowplow.Inference.poll inference ~now:1.0 () in
   Alcotest.(check int) "ready after latency" 1 (List.length done_at_1s);
   (* same query again: served from the cache instantly *)
   ignore (Snowplow.Inference.request inference ~now:2.0 prog ~targets);
   Alcotest.(check int) "cache answers instantly" 1
-    (List.length (Snowplow.Inference.poll inference ~now:2.0));
+    (List.length (Snowplow.Inference.poll inference ~now:2.0 ()));
   Alcotest.(check int) "cache hit counted" 1 (Snowplow.Inference.cache_hits inference)
 
 let test_inference_queue_capacity () =
@@ -334,7 +334,7 @@ let test_inference_cache_hits_not_served () =
     List.filteri (fun i _ -> i < 4) (List.map fst (QG.frontier_blocks kernel r))
   in
   ignore (Snowplow.Inference.request inference ~now:0.0 prog ~targets);
-  ignore (Snowplow.Inference.poll inference ~now:10.0);
+  ignore (Snowplow.Inference.poll inference ~now:10.0 ());
   let latency_after_compute = Snowplow.Inference.mean_latency inference in
   Alcotest.(check bool) "computed request has real latency" true
     (latency_after_compute > 0.0);
@@ -343,7 +343,7 @@ let test_inference_cache_hits_not_served () =
     ignore
       (Snowplow.Inference.request inference ~now:(10.0 +. float_of_int i) prog
          ~targets);
-    ignore (Snowplow.Inference.poll inference ~now:(10.0 +. float_of_int i))
+    ignore (Snowplow.Inference.poll inference ~now:(10.0 +. float_of_int i) ())
   done;
   Alcotest.(check int) "hits counted as hits" 20
     (Snowplow.Inference.cache_hits inference);
@@ -390,7 +390,7 @@ let test_inference_cache_bounded () =
           [ frontier.(round mod n); frontier.(((round * 7) + 3) mod n) ]
         in
         ignore (Snowplow.Inference.request inference ~now:!now prog ~targets);
-        ignore (Snowplow.Inference.poll inference ~now:!now);
+        ignore (Snowplow.Inference.poll inference ~now:!now ());
         now := !now +. step)
       usable
   done;

@@ -496,6 +496,26 @@ let test_lru_ttl () =
   Lru.put c ~now:20.0 "k" 2;
   Alcotest.(check (option int)) "fresh again" (Some 2) (Lru.find c ~now:29.0 "k")
 
+let test_lru_to_list () =
+  let c = Lru.create ~ttl:100.0 ~capacity:4 () in
+  Lru.put c ~now:1.0 "a" 1;
+  Lru.put c ~now:2.0 "b" 2;
+  Lru.put c ~now:3.0 "c" 3;
+  (* touching "a" promotes it to MRU without changing its TTL stamp *)
+  Alcotest.(check (option int)) "touch a" (Some 1) (Lru.find c ~now:3.0 "a");
+  Alcotest.(check (list (triple string int (float 0.0))))
+    "MRU-first with write stamps"
+    [ ("a", 1, 1.0); ("c", 3, 3.0); ("b", 2, 2.0) ]
+    (Lru.to_list c);
+  (* replaying oldest-first at the recorded stamps rebuilds an
+     equivalent cache — the snapshot restore path *)
+  let c' = Lru.create ~ttl:100.0 ~capacity:4 () in
+  List.iter
+    (fun (k, v, at) -> Lru.put c' ~now:at k v)
+    (List.rev (Lru.to_list c));
+  Alcotest.(check (list (triple string int (float 0.0))))
+    "replay reconstructs order and stamps" (Lru.to_list c) (Lru.to_list c')
+
 let test_lru_validation () =
   Alcotest.check_raises "capacity checked"
     (Invalid_argument "Lru.create: capacity must be positive") (fun () ->
@@ -913,6 +933,8 @@ let () =
           Alcotest.test_case "bounded" `Quick test_lru_bounded;
           Alcotest.test_case "recency order" `Quick test_lru_recency;
           Alcotest.test_case "ttl expiry" `Quick test_lru_ttl;
+          Alcotest.test_case "to_list order and replay" `Quick
+            test_lru_to_list;
           Alcotest.test_case "validation" `Quick test_lru_validation;
         ] );
       qsuite "lru-props" [ test_lru_model; test_lru_model_ops ];
