@@ -392,37 +392,75 @@ type tenant_spec = {
 
 (* The --tenants file: a JSON array of {"name", "system", "jobs",
    "hours", "run_seed", "weight", "exec_budget", "corpus_size"}; only
-   "name" is required. *)
+   "name" is required. Every invalid entry is reported — one pass over
+   the roster collects them all into a single error message, so a bad
+   ten-tenant file is fixed in one edit, not ten. *)
 let tenant_specs_of_json j =
   let module J = Sp_obs.Json in
   let module D = J.Decode in
   let opt name f default tj = if J.member name tj = None then default else f name tj in
   let spec tj =
-    {
-      tn_name = D.str_field "name" tj;
-      tn_system =
-        (match opt "system" D.str_field "syzkaller" tj with
-        | "syzkaller" -> `Syzkaller
-        | "snowplow" -> `Snowplow
-        | s -> D.error "system: unknown fuzzer %S" s);
-      tn_jobs = opt "jobs" D.int_field 1 tj;
-      tn_hours = opt "hours" D.num_field 1.0 tj;
-      tn_seed = opt "run_seed" D.int_field 11 tj;
-      tn_weight = opt "weight" D.num_field 1.0 tj;
-      tn_budget =
-        (if J.member "exec_budget" tj = None then None
-         else Some (D.int_field "exec_budget" tj));
-      tn_corpus = opt "corpus_size" D.int_field 100 tj;
-    }
+    let s =
+      {
+        tn_name = D.str_field "name" tj;
+        tn_system =
+          (match opt "system" D.str_field "syzkaller" tj with
+          | "syzkaller" -> `Syzkaller
+          | "snowplow" -> `Snowplow
+          | s -> D.error "system: unknown fuzzer %S" s);
+        tn_jobs = opt "jobs" D.int_field 1 tj;
+        tn_hours = opt "hours" D.num_field 1.0 tj;
+        tn_seed = opt "run_seed" D.int_field 11 tj;
+        tn_weight = opt "weight" D.num_field 1.0 tj;
+        tn_budget =
+          (if J.member "exec_budget" tj = None then None
+           else Some (D.int_field "exec_budget" tj));
+        tn_corpus = opt "corpus_size" D.int_field 100 tj;
+      }
+    in
+    if s.tn_name = "" then D.error "name: must be non-empty";
+    if s.tn_jobs < 1 then D.error "jobs: must be >= 1 (got %d)" s.tn_jobs;
+    if not (Float.is_finite s.tn_weight && s.tn_weight > 0.0) then
+      D.error "weight: must be finite and positive (got %g)" s.tn_weight;
+    if not (Float.is_finite s.tn_hours && s.tn_hours > 0.0) then
+      D.error "hours: must be finite and positive (got %g)" s.tn_hours;
+    (match s.tn_budget with
+    | Some b when b < 0 -> D.error "exec_budget: must be >= 0 (got %d)" b
+    | Some _ | None -> ());
+    s
   in
-  D.run (fun () ->
-      match j with
-      | J.Arr tenants when tenants <> [] -> List.map spec tenants
-      | J.Arr _ -> D.error "tenants file: at least one tenant required"
-      | _ -> D.error "tenants file: expected a JSON array of tenant objects")
+  match j with
+  | J.Arr [] -> Error "tenants file: at least one tenant required"
+  | J.Arr tenants ->
+    let specs, errors =
+      List.fold_left
+        (fun (specs, errors) (i, tj) ->
+          match D.run (fun () -> spec tj) with
+          | Ok s -> (s :: specs, errors)
+          | Error e ->
+            (specs, Printf.sprintf "tenant entry %d: %s" i e :: errors))
+        ([], [])
+        (List.mapi (fun i tj -> (i, tj)) tenants)
+    in
+    let specs = List.rev specs in
+    let dup_errors =
+      let seen = Hashtbl.create 8 in
+      List.filter_map
+        (fun s ->
+          if s.tn_name <> "" && Hashtbl.mem seen s.tn_name then
+            Some (Printf.sprintf "duplicate tenant name %S" s.tn_name)
+          else begin
+            Hashtbl.add seen s.tn_name ();
+            None
+          end)
+        specs
+    in
+    let errors = List.rev_append errors dup_errors in
+    if errors <> [] then Error (String.concat "\n" errors) else Ok specs
+  | _ -> Error "tenants file: expected a JSON array of tenant objects"
 
 let serve seed version tenants_file workers snapshot_root resume trace_file
-    ts_file max_slices =
+    ts_file max_slices fault_plan_file max_tenant_retries =
   let k = make_kernel seed version in
   let db = Kernel.spec_db k in
   let specs =
@@ -437,6 +475,21 @@ let serve seed version tenants_file workers snapshot_root resume trace_file
         exit 1
       | Ok specs -> specs)
   in
+  let faults =
+    match fault_plan_file with
+    | None -> Sp_util.Faults.disabled
+    | Some file -> (
+      match Sp_obs.Json.of_string (Sp_obs.Io.read_file file) with
+      | Error e ->
+        Printf.eprintf "snowplow serve: %s: JSON parse error: %s\n" file e;
+        exit 1
+      | Ok j -> (
+        match Sp_util.Faults.of_json j with
+        | Error e ->
+          Printf.eprintf "snowplow serve: %s: %s\n" file e;
+          exit 1
+        | Ok f -> f))
+  in
   let trace =
     if trace_file = None then Trace.disabled else Trace.create ~enabled:true ()
   in
@@ -450,10 +503,46 @@ let serve seed version tenants_file workers snapshot_root resume trace_file
     if not (List.exists (fun s -> s.tn_system = `Snowplow) specs) then None
     else begin
       print_endline "training PMM first (this takes a few minutes)...";
-      let p = Snowplow.Pipeline.train () in
+      (* SNOWPLOW_QUICK shrinks training to the integration-test scale —
+         the CI chaos smoke uses it to keep the serve run under a minute.
+         The model is bad; the plumbing it exercises is the same. *)
+      let config =
+        if Sys.getenv_opt "SNOWPLOW_QUICK" = None then None
+        else
+          Some
+            {
+              Snowplow.Pipeline.default_config with
+              kernel_seed = 19;
+              gen_bases = 40;
+              corpus_bases = 40;
+              warmup_duration = 900.0;
+              dataset =
+                {
+                  Snowplow.Dataset.default_config with
+                  mutations_per_base = 200;
+                };
+              encoder = { Snowplow.Encoder.default_config with steps = 600 };
+              trainer =
+                {
+                  Snowplow.Trainer.default_config with
+                  epochs = 4;
+                  log_every = 0;
+                };
+            }
+      in
+      let p = Snowplow.Pipeline.train ?config () in
       let inference = Snowplow.Pipeline.inference_for p k in
+      (* Degradation (lane breakers, retries, timeouts) only arms
+         together with a fault plan: the base service cannot stall on
+         its own, so without injected faults the machinery would be pure
+         (byte-compat-threatening) dead weight. *)
+      let degrade =
+        if Sp_util.Faults.enabled faults then
+          Some Snowplow.Funnel.default_degrade
+        else None
+      in
       let funnel =
-        Snowplow.Funnel.create_multi
+        Snowplow.Funnel.create_multi ?degrade ~faults
           ~tenant_shards:(Array.of_list (List.map (fun s -> s.tn_jobs) specs))
           inference
       in
@@ -484,21 +573,17 @@ let serve seed version tenants_file workers snapshot_root resume trace_file
           match (resume, snapshot_dir) with
           | false, _ | _, None -> None
           | true, Some dir -> (
-            match Sp_fuzz.Snapshot.latest ~dir with
+            (* [latest_valid] scans past a torn/corrupt newest snapshot
+               (warning per skip) to the most recent one that parses —
+               a kill mid-write never strands the tenant. *)
+            match Sp_fuzz.Snapshot.latest_valid ~dir with
             | None ->
               Printf.printf "tenant %-12s no snapshot in %s, starting fresh\n"
                 s.tn_name dir;
               None
-            | Some (_, file) -> (
-              match Sp_fuzz.Snapshot.read file with
-              | Error msg ->
-                Printf.eprintf
-                  "snowplow serve: tenant %s: cannot read snapshot %s: %s\n"
-                  s.tn_name file msg;
-                exit 1
-              | Ok snap ->
-                Printf.printf "tenant %-12s resuming from %s\n" s.tn_name file;
-                Some snap))
+            | Some (_, file, snap) ->
+              Printf.printf "tenant %-12s resuming from %s\n" s.tn_name file;
+              Some snap)
         in
         let strategy_for, on_barrier, aux =
           match s.tn_system with
@@ -513,6 +598,8 @@ let serve seed version tenants_file workers snapshot_root resume trace_file
             ( (fun sh ->
                 Snowplow.Hybrid.strategy_with
                   ~predictions:(predictions.(sh))
+                  ~degraded:(fun () ->
+                    Snowplow.Funnel.lane_degraded funnel ~tenant:i)
                   ~endpoint:(Snowplow.Funnel.endpoint_for funnel ~tenant:i ~shard:sh)
                   k),
               Some
@@ -535,7 +622,10 @@ let serve seed version tenants_file workers snapshot_root resume trace_file
   Printf.printf "serving %d tenant%s on kernel %s...\n%!" (List.length specs)
     (if List.length specs = 1 then "" else "s")
     version;
-  match Sp_fuzz.Scheduler.run ?workers ~trace ?timeseries ?max_slices tenants with
+  match
+    Sp_fuzz.Scheduler.run ?workers ~trace ?timeseries ?max_slices ~faults
+      ?max_tenant_retries tenants
+  with
   | Error msg ->
     Printf.eprintf "snowplow serve: %s\n" msg;
     exit 1
@@ -550,10 +640,42 @@ let serve seed version tenants_file workers snapshot_root resume trace_file
           tr.S.tr_weight tr.S.tr_slices tr.S.tr_executions
           (List.length tr.S.tr_report.Campaign.crashes)
           tr.S.tr_report.Campaign.corpus_size
-          (if tr.S.tr_completed then "completed"
+          (if tr.S.tr_quarantined then
+             Printf.sprintf "quarantined after %d failure%s"
+               (List.length tr.S.tr_failures)
+               (if List.length tr.S.tr_failures = 1 then "" else "s")
+           else if tr.S.tr_completed then
+             if tr.S.tr_retries > 0 then
+               Printf.sprintf "completed (%d retr%s)" tr.S.tr_retries
+                 (if tr.S.tr_retries = 1 then "y" else "ies")
+             else "completed"
            else if tr.S.tr_budget_exhausted then "budget exhausted"
            else "cut by --max-slices"))
       r.S.sr_tenants;
+    let failed =
+      List.filter (fun tr -> tr.S.tr_failures <> []) r.S.sr_tenants
+    in
+    if failed <> [] then begin
+      Printf.printf "\n%-12s %4s %8s %6s  %s\n" "tenant" "gen" "barrier"
+        "slice" "failure";
+      List.iter
+        (fun tr ->
+          List.iter
+            (fun (fl : S.failure) ->
+              let first_line =
+                match String.index_opt fl.S.fl_exn '\n' with
+                | None -> fl.S.fl_exn
+                | Some i -> String.sub fl.S.fl_exn 0 i
+              in
+              Printf.printf "%-12s %4d %8d %6d  %s\n" tr.S.tr_name
+                fl.S.fl_generation fl.S.fl_barrier fl.S.fl_slice first_line)
+            tr.S.tr_failures)
+        failed
+    end;
+    if Sp_util.Faults.enabled faults then
+      Printf.printf "\n%d fault%s injected\n"
+        (Sp_util.Faults.injected faults)
+        (if Sp_util.Faults.injected faults = 1 then "" else "s");
     (match trace_file with
     | Some path ->
       Trace.write_file trace path;
@@ -568,7 +690,13 @@ let serve seed version tenants_file workers snapshot_root resume trace_file
       write_text_file path data;
       Printf.printf "timeseries written to %s (%d rows)\n" path
         (Timeseries.length ts)
-    | _ -> ())
+    | _ -> ());
+    (* Partial failure is still service: the run only counts as failed
+       when not a single tenant survived. *)
+    if List.for_all (fun tr -> tr.S.tr_quarantined) r.S.sr_tenants then begin
+      Printf.eprintf "snowplow serve: every tenant was quarantined\n";
+      exit 1
+    end
 
 let serve_cmd =
   let tenants_file =
@@ -622,6 +750,29 @@ let serve_cmd =
              $(b,--snapshot-root), a clean kill point to $(b,--resume) \
              from).")
   in
+  let fault_plan =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "fault-plan" ] ~docv:"FILE"
+          ~doc:
+            "Deterministic fault-injection plan (JSON: $(b,seed), \
+             optional $(b,default_rate), $(b,rates), $(b,schedule)). \
+             Arms the pool/campaign/inference injection sites and the \
+             per-tenant inference breakers; the same plan replays the \
+             same failures byte-for-byte. See DESIGN.md \
+             \xc2\xa712.")
+  in
+  let max_tenant_retries =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-tenant-retries" ] ~docv:"N"
+          ~doc:
+            "Retry generations a failing tenant gets (exponential \
+             backoff, resumed from its last good snapshot) before it is \
+             quarantined (default 3).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -630,7 +781,7 @@ let serve_cmd =
     Term.(
       const serve $ seed_arg $ version_arg $ tenants_file $ workers
       $ snapshot_root $ resume $ trace_file_arg $ timeseries_file_arg
-      $ max_slices)
+      $ max_slices $ fault_plan $ max_tenant_retries)
 
 (* ------------------------------------------------------------------ *)
 (* train                                                               *)

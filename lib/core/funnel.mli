@@ -25,12 +25,53 @@
     that tag, so one tenant's barrier can never steal (or observe)
     another's completions: each tenant's prediction stream depends only
     on its own request history, never on the schedule. [create ~shards]
-    is the one-tenant special case. *)
+    is the one-tenant special case.
+
+    {b Degradation.} With [degrade] armed, each tenant lane owns a
+    {!Breaker} and a retry ledger: at every flush, requests older than
+    [dg_timeout] are reclaimed from the service ({!Inference.cancel_overdue})
+    and counted as breaker errors; reclaimed requests are re-sent after an
+    exponential backoff (1, 2, 4... flushes) up to [dg_retries] extra
+    attempts. While the breaker is not Closed the lane {e sheds} fresh
+    requests (refusing them at the shard endpoints too, so {!Hybrid} falls
+    back to history/random mutation) and sends at most one half-open
+    probe per flush. All decisions run on the virtual clock and, under
+    fault injection, on the deterministic plan — so degraded runs replay
+    byte-identically. Lane state rides {!state_json} {e only once it has
+    left the default} — an armed lane that never saw a fault snapshots
+    byte-identically to an unarmed one. *)
 
 type t
 
+(** Per-tenant-lane degradation policy. *)
+type degrade = {
+  dg_timeout : float;
+      (** virtual seconds before an undelivered request is reclaimed;
+          must exceed the service's natural worst-case latency and stay
+          well under the barrier interval *)
+  dg_retries : int;  (** extra send attempts after the first *)
+  dg_breaker : Breaker.config;
+}
+
+val default_degrade : degrade
+(** 30 s timeout, 2 retries, {!Breaker.default_config}. *)
+
+type lane_stats = {
+  ls_state : string;  (** breaker state name *)
+  ls_trips : int;
+  ls_errors : int;  (** timeouts + injected request failures *)
+  ls_shed : int;  (** fresh requests refused while not Closed *)
+  ls_retries_pending : int;
+}
+
 val create :
-  ?max_outbox:int -> ?tracer:Sp_obs.Tracer.t -> shards:int -> Inference.t -> t
+  ?max_outbox:int ->
+  ?tracer:Sp_obs.Tracer.t ->
+  ?degrade:degrade ->
+  ?faults:Sp_util.Faults.t ->
+  shards:int ->
+  Inference.t ->
+  t
 (** [max_outbox] (default 64) bounds each shard's per-epoch outbox;
     requests beyond it are refused exactly like a full service queue.
     [tracer] (default disabled) records a [funnel.flush] span and a
@@ -40,12 +81,23 @@ val create :
 val create_multi :
   ?max_outbox:int ->
   ?tracer:Sp_obs.Tracer.t ->
+  ?degrade:degrade ->
+  ?faults:Sp_util.Faults.t ->
   tenant_shards:int array ->
   Inference.t ->
   t
 (** One lane per tenant: [tenant_shards.(i)] is tenant [i]'s shard
     count. Raises [Invalid_argument] on an empty array or a shard count
-    < 1. *)
+    < 1.
+
+    [degrade] (default off) arms the per-lane breaker/retry machinery.
+    [faults] (default {!Sp_util.Faults.disabled}) arms injection sites,
+    all suffixed with the tenant index: [funnel.flush@N] (the whole
+    flush raises, [k] = per-tenant flush ordinal), [inference.request@N]
+    (one send fails, counted as a breaker error) and
+    [inference.timeout@N] (one send stalls past the lane deadline), the
+    latter two at [k] = per-lane send ordinal. Send ordinals restart on
+    resume — schedule entries address occurrences within one process. *)
 
 val tenants : t -> int
 
@@ -77,12 +129,27 @@ val dropped : t -> int
 val tenant_deferred : t -> tenant:int -> int
 
 val tenant_dropped : t -> tenant:int -> int
+(** With degradation armed, also counts requests refused at the shard
+    endpoints while the lane was degraded. *)
+
+val lane_degraded : t -> tenant:int -> bool
+(** [true] while the tenant's breaker is not Closed (as of its last
+    flush); always [false] when [degrade] is off. Safe to read from the
+    tenant's shard domains between barriers — it is only written at the
+    tenant's own barrier. The natural [?degraded] hint for
+    {!Hybrid.strategy_with}. *)
+
+val lane_stats : t -> tenant:int -> now:float -> lane_stats option
+(** [None] when [degrade] is off. *)
 
 val state_json : t -> Sp_obs.Json.t
 (** In-flight lane state — outbox/inbox contents and the
     deferred/dropped counters — for campaign snapshots. The service's
     own state is {!Inference.state_json}, serialized separately (it is
-    shared across tenants). *)
+    shared across tenants). With degradation armed, a [lanes] field
+    (breaker state, retry ledger, attempt counts, per-tenant flush
+    ordinals) is appended {e only once some lane has left its default
+    state}; restoring requires the funnel to be armed the same way. *)
 
 val restore_state :
   t -> parse:(string -> (Sp_syzlang.Prog.t, string) result) -> Sp_obs.Json.t -> unit

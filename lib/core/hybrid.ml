@@ -74,7 +74,7 @@ let restore_predictions ~parse (p : predictions) j =
    (asynchronous) prediction arrives, the stock random localizer acts as
    the fallback. *)
 let strategy_with ?(mutations_per_base = 8) ?(max_targets = 40) ?insertion
-    ?predictions ~endpoint kernel =
+    ?predictions ?degraded ~endpoint kernel =
   let db = Kernel.spec_db kernel in
   let predictions =
     match predictions with Some p -> p | None -> make_predictions ()
@@ -128,9 +128,18 @@ let strategy_with ?(mutations_per_base = 8) ?(max_targets = 40) ?insertion
       (fun (prog, paths) ->
         Sp_util.Lru.put predictions ~now:0.0 (Prog.hash prog) (prog, paths))
       (endpoint.Inference.ep_poll ~now);
-    let targets = pick_targets rng kernel ~covered entry ~max_targets in
-    if targets <> [] then
-      ignore (endpoint.Inference.ep_request ~now entry.Corpus.prog ~targets);
+    (* While the inference lane is degraded (breaker open), skip target
+       selection and the request entirely: the endpoint would refuse it
+       anyway, and not drawing from the RNG here keeps the degraded
+       stream a pure function of the (deterministic) degradation signal.
+       Already-delivered predictions keep guiding; new bases fall back to
+       the stock random localizer — the graceful half of degradation. *)
+    (match degraded with
+    | Some d when d () -> ()
+    | _ ->
+        let targets = pick_targets rng kernel ~covered entry ~max_targets in
+        if targets <> [] then
+          ignore (endpoint.Inference.ep_request ~now entry.Corpus.prog ~targets));
     let guided = find_prediction entry.Corpus.prog <> None in
     List.init mutations_per_base (fun _ ->
         let donor =

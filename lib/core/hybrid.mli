@@ -52,6 +52,7 @@ val strategy_with :
   ?max_targets:int ->
   ?insertion:Insertion.t ->
   ?predictions:predictions ->
+  ?degraded:(unit -> bool) ->
   endpoint:Inference.endpoint ->
   Sp_kernel.Kernel.t ->
   Sp_fuzz.Strategy.t
@@ -59,7 +60,15 @@ val strategy_with :
     campaigns each shard's strategy is built over its {!Funnel.endpoint}
     view of one shared service. Every instance owns its prediction memo
     (a private one unless [predictions] hands it one to make it
-    snapshot-persistable), so instances never share mutable state. *)
+    snapshot-persistable), so instances never share mutable state.
+
+    [degraded] (default [fun () -> false]) is polled once per propose;
+    while [true] the strategy skips target selection and inference
+    requests entirely, mutating from already-delivered predictions and
+    the stock random localizer — the fallback used while a
+    {!Funnel.lane_degraded} breaker is open. The hint must be
+    deterministic (e.g. a barrier-written flag), or reproducibility is
+    forfeit. *)
 
 val strategy :
   ?mutations_per_base:int ->

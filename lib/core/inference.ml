@@ -12,6 +12,11 @@ type pending = {
   prediction : Prog.path list;
   from_cache : bool;
   tag : int;  (* tenant id under the scheduler; 0 for solo campaigns *)
+  targets : int list;
+      (* sorted; recorded only on [?record_targets] requests so the
+         degraded funnel can re-issue a cancelled request — [] otherwise,
+         and omitted from snapshots when empty, keeping unarmed snapshots
+         byte-identical *)
 }
 
 (* Cache values carry the program (and target set) they were computed for:
@@ -35,6 +40,7 @@ type t = {
   mutable served : int;
   mutable dropped : int;
   mutable cache_hits : int;
+  mutable cancelled : int;  (* requests removed by [cancel_overdue] *)
   mutable latency_sum : float;
   cache : (int, cached) Lru.t;
   (* secondary memo per base test: a recent answer for the same base with a
@@ -68,6 +74,7 @@ let create ?(latency = 0.69) ?(capacity_qps = 57.0) ?(max_pending = 16)
     served = 0;
     dropped = 0;
     cache_hits = 0;
+    cancelled = 0;
     latency_sum = 0.0;
     cache = Lru.create ~ttl:cache_ttl ~capacity:cache_capacity ();
     by_prog = Lru.create ~ttl:240.0 ~capacity:cache_capacity ();
@@ -115,7 +122,8 @@ let lookup t ~now prog ~sorted_targets key =
   | None ->
     confirmed ~check_targets:false (Lru.find t.by_prog ~now (Prog.hash prog))
 
-let request t ?(tag = 0) ~now prog ~targets =
+let request t ?(tag = 0) ?(extra_latency = 0.0) ?(record_targets = false) ~now
+    prog ~targets =
   Metrics.incr t.metrics "inference.requests";
   let ts = stats_for t tag in
   ts.ts_requests <- ts.ts_requests + 1;
@@ -140,7 +148,7 @@ let request t ?(tag = 0) ~now prog ~targets =
     Metrics.incr t.metrics "inference.cache_hits";
     enqueue
       { ready_at = now; requested_at = now; prog; prediction = cached;
-        from_cache = true; tag }
+        from_cache = true; tag; targets = [] }
       true
   | None ->
     if full then begin
@@ -154,7 +162,10 @@ let request t ?(tag = 0) ~now prog ~targets =
          admission to completion. *)
       let admitted = Float.max now t.next_free in
       t.next_free <- admitted +. (1.0 /. t.capacity_qps);
-      let ready_at = admitted +. t.latency in
+      (* [extra_latency] models a stalled backend (fault injection): the
+         answer is computed but its delivery slides past the caller's
+         timeout, so only [cancel_overdue] will ever reclaim the slot. *)
+      let ready_at = admitted +. t.latency +. extra_latency in
       let prediction =
         Metrics.time t.metrics "inference.predict_cpu_s" (fun () ->
             predict_now t prog ~targets)
@@ -166,29 +177,48 @@ let request t ?(tag = 0) ~now prog ~targets =
         { src_prog = prog; src_targets = []; answer = prediction };
       enqueue
         { ready_at; requested_at = now; prog; prediction; from_cache = false;
-          tag }
+          tag; targets = (if record_targets then sorted_targets else []) }
         true
     end
 
-let poll t ?tag ~now () =
+let poll_detailed t ?tag ~now () =
   let wanted p =
     p.ready_at <= now && match tag with None -> true | Some g -> p.tag = g
   in
   let ready = Fqueue.partition wanted t.queue in
   List.map
     (fun p ->
+      let latency = if p.from_cache then 0.0 else p.ready_at -. p.requested_at in
       if not p.from_cache then begin
         (* Cache hits are delivered at zero latency; folding them into the
            service mean would deflate it. *)
         t.served <- t.served + 1;
-        t.latency_sum <- t.latency_sum +. (p.ready_at -. p.requested_at);
+        t.latency_sum <- t.latency_sum +. latency;
         let ts = stats_for t p.tag in
         ts.ts_served <- ts.ts_served + 1;
         Metrics.incr t.metrics "inference.served";
-        Metrics.observe t.metrics "inference.latency_s" (p.ready_at -. p.requested_at)
+        Metrics.observe t.metrics "inference.latency_s" latency
       end;
-      (p.prog, p.prediction))
+      (p.prog, p.prediction, latency))
     ready
+
+let poll t ?tag ~now () =
+  List.map (fun (prog, prediction, _) -> (prog, prediction))
+    (poll_detailed t ?tag ~now ())
+
+let cancel_overdue t ?tag ~now ~older_than () =
+  let overdue p =
+    (match tag with None -> true | Some g -> p.tag = g)
+    && p.ready_at > now
+    && now -. p.requested_at >= older_than
+  in
+  let removed = Fqueue.partition overdue t.queue in
+  List.map
+    (fun p ->
+      t.cancelled <- t.cancelled + 1;
+      Metrics.incr t.metrics "inference.cancelled";
+      (p.prog, p.targets))
+    removed
 
 let request_batch t ?tag ~now reqs =
   (* Batch flushes come from the barrier (main domain) — the same domain
@@ -218,6 +248,8 @@ let endpoint t =
     ep_poll = (fun ~now -> poll t ~now ()) }
 
 let served t = t.served
+
+let cancelled t = t.cancelled
 
 let cache_hits t = t.cache_hits
 
@@ -249,13 +281,17 @@ module Json = Sp_obs.Json
 
 let pending_to_json p =
   Json.Obj
-    [ ("ready_at", Json.Num p.ready_at);
-      ("requested_at", Json.Num p.requested_at);
-      ("prog", Codec.prog_to_json p.prog);
-      ("prediction", Codec.paths_to_json p.prediction);
-      ("from_cache", Json.Bool p.from_cache);
-      ("tag", Json.Num (float_of_int p.tag))
-    ]
+    ([ ("ready_at", Json.Num p.ready_at);
+       ("requested_at", Json.Num p.requested_at);
+       ("prog", Codec.prog_to_json p.prog);
+       ("prediction", Codec.paths_to_json p.prediction);
+       ("from_cache", Json.Bool p.from_cache);
+       ("tag", Json.Num (float_of_int p.tag))
+     ]
+    (* Emitted only when recorded, so snapshots of runs that never armed
+       the degraded funnel stay byte-identical to the pre-fault format. *)
+    @ (if p.targets = [] then []
+       else [ ("targets", Codec.int_list_to_json p.targets) ]))
 
 let pending_of_json ~parse j =
   let open Json.Decode in
@@ -266,6 +302,10 @@ let pending_of_json ~parse j =
     prediction = Codec.paths_of_json (field "prediction" j);
     from_cache = bool_field "from_cache" j;
     tag = int_field "tag" j;
+    targets =
+      (match Json.member "targets" j with
+      | None -> []
+      | Some tj -> Codec.int_list_of_json "targets" tj);
   }
 
 let cached_to_json c =
@@ -297,7 +337,7 @@ let state_json t =
              ])
   in
   Json.Obj
-    [ ("next_free", Json.Num t.next_free);
+    ([ ("next_free", Json.Num t.next_free);
       ("served", Json.Num (float_of_int t.served));
       ("dropped", Json.Num (float_of_int t.dropped));
       ("cache_hits", Json.Num (float_of_int t.cache_hits));
@@ -311,6 +351,9 @@ let state_json t =
           ~value_to_json:cached_to_json t.by_prog );
       ("tag_stats", Json.Arr tag_stats)
     ]
+    (* Same conditional-emission rule as pending targets. *)
+    @ (if t.cancelled = 0 then []
+       else [ ("cancelled", Json.Num (float_of_int t.cancelled)) ]))
 
 let restore_state t ~parse j =
   let open Json.Decode in
@@ -318,6 +361,10 @@ let restore_state t ~parse j =
   t.served <- int_field "served" j;
   t.dropped <- int_field "dropped" j;
   t.cache_hits <- int_field "cache_hits" j;
+  t.cancelled <-
+    (match Json.member "cancelled" j with
+    | None -> 0
+    | Some _ -> int_field "cancelled" j);
   t.latency_sum <- num_field "latency_sum" j;
   Fqueue.clear t.queue;
   List.iter

@@ -41,7 +41,14 @@ val create :
     domain). *)
 
 val request :
-  t -> ?tag:int -> now:float -> Sp_syzlang.Prog.t -> targets:int list -> bool
+  t ->
+  ?tag:int ->
+  ?extra_latency:float ->
+  ?record_targets:bool ->
+  now:float ->
+  Sp_syzlang.Prog.t ->
+  targets:int list ->
+  bool
 (** Enqueue a localization query; returns false (dropped) when the service
     queue already holds [max_pending] requests — including when the answer
     would have come from the cache, since a memoized answer still occupies
@@ -49,7 +56,14 @@ val request :
     delivered at its virtual completion time (immediately for cache
     hits). [tag] (default 0) labels the request with its tenant for
     multi-tenant deployments: {!poll} can filter by it and
-    {!tenant_stats} accounts per tag. *)
+    {!tenant_stats} accounts per tag.
+
+    [extra_latency] (default 0) is added to a {e computed} request's
+    delivery time — the fault-injection vehicle for a stalled backend;
+    cache hits still deliver immediately. With [record_targets] the
+    (sorted) target set rides the pending entry so {!cancel_overdue} can
+    hand it back for a retry; recorded targets are persisted with the
+    queue, omitted when empty. *)
 
 val poll :
   t ->
@@ -60,6 +74,30 @@ val poll :
 (** Completed requests with ready time <= [now], oldest first. With
     [tag], only completions carrying that tag are removed and returned —
     other tenants' completions stay queued for their own poll. *)
+
+val poll_detailed :
+  t ->
+  ?tag:int ->
+  now:float ->
+  unit ->
+  (Sp_syzlang.Prog.t * Sp_syzlang.Prog.path list * float) list
+(** {!poll} plus each completion's virtual latency (0 for cache hits) —
+    what the degraded funnel feeds its circuit breaker. Identical
+    accounting and removal semantics to {!poll}. *)
+
+val cancel_overdue :
+  t ->
+  ?tag:int ->
+  now:float ->
+  older_than:float ->
+  unit ->
+  (Sp_syzlang.Prog.t * int list) list
+(** Remove (and return, oldest first) every still-undelivered request
+    that was submitted at least [older_than] virtual seconds ago —
+    the caller's timeout reclaiming queue slots from a stalled backend.
+    Each removed entry is [(prog, recorded targets)] ([[]] unless the
+    request was made with [record_targets]). Counted in {!cancelled} and
+    the [inference.cancelled] metric; never counted as served. *)
 
 val request_batch :
   t -> ?tag:int -> now:float -> (Sp_syzlang.Prog.t * int list) list -> int
@@ -96,6 +134,9 @@ val served : t -> int
     not served requests. *)
 
 val cache_hits : t -> int
+
+val cancelled : t -> int
+(** Requests reclaimed by {!cancel_overdue}; 0 unless degradation armed. *)
 
 val dropped : t -> int
 

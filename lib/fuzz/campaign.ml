@@ -2,6 +2,7 @@ module Rng = Sp_util.Rng
 module Bitset = Sp_util.Bitset
 module Metrics = Sp_util.Metrics
 module Pool = Sp_util.Pool
+module Faults = Sp_util.Faults
 module Trace = Sp_obs.Trace
 module Tracer = Sp_obs.Tracer
 module Timeseries = Sp_obs.Timeseries
@@ -442,6 +443,8 @@ type instance = {
   i_on_barrier : now:float -> unit;
   i_snapshot_dir : string option;
   i_aux : aux option;
+  i_faults : Faults.t;
+  i_fsite : string -> string;  (* site name, prefixed with the label *)
   mutable i_series_rev : snapshot list;
   mutable i_next_snapshot : float;
   mutable i_crash_count : int;
@@ -457,7 +460,7 @@ type slice = {
 
 let create_instance ?snapshot_dir ?restore ?(on_barrier = fun ~now:_ -> ())
     ?(trace = Trace.disabled) ?timeseries ?ts_extra ?aux ?(pid_base = 0)
-    ?label ~jobs ~vm_for ~strategy_for config =
+    ?label ?(faults = Faults.disabled) ~jobs ~vm_for ~strategy_for config =
   if jobs < 1 then invalid_arg "Campaign.run_parallel: jobs must be >= 1";
   if config.snapshot_every <= 0.0 then
     invalid_arg "Campaign.run_parallel: snapshot_every must be positive";
@@ -532,6 +535,11 @@ let create_instance ?snapshot_dir ?restore ?(on_barrier = fun ~now:_ -> ())
       i_on_barrier = on_barrier;
       i_snapshot_dir = snapshot_dir;
       i_aux = aux;
+      i_faults = faults;
+      i_fsite =
+        (match label with
+        | None -> Fun.id
+        | Some l -> fun site -> l ^ "/" ^ site);
       i_series_rev = [];
       i_next_snapshot = config.snapshot_every;
       i_crash_count = 0;
@@ -734,10 +742,29 @@ let begin_slice inst ~pool ?max_execs () =
       let base = c / inst.i_jobs and rem = c mod inst.i_jobs in
       Some (base + if s < rem then 1 else 0)
   in
+  (* Epoch fault decisions are consulted here, on the main domain in
+     shard order (k = slice-wide epoch ordinal), so the plan's stats are
+     schedule-independent; the doomed task then raises from its worker,
+     exercising the same await/backtrace path a genuine epoch crash
+     takes. *)
+  let epoch_site = inst.i_fsite "shard.epoch" in
+  let epoch_fails =
+    if not (Faults.enabled inst.i_faults) then fun _ -> false
+    else begin
+      let base = (inst.i_barrier - 1) * inst.i_jobs in
+      let flags =
+        Array.init inst.i_jobs (fun s ->
+            Faults.should_fail inst.i_faults epoch_site ~k:(base + s))
+      in
+      fun s -> flags.(s)
+    end
+  in
   let handles =
     Array.map
       (fun sh ->
         Pool.submit pool (fun () ->
+            if epoch_fails (Shard.id sh) then
+              raise (Faults.Injected epoch_site);
             Shard.run_epoch sh
               ?max_execs:(cap_for (Shard.id sh))
               ~corpus:inst.i_corpus ~accum:inst.i_accum
@@ -749,13 +776,22 @@ let begin_slice inst ~pool ?max_execs () =
 let complete_slice inst slice =
   let config = inst.i_config in
   let now = slice.sl_now in
-  let epochs =
+  (* Await EVERY handle before judging any: a raising epoch must not
+     leave sibling epochs in flight (the scheduler rebuilds the instance
+     on failure, which requires the slice quiescent). The first failure
+     in shard order then re-raises with its original backtrace. *)
+  let results =
     Metrics.time_wall inst.i_metrics "pool.barrier_wait_s" (fun () ->
-        Array.to_list
-          (Array.map
-             (fun h ->
-               match Pool.await h with Ok ep -> ep | Error e -> raise e)
-             slice.sl_handles))
+        Array.map Pool.await_full slice.sl_handles)
+  in
+  Array.iter
+    (function
+      | Ok _ -> ()
+      | Error (e, bt) -> Printexc.raise_with_backtrace e bt)
+    results;
+  let epochs =
+    Array.to_list results
+    |> List.map (function Ok ep -> ep | Error _ -> assert false)
   in
   (* Fold in shard order — the whole determinism story. *)
   Tracer.span inst.i_tracer "campaign.merge" (fun () ->
@@ -791,8 +827,19 @@ let complete_slice inst slice =
      assembly instead of re-entering the loop. *)
   (match inst.i_snapshot_dir with
   | Some dir ->
+    (* [k] = barrier number: the crash-mid-write site is addressable per
+       barrier and stable across resume. *)
+    let inject =
+      if Faults.enabled inst.i_faults then
+        Some
+          (fun () ->
+            Faults.fire inst.i_faults
+              (inst.i_fsite "io.write_atomic")
+              ~k:inst.i_barrier)
+      else None
+    in
     ignore
-      (Snapshot.write ~dir ~barrier:inst.i_barrier
+      (Snapshot.write ?inject ~dir ~barrier:inst.i_barrier
          (snapshot_doc inst ~stopped:inst.i_stopped ~barrier:inst.i_barrier))
   | None -> ());
   Tracer.end_span inst.i_tracer "campaign.barrier"
@@ -852,13 +899,13 @@ let finish_instance inst =
   }
 
 let run_sharded ?snapshot_dir ?restore ?on_barrier ?(trace = Trace.disabled)
-    ?timeseries ?ts_extra ?aux ~jobs ~vm_for ~strategy_for config =
+    ?timeseries ?ts_extra ?aux ?faults ~jobs ~vm_for ~strategy_for config =
   let inst =
     create_instance ?snapshot_dir ?restore ?on_barrier ~trace ?timeseries
-      ?ts_extra ?aux ~jobs ~vm_for ~strategy_for config
+      ?ts_extra ?aux ?faults ~jobs ~vm_for ~strategy_for config
   in
   let pool_metrics = Metrics.create () in
-  Pool.with_pool ~metrics:pool_metrics
+  Pool.with_pool ?faults ~metrics:pool_metrics
     ~tracer_for:(fun i ->
       Trace.tracer trace ~pid:(1001 + i)
         ~name:(Printf.sprintf "pool-worker-%d" i))
@@ -873,18 +920,18 @@ let run_sharded ?snapshot_dir ?restore ?on_barrier ?(trace = Trace.disabled)
   report
 
 let run_parallel ?on_barrier ?(trace = Trace.disabled) ?timeseries ?ts_extra
-    ?snapshot_dir ?aux ~jobs ~vm_for ~strategy_for config =
+    ?snapshot_dir ?aux ?faults ~jobs ~vm_for ~strategy_for config =
   if jobs < 1 then invalid_arg "Campaign.run_parallel: jobs must be >= 1";
   if config.snapshot_every <= 0.0 then
     invalid_arg "Campaign.run_parallel: snapshot_every must be positive";
   (* Snapshotting needs the barrier structure, so it forces the sharded
      path even for a single job; without it jobs = 1 keeps delegating to
      the sequential executor (and stays bit-identical to it). *)
-  if jobs = 1 && snapshot_dir = None then
+  if jobs = 1 && snapshot_dir = None && Option.is_none faults then
     run ~trace ?timeseries ?ts_extra (vm_for 0) (strategy_for 0) config
   else
     run_sharded ?snapshot_dir ?on_barrier ~trace ?timeseries ?ts_extra ?aux
-      ~jobs ~vm_for ~strategy_for config
+      ?faults ~jobs ~vm_for ~strategy_for config
 
 (* Raises [Json.Decode.Error]; callers wrap in [Json.Decode.run]. *)
 let validate_snapshot ~snapshot ~jobs config =
@@ -911,11 +958,11 @@ let validate_snapshot ~snapshot ~jobs config =
   | _ -> mismatch "target"
 
 let resume ?on_barrier ?(trace = Trace.disabled) ?timeseries ?ts_extra
-    ?snapshot_dir ?aux ~snapshot ~jobs ~vm_for ~strategy_for config =
+    ?snapshot_dir ?aux ?faults ~snapshot ~jobs ~vm_for ~strategy_for config =
   Json.Decode.run (fun () ->
       validate_snapshot ~snapshot ~jobs config;
       run_sharded ~restore:snapshot ?snapshot_dir ?on_barrier ~trace
-        ?timeseries ?ts_extra ?aux ~jobs ~vm_for ~strategy_for config)
+        ?timeseries ?ts_extra ?aux ?faults ~jobs ~vm_for ~strategy_for config)
 
 let coverage_at report time =
   let rec go last = function

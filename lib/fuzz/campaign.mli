@@ -93,6 +93,7 @@ val run_parallel :
   ?ts_extra:(unit -> (string * float) list) ->
   ?snapshot_dir:string ->
   ?aux:aux ->
+  ?faults:Sp_util.Faults.t ->
   jobs:int ->
   vm_for:(int -> Vm.t) ->
   strategy_for:(int -> Strategy.t) ->
@@ -126,6 +127,7 @@ val resume :
   ?ts_extra:(unit -> (string * float) list) ->
   ?snapshot_dir:string ->
   ?aux:aux ->
+  ?faults:Sp_util.Faults.t ->
   snapshot:Sp_obs.Json.t ->
   jobs:int ->
   vm_for:(int -> Vm.t) ->
@@ -176,6 +178,7 @@ val create_instance :
   ?aux:aux ->
   ?pid_base:int ->
   ?label:string ->
+  ?faults:Sp_util.Faults.t ->
   jobs:int ->
   vm_for:(int -> Vm.t) ->
   strategy_for:(int -> Strategy.t) ->
@@ -187,7 +190,16 @@ val create_instance :
     (default 0) offsets the instance's trace lanes — the main lane is
     pid [pid_base], shard [s] is pid [pid_base + 1 + s] — so a scheduler
     can give every tenant a disjoint pid range; [label] prefixes the
-    lane names. *)
+    lane names.
+
+    [faults] (default {!Sp_util.Faults.disabled}) arms this instance's
+    injection sites, both prefixed with [label ^ "/"] when a label is
+    set: [shard.epoch] (one shard's epoch task raises; [k] = slice-wide
+    epoch ordinal [(barrier - 1) * jobs + shard], stable across resume)
+    and [io.write_atomic] (the barrier snapshot write crashes mid-write,
+    leaving the previous snapshot intact; [k] = barrier number).
+    Decisions are consulted on the instance's own domain in shard order,
+    so they are independent of pool scheduling. *)
 
 val begin_slice : instance -> pool:Sp_util.Pool.t -> ?max_execs:int -> unit -> slice
 (** Submit every shard's next epoch to [pool] and return without
@@ -202,7 +214,10 @@ val complete_slice : instance -> slice -> unit
     shard order, run the barrier hook, sample the series, decide whether
     the campaign stops, and persist a snapshot when configured. Must run
     on the domain that owns the instance, with slices completed in the
-    order they began. A raising epoch re-raises here. *)
+    order they began. Every epoch is awaited before any failure is
+    judged (so a raising slice is quiescent by the time the exception
+    escapes), then the first failing shard's exception re-raises here
+    with its original backtrace. *)
 
 val step_instance : instance -> pool:Sp_util.Pool.t -> ?max_execs:int -> unit -> unit
 (** [begin_slice] + [complete_slice]. *)

@@ -1,6 +1,7 @@
 module Rng = Sp_util.Rng
 module Metrics = Sp_util.Metrics
 module Pool = Sp_util.Pool
+module Faults = Sp_util.Faults
 module Trace = Sp_obs.Trace
 module Tracer = Sp_obs.Tracer
 module Timeseries = Sp_obs.Timeseries
@@ -43,6 +44,14 @@ let tenant ?(weight = 1.0) ?exec_budget ?on_barrier ?snapshot_dir ?restore
     t_aux = aux;
   }
 
+type failure = {
+  fl_slice : int;  (* global slice ordinal of the failed slice *)
+  fl_barrier : int;  (* tenant barrier in flight when it raised *)
+  fl_generation : int;  (* 0 = first run, n = n-th retry *)
+  fl_exn : string;
+  fl_backtrace : string;
+}
+
 type tenant_report = {
   tr_name : string;
   tr_weight : float;
@@ -50,6 +59,9 @@ type tenant_report = {
   tr_executions : int;  (* executions performed under this scheduler run *)
   tr_budget_exhausted : bool;
   tr_completed : bool;
+  tr_quarantined : bool;
+  tr_retries : int;
+  tr_failures : failure list;  (* chronological *)
   tr_report : Campaign.report;
 }
 
@@ -61,17 +73,31 @@ type report = {
   sr_metrics : Metrics.t;
 }
 
-(* Per-tenant live state while the loop runs. *)
+(* A failed tenant's lifecycle: Healthy -> (slice raises) -> Backoff,
+   waiting [2^(retries-1)] scheduling rounds, -> rebuilt from its last
+   good snapshot under a retry-salted label -> Healthy again; after
+   [max_tenant_retries] failed generations it is evicted to the terminal
+   Quarantined state and the roster keeps running without it. *)
+type seat_state = Healthy | Backoff of int  (* round the retry is due *) | Quarantined
+
+(* Per-tenant live state while the loop runs. [st_inst] is replaced on
+   every retry generation; [st_done] banks the executions the discarded
+   generations performed, so budgets keep charging real work. *)
 type seat = {
   st_tenant : tenant;
   st_index : int;
-  st_inst : Campaign.instance;
-  st_exec0 : int;  (* instance executions at admission (restore included) *)
+  mutable st_inst : Campaign.instance;
+  mutable st_exec0 : int;  (* instance executions at admission (restore included) *)
   mutable st_slices : int;
   mutable st_exhausted : bool;
+  mutable st_state : seat_state;
+  mutable st_retries : int;
+  mutable st_done : int;  (* executions banked from failed generations *)
+  mutable st_failures_rev : failure list;
 }
 
-let seat_executions st = Campaign.instance_executions st.st_inst - st.st_exec0
+let seat_executions st =
+  st.st_done + Campaign.instance_executions st.st_inst - st.st_exec0
 
 let seat_remaining st =
   match st.st_tenant.t_exec_budget with
@@ -79,7 +105,9 @@ let seat_remaining st =
   | Some b -> b - seat_executions st
 
 let seat_runnable st =
-  (not (Campaign.instance_stopped st.st_inst)) && not st.st_exhausted
+  st.st_state = Healthy
+  && (not (Campaign.instance_stopped st.st_inst))
+  && not st.st_exhausted
 
 (* Stride scheduling: a tenant's pass is its next barrier's virtual time
    divided by its weight; the lowest pass runs next (ties to the lowest
@@ -100,8 +128,11 @@ let tenant_pid_base i = 100 * (i + 1)
 
 let pool_worker_pid w = 100_001 + w
 
-let run ?workers ?(trace = Trace.disabled) ?timeseries ?max_slices tenants =
+let run ?workers ?(trace = Trace.disabled) ?timeseries ?max_slices
+    ?(faults = Faults.disabled) ?(max_tenant_retries = 3) tenants =
   Json.Decode.run (fun () ->
+      if max_tenant_retries < 0 then
+        invalid_arg "Scheduler.run: max_tenant_retries must be >= 0";
       if tenants = [] then
         invalid_arg "Scheduler.run: at least one tenant required";
       let names = Hashtbl.create 8 in
@@ -125,6 +156,12 @@ let run ?workers ?(trace = Trace.disabled) ?timeseries ?max_slices tenants =
       (* All instances are built (and restore snapshots validated) before
          any slice runs, so a bad tenant fails the whole launch instead
          of dying mid-schedule. *)
+      let build_instance ~label t i restore =
+        Campaign.create_instance ?snapshot_dir:t.t_snapshot_dir ?restore
+          ?on_barrier:t.t_on_barrier ~trace ?aux:t.t_aux
+          ~pid_base:(tenant_pid_base i) ~label ~faults ~jobs:t.t_jobs
+          ~vm_for:t.t_vm_for ~strategy_for:t.t_strategy_for t.t_config
+      in
       let seats =
         List.mapi
           (fun i t ->
@@ -133,13 +170,7 @@ let run ?workers ?(trace = Trace.disabled) ?timeseries ?max_slices tenants =
               Campaign.validate_snapshot ~snapshot:snap ~jobs:t.t_jobs
                 t.t_config
             | None -> ());
-            let inst =
-              Campaign.create_instance ?snapshot_dir:t.t_snapshot_dir
-                ?restore:t.t_restore ?on_barrier:t.t_on_barrier ~trace
-                ?aux:t.t_aux ~pid_base:(tenant_pid_base i) ~label:t.t_name
-                ~jobs:t.t_jobs ~vm_for:t.t_vm_for
-                ~strategy_for:t.t_strategy_for t.t_config
-            in
+            let inst = build_instance ~label:t.t_name t i t.t_restore in
             {
               st_tenant = t;
               st_index = i;
@@ -147,8 +178,47 @@ let run ?workers ?(trace = Trace.disabled) ?timeseries ?max_slices tenants =
               st_exec0 = Campaign.instance_executions inst;
               st_slices = 0;
               st_exhausted = false;
+              st_state = Healthy;
+              st_retries = 0;
+              st_done = 0;
+              st_failures_rev = [];
             })
           tenants
+      in
+      (* Rebuild a failed tenant from its newest valid on-disk snapshot
+         (falling back to its original restore document, then to a fresh
+         start). The retry generation salts the instance label, which
+         prefixes its fault sites — so a scheduled fault that killed
+         generation 0 does not automatically re-kill generation 1 unless
+         the plan addresses [name#1/...] too. *)
+      let rebuild st =
+        let t = st.st_tenant in
+        let label =
+          if st.st_retries = 0 then t.t_name
+          else Printf.sprintf "%s#%d" t.t_name st.st_retries
+        in
+        let restore =
+          match t.t_snapshot_dir with
+          | Some dir -> (
+            match Snapshot.latest_valid ~dir with
+            | Some (_, _, doc) ->
+              Campaign.validate_snapshot ~snapshot:doc ~jobs:t.t_jobs
+                t.t_config;
+              Some doc
+            | None -> t.t_restore)
+          | None -> t.t_restore
+        in
+        (* Bank the dead generation's work before discarding it, so
+           [seat_executions] (and with it the budget) never rolls back.
+           Re-baseline [st_exec0] immediately: if [build_instance] raises
+           (corrupt snapshot), the seat still points at the old instance
+           and must not double-charge its work. *)
+        st.st_done <-
+          st.st_done + Campaign.instance_executions st.st_inst - st.st_exec0;
+        st.st_exec0 <- Campaign.instance_executions st.st_inst;
+        let inst = build_instance ~label t st.st_index restore in
+        st.st_inst <- inst;
+        st.st_exec0 <- Campaign.instance_executions inst
       in
       let refresh_exhausted st =
         if (not st.st_exhausted) && seat_remaining st <= 0 then
@@ -159,7 +229,7 @@ let run ?workers ?(trace = Trace.disabled) ?timeseries ?max_slices tenants =
       let total_execs = ref 0 in
       let schedule_rev = ref [] in
       let pool_metrics = Metrics.create () in
-      Pool.with_pool ~metrics:pool_metrics
+      Pool.with_pool ~metrics:pool_metrics ~faults
         ~tracer_for:(fun w ->
           Trace.tracer trace ~pid:(pool_worker_pid w)
             ~name:(Printf.sprintf "pool-worker-%d" w))
@@ -170,10 +240,92 @@ let run ?workers ?(trace = Trace.disabled) ?timeseries ?max_slices tenants =
             | None -> max_int
             | Some m -> m - !total_slices
           in
+          let round = ref 0 in
+          (* A raising slice (or rebuild) lands here: capture the
+             forensics, then either schedule a retry after an
+             exponential backoff (1, 2, 4... rounds) or — once the
+             retry budget is spent — evict the tenant to the terminal
+             Quarantined state. The roster keeps running either way. *)
+          let handle_failure st ~slice_no e bt =
+            Tracer.span sched_tracer "scheduler.quarantine" (fun () ->
+                let barrier = Campaign.instance_barrier st.st_inst in
+                let fl =
+                  {
+                    fl_slice = slice_no;
+                    fl_barrier = barrier;
+                    fl_generation = st.st_retries;
+                    fl_exn = Printexc.to_string e;
+                    fl_backtrace = Printexc.raw_backtrace_to_string bt;
+                  }
+                in
+                st.st_failures_rev <- fl :: st.st_failures_rev;
+                Metrics.incr metrics "scheduler.failures";
+                Metrics.incr metrics
+                  (Printf.sprintf "scheduler.tenant.%s.failures"
+                     st.st_tenant.t_name);
+                (* Forensic record beside the snapshots; best-effort —
+                   diagnostics must never take the roster down. *)
+                (match st.st_tenant.t_snapshot_dir with
+                | Some dir -> (
+                  try
+                    ignore
+                      (Snapshot.write_failure ~dir ~barrier
+                         ~generation:st.st_retries
+                         (Json.Obj
+                            [ ("format", Json.Str "snowplow-tenant-failure");
+                              ("tenant", Json.Str st.st_tenant.t_name);
+                              ("barrier", Json.Num (float_of_int barrier));
+                              ("slice", Json.Num (float_of_int slice_no));
+                              ( "generation",
+                                Json.Num (float_of_int st.st_retries) );
+                              ("exn", Json.Str fl.fl_exn);
+                              ("backtrace", Json.Str fl.fl_backtrace)
+                            ]))
+                  with _ -> ())
+                | None -> ());
+                if st.st_retries >= max_tenant_retries then begin
+                  st.st_state <- Quarantined;
+                  Metrics.incr metrics "scheduler.quarantined"
+                end
+                else begin
+                  st.st_retries <- st.st_retries + 1;
+                  st.st_state <- Backoff (!round + (1 lsl (st.st_retries - 1)))
+                end;
+                if Faults.enabled faults then
+                  Tracer.counter sched_tracer "faults.injected"
+                    (float_of_int (Faults.injected faults)))
+          in
           let continue = ref true in
           while !continue do
+            incr round;
+            (* Promote due backoff seats: rebuild from the last good
+               snapshot. A rebuild that itself raises counts as another
+               failure of the same tenant. *)
+            List.iter
+              (fun st ->
+                match st.st_state with
+                | Backoff due when !round >= due -> (
+                  match rebuild st with
+                  | () -> st.st_state <- Healthy
+                  | exception e ->
+                    let bt = Printexc.get_raw_backtrace () in
+                    handle_failure st ~slice_no:!total_slices e bt)
+                | Backoff _ | Healthy | Quarantined -> ())
+              seats;
             let runnable = List.filter seat_runnable seats in
-            if runnable = [] || slices_left () <= 0 then continue := false
+            let waiting =
+              List.exists
+                (fun st ->
+                  match st.st_state with Backoff _ -> true | _ -> false)
+                seats
+            in
+            if (runnable = [] && not waiting) || slices_left () <= 0 then
+              continue := false
+            else if runnable = [] then
+              (* Everyone alive is waiting out a backoff: skip the round.
+                 Rounds are pure bookkeeping, so this converges to the
+                 earliest due round immediately. *)
+              ()
             else begin
               (* Admission batch: walk the stride order, admitting while
                  the batch's summed jobs fit the pool. The head of the
@@ -206,48 +358,65 @@ let run ?workers ?(trace = Trace.disabled) ?timeseries ?max_slices tenants =
                     let slice =
                       Campaign.begin_slice st.st_inst ~pool ?max_execs ()
                     in
-                    admitted := (st, exec_before, slice) :: !admitted;
                     schedule_rev := st.st_tenant.t_name :: !schedule_rev;
-                    incr total_slices
+                    incr total_slices;
+                    admitted := (st, exec_before, !total_slices, slice) :: !admitted
                   end)
                 order;
               (* Completions fold on this domain, in admission order:
                  tenants are independent, so the order only affects
                  wall-clock overlap, never any tenant's state. *)
+              (* Every admitted slice completes even when one raises:
+                 [complete_slice] quiesces its own shards before the
+                 exception escapes, the handler below contains it, and
+                 the iteration moves on to the next tenant. *)
               List.iter
-                (fun (st, exec_before, slice) ->
+                (fun (st, exec_before, slice_no, slice) ->
                   Tracer.span sched_tracer "scheduler.slice" (fun () ->
-                      Campaign.complete_slice st.st_inst slice;
-                      let delta = seat_executions st - exec_before in
-                      st.st_slices <- st.st_slices + 1;
-                      total_execs := !total_execs + delta;
-                      refresh_exhausted st;
-                      Metrics.incr metrics "scheduler.slices";
-                      Metrics.incr ~by:delta metrics "scheduler.execs_total";
-                      Metrics.incr metrics
-                        (Printf.sprintf "scheduler.tenant.%s.slices"
-                           st.st_tenant.t_name);
-                      Metrics.incr ~by:delta metrics
-                        (Printf.sprintf "scheduler.tenant.%s.execs"
-                           st.st_tenant.t_name);
-                      Tracer.counter sched_tracer "execs_total"
-                        (float_of_int !total_execs);
-                      match timeseries with
-                      | None -> ()
-                      | Some ts ->
-                        (* The slice ordinal is the time axis: strictly
-                           monotone and schedule-deterministic. *)
-                        Timeseries.sample ts
-                          ~time:(float_of_int !total_slices)
-                          [
-                            ("tenant", float_of_int st.st_index);
-                            ( "tenant_barrier",
-                              float_of_int
-                                (Campaign.instance_barrier st.st_inst) );
-                            ( "tenant_execs",
-                              float_of_int (seat_executions st) );
-                            ("execs_total", float_of_int !total_execs);
-                          ]))
+                      match Campaign.complete_slice st.st_inst slice with
+                      | exception e ->
+                        let bt = Printexc.get_raw_backtrace () in
+                        let delta = seat_executions st - exec_before in
+                        total_execs := !total_execs + delta;
+                        Metrics.incr ~by:delta metrics "scheduler.execs_total";
+                        Metrics.incr ~by:delta metrics
+                          (Printf.sprintf "scheduler.tenant.%s.execs"
+                             st.st_tenant.t_name);
+                        handle_failure st ~slice_no e bt
+                      | () ->
+                        let delta = seat_executions st - exec_before in
+                        st.st_slices <- st.st_slices + 1;
+                        total_execs := !total_execs + delta;
+                        refresh_exhausted st;
+                        Metrics.incr metrics "scheduler.slices";
+                        Metrics.incr ~by:delta metrics "scheduler.execs_total";
+                        Metrics.incr metrics
+                          (Printf.sprintf "scheduler.tenant.%s.slices"
+                             st.st_tenant.t_name);
+                        Metrics.incr ~by:delta metrics
+                          (Printf.sprintf "scheduler.tenant.%s.execs"
+                             st.st_tenant.t_name);
+                        Tracer.counter sched_tracer "execs_total"
+                          (float_of_int !total_execs);
+                        if Faults.enabled faults then
+                          Tracer.counter sched_tracer "faults.injected"
+                            (float_of_int (Faults.injected faults));
+                        (match timeseries with
+                        | None -> ()
+                        | Some ts ->
+                          (* The slice ordinal is the time axis: strictly
+                             monotone and schedule-deterministic. *)
+                          Timeseries.sample ts
+                            ~time:(float_of_int !total_slices)
+                            [
+                              ("tenant", float_of_int st.st_index);
+                              ( "tenant_barrier",
+                                float_of_int
+                                  (Campaign.instance_barrier st.st_inst) );
+                              ( "tenant_execs",
+                                float_of_int (seat_executions st) );
+                              ("execs_total", float_of_int !total_execs);
+                            ])))
                 (List.rev !admitted)
             end
           done);
@@ -261,7 +430,12 @@ let run ?workers ?(trace = Trace.disabled) ?timeseries ?max_slices tenants =
               tr_slices = st.st_slices;
               tr_executions = seat_executions st;
               tr_budget_exhausted = st.st_exhausted;
-              tr_completed = Campaign.instance_stopped st.st_inst;
+              tr_completed =
+                st.st_state = Healthy
+                && Campaign.instance_stopped st.st_inst;
+              tr_quarantined = st.st_state = Quarantined;
+              tr_retries = st.st_retries;
+              tr_failures = List.rev st.st_failures_rev;
               tr_report = Campaign.finish_instance st.st_inst;
             })
           seats

@@ -34,7 +34,24 @@
     capped at the tenant's remaining budget ({!Campaign.begin_slice}'s
     [max_execs]), so the budget can never be overrun. An exhausted
     tenant stops being scheduled and is reported with
-    [tr_budget_exhausted = true]. *)
+    [tr_budget_exhausted = true].
+
+    {b Failure containment.} A tenant whose slice raises never takes the
+    roster down. The exception and its backtrace are captured into the
+    tenant's failure record (and a [failure-NNNNNN-gG.json] forensic
+    file beside its snapshots), the dead instance is discarded — its
+    executions stay charged to the budget — and the tenant is retried
+    from its newest valid snapshot after an exponential backoff
+    (1, 2, 4... scheduling rounds), up to [max_tenant_retries] retry
+    generations; after that it is evicted to the terminal Quarantined
+    state ([tr_quarantined = true]) while every other tenant keeps
+    running, with admission recomputed over the survivors. Each retry
+    generation salts the instance label ([name#1], [name#2], ...), which
+    prefixes the campaign's fault-injection sites — so under a
+    deterministic {!Sp_util.Faults} plan the whole
+    fail/backoff/retry/quarantine cascade replays byte-identically, and
+    a scheduled fault only re-kills a retry the plan explicitly
+    addresses. *)
 
 type tenant
 
@@ -57,20 +74,36 @@ val tenant :
     have {!Campaign.run_parallel}/{!Campaign.resume} semantics, per
     tenant. Raises [Invalid_argument] on a bad parameter. *)
 
+type failure = {
+  fl_slice : int;
+      (** global slice ordinal (1-based) of the failed slice; for a
+          failed {e rebuild}, the ordinal of the last admitted slice *)
+  fl_barrier : int;  (** tenant barrier in flight when it raised *)
+  fl_generation : int;  (** 0 = first run, [n] = [n]-th retry *)
+  fl_exn : string;  (** [Printexc.to_string] of the exception *)
+  fl_backtrace : string;  (** the raising shard's original backtrace *)
+}
+(** One captured tenant failure. *)
+
 type tenant_report = {
   tr_name : string;
   tr_weight : float;
-  tr_slices : int;  (** barrier slices this run scheduled for the tenant *)
+  tr_slices : int;  (** barrier slices this run completed for the tenant *)
   tr_executions : int;
       (** VM executions performed under this scheduler run (a resumed
-          tenant's pre-snapshot executions are not counted) *)
+          tenant's pre-snapshot executions are not counted; work done by
+          failed retry generations {e is} counted) *)
   tr_budget_exhausted : bool;
   tr_completed : bool;  (** the campaign reached its own stop condition *)
+  tr_quarantined : bool;  (** evicted after exhausting its retries *)
+  tr_retries : int;  (** retry generations started (0 = never failed) *)
+  tr_failures : failure list;  (** chronological *)
   tr_report : Campaign.report;
       (** for a completed tenant, byte-identical ({!Campaign.report_json})
           to the same campaign run solo; for a budget- or
           [max_slices]-cut tenant, the state as of its last completed
-          barrier *)
+          barrier; for a quarantined tenant, the state its last (failed)
+          generation held as of its last completed barrier *)
 }
 
 type report = {
@@ -82,7 +115,9 @@ type report = {
   sr_workers : int;
   sr_metrics : Sp_util.Metrics.t;
       (** [scheduler.slices], [scheduler.execs_total],
-          [scheduler.tenant.<name>.slices]/[.execs], plus the shared
+          [scheduler.tenant.<name>.slices]/[.execs], the failure-path
+          [scheduler.failures] / [scheduler.quarantined] /
+          [scheduler.tenant.<name>.failures] counters, plus the shared
           pool's [pool.*] metrics (merged after shutdown) *)
 }
 
@@ -91,6 +126,8 @@ val run :
   ?trace:Sp_obs.Trace.t ->
   ?timeseries:Sp_obs.Timeseries.t ->
   ?max_slices:int ->
+  ?faults:Sp_util.Faults.t ->
+  ?max_tenant_retries:int ->
   tenant list ->
   (report, string) result
 (** Multiplex the tenants over one shared pool until every tenant has
@@ -99,10 +136,18 @@ val run :
     to the largest tenant's [jobs]. Restore snapshots are validated
     before any slice runs; a malformed one is an [Error] and nothing is
     scheduled. Raises [Invalid_argument] on an empty tenant list, a
-    duplicate name, or [workers < 1].
+    duplicate name, [workers < 1] or [max_tenant_retries < 0].
+
+    [faults] (default {!Sp_util.Faults.disabled}) arms the shared pool's
+    and every tenant instance's injection sites (see
+    {!Campaign.create_instance}); [max_tenant_retries] (default 3) is
+    the number of retry generations a failing tenant gets before
+    quarantine.
 
     Telemetry: with [trace], pid 0 is the scheduler lane
-    ([scheduler.slice] spans, an [execs_total] counter), tenant [i] owns
+    ([scheduler.slice] spans, [scheduler.quarantine] spans around
+    failure handling, an [execs_total] counter and — when [faults] is
+    armed — a [faults.injected] counter), tenant [i] owns
     pids [100 * (i + 1) ..] (its campaign-main + shard lanes, labelled
     with the tenant name), and shared pool worker [w] is pid
     [100_001 + w]. With [timeseries], one row is appended per completed

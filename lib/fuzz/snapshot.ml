@@ -51,9 +51,23 @@ let rec mkdir_p dir =
     (try Sys.mkdir dir 0o755 with Sys_error _ when Sys.is_directory dir -> ())
   end
 
-let write ~dir ~barrier json =
+let write ?inject ~dir ~barrier json =
   mkdir_p dir;
   let p = path ~dir ~barrier in
+  Io.write_atomic ?inject p (Json.to_string json);
+  p
+
+(* Failure forensics live next to the snapshots but under a name the
+   resume scan does not match, so a quarantine record can never be
+   mistaken for campaign state. The generation suffix keeps a retry that
+   fails at the same barrier from overwriting the original record. *)
+let failure_path ~dir ~barrier ~generation =
+  Filename.concat dir
+    (Printf.sprintf "failure-%06d-g%d.json" barrier generation)
+
+let write_failure ~dir ~barrier ~generation json =
+  mkdir_p dir;
+  let p = failure_path ~dir ~barrier ~generation in
   Io.write_atomic p (Json.to_string json);
   p
 
@@ -77,3 +91,32 @@ let latest ~dir =
           Some (b, Filename.concat dir name)
         | Some _ | None -> best)
       None names
+
+(* All snapshots in [dir], highest barrier first. *)
+let all_desc ~dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | names ->
+    Array.to_list names
+    |> List.filter_map (fun name ->
+           match Scanf.sscanf_opt name "snapshot-%06d.json%!" (fun b -> b) with
+           | Some b -> Some (b, Filename.concat dir name)
+           | None -> None)
+    |> List.sort (fun (a, _) (b, _) -> compare b a)
+
+let latest_valid ~dir =
+  let rec scan = function
+    | [] -> None
+    | (barrier, file) :: older -> (
+      match read file with
+      | Ok doc -> Some (barrier, file, doc)
+      | Error msg ->
+        (* A torn or corrupt newest snapshot must not strand the whole
+           campaign: warn and fall back to the one before it. *)
+        Printf.eprintf
+          "warning: skipping corrupt snapshot %s (%s); trying the previous \
+           one\n%!"
+          file msg;
+        scan older)
+  in
+  scan (all_desc ~dir)

@@ -35,8 +35,22 @@ val corpus_entries_of_json :
 val path : dir:string -> barrier:int -> string
 (** [snapshot-NNNNNN.json] under [dir]. *)
 
-val write : dir:string -> barrier:int -> Sp_obs.Json.t -> string
+val write :
+  ?inject:(unit -> unit) -> dir:string -> barrier:int -> Sp_obs.Json.t -> string
 (** Atomically write a barrier snapshot (creating [dir] if needed);
+    returns the path written. [inject] is {!Sp_obs.Io.write_atomic}'s
+    fault hook: raising from it models a crash mid-write (previous
+    snapshot survives, no torn file). *)
+
+val failure_path : dir:string -> barrier:int -> generation:int -> string
+(** [failure-NNNNNN-gG.json] under [dir] — the quarantine forensic
+    record the scheduler writes when a tenant's slice raises. The name
+    deliberately does not match the snapshot shape, so {!latest} /
+    {!latest_valid} never pick one up. *)
+
+val write_failure :
+  dir:string -> barrier:int -> generation:int -> Sp_obs.Json.t -> string
+(** Atomically write a failure record (creating [dir] if needed);
     returns the path written. *)
 
 val read : string -> (Sp_obs.Json.t, string) result
@@ -46,3 +60,11 @@ val latest : dir:string -> (int * string) option
 (** Highest barrier snapshot in [dir] as [(barrier, path)], matching
     only the [snapshot-NNNNNN.json] name shape; [None] when the
     directory is missing, unreadable or holds no snapshots. *)
+
+val latest_valid : dir:string -> (int * string * Sp_obs.Json.t) option
+(** Like {!latest}, but skips backwards past snapshots that fail to read
+    or parse (warning on stderr for each), returning the newest one that
+    yields a JSON document — what resume paths use so one corrupt or
+    truncated file cannot strand a campaign. [None] when no snapshot
+    parses. Structural validity (config echo, version) is still the
+    caller's job, via [Campaign.validate_snapshot]. *)

@@ -1,14 +1,16 @@
-let write_atomic_with path writer =
+let write_atomic_with ?inject path writer =
   let dir = Filename.dirname path in
   let tmp = Filename.temp_file ~temp_dir:dir (Filename.basename path ^ ".") ".tmp" in
   Fun.protect
     ~finally:(fun () -> if Sys.file_exists tmp then Sys.remove tmp)
     (fun () ->
+      (match inject with Some f -> f () | None -> ());
       let oc = open_out_bin tmp in
       Fun.protect ~finally:(fun () -> close_out oc) (fun () -> writer oc);
       Sys.rename tmp path)
 
-let write_atomic path data = write_atomic_with path (fun oc -> output_string oc data)
+let write_atomic ?inject path data =
+  write_atomic_with ?inject path (fun oc -> output_string oc data)
 
 let read_file path =
   let ic = open_in_bin path in

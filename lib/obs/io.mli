@@ -7,12 +7,19 @@
     [write_atomic]: the data lands in a temporary file in the destination
     directory (same filesystem, so the final step is a plain [rename]) and is
     moved over the target only once fully flushed. Any exception mid-write
-    removes the temporary and leaves the target untouched. *)
+    removes the temporary and leaves the target untouched.
 
-val write_atomic : string -> string -> unit
+    [inject] is a fault-injection hook run after the temporary is created
+    and before anything is written: raising from it exercises exactly the
+    mid-write crash path (temporary removed, target untouched) without
+    the caller needing filesystem tricks. [sp_obs] sits below [sp_util],
+    so the hook is a plain closure — callers arm it with
+    [Sp_util.Faults.fire]. *)
+
+val write_atomic : ?inject:(unit -> unit) -> string -> string -> unit
 (** [write_atomic path data] atomically replaces [path] with [data]. *)
 
-val write_atomic_with : string -> (out_channel -> unit) -> unit
+val write_atomic_with : ?inject:(unit -> unit) -> string -> (out_channel -> unit) -> unit
 (** [write_atomic_with path writer] like [write_atomic], but [writer] streams
     into the temporary file's channel. The channel is closed (and the
     temporary removed on failure) even if [writer] raises. *)

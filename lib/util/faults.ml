@@ -1,0 +1,147 @@
+module Json = Sp_obs.Json
+
+exception Injected of string
+
+let () =
+  Printexc.register_printer (function
+    | Injected site -> Some (Printf.sprintf "Fault injected at %s" site)
+    | _ -> None)
+
+type t = {
+  on : bool;
+  base : Rng.t;  (** never advanced; {!Rng.split_named} only *)
+  default_rate : float;
+  rates : (string, float) Hashtbl.t;
+  schedule : (string, int list) Hashtbl.t;
+  lock : Mutex.t;
+  stats : (string, (int * int) ref) Hashtbl.t;  (** site -> (consulted, hit) *)
+  mutable total_injected : int;
+}
+
+let disabled =
+  {
+    on = false;
+    base = Rng.create 0;
+    default_rate = 0.0;
+    rates = Hashtbl.create 1;
+    schedule = Hashtbl.create 1;
+    lock = Mutex.create ();
+    stats = Hashtbl.create 1;
+    total_injected = 0;
+  }
+
+let check_rate what r =
+  if not (Float.is_finite r) || r < 0.0 || r > 1.0 then
+    invalid_arg (Printf.sprintf "Faults.create: %s rate must be in [0, 1]" what)
+
+let create ?(default_rate = 0.0) ?(rates = []) ?(schedule = []) ~seed () =
+  check_rate "default" default_rate;
+  let rtbl = Hashtbl.create (max 4 (List.length rates)) in
+  List.iter
+    (fun (site, r) ->
+      check_rate site r;
+      Hashtbl.replace rtbl site r)
+    rates;
+  let stbl = Hashtbl.create (max 4 (List.length schedule)) in
+  List.iter (fun (site, ks) -> Hashtbl.replace stbl site ks) schedule;
+  {
+    on = true;
+    base = Rng.create seed;
+    default_rate;
+    rates = rtbl;
+    schedule = stbl;
+    lock = Mutex.create ();
+    stats = Hashtbl.create 16;
+    total_injected = 0;
+  }
+
+let of_json j =
+  match Json.Decode.run (fun () ->
+      let seed =
+        match Json.member "seed" j with
+        | Some _ -> Json.Decode.int_field "seed" j
+        | None -> 0
+      in
+      let default_rate =
+        match Json.member "default_rate" j with
+        | Some (Json.Num r) -> r
+        | Some _ -> Json.Decode.error "default_rate: expected a number"
+        | None -> 0.0
+      in
+      let pairs name to_v =
+        match Json.member name j with
+        | None -> []
+        | Some (Json.Obj fields) ->
+            List.map (fun (site, v) -> (site, to_v site v)) fields
+        | Some _ -> Json.Decode.error "%s: expected an object" name
+      in
+      let rates =
+        pairs "rates" (fun site v ->
+            match v with
+            | Json.Num r -> r
+            | _ -> Json.Decode.error "rates.%s: expected a number" site)
+      in
+      let schedule =
+        pairs "schedule" (fun site v ->
+            match v with
+            | Json.Arr ks ->
+                List.map
+                  (function
+                    | Json.Num n when Float.is_integer n -> int_of_float n
+                    | _ ->
+                        Json.Decode.error "schedule.%s: expected integers"
+                          site)
+                  ks
+            | _ ->
+                Json.Decode.error "schedule.%s: expected an array" site)
+      in
+      (seed, default_rate, rates, schedule))
+  with
+  | Error e -> Error e
+  | Ok (seed, default_rate, rates, schedule) -> (
+      try Ok (create ~default_rate ~rates ~schedule ~seed ())
+      with Invalid_argument m -> Error m)
+
+let enabled t = t.on
+
+let decide t site ~k =
+  (match Hashtbl.find_opt t.schedule site with
+  | Some ks -> List.mem k ks
+  | None -> false)
+  ||
+  let rate =
+    match Hashtbl.find_opt t.rates site with
+    | Some r -> r
+    | None -> t.default_rate
+  in
+  rate > 0.0
+  && Rng.float (Rng.split_named t.base (site ^ "#" ^ string_of_int k)) 1.0
+     < rate
+
+let should_fail t site ~k =
+  t.on
+  &&
+  let hit = decide t site ~k in
+  Mutex.lock t.lock;
+  (match Hashtbl.find_opt t.stats site with
+  | Some cell ->
+      let c, h = !cell in
+      cell := (c + 1, if hit then h + 1 else h)
+  | None -> Hashtbl.replace t.stats site (ref (1, if hit then 1 else 0)));
+  if hit then t.total_injected <- t.total_injected + 1;
+  Mutex.unlock t.lock;
+  hit
+
+let fire t site ~k = if should_fail t site ~k then raise (Injected site)
+
+let injected t =
+  Mutex.lock t.lock;
+  let n = t.total_injected in
+  Mutex.unlock t.lock;
+  n
+
+let site_stats t =
+  Mutex.lock t.lock;
+  let rows = Hashtbl.fold (fun site cell acc -> (site, !cell) :: acc) t.stats [] in
+  Mutex.unlock t.lock;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) rows

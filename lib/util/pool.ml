@@ -19,12 +19,14 @@ type t = {
   mutable in_flight : int;  (* submitted tasks whose handle is unresolved *)
   mutable domains : unit Domain.t array;
   metrics : Metrics.t;
+  faults : Faults.t;
+  mutable task_seq : int;  (* submission ordinal, the "pool.task" fault index *)
 }
 
 type 'a handle = {
   h_lock : Mutex.t;
   h_done : Condition.t;
-  mutable result : ('a, exn) result option;
+  mutable result : ('a, exn * Printexc.raw_backtrace) result option;
 }
 
 let now_ns () = Unix.gettimeofday () *. 1e9
@@ -75,7 +77,7 @@ let worker t i () =
   in
   loop ()
 
-let create ?metrics ?tracer_for ~workers () =
+let create ?metrics ?tracer_for ?(faults = Faults.disabled) ~workers () =
   if workers < 1 then invalid_arg "Pool.create: workers must be >= 1";
   let tracers =
     (* Handed out before the domains spawn, on the caller's domain; each
@@ -96,6 +98,8 @@ let create ?metrics ?tracer_for ~workers () =
       in_flight = 0;
       domains = [||];
       metrics = (match metrics with Some m -> m | None -> Metrics.create ());
+      faults;
+      task_seq = 0;
     }
   in
   t.domains <- Array.init workers (fun i -> Domain.spawn (worker t i));
@@ -113,8 +117,31 @@ let in_flight t =
 
 let submit t f =
   let h = { h_lock = Mutex.create (); h_done = Condition.create (); result = None } in
+  Mutex.lock t.lock;
+  if t.state <> Live then begin
+    Mutex.unlock t.lock;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  (* The fault decision is taken here, on the submitting domain, keyed by
+     the submission ordinal — so it is as deterministic as the submission
+     order itself, regardless of which worker later runs the task. *)
+  let f =
+    if Faults.enabled t.faults then begin
+      let k = t.task_seq in
+      t.task_seq <- t.task_seq + 1;
+      if Faults.should_fail t.faults "pool.task" ~k then
+        fun () -> raise (Faults.Injected "pool.task")
+      else f
+    end
+    else f
+  in
   let task () =
-    let r = try Ok (f ()) with e -> Error e in
+    let r =
+      try Ok (f ())
+      with e ->
+        let bt = Printexc.get_raw_backtrace () in
+        Error (e, bt)
+    in
     Mutex.lock t.lock;
     t.in_flight <- t.in_flight - 1;
     Mutex.unlock t.lock;
@@ -123,11 +150,6 @@ let submit t f =
     Condition.broadcast h.h_done;
     Mutex.unlock h.h_lock
   in
-  Mutex.lock t.lock;
-  if t.state <> Live then begin
-    Mutex.unlock t.lock;
-    invalid_arg "Pool.submit: pool is shut down"
-  end;
   t.in_flight <- t.in_flight + 1;
   Queue.push task t.queues.(t.rr);
   t.rr <- (t.rr + 1) mod Array.length t.queues;
@@ -135,7 +157,7 @@ let submit t f =
   Mutex.unlock t.lock;
   h
 
-let await h =
+let await_full h =
   Mutex.lock h.h_lock;
   while h.result = None do
     Condition.wait h.h_done h.h_lock
@@ -143,6 +165,9 @@ let await h =
   let r = match h.result with Some r -> r | None -> assert false in
   Mutex.unlock h.h_lock;
   r
+
+let await h =
+  match await_full h with Ok v -> Ok v | Error (e, _) -> Error e
 
 let run_all t thunks =
   let handles = List.map (submit t) thunks in
@@ -174,8 +199,8 @@ let shutdown t =
     Mutex.unlock t.lock
   | Down -> Mutex.unlock t.lock
 
-let with_pool ?metrics ?tracer_for ~workers f =
-  let t = create ?metrics ?tracer_for ~workers () in
+let with_pool ?metrics ?tracer_for ?faults ~workers f =
+  let t = create ?metrics ?tracer_for ?faults ~workers () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
 module Chan = struct
@@ -186,11 +211,14 @@ module Chan = struct
     buf : 'a Queue.t;
     capacity : int;
     mutable closed : bool;
+    faults : Faults.t;
+    mutable send_seq : int;  (* "chan.send" fault index *)
+    mutable recv_seq : int;  (* "chan.recv" fault index *)
   }
 
   exception Closed
 
-  let create ~capacity =
+  let create ?(faults = Faults.disabled) ~capacity () =
     if capacity < 1 then invalid_arg "Chan.create: capacity must be >= 1";
     {
       lock = Mutex.create ();
@@ -199,10 +227,30 @@ module Chan = struct
       buf = Queue.create ();
       capacity;
       closed = false;
+      faults;
+      send_seq = 0;
+      recv_seq = 0;
     }
+
+  (* Fault ordinals are assigned under the channel lock, so a given
+     (seed, plan, op-interleaving) injects at the same operations. *)
+  let chan_fault t site seq =
+    Faults.enabled t.faults
+    &&
+    let k = seq () in
+    Faults.should_fail t.faults site ~k
 
   let send t x =
     Mutex.lock t.lock;
+    if
+      chan_fault t "chan.send" (fun () ->
+          let k = t.send_seq in
+          t.send_seq <- k + 1;
+          k)
+    then begin
+      Mutex.unlock t.lock;
+      raise (Faults.Injected "chan.send")
+    end;
     while (not t.closed) && Queue.length t.buf >= t.capacity do
       Condition.wait t.not_full t.lock
     done;
@@ -230,6 +278,15 @@ module Chan = struct
 
   let recv t =
     Mutex.lock t.lock;
+    if
+      chan_fault t "chan.recv" (fun () ->
+          let k = t.recv_seq in
+          t.recv_seq <- k + 1;
+          k)
+    then begin
+      Mutex.unlock t.lock;
+      raise (Faults.Injected "chan.recv")
+    end;
     while Queue.is_empty t.buf && not t.closed do
       Condition.wait t.not_empty t.lock
     done;

@@ -21,12 +21,19 @@ type t
 val create :
   ?metrics:Metrics.t ->
   ?tracer_for:(int -> Sp_obs.Tracer.t) ->
+  ?faults:Faults.t ->
   workers:int ->
   unit ->
   t
 (** Spawn [workers] domains (>= 1). [tracer_for i] is called once per
     worker, on the calling domain, before any worker starts; worker [i]
-    then owns (and is the only writer of) that tracer. *)
+    then owns (and is the only writer of) that tracer.
+
+    With an enabled [faults] plan (default {!Faults.disabled}), each
+    {!submit} consults site ["pool.task"] at the pool-wide submission
+    ordinal — on the submitting domain, so the decision is deterministic
+    per submission order — and an injected task resolves its handle to
+    [Error (Faults.Injected "pool.task")] without running the payload. *)
 
 val workers : t -> int
 
@@ -47,6 +54,12 @@ val await : 'a handle -> ('a, exn) result
 (** Block until the task has run. A task that raised reports its
     exception here instead of killing the worker. *)
 
+val await_full : 'a handle -> ('a, exn * Printexc.raw_backtrace) result
+(** Like {!await}, but a failed task also carries the backtrace captured
+    at the raise site on the worker domain — re-raise with
+    [Printexc.raise_with_backtrace] so failure records point at the real
+    failure site, not at the await. *)
+
 val run_all : t -> (unit -> 'a) list -> ('a, exn) result list
 (** Submit every thunk, then await them all (a barrier); results are in
     submission order. Records the blocked time as [pool.barrier_wait_ns]. *)
@@ -62,6 +75,7 @@ val shutdown : t -> unit
 val with_pool :
   ?metrics:Metrics.t ->
   ?tracer_for:(int -> Sp_obs.Tracer.t) ->
+  ?faults:Faults.t ->
   workers:int ->
   (t -> 'a) ->
   'a
@@ -75,8 +89,12 @@ module Chan : sig
 
   exception Closed
 
-  val create : capacity:int -> 'a t
-  (** Raises [Invalid_argument] when [capacity < 1]. *)
+  val create : ?faults:Faults.t -> capacity:int -> unit -> 'a t
+  (** Raises [Invalid_argument] when [capacity < 1]. With an enabled
+      [faults] plan, {!send} and {!recv} consult sites ["chan.send"] /
+      ["chan.recv"] at per-channel operation ordinals (assigned under
+      the channel lock) and raise [Faults.Injected] when the plan says
+      so, before touching the buffer. *)
 
   val send : 'a t -> 'a -> unit
   (** Blocks while full. Raises {!Closed} if the channel is (or becomes)

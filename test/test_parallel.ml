@@ -138,7 +138,7 @@ let test_pool_many_rounds () =
 (* ------------------------------------------------------------------ *)
 
 let test_chan_fifo () =
-  let c = Pool.Chan.create ~capacity:8 in
+  let c = Pool.Chan.create ~capacity:8 () in
   List.iter (Pool.Chan.send c) [ 1; 2; 3 ];
   check Alcotest.int "length" 3 (Pool.Chan.length c);
   check (Alcotest.option Alcotest.int) "fifo 1" (Some 1) (Pool.Chan.recv c);
@@ -151,7 +151,7 @@ let test_chan_fifo () =
       Pool.Chan.send c 9)
 
 let test_chan_capacity () =
-  let c = Pool.Chan.create ~capacity:2 in
+  let c = Pool.Chan.create ~capacity:2 () in
   Alcotest.(check bool) "accepts under capacity" true (Pool.Chan.try_send c 1);
   Alcotest.(check bool) "accepts at capacity" true (Pool.Chan.try_send c 2);
   Alcotest.(check bool) "refuses over capacity" false (Pool.Chan.try_send c 3);
@@ -161,7 +161,7 @@ let test_chan_capacity () =
 let test_chan_cross_domain () =
   (* A producer domain streams into a small channel while this domain
      consumes: blocking send/recv must hand all items over, in order. *)
-  let c = Pool.Chan.create ~capacity:4 in
+  let c = Pool.Chan.create ~capacity:4 () in
   let producer =
     Domain.spawn (fun () ->
         for i = 1 to 100 do
