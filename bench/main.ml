@@ -20,6 +20,7 @@ let experiments =
     ("e10", Exp_parallel.run);
     ("e11", Exp_exec.run);
     ("e12", Exp_sched.run);
+    ("e13", Exp_ml.run);
     ("abl", Exp_ablation.run) ]
 
 let () =

@@ -787,20 +787,68 @@ let serve_cmd =
 (* train                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let train () =
-  let p = Snowplow.Pipeline.train () in
+let train jobs trace_file =
+  let trace =
+    if trace_file = None then Trace.disabled else Trace.create ~enabled:true ()
+  in
+  let main_tracer = Trace.tracer trace ~pid:0 ~name:"train-main" in
+  (* One tracer per stripe (pids 2001+s): a stripe is executed by exactly
+     one pool task per batch, so each tracer stays single-writer no
+     matter which domain steals the task. *)
+  let tracer_for s =
+    Trace.tracer trace ~pid:(2001 + s) ~name:(Printf.sprintf "train-stripe-%d" s)
+  in
+  let config =
+    (* SNOWPLOW_QUICK shrinks the pipeline to integration-test scale, the
+       same dial `serve` uses — the CI smoke trains in seconds and still
+       exercises the full striped path. *)
+    let base =
+      if Sys.getenv_opt "SNOWPLOW_QUICK" = None then
+        Snowplow.Pipeline.default_config
+      else
+        {
+          Snowplow.Pipeline.default_config with
+          kernel_seed = 19;
+          gen_bases = 40;
+          corpus_bases = 40;
+          warmup_duration = 900.0;
+          dataset =
+            { Snowplow.Dataset.default_config with mutations_per_base = 200 };
+          encoder = { Snowplow.Encoder.default_config with steps = 600 };
+          trainer =
+            { Snowplow.Trainer.default_config with epochs = 4; log_every = 0 };
+        }
+    in
+    { base with trainer = { base.trainer with jobs } }
+  in
+  let p = Snowplow.Pipeline.train ~config ~tracer:main_tracer ~tracer_for () in
   let pmm = Snowplow.Pipeline.eval_scores p in
   let rand = Snowplow.Pipeline.rand_baseline p ~k:8 in
   Format.printf "PMModel: %a@." Sp_ml.Metrics.pp pmm;
   Format.printf "Rand.8 : %a@." Sp_ml.Metrics.pp rand;
   Printf.printf "threshold %.2f, %d parameters\n"
     (Snowplow.Pmm.threshold p.Snowplow.Pipeline.model)
-    (Snowplow.Pmm.num_parameters p.Snowplow.Pipeline.model)
+    (Snowplow.Pmm.num_parameters p.Snowplow.Pipeline.model);
+  match trace_file with
+  | Some path ->
+    Trace.write_file trace path;
+    Printf.printf "trace written to %s\n" path
+  | None -> ()
 
 let train_cmd =
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:
+            "Training stripe parallelism: each mini-batch is sharded into \
+             $(docv) contiguous stripes evaluated on a domain pool, with a \
+             deterministic stripe-order gradient reduction. $(docv)=1 is \
+             the sequential path (byte-identical to earlier releases).")
+  in
   Cmd.v
     (Cmd.info "train" ~doc:"Train PMM and report Table-1 selector metrics.")
-    Term.(const train $ const ())
+    Term.(const train $ jobs $ trace_file_arg)
 
 (* ------------------------------------------------------------------ *)
 (* directed                                                            *)

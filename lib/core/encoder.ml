@@ -5,6 +5,7 @@ module Ad = Sp_ml.Ad
 module Nn = Sp_ml.Nn
 module Tensor = Sp_ml.Tensor
 module Optim = Sp_ml.Optim
+module Workspace = Sp_ml.Workspace
 
 type config = { dim : int; max_len : int; steps : int; lr : float; seed : int }
 
@@ -109,14 +110,133 @@ let embed t tokens =
   done;
   pooled
 
+(* ------------------------------------------------------------------ *)
+(* Batched kernel embedding                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* [embed_kernel] runs the trained encoder over every block of a kernel
+   — thousands of short sequences. The batched path below concatenates a
+   chunk of sequences into one matrix and runs each linear layer as a
+   single matmul over all of them at once; only attention (which mixes
+   rows within a sequence) runs per sequence, on zero-copy row-range
+   views. Since every batched operation is row-independent and performs
+   the same IEEE operations in the same per-row order as [forward], the
+   result is bit-identical to the per-block path — test_snowplow pins
+   this. No tape is built ([embed] only reads values), and temporaries
+   draw from a local workspace ticked per chunk. *)
+
+let gather (table : Tensor.t) idx =
+  let _, d = Tensor.dims table in
+  let out = Tensor.create (Array.length idx) d in
+  Array.iteri
+    (fun i r ->
+      for j = 0 to d - 1 do
+        Tensor.set out i j (Tensor.get table r j)
+      done)
+    idx;
+  out
+
+let linear lin x =
+  let y = Tensor.matmul x (Nn.Linear.weight lin) in
+  (match Nn.Linear.bias lin with
+  | Some b -> Tensor.add_into ~dst:y b
+  | None -> ());
+  y
+
+(* Same float operations in the same order as [Ad.softmax_rows]'s
+   forward pass. *)
+let softmax_rows_inplace (x : Tensor.t) =
+  let rows, cols = Tensor.dims x in
+  for i = 0 to rows - 1 do
+    let mx = ref neg_infinity in
+    for j = 0 to cols - 1 do
+      mx := Float.max !mx (Tensor.get x i j)
+    done;
+    let z = ref 0.0 in
+    for j = 0 to cols - 1 do
+      let e = exp (Tensor.get x i j -. !mx) in
+      Tensor.set x i j e;
+      z := !z +. e
+    done;
+    for j = 0 to cols - 1 do
+      Tensor.set x i j (Tensor.get x i j /. !z)
+    done
+  done
+
+let embed_chunk t kernel ~result ~first ~count =
+  let d = t.config.dim in
+  let lens =
+    Array.init count (fun i ->
+        min
+          (Array.length (Kernel.block kernel (first + i)).Sp_kernel.Ir.tokens)
+          t.config.max_len)
+  in
+  let offs = Array.make (count + 1) 0 in
+  for i = 0 to count - 1 do
+    offs.(i + 1) <- offs.(i) + lens.(i)
+  done;
+  let total = offs.(count) in
+  if total > 0 then begin
+    let toks = Array.make total 0 and pos = Array.make total 0 in
+    for i = 0 to count - 1 do
+      let bt = (Kernel.block kernel (first + i)).Sp_kernel.Ir.tokens in
+      for k = 0 to lens.(i) - 1 do
+        toks.(offs.(i) + k) <- bt.(k);
+        pos.(offs.(i) + k) <- k
+      done
+    done;
+    let x0 = gather (Nn.Embedding.table t.tok_emb) toks in
+    Tensor.add_into ~dst:x0 (gather (Nn.Embedding.table t.pos_emb) pos);
+    let q = linear t.wq x0 and k = linear t.wk x0 and v = linear t.wv x0 in
+    let attended = Tensor.create total d in
+    for i = 0 to count - 1 do
+      let len = lens.(i) in
+      if len > 0 then begin
+        let qv = Tensor.rows_view q offs.(i) len
+        and kv = Tensor.rows_view k offs.(i) len
+        and vv = Tensor.rows_view v offs.(i) len in
+        let scores = Tensor.matmul_nt qv kv in
+        Tensor.scale_into ~dst:scores
+          (1.0 /. sqrt (float_of_int t.config.dim))
+          scores;
+        softmax_rows_inplace scores;
+        Tensor.matmul_into ~dst:(Tensor.rows_view attended offs.(i) len) scores vv
+      end
+    done;
+    let x1 = Tensor.add x0 (linear t.wo attended) in
+    let ff =
+      linear t.ffn2 (Tensor.map (fun x -> Float.max 0.0 x) (linear t.ffn1 x1))
+    in
+    let out = Tensor.add x1 ff in
+    (* Mean-pool each sequence into its (zeroed) result row, accumulating
+       in ascending-row order exactly like [embed]. *)
+    for i = 0 to count - 1 do
+      let len = lens.(i) in
+      let rows_f = float_of_int len in
+      for r = 0 to len - 1 do
+        for j = 0 to d - 1 do
+          Tensor.set result (first + i) j
+            (Tensor.get result (first + i) j
+            +. (Tensor.get out (offs.(i) + r) j /. rows_f))
+        done
+      done
+    done
+  end
+
 let embed_kernel t kernel =
   let n = Kernel.num_blocks kernel in
-  let out = Tensor.create n t.config.dim in
-  for b = 0 to n - 1 do
-    let e = embed t (Kernel.block kernel b).Sp_kernel.Ir.tokens in
-    Array.iteri (fun j v -> Tensor.set out b j v) e
+  (* The result is allocated before any workspace scope — it outlives
+     every generation. *)
+  let result = Tensor.create n t.config.dim in
+  let ws = Workspace.create () in
+  let chunk = 128 in
+  let b0 = ref 0 in
+  while !b0 < n do
+    let count = min chunk (n - !b0) in
+    Workspace.scoped ws (fun () -> embed_chunk t kernel ~result ~first:!b0 ~count);
+    b0 := !b0 + count
   done;
-  out
+  result
 
 let masked_lm_accuracy t kernel ~samples ~seed =
   let rng = Rng.create seed in

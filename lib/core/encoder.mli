@@ -29,7 +29,11 @@ val embed : t -> int array -> float array
 
 val embed_kernel : t -> Sp_kernel.Kernel.t -> Sp_ml.Tensor.t
 (** One row per kernel block — the frozen cache PMM reads. Works on any
-    kernel version, not just the one pretrained on. *)
+    kernel version, not just the one pretrained on. Runs the batched
+    tape-free path: chunks of blocks share one matmul per linear layer,
+    attention runs per sequence on zero-copy views, and temporaries draw
+    from a local workspace — bit-identical to calling {!embed} per
+    block. *)
 
 val masked_lm_accuracy : t -> Sp_kernel.Kernel.t -> samples:int -> seed:int -> float
 (** Fraction of masked tokens recovered correctly on random blocks; a

@@ -69,7 +69,8 @@ let collect_bases config kernel =
     gen_bases @ corpus_bases
   end
 
-let train ?(config = default_config) ?(tracer = Sp_obs.Tracer.null) () =
+let train ?(config = default_config) ?(tracer = Sp_obs.Tracer.null)
+    ?(tracer_for = fun _ -> Sp_obs.Tracer.null) () =
   let kernel =
     Kernel.linux_like ~seed:config.kernel_seed ~version:config.train_version
   in
@@ -89,7 +90,7 @@ let train ?(config = default_config) ?(tracer = Sp_obs.Tracer.null) () =
       ()
   in
   let history =
-    Trainer.train ~config:config.trainer ~tracer model ~block_embs
+    Trainer.train ~config:config.trainer ~tracer ~tracer_for model ~block_embs
       ~train:split.Dataset.train ~valid:split.Dataset.valid
   in
   { config; kernel; bases; split; encoder; block_embs; model; history }

@@ -34,10 +34,17 @@ type t = {
   history : Trainer.progress list;
 }
 
-val train : ?config:config -> ?tracer:Sp_obs.Tracer.t -> unit -> t
+val train :
+  ?config:config ->
+  ?tracer:Sp_obs.Tracer.t ->
+  ?tracer_for:(int -> Sp_obs.Tracer.t) ->
+  unit ->
+  t
 (** [tracer] (default disabled) records [pipeline.collect_bases],
     [pipeline.dataset] and [pipeline.pretrain] spans around the training
-    stages and is passed through to {!Trainer.train}. *)
+    stages and is passed through to {!Trainer.train}, along with
+    [tracer_for] (per-stripe tracers when the trainer runs with
+    [jobs > 1]). *)
 
 val kernel_version : t -> string -> Sp_kernel.Kernel.t
 (** Another version of the same kernel family (same seed). *)

@@ -5,6 +5,7 @@ module Prog = Sp_syzlang.Prog
 module Ad = Sp_ml.Ad
 module Nn = Sp_ml.Nn
 module Tensor = Sp_ml.Tensor
+module Workspace = Sp_ml.Workspace
 
 type config = {
   hidden : int;
@@ -38,6 +39,7 @@ type t = {
      branch tests (a sum of linear messages cannot express equality) *)
   wq_t : Nn.Linear.t;
   wk_t : Nn.Linear.t;
+  ws : Workspace.t;  (* arena for inference temporaries; single-domain *)
   mutable thresh : float;
 }
 
@@ -66,10 +68,42 @@ let create ?(config = default_config) ~encoder_dim ~num_syscalls () =
     head = Nn.Linear.create rng d 1;
     wq_t = Nn.Linear.create ~bias:false rng d d;
     wk_t = Nn.Linear.create ~bias:false rng d d;
+    ws = Workspace.create ();
     thresh = 0.5;
   }
 
 let config t = t.cfg
+
+let workspace t = t.ws
+
+(* A stripe worker's view of the model: parameter *values* are shared
+   with [t] (the tensors are physically the same, so optimizer updates
+   through the primary are immediately visible), while gradient slots
+   are private to the clone — each training stripe accumulates its own
+   gradients, reduced deterministically by the trainer. The workspace is
+   fresh (arenas are single-domain). With [share_relations] the single
+   underlying relation map is cloned exactly once, mirroring the
+   primary's sharing — distinct clones per slot would split its gradient
+   across nodes the trainer never visits. *)
+let clone_shared t =
+  {
+    cfg = t.cfg;
+    block_proj = Nn.Linear.clone_shared t.block_proj;
+    sys_emb = Nn.Embedding.clone_shared t.sys_emb;
+    kind_emb = Nn.Embedding.clone_shared t.kind_emb;
+    sig_emb = Nn.Embedding.clone_shared t.sig_emb;
+    nodekind_emb = Nn.Embedding.clone_shared t.nodekind_emb;
+    rel =
+      (if t.cfg.share_relations then
+         Array.make num_relations (Nn.Linear.clone_shared t.rel.(0))
+       else Array.map Nn.Linear.clone_shared t.rel);
+    self_map = Nn.Linear.clone_shared t.self_map;
+    head = Nn.Linear.clone_shared t.head;
+    wq_t = Nn.Linear.clone_shared t.wq_t;
+    wk_t = Nn.Linear.clone_shared t.wk_t;
+    ws = Workspace.create ();
+    thresh = t.thresh;
+  }
 
 let params t =
   let rels =
@@ -463,10 +497,14 @@ let infer_logits t ~block_embs (p : prepared) =
   logits
 
 let predict_scores t ~block_embs g =
-  let p = prepare g in
-  let logits = infer_logits t ~block_embs p in
-  List.init (Array.length p.paths) (fun i ->
-      (p.paths.(i), sigmoid (Tensor.get logits i 0)))
+  (* One self-contained workspace generation: every tensor temporary of
+     the tape-free forward pass draws from (and is recycled into) the
+     model's arena; only paths and float scores escape. *)
+  Workspace.scoped t.ws (fun () ->
+      let p = prepare g in
+      let logits = infer_logits t ~block_embs p in
+      List.init (Array.length p.paths) (fun i ->
+          (p.paths.(i), sigmoid (Tensor.get logits i 0))))
 
 let mutable_path (g : Query_graph.t) =
   let tbl = Hashtbl.create 64 in

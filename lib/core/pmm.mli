@@ -26,6 +26,18 @@ val create : ?config:config -> encoder_dim:int -> num_syscalls:int -> unit -> t
 
 val config : t -> config
 
+val workspace : t -> Sp_ml.Workspace.t
+(** The model's buffer arena. {!predict_scores}/{!predict} run inside one
+    generation of it; the trainer ticks stripe clones' arenas at
+    optimizer-step boundaries. *)
+
+val clone_shared : t -> t
+(** A stripe worker's view of the model: parameter values are physically
+    shared with the original (optimizer steps through either are visible
+    to both), gradient slots are private, the workspace is fresh. Used by
+    {!Trainer} to build tapes on several domains at once and reduce the
+    per-stripe gradients deterministically. *)
+
 val params : t -> Sp_ml.Ad.t list
 
 val num_parameters : t -> int

@@ -1,9 +1,11 @@
 module Rng = Sp_util.Rng
+module Pool = Sp_util.Pool
 module Prog = Sp_syzlang.Prog
 module Ad = Sp_ml.Ad
 module Optim = Sp_ml.Optim
 module Metrics = Sp_ml.Metrics
 module Tensor = Sp_ml.Tensor
+module Workspace = Sp_ml.Workspace
 module Tracer = Sp_obs.Tracer
 
 type config = {
@@ -12,9 +14,11 @@ type config = {
   batch : int;
   seed : int;
   log_every : int;
+  jobs : int;
 }
 
-let default_config = { epochs = 8; lr = 3e-3; batch = 8; seed = 31; log_every = 400 }
+let default_config =
+  { epochs = 8; lr = 3e-3; batch = 8; seed = 31; log_every = 400; jobs = 1 }
 
 type progress = { step : int; loss : float }
 
@@ -42,55 +46,212 @@ let calibrate_threshold model ~block_embs examples =
   Pmm.set_threshold model !best;
   !best
 
-let train ?(config = default_config) ?(tracer = Tracer.null) model ~block_embs
-    ~train ~valid =
+(* Shared history/throughput bookkeeping for both execution paths. *)
+type progress_state = {
+  mutable step : int;
+  mutable running_loss : float;
+  mutable running_n : int;
+  mutable history : progress list;
+  mutable last_step_at : float;
+}
+
+let fresh_progress () =
+  { step = 0; running_loss = 0.0; running_n = 0; history = [];
+    last_step_at = Unix.gettimeofday () }
+
+(* One eligible example's loss has been observed: advance the step
+   counter and emit a history record at [log_every] boundaries — the
+   same cadence whether losses arrive one by one (sequential) or
+   replayed in batch order after a parallel barrier. *)
+let observe_loss st ~config ~tracer loss_value =
+  st.step <- st.step + 1;
+  st.running_loss <- st.running_loss +. loss_value;
+  st.running_n <- st.running_n + 1;
+  if config.log_every > 0 && st.step mod config.log_every = 0 then begin
+    let mean = st.running_loss /. float_of_int st.running_n in
+    st.history <- { step = st.step; loss = mean } :: st.history;
+    Tracer.counter tracer "trainer.loss" mean;
+    st.running_loss <- 0.0;
+    st.running_n <- 0
+  end
+
+let note_step_rate st ~tracer samples =
+  let now = Unix.gettimeofday () in
+  let dt = now -. st.last_step_at in
+  if dt > 0.0 then
+    Tracer.counter tracer "trainer.samples_per_s" (float_of_int samples /. dt);
+  st.last_step_at <- now
+
+(* ------------------------------------------------------------------ *)
+(* Sequential path (jobs = 1) — byte-identical to the historical
+   trainer: same RNG draws, same IEEE operations in the same order. The
+   only change is that tape temporaries and gradient buffers now draw
+   from a workspace ticked at optimizer-step boundaries (gradients
+   accumulate across a mini-batch, so a generation spans exactly one
+   batch). *)
+(* ------------------------------------------------------------------ *)
+
+let train_sequential ~config ~tracer model ~block_embs ~train:train_exs =
   let rng = Rng.create config.seed in
   let optim = Optim.adam ~lr:config.lr (Pmm.params model) in
-  let history = ref [] in
-  let step = ref 0 in
+  let ws = Workspace.create () in
+  let st = fresh_progress () in
   let in_batch = ref 0 in
-  let running_loss = ref 0.0 and running_n = ref 0 in
-  for _epoch = 1 to config.epochs do
-    Tracer.span tracer "trainer.epoch" (fun () ->
-        let order = Array.init (Array.length train) Fun.id in
-        Rng.shuffle rng order;
-        Array.iter
-          (fun i ->
-            let ex = train.(i) in
-            if Array.length ex.Dataset.labels > 0 then begin
-              incr step;
-              let loss =
-                Pmm.loss model ~block_embs ex.Dataset.prepared
-                  ~labels:ex.Dataset.labels
-              in
-              (* Gradients accumulate across the mini-batch; one Adam step
-                 per [config.batch] examples. *)
-              Ad.backward loss;
-              incr in_batch;
-              if !in_batch >= config.batch then begin
-                Optim.step optim;
-                Optim.zero_grad optim;
-                in_batch := 0
-              end;
-              running_loss := !running_loss +. Tensor.get (Ad.value loss) 0 0;
-              incr running_n;
-              if config.log_every > 0 && !step mod config.log_every = 0
-              then begin
-                let mean = !running_loss /. float_of_int !running_n in
-                history := { step = !step; loss = mean } :: !history;
-                Tracer.counter tracer "trainer.loss" mean;
-                running_loss := 0.0;
-                running_n := 0
-              end
-            end)
-          order)
-  done;
-  if !in_batch > 0 then begin
-    Optim.step optim;
-    Optim.zero_grad optim
-  end;
+  Workspace.with_active ws (fun () ->
+      for _epoch = 1 to config.epochs do
+        Tracer.span tracer "trainer.epoch" (fun () ->
+            let order = Array.init (Array.length train_exs) Fun.id in
+            Rng.shuffle rng order;
+            Array.iter
+              (fun i ->
+                let ex = train_exs.(i) in
+                if Array.length ex.Dataset.labels > 0 then begin
+                  let loss =
+                    Pmm.loss model ~block_embs ex.Dataset.prepared
+                      ~labels:ex.Dataset.labels
+                  in
+                  (* Gradients accumulate across the mini-batch; one Adam
+                     step per [config.batch] examples. *)
+                  Ad.backward loss;
+                  incr in_batch;
+                  let stepped = !in_batch >= config.batch in
+                  if stepped then begin
+                    Optim.step optim;
+                    Optim.zero_grad optim;
+                    in_batch := 0
+                  end;
+                  observe_loss st ~config ~tracer
+                    (Tensor.get (Ad.value loss) 0 0);
+                  (* The loss scalar has been read and the gradients
+                     consumed: everything this generation handed out is
+                     dead, so the batch's buffers can be recycled. *)
+                  if stepped then begin
+                    Workspace.tick ws;
+                    note_step_rate st ~tracer config.batch
+                  end
+                end)
+              order)
+      done;
+      if !in_batch > 0 then begin
+        Optim.step optim;
+        Optim.zero_grad optim;
+        Workspace.tick ws
+      end);
+  List.rev st.history
+
+(* ------------------------------------------------------------------ *)
+(* Striped path (jobs > 1) — minibatch striping: each mini-batch's
+   eligible examples are split into [jobs] contiguous stripes, each
+   stripe builds tapes and accumulates gradients on its own pool domain
+   into a [Pmm.clone_shared] view (shared parameter values, private
+   gradient slots, private workspace), and the main domain reduces the
+   per-stripe gradients in stripe order before one Adam step.
+
+   Deterministic for a fixed (seed, jobs): stripes are reduced in
+   submission order and each stripe accumulates its examples in batch
+   order. The floating-point association differs from jobs = 1 (stripe
+   subtotals are summed, not one long chain), so results are
+   reproducible per (seed, jobs) rather than across job counts. *)
+(* ------------------------------------------------------------------ *)
+
+let train_parallel ~config ~tracer ~tracer_for model ~block_embs ~train:train_exs =
+  let jobs = config.jobs in
+  let rng = Rng.create config.seed in
+  let optim = Optim.adam ~lr:config.lr (Pmm.params model) in
+  let primary_params = Pmm.params model in
+  let clones = Array.init jobs (fun _ -> Pmm.clone_shared model) in
+  let clone_params = Array.map Pmm.params clones in
+  (* Per-stripe tracers, not per-worker: work stealing may run stripe [s]
+     on any domain, but one stripe is one task, executed exactly once per
+     barrier interval — so each stripe tracer has a single writer at any
+     instant (hand-offs are ordered by the pool's barrier). *)
+  let stripe_tracers = Array.init jobs tracer_for in
+  let st = fresh_progress () in
+  let pending = ref [] and n_pending = ref 0 in
+  Pool.with_pool ~workers:jobs (fun pool ->
+      let flush () =
+        if !n_pending > 0 then begin
+          let batch = Array.of_list (List.rev !pending) in
+          pending := [];
+          n_pending := 0;
+          let n = Array.length batch in
+          let tasks =
+            List.init jobs (fun s ->
+                let start = n * s / jobs in
+                let stop = n * (s + 1) / jobs in
+                let clone = clones.(s) in
+                let stracer = stripe_tracers.(s) in
+                fun () ->
+                  Tracer.span stracer "trainer.stripe" (fun () ->
+                      Workspace.with_active (Pmm.workspace clone) (fun () ->
+                          Array.init (stop - start) (fun k ->
+                              let ex = batch.(start + k) in
+                              let loss =
+                                Pmm.loss clone ~block_embs ex.Dataset.prepared
+                                  ~labels:ex.Dataset.labels
+                              in
+                              Ad.backward loss;
+                              Tensor.get (Ad.value loss) 0 0))))
+          in
+          let results = Pool.run_all pool tasks in
+          let losses =
+            List.map (function Ok a -> a | Error e -> raise e) results
+          in
+          (* Reduce in stripe order, then zero the clone's slots so the
+             next generation starts clean; the clones' workspaces are
+             only recycled after their gradients have been consumed. *)
+          Array.iter
+            (fun cps ->
+              List.iter2
+                (fun p cp ->
+                  (match Ad.grad_opt cp with
+                  | Some g -> Ad.accum p g
+                  | None -> ());
+                  Ad.zero_grad cp)
+                primary_params cps)
+            clone_params;
+          Optim.step optim;
+          Optim.zero_grad optim;
+          Array.iter (fun c -> Workspace.tick (Pmm.workspace c)) clones;
+          note_step_rate st ~tracer n;
+          (* Replay the per-example losses in batch order so history and
+             logging cadence match the sequential path's. *)
+          List.iter
+            (fun stripe_losses ->
+              Array.iter
+                (fun l -> observe_loss st ~config ~tracer l)
+                stripe_losses)
+            losses
+        end
+      in
+      for _epoch = 1 to config.epochs do
+        Tracer.span tracer "trainer.epoch" (fun () ->
+            let order = Array.init (Array.length train_exs) Fun.id in
+            Rng.shuffle rng order;
+            Array.iter
+              (fun i ->
+                let ex = train_exs.(i) in
+                if Array.length ex.Dataset.labels > 0 then begin
+                  pending := ex :: !pending;
+                  incr n_pending;
+                  if !n_pending >= config.batch then flush ()
+                end)
+              order)
+      done;
+      (* Leftover partial batch after all epochs, like the sequential
+         trainer's trailing step. *)
+      flush ());
+  List.rev st.history
+
+let train ?(config = default_config) ?(tracer = Tracer.null)
+    ?(tracer_for = fun _ -> Tracer.null) model ~block_embs ~train ~valid =
+  let history =
+    if config.jobs <= 1 then
+      train_sequential ~config ~tracer model ~block_embs ~train
+    else train_parallel ~config ~tracer ~tracer_for model ~block_embs ~train
+  in
   if Array.length valid > 0 then ignore (calibrate_threshold model ~block_embs valid);
-  List.rev !history
+  history
 
 let random_baseline ~k ~seed examples =
   let rng = Rng.create seed in

@@ -3,7 +3,15 @@
     Adam over per-example BCE; validation F1 both guides threshold
     calibration and selects the best checkpointed threshold, mirroring the
     paper's F1-guided hyper-parameter protocol. The random baseline Rand.K
-    of Table 1 is provided for comparison. *)
+    of Table 1 is provided for comparison.
+
+    With [jobs > 1] the trainer runs minibatch striping (DESIGN.md §13):
+    each mini-batch's examples are split into [jobs] contiguous stripes,
+    each stripe builds its tapes and accumulates gradients on its own
+    {!Sp_util.Pool} domain against a {!Pmm.clone_shared} view of the
+    model, and the per-stripe gradients are reduced in stripe order
+    before a single Adam step — deterministic for a fixed (seed, jobs).
+    [jobs = 1] is byte-identical to the historical sequential trainer. *)
 
 type config = {
   epochs : int;
@@ -11,6 +19,8 @@ type config = {
   batch : int;  (** examples per gradient step (gradient accumulation) *)
   seed : int;
   log_every : int;  (** steps between history records; 0 disables *)
+  jobs : int;
+      (** stripe/domain count; 1 (the default) trains sequentially *)
 }
 
 val default_config : config
@@ -20,6 +30,7 @@ type progress = { step : int; loss : float (** mean loss since last record *) }
 val train :
   ?config:config ->
   ?tracer:Sp_obs.Tracer.t ->
+  ?tracer_for:(int -> Sp_obs.Tracer.t) ->
   Pmm.t ->
   block_embs:Sp_ml.Tensor.t ->
   train:Dataset.example array ->
@@ -27,8 +38,13 @@ val train :
   progress list
 (** Trains in place; afterwards the model's threshold is calibrated to
     maximize mean F1 on [valid]. Returns the loss history. [tracer]
-    (default disabled) records one [trainer.epoch] span per epoch and a
-    [trainer.loss] counter per history record. *)
+    (default disabled) records one [trainer.epoch] span per epoch, a
+    [trainer.loss] counter per history record and a
+    [trainer.samples_per_s] counter per optimizer step. With [jobs > 1],
+    [tracer_for s] supplies stripe [s]'s tracer (called once per stripe
+    up front; each records one [trainer.stripe] span per mini-batch) —
+    use distinct tracers per stripe, they are written from pool
+    domains. *)
 
 val evaluate :
   Pmm.t ->

@@ -1,3 +1,7 @@
+(* Fused backward loops run over same-shaped value/grad buffers; shapes
+   are fixed at node construction, so they index unchecked. *)
+module A1 = Bigarray.Array1
+
 type t = {
   id : int;
   value : Tensor.t;
@@ -7,11 +11,12 @@ type t = {
   requires_grad : bool;
 }
 
-let next_id = ref 0
+(* Atomic: stripe-parallel training builds tapes on several domains at
+   once, and a plain [ref] could hand two nodes of one tape the same id
+   (breaking the backward DFS's visited set). *)
+let next_id = Atomic.make 0
 
-let fresh_id () =
-  incr next_id;
-  !next_id
+let fresh_id () = Atomic.fetch_and_add next_id 1 + 1
 
 let no_backward _ = ()
 
@@ -134,7 +139,12 @@ let elementwise f f' a =
   let v = Tensor.map f a.value in
   let back n =
     let g = out_grad n in
-    let da = Tensor.mul g (Tensor.map f' a.value) in
+    (* One fused pass: g .* f'(a), without materializing f'(a). *)
+    let da = Tensor.create g.Tensor.rows g.Tensor.cols in
+    let gd = g.Tensor.data and ad = a.value.Tensor.data and dd = da.Tensor.data in
+    for i = 0 to Tensor.numel g - 1 do
+      A1.unsafe_set dd i (A1.unsafe_get gd i *. f' (A1.unsafe_get ad i))
+    done;
     accum a da
   in
   node v [ a ] back
@@ -173,14 +183,20 @@ let softmax_rows a =
   done;
   let back n =
     let g = out_grad n in
+    (* Fused per-row pass over the raw buffers: one traversal computes
+       the grad-value dot product and a second writes the jacobian
+       product — no per-element get/set calls, no f'(a) temporary. *)
     let da = Tensor.create rows cols in
+    let gd = g.Tensor.data and vd = v.Tensor.data and dd = da.Tensor.data in
+    let dot = ref 0.0 in
     for i = 0 to rows - 1 do
-      let dot = ref 0.0 in
+      let base = i * cols in
+      dot := 0.0;
       for j = 0 to cols - 1 do
-        dot := !dot +. (Tensor.get g i j *. Tensor.get v i j)
+        dot := !dot +. (A1.unsafe_get gd (base + j) *. A1.unsafe_get vd (base + j))
       done;
       for j = 0 to cols - 1 do
-        Tensor.set da i j (Tensor.get v i j *. (Tensor.get g i j -. !dot))
+        A1.unsafe_set dd (base + j) (A1.unsafe_get vd (base + j) *. (A1.unsafe_get gd (base + j) -. !dot))
       done
     done;
     accum a da

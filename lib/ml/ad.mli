@@ -26,6 +26,12 @@ val grad_opt : t -> Tensor.t option
 
 val zero_grad : t -> unit
 
+val accum : t -> Tensor.t -> unit
+(** Add a tensor into the node's gradient slot (copying on first use).
+    No-op on nodes that do not require gradients. Used by the striped
+    trainer to reduce per-stripe gradients into the primary parameters;
+    {!backward} uses the same accumulation internally. *)
+
 (** {1 Operations} *)
 
 val add : t -> t -> t

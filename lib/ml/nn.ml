@@ -16,6 +16,12 @@ module Linear = struct
   let weight t = Ad.value t.w
 
   let bias t = Option.map Ad.value t.b
+
+  (* Fresh parameter leaves over the SAME value tensors: a stripe worker
+     clone accumulates private gradients while reading (and seeing
+     updates to) the primary's weights. *)
+  let clone_shared t =
+    { w = Ad.param (Ad.value t.w); b = Option.map (fun b -> Ad.param (Ad.value b)) t.b }
 end
 
 module Embedding = struct
@@ -30,6 +36,8 @@ module Embedding = struct
   let dim t = t.dim
 
   let table t = Ad.value t.table
+
+  let clone_shared t = { table = Ad.param (Ad.value t.table); dim = t.dim }
 end
 
 let zero_grads params = List.iter Ad.zero_grad params

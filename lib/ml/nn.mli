@@ -14,6 +14,12 @@ module Linear : sig
   (** The raw weight matrix (shared with the trainable parameter). *)
 
   val bias : t -> Tensor.t option
+
+  val clone_shared : t -> t
+  (** Fresh parameter leaves over the {e same} value tensors: the clone
+      accumulates its own gradients but reads (and sees updates to) the
+      original's weights — the per-worker model of stripe-parallel
+      training. *)
 end
 
 module Embedding : sig
@@ -30,6 +36,9 @@ module Embedding : sig
 
   val table : t -> Tensor.t
   (** The raw embedding table (shared with the trainable parameter). *)
+
+  val clone_shared : t -> t
+  (** See {!Linear.clone_shared}. *)
 end
 
 val zero_grads : Ad.t list -> unit

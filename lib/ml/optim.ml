@@ -1,3 +1,7 @@
+(* Gradients are shaped like their parameters by construction (Ad.accum
+   checks on first touch), so the update loops index unchecked. *)
+module A1 = Bigarray.Array1
+
 type algo =
   | Adam of {
       beta1 : float;
@@ -44,12 +48,12 @@ let step t =
         | Some g ->
           let data = (Ad.value p).Tensor.data and gd = g.Tensor.data in
           let m = a.m.(pi) and v = a.v.(pi) in
-          for i = 0 to Array.length data - 1 do
-            let gi = gd.(i) +. (a.weight_decay *. data.(i)) in
+          for i = 0 to Bigarray.Array1.dim data - 1 do
+            let gi = A1.unsafe_get gd i +. (a.weight_decay *. A1.unsafe_get data i) in
             m.(i) <- (a.beta1 *. m.(i)) +. ((1.0 -. a.beta1) *. gi);
             v.(i) <- (a.beta2 *. v.(i)) +. ((1.0 -. a.beta2) *. gi *. gi);
             let mhat = m.(i) /. bc1 and vhat = v.(i) /. bc2 in
-            data.(i) <- data.(i) -. (t.lr *. mhat /. (sqrt vhat +. a.eps))
+            A1.unsafe_set data i (A1.unsafe_get data i -. (t.lr *. mhat /. (sqrt vhat +. a.eps)))
           done)
       t.params
   | Sgd s ->
@@ -60,9 +64,9 @@ let step t =
         | Some g ->
           let data = (Ad.value p).Tensor.data and gd = g.Tensor.data in
           let vel = s.vel.(pi) in
-          for i = 0 to Array.length data - 1 do
-            vel.(i) <- (s.momentum *. vel.(i)) +. gd.(i);
-            data.(i) <- data.(i) -. (t.lr *. vel.(i))
+          for i = 0 to Bigarray.Array1.dim data - 1 do
+            vel.(i) <- (s.momentum *. vel.(i)) +. A1.unsafe_get gd i;
+            A1.unsafe_set data i (A1.unsafe_get data i -. (t.lr *. vel.(i)))
           done)
       t.params
 

@@ -1,0 +1,93 @@
+(* Generation-stamped buffer arena for tensor temporaries, modeled on
+   the executor's Exec.scratch: buffers are keyed by element count,
+   handed out cursor-style within a generation, and recycled wholesale
+   when the generation ticks. Slots are stamped lazily (like
+   Sp_util.Stampset), so a tick is one integer increment no matter how
+   many shapes the arena holds.
+
+   Activation is ambient: [with_active] installs the arena in
+   domain-local storage and {!Tensor}'s allocator draws from it, so the
+   whole Ad/Nn stack becomes allocation-free in steady state without
+   threading a workspace argument through every operation. Buffers are
+   only valid within the generation they were acquired in — anything
+   that must outlive the scope (parameters, embeddings, optimizer
+   state) is allocated while no arena is active. *)
+
+type buffer = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type slot = {
+  mutable bufs : buffer array;  (* capacity-doubled; [len] entries live *)
+  mutable len : int;
+  mutable cursor : int;  (* next buffer to hand out this generation *)
+  mutable stamp : int;  (* generation the cursor belongs to *)
+}
+
+type t = { slots : (int, slot) Hashtbl.t; mutable generation : int }
+
+let create () = { slots = Hashtbl.create 64; generation = 0 }
+
+let tick t = t.generation <- t.generation + 1
+
+let generation t = t.generation
+
+let new_buffer n = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n
+
+let acquire t n =
+  (* [Hashtbl.find] + exception instead of [find_opt]: the hit path must
+     not allocate an option. *)
+  let slot =
+    match Hashtbl.find t.slots n with
+    | slot -> slot
+    | exception Not_found ->
+      let slot = { bufs = [||]; len = 0; cursor = 0; stamp = t.generation } in
+      Hashtbl.add t.slots n slot;
+      slot
+  in
+  if slot.stamp <> t.generation then begin
+    slot.stamp <- t.generation;
+    slot.cursor <- 0
+  end;
+  if slot.cursor < slot.len then begin
+    let b = slot.bufs.(slot.cursor) in
+    slot.cursor <- slot.cursor + 1;
+    b
+  end
+  else begin
+    let b = new_buffer n in
+    if slot.len = Array.length slot.bufs then begin
+      let grown = Array.make (max 4 (2 * Array.length slot.bufs)) b in
+      Array.blit slot.bufs 0 grown 0 slot.len;
+      slot.bufs <- grown
+    end;
+    slot.bufs.(slot.len) <- b;
+    slot.len <- slot.len + 1;
+    slot.cursor <- slot.len;
+    b
+  end
+
+let retained t = Hashtbl.fold (fun _ slot acc -> acc + slot.len) t.slots 0
+
+let retained_elements t =
+  Hashtbl.fold (fun n slot acc -> acc + (n * slot.len)) t.slots 0
+
+(* ------------------------------------------------------------------ *)
+(* Ambient activation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let ambient_key : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let ambient () = Domain.DLS.get ambient_key
+
+let with_active t f =
+  let prev = Domain.DLS.get ambient_key in
+  Domain.DLS.set ambient_key (Some t);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set ambient_key prev) f
+
+let without f =
+  let prev = Domain.DLS.get ambient_key in
+  Domain.DLS.set ambient_key None;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set ambient_key prev) f
+
+let scoped t f =
+  tick t;
+  with_active t f

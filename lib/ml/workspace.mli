@@ -1,0 +1,62 @@
+(** Generation-stamped buffer arena for tensor temporaries.
+
+    The ML analogue of the executor's [Exec.scratch]: a per-model (or
+    per-domain) pool of float64 bigarray buffers keyed by element count.
+    Within one generation, {!acquire} hands out distinct buffers
+    cursor-style (allocating only on first use); {!tick} starts a new
+    generation, after which every buffer is handed out again from the
+    start. A steady-state forward/backward/optimizer step therefore
+    allocates ~0 minor words once the arena is warm.
+
+    An arena is single-domain state: share nothing, give each pool
+    worker its own. Buffers are only valid within the generation they
+    were acquired in — values that must survive a {!tick} (parameters,
+    embeddings, optimizer slots) must be allocated while no arena is
+    active (see {!without}). *)
+
+type buffer = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t
+
+val create : unit -> t
+
+val tick : t -> unit
+(** Start a new generation: every retained buffer becomes reusable. One
+    integer increment; slots re-stamp lazily on first {!acquire}. *)
+
+val generation : t -> int
+
+val acquire : t -> int -> buffer
+(** A buffer of exactly [n] elements, contents unspecified (possibly a
+    recycled buffer's old values — callers initialize). Valid until the
+    next {!tick}. *)
+
+val retained : t -> int
+(** Total buffers held across all size classes (the arena's high-water
+    footprint; steady-state training must stop growing it). *)
+
+val retained_elements : t -> int
+(** Total float64 elements held (8 bytes each). *)
+
+(** {1 Ambient activation}
+
+    {!Tensor}'s allocator consults the ambient arena of the current
+    domain, so activating a workspace makes the whole Ad/Nn stack draw
+    temporaries from it without any signature changes. *)
+
+val ambient : unit -> t option
+(** The active arena of the calling domain, if any. *)
+
+val with_active : t -> (unit -> 'a) -> 'a
+(** Run with this arena active on the calling domain (restores the
+    previous one afterwards, also on exceptions; nests). Does {e not}
+    tick — the caller controls generation boundaries. *)
+
+val without : (unit -> 'a) -> 'a
+(** Run with no ambient arena — escape hatch for allocating long-lived
+    tensors from inside an active scope. *)
+
+val scoped : t -> (unit -> 'a) -> 'a
+(** [tick] then [with_active]: one self-contained generation whose
+    results must not escape as workspace tensors (e.g. one inference
+    call returning plain floats). *)

@@ -1,0 +1,44 @@
+(* Smoke: batched embed_kernel bit-identity vs per-block embed; striped
+   trainer determinism; workspace reuse. *)
+let () =
+  let kernel = Sp_kernel.Kernel.linux_like ~seed:7 ~version:"6.8" in
+  let enc = Snowplow.Encoder.pretrain ~config:{ Snowplow.Encoder.default_config with steps = 200 } kernel in
+  let embs = Snowplow.Encoder.embed_kernel enc kernel in
+  let n = Sp_kernel.Kernel.num_blocks kernel in
+  let mismatches = ref 0 in
+  for b = 0 to n - 1 do
+    let e = Snowplow.Encoder.embed enc (Sp_kernel.Kernel.block kernel b).Sp_kernel.Ir.tokens in
+    Array.iteri
+      (fun j v ->
+        if not (Float.equal v (Sp_ml.Tensor.get embs b j)) then incr mismatches)
+      e
+  done;
+  Printf.printf "blocks=%d mismatched entries=%d\n%!" n !mismatches;
+  if !mismatches > 0 then exit 1;
+  (* striped trainer: jobs=2 twice -> identical histories; jobs=1 runs too *)
+  let cfg j = { Snowplow.Trainer.default_config with epochs = 2; log_every = 5; jobs = j } in
+  let mk () =
+    Snowplow.Pmm.create ~encoder_dim:(Snowplow.Encoder.dim enc)
+      ~num_syscalls:(Sp_syzlang.Spec.count (Sp_kernel.Kernel.spec_db kernel)) ()
+  in
+  let bases =
+    Sp_syzlang.Gen.corpus (Sp_util.Rng.create 3) (Sp_kernel.Kernel.spec_db kernel) ~size:20
+  in
+  let split = Snowplow.Dataset.collect kernel ~bases in
+  let run j =
+    let m = mk () in
+    let h =
+      Snowplow.Trainer.train ~config:(cfg j) m ~block_embs:embs
+        ~train:split.Snowplow.Dataset.train ~valid:split.Snowplow.Dataset.valid
+    in
+    (h, Snowplow.Pmm.threshold m,
+     List.map (fun p -> Sp_ml.Tensor.to_array (Sp_ml.Ad.value p)) (Snowplow.Pmm.params m))
+  in
+  let h1, t1, p1 = run 2 in
+  let h2, t2, p2 = run 2 in
+  let hs, _, _ = run 1 in
+  Printf.printf "hist jobs2 len=%d, jobs1 len=%d\n%!" (List.length h1) (List.length hs);
+  assert (h1 = h2);
+  assert (Float.equal t1 t2);
+  List.iter2 (fun a b -> assert (a = b)) p1 p2;
+  Printf.printf "striped determinism OK\n%!"

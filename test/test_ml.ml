@@ -66,12 +66,12 @@ let test_broadcast_bias () =
 let numeric_grad param f i =
   let data = (Ad.value param).Tensor.data in
   let eps = 1e-5 in
-  let orig = data.(i) in
-  data.(i) <- orig +. eps;
+  let orig = data.{i} in
+  data.{i} <- orig +. eps;
   let up = Tensor.get (Ad.value (f ())) 0 0 in
-  data.(i) <- orig -. eps;
+  data.{i} <- orig -. eps;
   let down = Tensor.get (Ad.value (f ())) 0 0 in
-  data.(i) <- orig;
+  data.{i} <- orig;
   (up -. down) /. (2.0 *. eps)
 
 let check_grads ?(tol = 1e-3) param f =
@@ -82,7 +82,7 @@ let check_grads ?(tol = 1e-3) param f =
   let n = Tensor.numel (Ad.value param) in
   for i = 0 to n - 1 do
     let expected = numeric_grad param f i in
-    let got = g.Tensor.data.(i) in
+    let got = g.Tensor.data.{i} in
     if Float.abs (expected -. got) > tol *. (1.0 +. Float.abs expected) then
       Alcotest.failf "grad mismatch at %d: numeric %f vs autodiff %f" i expected got
   done

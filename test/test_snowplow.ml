@@ -157,6 +157,21 @@ let test_encoder_shapes () =
     (Kernel.num_blocks kernel, Encoder.dim encoder)
     (Tensor.dims block_embs)
 
+let test_embed_kernel_bit_identical () =
+  (* [block_embs] above came from the batched embed_kernel; every row
+     must equal the per-block embed bit for bit (the batched path shares
+     one matmul per linear layer but row results are independent). *)
+  let n = min 60 (Kernel.num_blocks kernel) in
+  for b = 0 to n - 1 do
+    let e = Encoder.embed encoder (Kernel.block kernel b).Sp_kernel.Ir.tokens in
+    Array.iteri
+      (fun j v ->
+        if Int64.bits_of_float v
+           <> Int64.bits_of_float (Tensor.get block_embs b j)
+        then Alcotest.failf "block %d col %d differs" b j)
+      e
+  done
+
 let test_encoder_learns () =
   (* pretrained masked-token accuracy should beat uniform guessing *)
   let acc = Encoder.masked_lm_accuracy encoder kernel ~samples:300 ~seed:4 in
@@ -233,6 +248,74 @@ let test_exact_targets_mode () =
         (List.for_all (fun b -> List.mem b ex.Dataset.new_blocks) ex.Dataset.targets))
     s.Dataset.train
 
+let prop_stratified_assignment =
+  QCheck.Test.make ~count:300
+    ~name:"stratified assignment keeps 80/10/10 inside every stratum"
+    QCheck.(pair (int_bound 100000) (int_bound 60))
+    (fun (seed, n) ->
+      let rng = Rng.create (seed + 1) in
+      (* Coarse rates so ties across bases are common, like real data. *)
+      let rates = Array.init n (fun _ -> float_of_int (Rng.int rng 6) /. 5.0) in
+      let assign = Dataset.stratified_assignment rates in
+      Array.length assign = n
+      &&
+      (* Recover the terciles independently and count tags per stratum:
+         each must carry exactly the floor-formula proportions the
+         unstratified split applies to the whole corpus. *)
+      let sorted = Array.copy rates in
+      Array.sort compare sorted;
+      let q1 = if n = 0 then 0.0 else sorted.(n / 3)
+      and q2 = if n = 0 then 0.0 else sorted.(2 * n / 3) in
+      let stratum r = if r < q1 then 0 else if r < q2 then 1 else 2 in
+      List.for_all
+        (fun s ->
+          let tags = ref [] in
+          Array.iteri
+            (fun i r -> if stratum r = s then tags := assign.(i) :: !tags)
+            rates;
+          let ns = List.length !tags in
+          let count t = List.length (List.filter (( = ) t) !tags) in
+          count `Train = ns * 8 / 10
+          && count `Valid = ns / 10
+          && count `Eval = ns - (ns * 8 / 10) - (ns / 10))
+        [ 0; 1; 2 ])
+
+let test_stratified_split_no_leak () =
+  let cfg = { tiny_dataset_config with Dataset.stratify = true } in
+  let s = Dataset.collect ~config:cfg kernel ~bases in
+  let key (ex : Dataset.example) = Prog.hash ex.Dataset.base in
+  let of_arr a = List.sort_uniq compare (List.map key (Array.to_list a)) in
+  let tr = of_arr s.Dataset.train
+  and va = of_arr s.Dataset.valid
+  and ev = of_arr s.Dataset.eval in
+  let inter a b = List.filter (fun x -> List.mem x b) a in
+  Alcotest.(check (list int)) "train/valid disjoint" [] (inter tr va);
+  Alcotest.(check (list int)) "train/eval disjoint" [] (inter tr ev);
+  Alcotest.(check (list int)) "valid/eval disjoint" [] (inter va ev);
+  Alcotest.(check bool) "train still dominant" true
+    (Array.length s.Dataset.train > Array.length s.Dataset.valid)
+
+let test_unstratified_split_unchanged () =
+  (* stratify=false must run the historical code path byte for byte: a
+     second collect with the explicit default flag reproduces the
+     module-level [split] exactly. *)
+  let s =
+    Dataset.collect
+      ~config:{ tiny_dataset_config with Dataset.stratify = false }
+      kernel ~bases
+  in
+  let sig_of a =
+    Array.to_list a
+    |> List.map (fun (ex : Dataset.example) ->
+           (Prog.hash ex.Dataset.base, Array.to_list ex.Dataset.labels))
+  in
+  Alcotest.(check bool) "train identical" true
+    (sig_of s.Dataset.train = sig_of split.Dataset.train);
+  Alcotest.(check bool) "valid identical" true
+    (sig_of s.Dataset.valid = sig_of split.Dataset.valid);
+  Alcotest.(check bool) "eval identical" true
+    (sig_of s.Dataset.eval = sig_of split.Dataset.eval)
+
 (* ------------------------------------------------------------------ *)
 (* Trainer                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -254,6 +337,45 @@ let test_training_beats_random () =
        pmm_scores.Sp_ml.Metrics.f1 rand.Sp_ml.Metrics.f1)
     true
     (pmm_scores.Sp_ml.Metrics.f1 > rand.Sp_ml.Metrics.f1 +. 0.05)
+
+let test_striped_training_deterministic () =
+  let mk () =
+    Pmm.create ~encoder_dim:(Encoder.dim encoder)
+      ~num_syscalls:(Sp_syzlang.Spec.count db) ()
+  in
+  let run jobs =
+    let m = mk () in
+    let cfg =
+      { Snowplow.Trainer.default_config with epochs = 2; log_every = 7; jobs }
+    in
+    let h =
+      Snowplow.Trainer.train ~config:cfg m ~block_embs
+        ~train:split.Dataset.train ~valid:split.Dataset.valid
+    in
+    ( h,
+      Pmm.threshold m,
+      List.map (fun p -> Tensor.to_array (Sp_ml.Ad.value p)) (Pmm.params m) )
+  in
+  let h1, t1, p1 = run 2 in
+  let h2, t2, p2 = run 2 in
+  Alcotest.(check bool) "histories identical" true (h1 = h2);
+  Alcotest.(check bool) "threshold identical" true (Float.equal t1 t2);
+  List.iter2
+    (fun a b -> Alcotest.(check bool) "params identical" true (a = b))
+    p1 p2;
+  (* jobs=1 trains too and lands near the striped run (different float
+     association, so tolerance, not equality). *)
+  let _, t_seq, p_seq = run 1 in
+  Alcotest.(check bool) "thresholds comparable" true
+    (Float.abs (t1 -. t_seq) <= 0.25);
+  List.iter2
+    (fun a b ->
+      Array.iteri
+        (fun i v ->
+          if Float.abs (v -. b.(i)) > 1e-3 *. (1.0 +. Float.abs v) then
+            Alcotest.failf "striped/sequential diverged: %g vs %g" v b.(i))
+        a)
+    p1 p_seq
 
 (* ------------------------------------------------------------------ *)
 (* Inference service                                                    *)
@@ -581,8 +703,11 @@ let () =
       ( "encoder",
         [
           Alcotest.test_case "shapes" `Quick test_encoder_shapes;
+          Alcotest.test_case "batched embed bit-identical" `Quick
+            test_embed_kernel_bit_identical;
           Alcotest.test_case "masked LM learns" `Slow test_encoder_learns;
         ] );
+      qsuite "dataset-props" [ prop_stratified_assignment ];
       ( "dataset",
         [
           Alcotest.test_case "nonempty" `Quick test_dataset_nonempty;
@@ -590,9 +715,17 @@ let () =
           Alcotest.test_case "targets from frontier" `Quick test_dataset_targets_are_frontier;
           Alcotest.test_case "split no leak" `Quick test_dataset_split_no_leak;
           Alcotest.test_case "exact targets mode" `Quick test_exact_targets_mode;
+          Alcotest.test_case "stratified split no leak" `Quick
+            test_stratified_split_no_leak;
+          Alcotest.test_case "unstratified split unchanged" `Quick
+            test_unstratified_split_unchanged;
         ] );
       ( "trainer",
-        [ Alcotest.test_case "training beats random" `Slow test_training_beats_random ] );
+        [
+          Alcotest.test_case "training beats random" `Slow test_training_beats_random;
+          Alcotest.test_case "striped training deterministic" `Slow
+            test_striped_training_deterministic;
+        ] );
       ( "inference",
         [
           Alcotest.test_case "latency and cache" `Quick test_inference_latency_and_cache;
