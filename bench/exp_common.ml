@@ -18,12 +18,34 @@ let section title =
 
 let shared : Snowplow.Pipeline.t option ref = ref None
 
+(* Quick mode (SNOWPLOW_QUICK, used by @ci) shrinks PMM training to the
+   integration-test scale — same shrink the CLI's serve command applies.
+   The model is bad; the plumbing and the emitted key sets are the
+   same. *)
+let quick_pipeline_config =
+  {
+    Snowplow.Pipeline.default_config with
+    kernel_seed = 19;
+    gen_bases = 40;
+    corpus_bases = 40;
+    warmup_duration = 900.0;
+    dataset =
+      { Snowplow.Dataset.default_config with mutations_per_base = 200 };
+    encoder = { Snowplow.Encoder.default_config with steps = 600 };
+    trainer =
+      { Snowplow.Trainer.default_config with epochs = 4; log_every = 0 };
+  }
+
 let pipeline () =
   match !shared with
   | Some p -> p
   | None ->
     log "training PMM (dataset collection + encoder pretraining + GNN)...";
-    let p = Snowplow.Pipeline.train () in
+    let config =
+      if Sys.getenv_opt "SNOWPLOW_QUICK" = None then None
+      else Some quick_pipeline_config
+    in
+    let p = Snowplow.Pipeline.train ?config () in
     log "PMM trained: %d train / %d valid / %d eval examples, %d parameters"
       (Array.length p.Snowplow.Pipeline.split.Snowplow.Dataset.train)
       (Array.length p.Snowplow.Pipeline.split.Snowplow.Dataset.valid)
@@ -72,11 +94,12 @@ let repo_root () =
 
 let quick_mode () = Sys.getenv_opt "SNOWPLOW_QUICK" <> None
 
+(* SNOWPLOW_BENCH_OUT redirects the trajectory files to another
+   directory — how CI captures a fresh quick-mode run for
+   [snowplow bench-diff] without ever overwriting the committed
+   full-workload baselines. Without it, quick mode writes nothing. *)
 let emit_bench name fields =
-  if quick_mode () then
-    log "quick mode: not writing BENCH_%s.json (reduced workload)" name
-  else begin
-    let path = Filename.concat (repo_root ()) (Printf.sprintf "BENCH_%s.json" name) in
+  let write path =
     let json =
       Sp_obs.Json.Obj
         (("experiment", Sp_obs.Json.Str name)
@@ -84,7 +107,17 @@ let emit_bench name fields =
     in
     Sp_obs.Io.write_atomic path (Sp_obs.Json.to_string json ^ "\n");
     log "bench trajectory: %s" path
-  end
+  in
+  match Sys.getenv_opt "SNOWPLOW_BENCH_OUT" with
+  | Some dir ->
+    (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+    write (Filename.concat dir (Printf.sprintf "BENCH_%s.json" name))
+  | None ->
+    if quick_mode () then
+      log "quick mode: not writing BENCH_%s.json (reduced workload)" name
+    else
+      write
+        (Filename.concat (repo_root ()) (Printf.sprintf "BENCH_%s.json" name))
 
 let seed_corpus db ~seed ~size =
   Sp_syzlang.Gen.corpus (Sp_util.Rng.create seed) db ~size

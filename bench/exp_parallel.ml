@@ -20,7 +20,12 @@ module Vm = Sp_fuzz.Vm
 module Metrics = Sp_util.Metrics
 module Table = Sp_util.Table
 
-let workload = 14_400.0 (* virtual seconds of single-VM fuzzing *)
+(* Quick mode shrinks the workload ~12x; the emitted key set (and the
+   reproducibility check) stay identical, so bench-diff can compare a
+   fresh quick run against the committed full-workload trajectory. *)
+let workload =
+  if Exp_common.quick_mode () then 1_200.0 else 14_400.0
+(* virtual seconds of single-VM fuzzing *)
 
 let kernel =
   Kernel.generate { Build.default_config with num_syscalls = 24 }

@@ -41,12 +41,22 @@ let service_numbers p =
     !sent,
     List.length completed )
 
+(* Quick mode shrinks the campaigns ~12x (and skips the 24-virtual-hour
+   cache-bound run plus the microbenchmarks below); the emitted key set
+   is unchanged, so bench-diff can compare a fresh quick run against the
+   committed full-workload trajectory. *)
+let campaign_duration () =
+  if Exp_common.quick_mode () then 600.0 else 7200.0
+
 let fuzz_throughput p =
   let kernel = p.Snowplow.Pipeline.kernel in
   let db = Kernel.spec_db kernel in
   let seeds = Exp_common.seed_corpus db ~seed:123 ~size:60 in
   let cfg =
-    { Campaign.default_config with seed_corpus = seeds; seed = 3; duration = 7200.0 }
+    { Campaign.default_config with
+      seed_corpus = seeds;
+      seed = 3;
+      duration = campaign_duration () }
   in
   let run name strategy =
     let ts = Exp_common.campaign_timeseries () in
@@ -151,37 +161,7 @@ let microbench p =
     tests;
   Table.print t
 
-let run () =
-  Exp_common.section "E8 — Performance characteristics (§5.5)";
-  let p = Exp_common.pipeline () in
-  let qps, latency, sent, completed = service_numbers p in
-  let syz_tps, snow_tps, snow_report, snow_inference = fuzz_throughput p in
-  let t = Table.create ~title:"Service and fuzzing performance" ~header:[ "metric"; "value"; "paper" ] () in
-  Table.add_row t [ "inference capacity (saturation)"; Printf.sprintf "%.0f qps" qps; "57 qps" ];
-  Table.add_row t
-    [ "inference latency (under load)"; Printf.sprintf "%.2f s" latency; "0.69 s" ];
-  Table.add_row t
-    [ "queries completed under overload"; Printf.sprintf "%d/%d" completed sent; "-" ];
-  Table.add_row t
-    [ "Syzkaller throughput (modelled fleet)"; Printf.sprintf "%.0f tests/s" syz_tps; "390" ];
-  Table.add_row t
-    [ "Snowplow throughput (modelled fleet)"; Printf.sprintf "%.0f tests/s" snow_tps; "383" ];
-  Table.add_row t
-    [ "Snowplow campaign executions/s (virtual)";
-      Printf.sprintf "%.1f execs/s"
-        (float_of_int snow_report.Campaign.executions /. 7200.0);
-      "-" ];
-  Table.print t;
-  Exp_common.emit_bench "E8"
-    [ ("inference_saturation_qps", qps);
-      ("inference_latency_s", latency);
-      ("syzkaller_fleet_tests_per_s", syz_tps);
-      ("snowplow_fleet_tests_per_s", snow_tps)
-    ];
-  print_newline ();
-  print_endline "Campaign + inference loop metrics (2 h Snowplow run):";
-  print_campaign_metrics snow_report snow_inference;
-  print_newline ();
+let run_slow_half p =
   let bound_report, bound_inference = cache_bound_run p in
   let cache_size = Snowplow.Inference.cache_size bound_inference in
   let cache_cap = Snowplow.Inference.cache_capacity bound_inference in
@@ -209,3 +189,40 @@ let run () =
   print_newline ();
   microbench p;
   print_newline ()
+
+let run () =
+  Exp_common.section "E8 — Performance characteristics (§5.5)";
+  let p = Exp_common.pipeline () in
+  let qps, latency, sent, completed = service_numbers p in
+  let syz_tps, snow_tps, snow_report, snow_inference = fuzz_throughput p in
+  let t = Table.create ~title:"Service and fuzzing performance" ~header:[ "metric"; "value"; "paper" ] () in
+  Table.add_row t [ "inference capacity (saturation)"; Printf.sprintf "%.0f qps" qps; "57 qps" ];
+  Table.add_row t
+    [ "inference latency (under load)"; Printf.sprintf "%.2f s" latency; "0.69 s" ];
+  Table.add_row t
+    [ "queries completed under overload"; Printf.sprintf "%d/%d" completed sent; "-" ];
+  Table.add_row t
+    [ "Syzkaller throughput (modelled fleet)"; Printf.sprintf "%.0f tests/s" syz_tps; "390" ];
+  Table.add_row t
+    [ "Snowplow throughput (modelled fleet)"; Printf.sprintf "%.0f tests/s" snow_tps; "383" ];
+  Table.add_row t
+    [ "Snowplow campaign executions/s (virtual)";
+      Printf.sprintf "%.1f execs/s"
+        (float_of_int snow_report.Campaign.executions /. campaign_duration ());
+      "-" ];
+  Table.print t;
+  Exp_common.emit_bench "E8"
+    [ ("inference_saturation_qps", qps);
+      ("inference_latency_s", latency);
+      ("syzkaller_fleet_tests_per_s", syz_tps);
+      ("snowplow_fleet_tests_per_s", snow_tps)
+    ];
+  print_newline ();
+  print_endline "Campaign + inference loop metrics (Snowplow run):";
+  print_campaign_metrics snow_report snow_inference;
+  print_newline ();
+  if Exp_common.quick_mode () then
+    Exp_common.log
+      "quick mode: skipping the 24-virtual-hour cache-bound run and the \
+       microbenchmarks"
+  else run_slow_half p

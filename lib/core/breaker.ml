@@ -32,10 +32,13 @@ let create ?(config = default_config) () =
 
 let config t = t.cfg
 
+let peek t ~now =
+  match t.st with
+  | Open when now >= t.opened_at +. t.cfg.cooldown -> Half_open
+  | st -> st
+
 let state t ~now =
-  (match t.st with
-  | Open when now >= t.opened_at +. t.cfg.cooldown -> t.st <- Half_open
-  | _ -> ());
+  t.st <- peek t ~now;
   t.st
 
 let state_name = function

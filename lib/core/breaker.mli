@@ -46,6 +46,14 @@ val state : t -> now:float -> state
 (** Current state; performs the Open -> Half_open transition once the
     cooldown has elapsed at [now]. *)
 
+val peek : t -> now:float -> state
+(** Like {!state} but pure: reports the state [now] implies without
+    committing the Open -> Half_open transition. This is what
+    observability reads (telemetry gauges) must use — a scrape-driven
+    read may run at virtual times the unclocked path never visits, and
+    committing the transition there would perturb the serialized
+    breaker state an unobserved run would have written. *)
+
 val state_name : state -> string
 (** ["closed"] / ["open"] / ["half-open"]. *)
 

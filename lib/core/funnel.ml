@@ -26,6 +26,9 @@ type retry = {
 
 type lane = {
   ln_breaker : Breaker.t;
+  (* Breaker state name as of the last transition event, so flushes can
+     emit an event exactly when the state changes. *)
+  mutable ln_last_state : string;
   (* Per-lane send ordinal — the fault index for the inference.request@N
      / inference.timeout@N sites. Process-local bookkeeping, not
      persisted: a resumed run restarts its fault ordinals. *)
@@ -72,11 +75,13 @@ type t = {
   degrade : degrade option;
   lanes : lane array;  (* one per tenant when [degrade] is armed; [||] else *)
   flush_seq : int array;  (* per-tenant flush ordinal *)
+  events : Sp_obs.Events.t;
 }
 
 let fresh_lane dg =
   {
     ln_breaker = Breaker.create ~config:dg.dg_breaker ();
+    ln_last_state = "closed";
     ln_reqs = 0;
     ln_attempts = [];
     ln_retries = [];
@@ -86,7 +91,8 @@ let fresh_lane dg =
   }
 
 let create_multi ?(max_outbox = 64) ?(tracer = Tracer.null) ?degrade
-    ?(faults = Faults.disabled) ~tenant_shards service =
+    ?(faults = Faults.disabled) ?(events = Sp_obs.Events.null) ~tenant_shards
+    service =
   let tenants = Array.length tenant_shards in
   if tenants < 1 then
     invalid_arg "Funnel.create_multi: at least one tenant required";
@@ -116,11 +122,12 @@ let create_multi ?(max_outbox = 64) ?(tracer = Tracer.null) ?degrade
       | None -> [||]
       | Some dg -> Array.init tenants (fun _ -> fresh_lane dg));
     flush_seq = Array.make tenants 0;
+    events;
   }
 
-let create ?max_outbox ?tracer ?degrade ?faults ~shards service =
+let create ?max_outbox ?tracer ?degrade ?faults ?events ~shards service =
   if shards < 1 then invalid_arg "Funnel.create: shards must be >= 1";
-  create_multi ?max_outbox ?tracer ?degrade ?faults
+  create_multi ?max_outbox ?tracer ?degrade ?faults ?events
     ~tenant_shards:[| shards |] service
 
 let tenants t = Array.length t.counts
@@ -192,6 +199,26 @@ let breaker_code = function
   | Breaker.Open -> 1.0
   | Breaker.Half_open -> 2.0
 
+(* Emit a [breaker.transition] event when the lane's state changed since
+   the last one — recovery back to closed is Info, leaving closed is
+   Warn. *)
+let note_breaker_state t ~tenant ln ~now =
+  let name = Breaker.state_name (Breaker.state ln.ln_breaker ~now) in
+  if not (String.equal name ln.ln_last_state) then begin
+    let level =
+      if String.equal name "closed" then Sp_obs.Events.Info
+      else Sp_obs.Events.Warn
+    in
+    Sp_obs.Events.log t.events ~level ~kind:"breaker.transition"
+      [ ("tenant", Json.Num (float_of_int tenant));
+        ("from", Json.Str ln.ln_last_state);
+        ("to", Json.Str name);
+        ("trips", Json.Num (float_of_int (Breaker.trips ln.ln_breaker)));
+        ("now", Json.Num now)
+      ];
+    ln.ln_last_state <- name
+  end
+
 (* The degraded flush: reclaim stalled requests, drive the breaker, send
    (or shed) by its state, then deliver. Send-before-poll order matches
    the plain path, so an armed lane that never sees a fault produces the
@@ -216,6 +243,13 @@ let flush_degraded t ~tenant ~now dg fresh =
           @ [ { rt_prog = prog; rt_targets = targets; rt_attempt = attempt;
                 rt_due = backoff attempt } ])
     overdue;
+  if overdue <> [] then
+    Sp_obs.Events.log t.events ~level:Sp_obs.Events.Warn ~kind:"funnel.reclaim"
+      [ ("tenant", Json.Num (float_of_int tenant));
+        ("count", Json.Num (float_of_int (List.length overdue)));
+        ("now", Json.Num now)
+      ];
+  note_breaker_state t ~tenant ln ~now;
   let bstate = Breaker.state ln.ln_breaker ~now in
   Tracer.counter t.tracer "breaker.state" (breaker_code bstate);
   let send prog targets attempt =
@@ -283,6 +317,7 @@ let flush_degraded t ~tenant ~now dg fresh =
       ignore (attempts_take ln (Prog.hash prog) prog))
     completed;
   ln.ln_degraded <- Breaker.state ln.ln_breaker ~now <> Breaker.Closed;
+  note_breaker_state t ~tenant ln ~now;
   List.map (fun (prog, paths, _) -> (prog, paths)) completed
 
 let flush_tenant t ~tenant ~now =
@@ -343,6 +378,18 @@ let tenant_fold name t ~tenant arr =
   done;
   !acc
 
+let tenant_queue_depth t ~tenant =
+  if tenant < 0 || tenant >= Array.length t.counts then
+    invalid_arg "Funnel.tenant_queue_depth: tenant out of range";
+  let off = t.offsets.(tenant) in
+  let acc = ref 0 in
+  for s = off to off + t.counts.(tenant) - 1 do
+    acc := !acc + Fqueue.length t.outboxes.(s) + Fqueue.length t.inboxes.(s)
+  done;
+  (if Array.length t.lanes > 0 then
+     acc := !acc + List.length t.lanes.(tenant).ln_retries);
+  !acc
+
 let tenant_deferred t ~tenant =
   tenant_fold "Funnel.tenant_deferred" t ~tenant t.deferred
 
@@ -361,7 +408,7 @@ let lane_stats t ~tenant ~now =
     let ln = t.lanes.(tenant) in
     Some
       {
-        ls_state = Breaker.state_name (Breaker.state ln.ln_breaker ~now);
+        ls_state = Breaker.state_name (Breaker.peek ln.ln_breaker ~now);
         ls_trips = Breaker.trips ln.ln_breaker;
         ls_errors = ln.ln_errors;
         ls_shed = ln.ln_shed;

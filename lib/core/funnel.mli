@@ -69,6 +69,7 @@ val create :
   ?tracer:Sp_obs.Tracer.t ->
   ?degrade:degrade ->
   ?faults:Sp_util.Faults.t ->
+  ?events:Sp_obs.Events.t ->
   shards:int ->
   Inference.t ->
   t
@@ -83,6 +84,7 @@ val create_multi :
   ?tracer:Sp_obs.Tracer.t ->
   ?degrade:degrade ->
   ?faults:Sp_util.Faults.t ->
+  ?events:Sp_obs.Events.t ->
   tenant_shards:int array ->
   Inference.t ->
   t
@@ -97,7 +99,13 @@ val create_multi :
     (one send fails, counted as a breaker error) and
     [inference.timeout@N] (one send stalls past the lane deadline), the
     latter two at [k] = per-lane send ordinal. Send ordinals restart on
-    resume — schedule entries address occurrences within one process. *)
+    resume — schedule entries address occurrences within one process.
+
+    [events] (default {!Sp_obs.Events.null}) receives structured
+    telemetry at barrier granularity: [breaker.transition] (a lane's
+    breaker changed state — Warn when leaving closed, Info on recovery)
+    and [funnel.reclaim] (stalled requests pulled back from the
+    service, Warn). *)
 
 val tenants : t -> int
 
@@ -126,6 +134,12 @@ val requests_deferred : t -> int
 val dropped : t -> int
 (** Requests refused because an outbox was full. *)
 
+val tenant_queue_depth : t -> tenant:int -> int
+(** Work currently parked in the tenant's lane: queued outbox requests,
+    undelivered inbox predictions, and (with degradation armed) retries
+    awaiting their backoff. A live-depth gauge for telemetry; read it at
+    barriers only, like {!flush_tenant}. *)
+
 val tenant_deferred : t -> tenant:int -> int
 
 val tenant_dropped : t -> tenant:int -> int
@@ -140,7 +154,11 @@ val lane_degraded : t -> tenant:int -> bool
     {!Hybrid.strategy_with}. *)
 
 val lane_stats : t -> tenant:int -> now:float -> lane_stats option
-(** [None] when [degrade] is off. *)
+(** [None] when [degrade] is off. A pure read ({!Breaker.peek}): it
+    reports the state [now] implies but never commits the clocked
+    Open -> Half_open transition, so the telemetry plane can sample any
+    tenant's lane at any barrier without perturbing the state an
+    unobserved run would persist. *)
 
 val state_json : t -> Sp_obs.Json.t
 (** In-flight lane state — outbox/inbox contents and the

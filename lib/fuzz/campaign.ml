@@ -6,6 +6,7 @@ module Faults = Sp_util.Faults
 module Trace = Sp_obs.Trace
 module Tracer = Sp_obs.Tracer
 module Timeseries = Sp_obs.Timeseries
+module Events = Sp_obs.Events
 module Kernel = Sp_kernel.Kernel
 module Bug = Sp_kernel.Bug
 module Prog = Sp_syzlang.Prog
@@ -444,6 +445,8 @@ type instance = {
   i_snapshot_dir : string option;
   i_aux : aux option;
   i_faults : Faults.t;
+  i_events : Events.t;
+  i_label : string option;
   i_fsite : string -> string;  (* site name, prefixed with the label *)
   mutable i_series_rev : snapshot list;
   mutable i_next_snapshot : float;
@@ -460,7 +463,8 @@ type slice = {
 
 let create_instance ?snapshot_dir ?restore ?(on_barrier = fun ~now:_ -> ())
     ?(trace = Trace.disabled) ?timeseries ?ts_extra ?aux ?(pid_base = 0)
-    ?label ?(faults = Faults.disabled) ~jobs ~vm_for ~strategy_for config =
+    ?label ?(faults = Faults.disabled) ?(events = Events.null) ~jobs ~vm_for
+    ~strategy_for config =
   if jobs < 1 then invalid_arg "Campaign.run_parallel: jobs must be >= 1";
   if config.snapshot_every <= 0.0 then
     invalid_arg "Campaign.run_parallel: snapshot_every must be positive";
@@ -536,6 +540,8 @@ let create_instance ?snapshot_dir ?restore ?(on_barrier = fun ~now:_ -> ())
       i_snapshot_dir = snapshot_dir;
       i_aux = aux;
       i_faults = faults;
+      i_events = events;
+      i_label = label;
       i_fsite =
         (match label with
         | None -> Fun.id
@@ -838,9 +844,18 @@ let complete_slice inst slice =
               ~k:inst.i_barrier)
       else None
     in
-    ignore
-      (Snapshot.write ?inject ~dir ~barrier:inst.i_barrier
-         (snapshot_doc inst ~stopped:inst.i_stopped ~barrier:inst.i_barrier))
+    let file =
+      Snapshot.write ?inject ~dir ~barrier:inst.i_barrier
+        (snapshot_doc inst ~stopped:inst.i_stopped ~barrier:inst.i_barrier)
+    in
+    Events.log inst.i_events ~kind:"snapshot.write"
+      [ ( "label",
+          match inst.i_label with None -> Json.Null | Some l -> Json.Str l );
+        ("file", Json.Str file);
+        ("barrier", Json.Num (float_of_int inst.i_barrier));
+        ("now", Json.Num now);
+        ("stopped", Json.Bool inst.i_stopped)
+      ]
   | None -> ());
   Tracer.end_span inst.i_tracer "campaign.barrier"
 

@@ -179,6 +179,7 @@ val create_instance :
   ?pid_base:int ->
   ?label:string ->
   ?faults:Sp_util.Faults.t ->
+  ?events:Sp_obs.Events.t ->
   jobs:int ->
   vm_for:(int -> Vm.t) ->
   strategy_for:(int -> Strategy.t) ->
@@ -199,7 +200,12 @@ val create_instance :
     and [io.write_atomic] (the barrier snapshot write crashes mid-write,
     leaving the previous snapshot intact; [k] = barrier number).
     Decisions are consulted on the instance's own domain in shard order,
-    so they are independent of pool scheduling. *)
+    so they are independent of pool scheduling.
+
+    [events] (default {!Sp_obs.Events.null}) receives an Info
+    [snapshot.write] event per persisted barrier snapshot (label, file,
+    barrier, virtual time, stop flag), emitted on the instance's own
+    domain inside [complete_slice]. *)
 
 val begin_slice : instance -> pool:Sp_util.Pool.t -> ?max_execs:int -> unit -> slice
 (** Submit every shard's next epoch to [pool] and return without

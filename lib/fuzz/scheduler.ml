@@ -6,6 +6,9 @@ module Trace = Sp_obs.Trace
 module Tracer = Sp_obs.Tracer
 module Timeseries = Sp_obs.Timeseries
 module Json = Sp_obs.Json
+module Events = Sp_obs.Events
+module Exporter = Sp_obs.Exporter
+module Exposition = Sp_obs.Exposition
 
 type tenant = {
   t_name : string;
@@ -73,6 +76,54 @@ type report = {
   sr_metrics : Metrics.t;
 }
 
+(* One tenant's row in the live [/tenants] document — a pure projection
+   of seat state, so the JSON shape can be golden-tested without a
+   scheduler run. *)
+type tenant_status = {
+  ts_name : string;
+  ts_weight : float;
+  ts_state : string;
+  ts_pass : float;
+  ts_barrier : int;
+  ts_slices : int;
+  ts_executions : int;
+  ts_budget_remaining : int option;
+  ts_retries : int;
+}
+
+let tenant_status_json ts =
+  Json.Obj
+    [ ("name", Json.Str ts.ts_name);
+      ("weight", Json.Num ts.ts_weight);
+      ("state", Json.Str ts.ts_state);
+      ("pass", Json.Num ts.ts_pass);
+      ("barrier", Json.Num (float_of_int ts.ts_barrier));
+      ("slices", Json.Num (float_of_int ts.ts_slices));
+      ("executions", Json.Num (float_of_int ts.ts_executions));
+      ( "budget_remaining",
+        match ts.ts_budget_remaining with
+        | None -> Json.Null
+        | Some b -> Json.Num (float_of_int b) );
+      ("retries", Json.Num (float_of_int ts.ts_retries))
+    ]
+
+(* State name -> gauge code for the snowplow_tenant_state series. *)
+let state_code = function
+  | "healthy" -> 0.0
+  | "backoff" -> 1.0
+  | "quarantined" -> 2.0
+  | "completed" -> 3.0
+  | "exhausted" -> 4.0
+  | _ -> -1.0
+
+type telemetry = {
+  tm_exporter : Exporter.t;
+  tm_extra : unit -> Exposition.metric list;
+}
+
+let telemetry ?(extra = fun () -> []) exporter =
+  { tm_exporter = exporter; tm_extra = extra }
+
 (* A failed tenant's lifecycle: Healthy -> (slice raises) -> Backoff,
    waiting [2^(retries-1)] scheduling rounds, -> rebuilt from its last
    good snapshot under a retry-salted label -> Healthy again; after
@@ -121,6 +172,113 @@ let by_pass a b =
   | 0 -> Int.compare a.st_index b.st_index
   | c -> c
 
+let seat_status st =
+  let state =
+    match st.st_state with
+    | Quarantined -> "quarantined"
+    | Backoff _ -> "backoff"
+    | Healthy ->
+      if st.st_exhausted then "exhausted"
+      else if Campaign.instance_stopped st.st_inst then "completed"
+      else "healthy"
+  in
+  {
+    ts_name = st.st_tenant.t_name;
+    ts_weight = st.st_tenant.t_weight;
+    ts_state = state;
+    ts_pass = pass st;
+    ts_barrier = Campaign.instance_barrier st.st_inst;
+    ts_slices = st.st_slices;
+    ts_executions = seat_executions st;
+    ts_budget_remaining =
+      Option.map (fun _ -> seat_remaining st) st.st_tenant.t_exec_budget;
+    ts_retries = st.st_retries;
+  }
+
+(* Registry counters/summaries as exposition series, prefixed and
+   sanitized. Per-tenant [scheduler.tenant.*] counters are skipped —
+   they are served as labelled [snowplow_tenant_*] series instead. *)
+let registry_metrics m =
+  let tenant_prefix = "scheduler.tenant." in
+  let is_tenant name =
+    String.length name >= String.length tenant_prefix
+    && String.sub name 0 (String.length tenant_prefix) = tenant_prefix
+  in
+  let counters =
+    List.filter_map
+      (fun (name, v) ->
+        if is_tenant name then None
+        else
+          Some
+            (Exposition.metric Exposition.Counter
+               (Exposition.sanitize_name ("snowplow_" ^ name))
+               (float_of_int v)))
+      (Metrics.counters m)
+  in
+  let summaries =
+    List.concat_map
+      (fun (name, (s : Metrics.summary)) ->
+        let base = Exposition.sanitize_name ("snowplow_" ^ name) in
+        [ Exposition.metric Exposition.Counter (base ^ "_count")
+            (float_of_int s.Metrics.count);
+          Exposition.metric Exposition.Gauge (base ^ "_mean") s.Metrics.mean;
+          Exposition.metric Exposition.Gauge (base ^ "_max") s.Metrics.max
+        ])
+      (Metrics.summaries m)
+  in
+  counters @ summaries
+
+let tenant_series statuses =
+  List.concat_map
+    (fun ts ->
+      let labels = [ ("tenant", ts.ts_name) ] in
+      let g ?help name v = Exposition.metric ?help ~labels Exposition.Gauge name v in
+      let c name v = Exposition.metric ~labels Exposition.Counter name v in
+      [ g ~help:"stride pass (next barrier virtual time / weight)"
+          "snowplow_tenant_pass" ts.ts_pass;
+        g
+          ~help:
+            "seat state: 0 healthy, 1 backoff, 2 quarantined, 3 completed, \
+             4 exhausted"
+          "snowplow_tenant_state" (state_code ts.ts_state);
+        g "snowplow_tenant_barrier" (float_of_int ts.ts_barrier);
+        c "snowplow_tenant_slices" (float_of_int ts.ts_slices);
+        c "snowplow_tenant_executions" (float_of_int ts.ts_executions);
+        g ~help:"retry generations started"
+          "snowplow_tenant_retry_generation" (float_of_int ts.ts_retries)
+      ]
+      @
+      match ts.ts_budget_remaining with
+      | None -> []
+      | Some b ->
+        [ g ~help:"exec budget remaining" "snowplow_tenant_budget_remaining"
+            (float_of_int b)
+        ])
+    statuses
+
+let health_json ~running ~workers ~slices statuses =
+  let count state =
+    List.length (List.filter (fun ts -> ts.ts_state = state) statuses)
+  in
+  let quarantined = count "quarantined" in
+  let status =
+    if quarantined = List.length statuses then "failed"
+    else if quarantined > 0 || count "backoff" > 0 then "degraded"
+    else "ok"
+  in
+  Json.Obj
+    [ ("status", Json.Str status);
+      ("running", Json.Bool running);
+      ("workers", Json.Num (float_of_int workers));
+      ("slices", Json.Num (float_of_int slices));
+      ( "tenants",
+        Json.Obj
+          (List.map
+             (fun s -> (s, Json.Num (float_of_int (count s))))
+             [ "healthy"; "backoff"; "quarantined"; "completed"; "exhausted" ])
+      )
+    ]
+
 (* Tenant [i] owns trace pids [100 * (i + 1) ..]: disjoint from the
    scheduler lane (pid 0) and the shared pool workers (100_001 + w) for
    any plausible jobs count. *)
@@ -129,7 +287,8 @@ let tenant_pid_base i = 100 * (i + 1)
 let pool_worker_pid w = 100_001 + w
 
 let run ?workers ?(trace = Trace.disabled) ?timeseries ?max_slices
-    ?(faults = Faults.disabled) ?(max_tenant_retries = 3) tenants =
+    ?(faults = Faults.disabled) ?(max_tenant_retries = 3)
+    ?(events = Events.null) ?telemetry:tele tenants =
   Json.Decode.run (fun () ->
       if max_tenant_retries < 0 then
         invalid_arg "Scheduler.run: max_tenant_retries must be >= 0";
@@ -159,7 +318,7 @@ let run ?workers ?(trace = Trace.disabled) ?timeseries ?max_slices
       let build_instance ~label t i restore =
         Campaign.create_instance ?snapshot_dir:t.t_snapshot_dir ?restore
           ?on_barrier:t.t_on_barrier ~trace ?aux:t.t_aux
-          ~pid_base:(tenant_pid_base i) ~label ~faults ~jobs:t.t_jobs
+          ~pid_base:(tenant_pid_base i) ~label ~faults ~events ~jobs:t.t_jobs
           ~vm_for:t.t_vm_for ~strategy_for:t.t_strategy_for t.t_config
       in
       let seats =
@@ -200,7 +359,7 @@ let run ?workers ?(trace = Trace.disabled) ?timeseries ?max_slices
         let restore =
           match t.t_snapshot_dir with
           | Some dir -> (
-            match Snapshot.latest_valid ~dir with
+            match Snapshot.latest_valid ~events ~dir () with
             | Some (_, _, doc) ->
               Campaign.validate_snapshot ~snapshot:doc ~jobs:t.t_jobs
                 t.t_config;
@@ -221,14 +380,44 @@ let run ?workers ?(trace = Trace.disabled) ?timeseries ?max_slices
         st.st_exec0 <- Campaign.instance_executions inst
       in
       let refresh_exhausted st =
-        if (not st.st_exhausted) && seat_remaining st <= 0 then
-          st.st_exhausted <- true
+        if (not st.st_exhausted) && seat_remaining st <= 0 then begin
+          st.st_exhausted <- true;
+          Events.log events ~kind:"scheduler.budget_exhausted"
+            [ ("tenant", Json.Str st.st_tenant.t_name);
+              ("executions", Json.Num (float_of_int (seat_executions st)))
+            ]
+        end
       in
       List.iter refresh_exhausted seats;
       let total_slices = ref 0 in
       let total_execs = ref 0 in
       let schedule_rev = ref [] in
       let pool_metrics = Metrics.create () in
+      (* Telemetry publication: project seat state into an immutable,
+         prerendered payload and swap it into the exporter. Runs on this
+         (the scheduling) domain only, at barrier granularity — reads
+         nothing a worker writes and writes nothing a slice reads, so an
+         armed exporter cannot perturb the schedule or any campaign. *)
+      let publish ~running () =
+        match tele with
+        | None -> ()
+        | Some tm ->
+          let statuses = List.map seat_status seats in
+          Exporter.publish tm.tm_exporter
+            {
+              Exporter.p_metrics =
+                registry_metrics metrics @ tenant_series statuses
+                @ tm.tm_extra ();
+              p_health =
+                health_json ~running ~workers ~slices:!total_slices statuses;
+              p_tenants = Json.Arr (List.map tenant_status_json statuses);
+            }
+      in
+      Events.log events ~kind:"scheduler.start"
+        [ ("tenants", Json.Num (float_of_int (List.length tenants)));
+          ("workers", Json.Num (float_of_int workers))
+        ];
+      publish ~running:true ();
       Pool.with_pool ~metrics:pool_metrics ~faults
         ~tracer_for:(fun w ->
           Trace.tracer trace ~pid:(pool_worker_pid w)
@@ -283,13 +472,32 @@ let run ?workers ?(trace = Trace.disabled) ?timeseries ?max_slices
                             ]))
                   with _ -> ())
                 | None -> ());
+                Events.log events ~level:Events.Error ~kind:"scheduler.failure"
+                  [ ("tenant", Json.Str st.st_tenant.t_name);
+                    ("slice", Json.Num (float_of_int slice_no));
+                    ("barrier", Json.Num (float_of_int barrier));
+                    ("generation", Json.Num (float_of_int st.st_retries));
+                    ("exn", Json.Str fl.fl_exn)
+                  ];
                 if st.st_retries >= max_tenant_retries then begin
                   st.st_state <- Quarantined;
-                  Metrics.incr metrics "scheduler.quarantined"
+                  Metrics.incr metrics "scheduler.quarantined";
+                  Events.log events ~level:Events.Error
+                    ~kind:"scheduler.quarantine"
+                    [ ("tenant", Json.Str st.st_tenant.t_name);
+                      ("generations", Json.Num (float_of_int (st.st_retries + 1)))
+                    ]
                 end
                 else begin
                   st.st_retries <- st.st_retries + 1;
-                  st.st_state <- Backoff (!round + (1 lsl (st.st_retries - 1)))
+                  st.st_state <- Backoff (!round + (1 lsl (st.st_retries - 1)));
+                  Events.log events ~level:Events.Warn ~kind:"scheduler.backoff"
+                    [ ("tenant", Json.Str st.st_tenant.t_name);
+                      ("generation", Json.Num (float_of_int st.st_retries));
+                      ( "due_round",
+                        Json.Num
+                          (float_of_int (!round + (1 lsl (st.st_retries - 1)))) )
+                    ]
                 end;
                 if Faults.enabled faults then
                   Tracer.counter sched_tracer "faults.injected"
@@ -306,7 +514,16 @@ let run ?workers ?(trace = Trace.disabled) ?timeseries ?max_slices
                 match st.st_state with
                 | Backoff due when !round >= due -> (
                   match rebuild st with
-                  | () -> st.st_state <- Healthy
+                  | () ->
+                    st.st_state <- Healthy;
+                    Events.log events ~kind:"scheduler.retry"
+                      [ ("tenant", Json.Str st.st_tenant.t_name);
+                        ("generation", Json.Num (float_of_int st.st_retries));
+                        ( "barrier",
+                          Json.Num
+                            (float_of_int
+                               (Campaign.instance_barrier st.st_inst)) )
+                      ]
                   | exception e ->
                     let bt = Printexc.get_raw_backtrace () in
                     handle_failure st ~slice_no:!total_slices e bt)
@@ -382,7 +599,8 @@ let run ?workers ?(trace = Trace.disabled) ?timeseries ?max_slices
                         Metrics.incr ~by:delta metrics
                           (Printf.sprintf "scheduler.tenant.%s.execs"
                              st.st_tenant.t_name);
-                        handle_failure st ~slice_no e bt
+                        handle_failure st ~slice_no e bt;
+                        publish ~running:true ()
                       | () ->
                         let delta = seat_executions st - exec_before in
                         st.st_slices <- st.st_slices + 1;
@@ -416,11 +634,31 @@ let run ?workers ?(trace = Trace.disabled) ?timeseries ?max_slices
                               ( "tenant_execs",
                                 float_of_int (seat_executions st) );
                               ("execs_total", float_of_int !total_execs);
-                            ])))
+                            ]);
+                        Events.log events ~level:Events.Debug
+                          ~kind:"scheduler.slice"
+                          [ ("tenant", Json.Str st.st_tenant.t_name);
+                            ("slice", Json.Num (float_of_int slice_no));
+                            ( "barrier",
+                              Json.Num
+                                (float_of_int
+                                   (Campaign.instance_barrier st.st_inst)) );
+                            ("execs", Json.Num (float_of_int delta));
+                            ( "execs_total",
+                              Json.Num (float_of_int !total_execs) )
+                          ];
+                        publish ~running:true ()))
                 (List.rev !admitted)
             end
           done);
       Metrics.merge_into ~dst:metrics pool_metrics;
+      (* Final payload after the pool merge, so the last scrape also
+         carries the pool.tasks / pool.steals counters. *)
+      publish ~running:false ();
+      Events.log events ~kind:"scheduler.finish"
+        [ ("slices", Json.Num (float_of_int !total_slices));
+          ("execs_total", Json.Num (float_of_int !total_execs))
+        ];
       let sr_tenants =
         List.map
           (fun st ->

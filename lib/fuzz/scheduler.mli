@@ -121,6 +121,41 @@ type report = {
           pool's [pool.*] metrics (merged after shutdown) *)
 }
 
+type tenant_status = {
+  ts_name : string;
+  ts_weight : float;
+  ts_state : string;
+      (** ["healthy"] | ["backoff"] | ["quarantined"] | ["completed"] |
+          ["exhausted"] *)
+  ts_pass : float;  (** stride pass (next barrier time / weight) *)
+  ts_barrier : int;  (** barriers completed so far this run *)
+  ts_slices : int;
+  ts_executions : int;  (** {!tenant_report.tr_executions} so far *)
+  ts_budget_remaining : int option;  (** [None] when unbudgeted *)
+  ts_retries : int;  (** retry generations started *)
+}
+(** Point-in-time seat state, as published to the telemetry plane at
+    every barrier. *)
+
+val tenant_status_json : tenant_status -> Sp_obs.Json.t
+(** The exact object served per tenant by the exporter's [/tenants]
+    endpoint — fields [name], [weight], [state], [pass], [barrier],
+    [slices], [executions], [budget_remaining] (number or null),
+    [retries]. *)
+
+type telemetry
+(** An armed telemetry plane: the exporter to publish into, plus any
+    extra gauges to append to each scrape. *)
+
+val telemetry :
+  ?extra:(unit -> Sp_obs.Exposition.metric list) ->
+  Sp_obs.Exporter.t ->
+  telemetry
+(** [extra] (default none) is called on the scheduling domain at each
+    publication — the hook the CLI uses to append inference/funnel/
+    trainer series the scheduler itself cannot see. It must read only
+    barrier-stable state. *)
+
 val run :
   ?workers:int ->
   ?trace:Sp_obs.Trace.t ->
@@ -128,6 +163,8 @@ val run :
   ?max_slices:int ->
   ?faults:Sp_util.Faults.t ->
   ?max_tenant_retries:int ->
+  ?events:Sp_obs.Events.t ->
+  ?telemetry:telemetry ->
   tenant list ->
   (report, string) result
 (** Multiplex the tenants over one shared pool until every tenant has
@@ -152,4 +189,20 @@ val run :
     with the tenant name), and shared pool worker [w] is pid
     [100_001 + w]. With [timeseries], one row is appended per completed
     slice — time axis = slice ordinal — carrying [tenant] (index),
-    [tenant_barrier], [tenant_execs] and [execs_total]. *)
+    [tenant_barrier], [tenant_execs] and [execs_total].
+
+    [events] (default {!Sp_obs.Events.null}) receives the structured
+    event stream: [scheduler.start]/[scheduler.finish], a Debug
+    [scheduler.slice] per completed slice, [scheduler.budget_exhausted],
+    and the failure path — Error [scheduler.failure], Warn
+    [scheduler.backoff] (with the retry generation and due round), Info
+    [scheduler.retry] on a successful rebuild, Error
+    [scheduler.quarantine] on eviction. It is also threaded into
+    snapshot-fallback scans ([snapshot.corrupt]).
+
+    [telemetry] (default unarmed) publishes an immutable snapshot of
+    seat state — metrics registry projection, per-tenant series, health
+    and tenant-status documents — into the exporter at every barrier
+    and once after the pool's metrics merge. Publication happens
+    exclusively on the scheduling domain between slices, so arming it
+    cannot change any report or snapshot byte. *)

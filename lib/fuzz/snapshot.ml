@@ -104,7 +104,7 @@ let all_desc ~dir =
            | None -> None)
     |> List.sort (fun (a, _) (b, _) -> compare b a)
 
-let latest_valid ~dir =
+let latest_valid ?(events = Sp_obs.Events.null) ~dir () =
   let rec scan = function
     | [] -> None
     | (barrier, file) :: older -> (
@@ -112,11 +112,21 @@ let latest_valid ~dir =
       | Ok doc -> Some (barrier, file, doc)
       | Error msg ->
         (* A torn or corrupt newest snapshot must not strand the whole
-           campaign: warn and fall back to the one before it. *)
-        Printf.eprintf
-          "warning: skipping corrupt snapshot %s (%s); trying the previous \
-           one\n%!"
-          file msg;
+           campaign: warn and fall back to the one before it. The
+           warning goes to the structured event log when one is wired,
+           to stderr otherwise — never both. *)
+        if Sp_obs.Events.enabled events then
+          Sp_obs.Events.log events ~level:Sp_obs.Events.Warn
+            ~kind:"snapshot.corrupt"
+            [ ("file", Sp_obs.Json.Str file);
+              ("barrier", Sp_obs.Json.Num (float_of_int barrier));
+              ("error", Sp_obs.Json.Str msg)
+            ]
+        else
+          Printf.eprintf
+            "warning: skipping corrupt snapshot %s (%s); trying the previous \
+             one\n%!"
+            file msg;
         scan older)
   in
   scan (all_desc ~dir)

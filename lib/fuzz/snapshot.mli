@@ -61,10 +61,15 @@ val latest : dir:string -> (int * string) option
     only the [snapshot-NNNNNN.json] name shape; [None] when the
     directory is missing, unreadable or holds no snapshots. *)
 
-val latest_valid : dir:string -> (int * string * Sp_obs.Json.t) option
+val latest_valid :
+  ?events:Sp_obs.Events.t ->
+  dir:string ->
+  unit ->
+  (int * string * Sp_obs.Json.t) option
 (** Like {!latest}, but skips backwards past snapshots that fail to read
-    or parse (warning on stderr for each), returning the newest one that
-    yields a JSON document — what resume paths use so one corrupt or
-    truncated file cannot strand a campaign. [None] when no snapshot
-    parses. Structural validity (config echo, version) is still the
-    caller's job, via [Campaign.validate_snapshot]. *)
+    or parse, returning the newest one that yields a JSON document —
+    what resume paths use so one corrupt or truncated file cannot strand
+    a campaign. Each skip is reported as a Warn [snapshot.corrupt] event
+    when [events] is wired, or a stderr warning otherwise. [None] when
+    no snapshot parses. Structural validity (config echo, version) is
+    still the caller's job, via [Campaign.validate_snapshot]. *)

@@ -1,0 +1,110 @@
+type level = Debug | Info | Warn | Error
+
+let level_rank = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+let level_name = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let level_of_string = function
+  | "debug" -> Some Debug
+  | "info" -> Some Info
+  | "warn" -> Some Warn
+  | "error" -> Some Error
+  | _ -> None
+
+type event = {
+  ev_seq : int;
+  ev_wall : float;
+  ev_level : level;
+  ev_kind : string;
+  ev_fields : (string * Json.t) list;
+}
+
+(* Ring of the last [cap] accepted events, indexed by [seq mod cap]
+   (sequence numbers start at 1, slot by [(seq - 1) mod cap]). *)
+type t = {
+  on : bool;
+  cap : int;
+  ring : event option array;
+  min_level : level;
+  mutable sink : (string -> unit) option;
+  mutable next : int;  (* next sequence number to assign *)
+  lock : Mutex.t;
+}
+
+let create ?(capacity = 1024) ?(min_level = Debug) ?sink () =
+  if capacity < 1 then invalid_arg "Events.create: capacity must be >= 1";
+  {
+    on = true;
+    cap = capacity;
+    ring = Array.make capacity None;
+    min_level;
+    sink;
+    next = 1;
+    lock = Mutex.create ();
+  }
+
+let null =
+  {
+    on = false;
+    cap = 1;
+    ring = [| None |];
+    min_level = Error;
+    sink = None;
+    next = 1;
+    lock = Mutex.create ();
+  }
+
+let enabled t = t.on
+
+let event_json ev =
+  Json.Obj
+    [ ("seq", Json.Num (float_of_int ev.ev_seq));
+      ("wall", Json.Num ev.ev_wall);
+      ("level", Json.Str (level_name ev.ev_level));
+      ("kind", Json.Str ev.ev_kind);
+      ("fields", Json.Obj ev.ev_fields)
+    ]
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let log t ?(level = Info) ~kind fields =
+  if t.on && level_rank level >= level_rank t.min_level then
+    locked t (fun () ->
+        let ev =
+          {
+            ev_seq = t.next;
+            ev_wall = Unix.gettimeofday ();
+            ev_level = level;
+            ev_kind = kind;
+            ev_fields = fields;
+          }
+        in
+        t.ring.((t.next - 1) mod t.cap) <- Some ev;
+        t.next <- t.next + 1;
+        match t.sink with
+        | Some write -> write (Json.to_string (event_json ev))
+        | None -> ())
+
+let seq t = locked t (fun () -> t.next - 1)
+
+let dropped t = locked t (fun () -> max 0 (t.next - 1 - t.cap))
+
+let since ?(min_level = Debug) t cursor =
+  locked t (fun () ->
+      let newest = t.next - 1 in
+      let oldest = max 1 (t.next - t.cap) in
+      let from = max oldest (cursor + 1) in
+      let out = ref [] in
+      for s = newest downto from do
+        match t.ring.((s - 1) mod t.cap) with
+        | Some ev when level_rank ev.ev_level >= level_rank min_level ->
+          out := ev :: !out
+        | _ -> ()
+      done;
+      !out)

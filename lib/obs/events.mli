@@ -1,0 +1,69 @@
+(** Leveled structured event log: a bounded in-memory ring plus an
+    optional JSONL sink.
+
+    One log serves a whole process. Producers call {!log} with a [kind]
+    (a dotted event name like ["scheduler.slice"]) and structured
+    fields; each accepted event gets a monotonically increasing
+    sequence number, so consumers (the [/events?since=N] endpoint, the
+    JSONL file) can resume from a cursor without missing or duplicating
+    events. The ring keeps the most recent [capacity] events; older
+    ones are evicted and counted in {!dropped} — the sink, when
+    configured, still saw them.
+
+    Appends and reads are mutex-guarded: events fire at slice/barrier
+    granularity (not per test execution), so a lock here is off the
+    campaign hot path by construction, and it makes the log safe to
+    read from the exporter's HTTP thread while the scheduler appends.
+
+    A disabled log ({!null}) short-circuits {!log} on one branch, so
+    instrumentation can stay unconditionally wired. *)
+
+type level = Debug | Info | Warn | Error
+
+val level_name : level -> string
+(** ["debug"], ["info"], ["warn"], ["error"]. *)
+
+val level_of_string : string -> level option
+
+type event = {
+  ev_seq : int;  (** unique, monotonically increasing from 1 *)
+  ev_wall : float;  (** [Unix.gettimeofday] at append *)
+  ev_level : level;
+  ev_kind : string;
+  ev_fields : (string * Json.t) list;
+}
+
+type t
+
+val create :
+  ?capacity:int -> ?min_level:level -> ?sink:(string -> unit) -> unit -> t
+(** [capacity] (default 1024) bounds the ring; events below [min_level]
+    (default [Debug], i.e. keep everything) are discarded without a
+    sequence number. [sink], when given, receives each accepted event
+    as one serialized JSON line (no trailing newline) under the log's
+    mutex — keep it cheap and non-reentrant. Raises [Invalid_argument]
+    when [capacity < 1]. *)
+
+val null : t
+(** The shared disabled log: {!log} is a no-op, {!since} is empty. *)
+
+val enabled : t -> bool
+
+val log : t -> ?level:level -> kind:string -> (string * Json.t) list -> unit
+(** Append one event (default level [Info]). *)
+
+val seq : t -> int
+(** Sequence number of the newest event (0 when none yet). *)
+
+val dropped : t -> int
+(** Events evicted from the ring so far. *)
+
+val since : ?min_level:level -> t -> int -> event list
+(** [since t n] is every retained event with [ev_seq > n], oldest
+    first, optionally filtered to [min_level] and above. A cursor older
+    than the ring's tail silently skips the evicted gap — check
+    {!dropped} to detect it. *)
+
+val event_json : event -> Json.t
+(** [{"seq":..,"wall":..,"level":..,"kind":..,"fields":{..}}] — the
+    shape both the JSONL sink and [/events] serve. *)

@@ -1,0 +1,169 @@
+type payload = {
+  p_metrics : Exposition.metric list;
+  p_health : Json.t;
+  p_tenants : Json.t;
+}
+
+(* What the serving thread reads: the payload prerendered to response
+   bodies. Immutable — publish swaps the whole record. *)
+type rendered = { r_metrics : string; r_health : string; r_tenants : string }
+
+type t = {
+  events : Events.t;
+  current : rendered Atomic.t;
+  mutable listener : Unix.file_descr option;
+  mutable thread : Thread.t option;
+  mutable bound_port : int option;
+}
+
+let empty_rendered =
+  { r_metrics = ""; r_health = "{}"; r_tenants = "[]" }
+
+let create ?(events = Events.null) () =
+  {
+    events;
+    current = Atomic.make empty_rendered;
+    listener = None;
+    thread = None;
+    bound_port = None;
+  }
+
+let publish t payload =
+  Atomic.set t.current
+    {
+      r_metrics = Exposition.render payload.p_metrics;
+      r_health = Json.to_string payload.p_health;
+      r_tenants = Json.to_string payload.p_tenants;
+    }
+
+let port t = t.bound_port
+
+let json_response ?status body =
+  Http.response ?status ~content_type:"application/json" body
+
+let handle_events t rq =
+  let cursor = Option.value ~default:0 (Http.query_int rq "since") in
+  let min_level =
+    match List.assoc_opt "level" rq.Http.rq_query with
+    | Some l -> Events.level_of_string l
+    | None -> Some Events.Debug
+  in
+  match min_level with
+  | None -> json_response ~status:(400, "Bad Request") "{\"error\":\"bad level\"}"
+  | Some min_level ->
+    let evs = Events.since ~min_level t.events cursor in
+    let next =
+      match List.rev evs with
+      | last :: _ -> last.Events.ev_seq
+      | [] -> max cursor (Events.seq t.events)
+    in
+    json_response
+      (Json.to_string
+         (Json.Obj
+            [ ("events", Json.Arr (List.map Events.event_json evs));
+              ("next", Json.Num (float_of_int next));
+              ( "dropped",
+                Json.Num (float_of_int (Events.dropped t.events)) )
+            ]))
+
+let handle t raw =
+  match Http.parse_request raw with
+  | Error msg ->
+    json_response ~status:(400, "Bad Request")
+      (Json.to_string (Json.Obj [ ("error", Json.Str msg) ]))
+  | Ok rq ->
+    if rq.Http.rq_method <> "GET" && rq.Http.rq_method <> "HEAD" then
+      json_response ~status:(405, "Method Not Allowed")
+        "{\"error\":\"method not allowed\"}"
+    else begin
+      let r = Atomic.get t.current in
+      match rq.Http.rq_path with
+      | "/metrics" ->
+        Http.response
+          ~content_type:"text/plain; version=0.0.4; charset=utf-8" r.r_metrics
+      | "/health" -> json_response r.r_health
+      | "/tenants" -> json_response r.r_tenants
+      | "/events" -> handle_events t rq
+      | _ ->
+        json_response ~status:(404, "Not Found") "{\"error\":\"not found\"}"
+    end
+
+let serve_client t fd =
+  (* A stuck client must not wedge the serving thread forever. *)
+  (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0 with Unix.Unix_error _ -> ());
+  (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO 5.0 with Unix.Unix_error _ -> ());
+  let reply =
+    match Http.read_head fd with
+    | Ok raw -> handle t raw
+    | Error msg ->
+      json_response ~status:(400, "Bad Request")
+        (Json.to_string (Json.Obj [ ("error", Json.Str msg) ]))
+  in
+  (try
+     let b = Bytes.unsafe_of_string reply in
+     let n = Bytes.length b in
+     let off = ref 0 in
+     while !off < n do
+       off := !off + Unix.write fd b !off (n - !off)
+     done
+   with Unix.Unix_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let accept_loop t listener =
+  let rec go () =
+    match Unix.accept listener with
+    | fd, _ ->
+      serve_client t fd;
+      go ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | exception Unix.Unix_error _ ->
+      (* Listener closed by [stop] (or a fatal socket error): exit. *)
+      ()
+  in
+  go ()
+
+let start ?(host = "127.0.0.1") t ~port =
+  match t.listener with
+  | Some _ -> Error "exporter already started"
+  | None -> (
+    try
+      let addr = Unix.inet_addr_of_string host in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      (try
+         Unix.setsockopt fd Unix.SO_REUSEADDR true;
+         Unix.bind fd (Unix.ADDR_INET (addr, port));
+         Unix.listen fd 16
+       with e ->
+         (try Unix.close fd with Unix.Unix_error _ -> ());
+         raise e);
+      let bound =
+        match Unix.getsockname fd with
+        | Unix.ADDR_INET (_, p) -> p
+        | _ -> port
+      in
+      t.listener <- Some fd;
+      t.bound_port <- Some bound;
+      t.thread <- Some (Thread.create (fun () -> accept_loop t fd) ());
+      Events.log t.events ~kind:"exporter.start"
+        [ ("port", Json.Num (float_of_int bound)) ];
+      Ok bound
+    with
+    | Unix.Unix_error (e, fn, _) ->
+      Error (Printf.sprintf "exporter: %s: %s" fn (Unix.error_message e))
+    | Failure msg -> Error ("exporter: " ^ msg))
+
+let stop t =
+  match t.listener with
+  | None -> ()
+  | Some fd ->
+    t.listener <- None;
+    (* shutdown wakes a blocked accept on every platform we care about;
+       close releases the port. *)
+    (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    (match t.thread with
+    | Some th ->
+      Thread.join th;
+      t.thread <- None
+    | None -> ());
+    Events.log t.events ~kind:"exporter.stop" []

@@ -1,0 +1,42 @@
+(** The telemetry HTTP endpoint: one background thread serving
+    [GET /metrics] (Prometheus text exposition), [GET /health] and
+    [GET /tenants] (JSON), and [GET /events?since=N&level=L] (JSON,
+    backed by an {!Events} log).
+
+    Publication discipline — the property the determinism tests pin:
+    the serving thread only ever reads an immutable, fully prerendered
+    payload held in an [Atomic.t]. {!publish} renders the three
+    documents on the caller's domain (the scheduler, at a barrier) and
+    swaps the reference; a scrape in flight keeps the payload it
+    already dereferenced. The exporter therefore takes no locks shared
+    with campaign execution, and arming it cannot reorder, delay or
+    observe anything the unarmed run would not — [/events] is the one
+    live read, guarded by the event log's own mutex, which producers
+    only touch at slice granularity. *)
+
+type payload = {
+  p_metrics : Exposition.metric list;
+  p_health : Json.t;
+  p_tenants : Json.t;
+}
+
+type t
+
+val create : ?events:Events.t -> unit -> t
+(** A fresh exporter serving the empty payload; [/events] serves from
+    [events] (default {!Events.null}, i.e. always empty). *)
+
+val publish : t -> payload -> unit
+(** Render and atomically swap the served snapshot. Cheap enough to
+    call at every scheduler barrier. *)
+
+val start : ?host:string -> t -> port:int -> (int, string) result
+(** Bind [host] (default ["127.0.0.1"]) on [port] — [0] picks an
+    ephemeral port — and spawn the serving thread. Returns the actual
+    bound port. Fails if already started or the bind is refused. *)
+
+val port : t -> int option
+(** The bound port once {!start} succeeded. *)
+
+val stop : t -> unit
+(** Close the listening socket and join the serving thread. Idempotent. *)

@@ -1,0 +1,281 @@
+type mtype = Counter | Gauge
+
+type metric = {
+  m_name : string;
+  m_help : string;
+  m_type : mtype;
+  m_labels : (string * string) list;
+  m_value : float;
+}
+
+let metric ?(help = "") ?(labels = []) m_type m_name m_value =
+  { m_name; m_help = help; m_type; m_labels = labels; m_value }
+
+let type_name = function Counter -> "counter" | Gauge -> "gauge"
+
+let name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+
+let name_char c = name_start c || (c >= '0' && c <= '9')
+
+let valid_name s =
+  String.length s > 0
+  && name_start s.[0]
+  && String.for_all name_char s
+
+(* Label names additionally exclude ':' (reserved for recording rules). *)
+let valid_label_name s =
+  valid_name s && not (String.contains s ':')
+
+let sanitize_name s =
+  if s = "" then "_"
+  else begin
+    let b = Buffer.create (String.length s) in
+    String.iteri
+      (fun i c ->
+        if i = 0 && not (name_start c) then begin
+          Buffer.add_char b '_';
+          if name_char c then Buffer.add_char b c
+        end
+        else Buffer.add_char b (if name_char c then c else '_'))
+      s;
+    Buffer.contents b
+  end
+
+(* Label values escape backslash, double-quote and newline; HELP text
+   escapes backslash and newline (quotes pass through). *)
+let escape_value buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s
+
+let escape_help buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s
+
+let value_string v =
+  if Float.is_nan v then "NaN"
+  else if v = Float.infinity then "+Inf"
+  else if v = Float.neg_infinity then "-Inf"
+  else Json.num_to_string v
+
+let render metrics =
+  let buf = Buffer.create 4096 in
+  let seen = Hashtbl.create 16 in
+  let families = ref [] in
+  List.iter
+    (fun m ->
+      match Hashtbl.find_opt seen m.m_name with
+      | Some cell -> cell := m :: !cell
+      | None ->
+        let cell = ref [ m ] in
+        Hashtbl.add seen m.m_name cell;
+        families := (m.m_name, cell) :: !families)
+    metrics;
+  List.iter
+    (fun (name, cell) ->
+      match List.rev !cell with
+      | [] -> ()
+      | first :: _ as samples ->
+        if not (valid_name name) then
+          invalid_arg ("Exposition.render: invalid metric name " ^ name);
+        if first.m_help <> "" then begin
+          Buffer.add_string buf "# HELP ";
+          Buffer.add_string buf name;
+          Buffer.add_char buf ' ';
+          escape_help buf first.m_help;
+          Buffer.add_char buf '\n'
+        end;
+        Buffer.add_string buf "# TYPE ";
+        Buffer.add_string buf name;
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (type_name first.m_type);
+        Buffer.add_char buf '\n';
+        List.iter
+          (fun m ->
+            Buffer.add_string buf name;
+            (match m.m_labels with
+            | [] -> ()
+            | labels ->
+              Buffer.add_char buf '{';
+              List.iteri
+                (fun i (k, v) ->
+                  if not (valid_label_name k) then
+                    invalid_arg ("Exposition.render: invalid label name " ^ k);
+                  if i > 0 then Buffer.add_char buf ',';
+                  Buffer.add_string buf k;
+                  Buffer.add_string buf "=\"";
+                  escape_value buf v;
+                  Buffer.add_char buf '"')
+                labels;
+              Buffer.add_char buf '}');
+            Buffer.add_char buf ' ';
+            Buffer.add_string buf (value_string m.m_value);
+            Buffer.add_char buf '\n')
+          samples)
+    (List.rev !families);
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Validator                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type stats = {
+  x_families : int;
+  x_samples : int;
+  x_names : string list;
+}
+
+let split_lines s =
+  String.split_on_char '\n' s
+
+let parse_value s =
+  match s with
+  | "NaN" | "+Inf" | "-Inf" -> true
+  | s -> (
+    match float_of_string_opt s with Some _ -> true | None -> false)
+
+(* Parse [name{k="v",...} value] — returns the family name, or an
+   error description. *)
+let parse_sample line =
+  let n = String.length line in
+  let rec name_end i = if i < n && name_char line.[i] then name_end (i + 1) else i in
+  let e = name_end 0 in
+  if e = 0 || not (name_start line.[0]) then Error "invalid metric name"
+  else begin
+    let name = String.sub line 0 e in
+    let after_labels =
+      if e < n && line.[e] = '{' then begin
+        (* Scan the label block respecting escapes inside quoted values. *)
+        let i = ref (e + 1) in
+        let ok = ref true in
+        let closed = ref false in
+        while !ok && not !closed && !i < n do
+          if line.[!i] = '}' then closed := true
+          else begin
+            (* label name *)
+            let ls = !i in
+            while !i < n && name_char line.[!i] do incr i done;
+            if !i = ls || !i >= n || line.[!i] <> '=' then ok := false
+            else if String.contains (String.sub line ls (!i - ls)) ':' then
+              ok := false
+            else begin
+              incr i;
+              if !i >= n || line.[!i] <> '"' then ok := false
+              else begin
+                incr i;
+                let in_str = ref true in
+                while !in_str && !i < n do
+                  if line.[!i] = '\\' then i := !i + 2
+                  else if line.[!i] = '"' then in_str := false
+                  else incr i
+                done;
+                if !in_str || !i >= n then ok := false
+                else begin
+                  incr i;
+                  if !i < n && line.[!i] = ',' then incr i
+                  else if !i < n && line.[!i] <> '}' then ok := false
+                end
+              end
+            end
+          end
+        done;
+        if not !ok || not !closed then Error "malformed label block"
+        else Ok (!i + 1)
+      end
+      else Ok e
+    in
+    match after_labels with
+    | Error _ as e -> e
+    | Ok i ->
+      if i >= n || line.[i] <> ' ' then Error "expected space before value"
+      else begin
+        let rest = String.sub line (i + 1) (n - i - 1) in
+        (* value, optionally followed by a timestamp *)
+        match String.index_opt rest ' ' with
+        | None -> if parse_value rest then Ok name else Error "unparseable value"
+        | Some sp ->
+          let v = String.sub rest 0 sp in
+          let ts = String.sub rest (sp + 1) (String.length rest - sp - 1) in
+          if not (parse_value v) then Error "unparseable value"
+          else if float_of_string_opt ts = None then
+            Error "unparseable timestamp"
+          else Ok name
+      end
+  end
+
+let validate payload =
+  let typed : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let names = ref [] in
+  let samples = ref 0 in
+  let err lineno msg line =
+    Error (Printf.sprintf "exposition: line %d: %s: %S" lineno msg line)
+  in
+  let rec go lineno = function
+    | [] -> Ok ()
+    | [ "" ] -> Ok ()  (* trailing newline *)
+    | line :: rest ->
+      let result =
+        if line = "" then Ok ()
+        else if String.length line > 6 && String.sub line 0 7 = "# TYPE " then begin
+          let body = String.sub line 7 (String.length line - 7) in
+          match String.split_on_char ' ' body with
+          | [ name; ty ] ->
+            if not (valid_name name) then err lineno "invalid family name" line
+            else if ty <> "counter" && ty <> "gauge" && ty <> "histogram"
+                    && ty <> "summary" && ty <> "untyped" then
+              err lineno "unknown metric type" line
+            else if Hashtbl.mem typed name then
+              err lineno "duplicate TYPE declaration" line
+            else begin
+              Hashtbl.add typed name ();
+              names := name :: !names;
+              Ok ()
+            end
+          | _ -> err lineno "malformed TYPE line" line
+        end
+        else if String.length line > 6 && String.sub line 0 7 = "# HELP " then begin
+          let body = String.sub line 7 (String.length line - 7) in
+          match String.index_opt body ' ' with
+          | Some i when valid_name (String.sub body 0 i) -> Ok ()
+          | _ ->
+            if valid_name body then Ok ()  (* HELP with empty text *)
+            else err lineno "malformed HELP line" line
+        end
+        else if String.length line >= 1 && line.[0] = '#' then Ok ()  (* comment *)
+        else begin
+          match parse_sample line with
+          | Error msg -> err lineno msg line
+          | Ok name ->
+            (* A sample's family: the longest declared name prefix covers
+               histogram/summary suffixes; for our counter/gauge output the
+               name must itself be declared. *)
+            if not (Hashtbl.mem typed name) then
+              err lineno "sample precedes its TYPE declaration" line
+            else begin
+              incr samples;
+              Ok ()
+            end
+        end
+      in
+      (match result with Ok () -> go (lineno + 1) rest | Error _ as e -> e)
+  in
+  match go 1 (split_lines payload) with
+  | Error _ as e -> e
+  | Ok () ->
+    Ok
+      {
+        x_families = Hashtbl.length typed;
+        x_samples = !samples;
+        x_names = List.rev !names;
+      }

@@ -1,0 +1,49 @@
+(** Prometheus text exposition format (version 0.0.4): renderer and a
+    structural validator.
+
+    The renderer takes a flat list of samples and groups them into
+    families (one [# HELP] / [# TYPE] header per metric name, samples
+    in first-seen order), escaping label values per the format. The
+    validator is the CI-side checker: it accepts exactly what the
+    renderer promises — well-formed comment lines, [TYPE] before the
+    family's samples, valid metric/label names, parseable float values
+    — and reports the first violating line. *)
+
+type mtype = Counter | Gauge
+
+type metric = {
+  m_name : string;
+  m_help : string;  (** empty string: no [# HELP] line *)
+  m_type : mtype;
+  m_labels : (string * string) list;
+  m_value : float;
+}
+
+val metric :
+  ?help:string -> ?labels:(string * string) list -> mtype -> string -> float
+  -> metric
+
+val sanitize_name : string -> string
+(** Map an internal metric name (e.g. ["scheduler.execs_total"]) onto
+    the exposition charset [[a-zA-Z_:][a-zA-Z0-9_:]*] by replacing every
+    invalid byte with ['_'] (prefixing ['_'] when the first byte is
+    invalid as a leading character). *)
+
+val render : metric list -> string
+(** Samples sharing a name form one family under the first sample's
+    help/type; family order and within-family sample order follow the
+    input. Non-finite values render as Prometheus ["NaN"]/["+Inf"]/
+    ["-Inf"]. Metric and label {e names} must already be valid
+    (see {!sanitize_name}); label {e values} may be arbitrary bytes. *)
+
+type stats = {
+  x_families : int;
+  x_samples : int;
+  x_names : string list;  (** family names, in order of appearance *)
+}
+
+val validate : string -> (stats, string) result
+(** Structural check of an exposition payload; [Error] names the first
+    offending line. Rejects duplicate [TYPE] declarations, samples
+    preceding their family's [TYPE], malformed label syntax and
+    unparseable values. *)

@@ -1,0 +1,246 @@
+type request = {
+  rq_method : string;
+  rq_path : string;
+  rq_query : (string * string) list;
+  rq_version : string;
+  rq_headers : (string * string) list;
+}
+
+let hex_val c =
+  match c with
+  | '0' .. '9' -> Some (Char.code c - Char.code '0')
+  | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+  | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+  | _ -> None
+
+let percent_decode s =
+  let n = String.length s in
+  let b = Buffer.create n in
+  let i = ref 0 in
+  while !i < n do
+    (match s.[!i] with
+    | '%' when !i + 2 < n -> (
+      match (hex_val s.[!i + 1], hex_val s.[!i + 2]) with
+      | Some h, Some l ->
+        Buffer.add_char b (Char.chr ((h * 16) + l));
+        i := !i + 2
+      | _ -> Buffer.add_char b '%')
+    | '+' -> Buffer.add_char b ' '
+    | c -> Buffer.add_char b c);
+    incr i
+  done;
+  Buffer.contents b
+
+let parse_query q =
+  if q = "" then []
+  else
+    String.split_on_char '&' q
+    |> List.filter_map (fun pair ->
+           if pair = "" then None
+           else
+             match String.index_opt pair '=' with
+             | None -> Some (percent_decode pair, "")
+             | Some i ->
+               Some
+                 ( percent_decode (String.sub pair 0 i),
+                   percent_decode
+                     (String.sub pair (i + 1) (String.length pair - i - 1)) ))
+
+let has_ctl s = String.exists (fun c -> Char.code c < 0x20 || c = '\x7f') s
+
+let strip_cr line =
+  let n = String.length line in
+  if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+
+let parse_request raw =
+  match String.split_on_char '\n' raw with
+  | [] -> Error "empty request"
+  | req_line :: rest -> (
+    let req_line = strip_cr req_line in
+    match String.split_on_char ' ' req_line with
+    | [ meth; target; version ] ->
+      if meth = "" || not (String.for_all (fun c -> c >= 'A' && c <= 'Z') meth)
+      then Error "malformed method"
+      else if target = "" || target.[0] <> '/' || has_ctl target then
+        Error "malformed request target"
+      else if version <> "HTTP/1.1" && version <> "HTTP/1.0" then
+        Error "unsupported HTTP version"
+      else begin
+        let path, query =
+          match String.index_opt target '?' with
+          | None -> (target, [])
+          | Some i ->
+            ( String.sub target 0 i,
+              parse_query
+                (String.sub target (i + 1) (String.length target - i - 1)) )
+        in
+        let rec headers acc = function
+          | [] -> Ok (List.rev acc)
+          | line :: rest -> (
+            let line = strip_cr line in
+            if line = "" then Ok (List.rev acc)  (* end of head *)
+            else
+              match String.index_opt line ':' with
+              | None | Some 0 -> Error "header line without a name:value colon"
+              | Some i ->
+                let name = String.lowercase_ascii (String.sub line 0 i) in
+                let value =
+                  String.trim
+                    (String.sub line (i + 1) (String.length line - i - 1))
+                in
+                if has_ctl name || has_ctl value || String.contains name ' '
+                then Error "control bytes in header"
+                else headers ((name, value) :: acc) rest)
+        in
+        match headers [] rest with
+        | Error _ as e -> e
+        | Ok hs ->
+          Ok
+            {
+              rq_method = meth;
+              rq_path = percent_decode path;
+              rq_query = query;
+              rq_version = version;
+              rq_headers = hs;
+            }
+      end
+    | _ -> Error "malformed request line")
+
+let header rq name =
+  let name = String.lowercase_ascii name in
+  List.assoc_opt name rq.rq_headers
+
+let query_int rq name =
+  Option.bind (List.assoc_opt name rq.rq_query) int_of_string_opt
+
+let read_head ?(max_bytes = 8192) fd =
+  let buf = Buffer.create 512 in
+  let chunk = Bytes.create 512 in
+  let rec terminator () =
+    (* Only the tail can complete a terminator that spans reads; a full
+       substring scan per chunk keeps this simple at these sizes. *)
+    let s = Buffer.contents buf in
+    let n = String.length s in
+    let rec find i =
+      if i + 3 >= n then None
+      else if s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r'
+              && s.[i + 3] = '\n' then Some i
+      else find (i + 1)
+    in
+    find 0
+  and loop () =
+    match terminator () with
+    | Some i -> Ok (String.sub (Buffer.contents buf) 0 i)
+    | None ->
+      if Buffer.length buf >= max_bytes then Error "request head too large"
+      else begin
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> Error "connection closed before request head completed"
+        | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          loop ()
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+          ->
+          Error "read timed out"
+        | exception Unix.Unix_error (e, _, _) ->
+          Error ("read failed: " ^ Unix.error_message e)
+      end
+  in
+  loop ()
+
+let response ?(status = (200, "OK"))
+    ?(content_type = "text/plain; charset=utf-8") ?(extra_headers = []) body =
+  let code, reason = status in
+  let b = Buffer.create (String.length body + 256) in
+  Buffer.add_string b (Printf.sprintf "HTTP/1.1 %d %s\r\n" code reason);
+  Buffer.add_string b (Printf.sprintf "Content-Type: %s\r\n" content_type);
+  Buffer.add_string b
+    (Printf.sprintf "Content-Length: %d\r\n" (String.length body));
+  List.iter
+    (fun (k, v) -> Buffer.add_string b (Printf.sprintf "%s: %s\r\n" k v))
+    extra_headers;
+  Buffer.add_string b "Connection: close\r\n\r\n";
+  Buffer.add_string b body;
+  Buffer.contents b
+
+let write_all fd s =
+  let n = String.length s in
+  let b = Bytes.unsafe_of_string s in
+  let rec go off =
+    if off < n then begin
+      let w = Unix.write fd b off (n - off) in
+      go (off + w)
+    end
+  in
+  go 0
+
+let get ?(timeout_s = 5.0) ~host ~port path =
+  match Unix.getaddrinfo host (string_of_int port)
+          [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM ] with
+  | [] -> Error (Printf.sprintf "no address for %s:%d" host port)
+  | ai :: _ -> (
+    let fd = Unix.socket ai.Unix.ai_family ai.Unix.ai_socktype 0 in
+    let finally () = try Unix.close fd with Unix.Unix_error _ -> () in
+    Fun.protect ~finally (fun () ->
+        try
+          Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout_s;
+          Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout_s;
+          Unix.connect fd ai.Unix.ai_addr;
+          write_all fd
+            (Printf.sprintf "GET %s HTTP/1.1\r\nHost: %s:%d\r\n\r\n" path host
+               port);
+          (* Read the whole response; Connection: close bounds it. *)
+          let buf = Buffer.create 1024 in
+          let chunk = Bytes.create 4096 in
+          let rec drain () =
+            match Unix.read fd chunk 0 (Bytes.length chunk) with
+            | 0 -> ()
+            | n ->
+              Buffer.add_subbytes buf chunk 0 n;
+              drain ()
+          in
+          drain ();
+          let raw = Buffer.contents buf in
+          let split =
+            let n = String.length raw in
+            let rec find i =
+              if i + 3 >= n then None
+              else if raw.[i] = '\r' && raw.[i + 1] = '\n' && raw.[i + 2] = '\r'
+                      && raw.[i + 3] = '\n' then Some i
+              else find (i + 1)
+            in
+            find 0
+          in
+          match split with
+          | None -> Error "malformed response: no header terminator"
+          | Some i -> (
+            let head = String.sub raw 0 i in
+            let body = String.sub raw (i + 4) (String.length raw - i - 4) in
+            match String.split_on_char '\n' head with
+            | status_line :: header_lines -> (
+              let status_line = strip_cr status_line in
+              match String.split_on_char ' ' status_line with
+              | _http :: code :: _ -> (
+                match int_of_string_opt code with
+                | None -> Error ("malformed status line: " ^ status_line)
+                | Some code ->
+                  let headers =
+                    List.filter_map
+                      (fun l ->
+                        let l = strip_cr l in
+                        match String.index_opt l ':' with
+                        | None -> None
+                        | Some i ->
+                          Some
+                            ( String.lowercase_ascii (String.sub l 0 i),
+                              String.trim
+                                (String.sub l (i + 1)
+                                   (String.length l - i - 1)) ))
+                      header_lines
+                  in
+                  Ok (code, headers, body))
+              | _ -> Error ("malformed status line: " ^ status_line))
+            | [] -> Error "empty response head")
+        with
+        | Unix.Unix_error (e, fn, _) ->
+          Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))))

@@ -1,0 +1,59 @@
+(** Minimal HTTP/1.1 on [Unix] sockets — just enough for a local
+    telemetry endpoint and its scrapers. No keep-alive (every response
+    closes the connection), no chunked encoding, no TLS.
+
+    The request parser is a pure function over the raw head bytes so
+    hostile inputs can be unit-tested without sockets; {!read_head}
+    handles the socket side (partial reads, size cap). *)
+
+type request = {
+  rq_method : string;
+  rq_path : string;  (** percent-decoded path, query stripped *)
+  rq_query : (string * string) list;  (** decoded key/value pairs *)
+  rq_version : string;  (** ["HTTP/1.0"] or ["HTTP/1.1"] *)
+  rq_headers : (string * string) list;  (** names lowercased, in order *)
+}
+
+val parse_request : string -> (request, string) result
+(** Parse a request head (request line + header lines, with or without
+    the terminating blank line). Rejects malformed request lines,
+    non-HTTP versions, header lines without a colon, and control bytes
+    embedded in the target. *)
+
+val header : request -> string -> string option
+(** Case-insensitive header lookup (first match). *)
+
+val query_int : request -> string -> int option
+
+val percent_decode : string -> string
+(** Decode [%XX] escapes (and [+] as space); invalid escapes pass
+    through verbatim. *)
+
+val read_head :
+  ?max_bytes:int -> Unix.file_descr -> (string, string) result
+(** Read from [fd] until the [CRLFCRLF] head terminator, tolerating
+    arbitrarily fragmented reads. Fails on EOF before the terminator,
+    or when [max_bytes] (default 8192) arrive without one. Any body
+    bytes after the terminator are discarded (the exporter serves GET
+    only). *)
+
+val response :
+  ?status:int * string ->
+  ?content_type:string ->
+  ?extra_headers:(string * string) list ->
+  string ->
+  string
+(** Render a full response (default status [200 OK], content type
+    [text/plain; charset=utf-8]) with [Content-Length] and
+    [Connection: close]. *)
+
+val get :
+  ?timeout_s:float ->
+  host:string ->
+  port:int ->
+  string ->
+  (int * (string * string) list * string, string) result
+(** Blocking one-shot client: [GET path] against [host:port], returning
+    (status, lowercased headers, body). The body is read to
+    [Content-Length] when present, else to EOF. [timeout_s] (default 5)
+    bounds both connect and read via [SO_RCVTIMEO]/[SO_SNDTIMEO]. *)

@@ -13,7 +13,10 @@ type summary = {
   span_stats : span_stat list;
   counter_stats : counter_stat list;
   instants : (string * int) list;
+  dropped : (int * int) list;
 }
+
+let total_dropped s = List.fold_left (fun acc (_, d) -> acc + d) 0 s.dropped
 
 type lane = {
   mutable last_ts : float;
@@ -33,6 +36,7 @@ let validate json =
       in
       let counter_acc : (string, int * float) Hashtbl.t = Hashtbl.create 16 in
       let instant_acc : (string, int) Hashtbl.t = Hashtbl.create 16 in
+      let dropped_acc : (int, int) Hashtbl.t = Hashtbl.create 4 in
       let count = ref 0 in
       let check_event i ev =
         let get field conv what =
@@ -45,7 +49,24 @@ let validate json =
         Result.bind (get "ph" Json.str_opt "string") @@ fun ph ->
         Result.bind (get "pid" Json.num_opt "number") @@ fun pid ->
         Result.bind (get "tid" Json.num_opt "number") @@ fun tid ->
-        if String.equal ph "M" then Ok ()  (* metadata: no timestamp contract *)
+        if String.equal ph "M" then begin
+          (* Metadata: no timestamp contract. [trace_dropped] carries the
+             emitting tracer's ring-eviction count (satellite of the
+             truncation-warning machinery in [stats]). *)
+          if String.equal name "trace_dropped" then begin
+            let d =
+              match
+                Option.bind (Json.member "args" ev) (Json.member "dropped")
+              with
+              | Some (Json.Num v) -> int_of_float v
+              | Some _ | None -> 0
+            in
+            let p = int_of_float pid in
+            Hashtbl.replace dropped_acc p
+              (d + Option.value ~default:0 (Hashtbl.find_opt dropped_acc p))
+          end;
+          Ok ()
+        end
         else begin
           Result.bind (get "ts" Json.num_opt "number") @@ fun ts ->
           incr count;
@@ -163,7 +184,12 @@ let validate json =
             Hashtbl.fold (fun (pid, _) _ acc -> pid :: acc) lanes []
             |> List.sort_uniq compare
           in
-          Ok { events = !count; pids; span_stats; counter_stats; instants })))
+          let dropped =
+            Hashtbl.fold (fun pid d acc -> (pid, d) :: acc) dropped_acc []
+            |> List.sort compare
+          in
+          Ok { events = !count; pids; span_stats; counter_stats; instants;
+               dropped })))
 
 let has_span summary name =
   List.exists (fun s -> String.equal s.span name) summary.span_stats

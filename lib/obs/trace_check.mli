@@ -26,7 +26,13 @@ type summary = {
   span_stats : span_stat list;  (** sorted by [total_us], largest first *)
   counter_stats : counter_stat list;  (** sorted by name *)
   instants : (string * int) list;  (** sorted by name *)
+  dropped : (int * int) list;
+      (** ring-evicted event counts per pid, from [trace_dropped]
+          metadata (see {!Tracer.to_json_events}); sorted by pid, pids
+          with no drops omitted *)
 }
+
+val total_dropped : summary -> int
 
 val validate : Json.t -> (summary, string) result
 (** Check a parsed trace file: the top level must carry a [traceEvents]

@@ -125,6 +125,29 @@ let to_json_events t =
         ("ts", Json.Num ts);
       ]
     in
+    (* Ring truncation is part of the export: downstream checkers
+       ([stats --check]/[--strict]) can only warn about evicted events
+       if the trace itself says they existed. Emitted only when events
+       were actually dropped, so untruncated traces are byte-identical
+       to what older exports produced. *)
+    let drop_meta =
+      if t.n <= t.cap then []
+      else
+        [ Json.Obj
+            [
+              ("name", Json.Str "trace_dropped");
+              ("ph", Json.Str "M");
+              ("pid", Json.Num (float_of_int t.pid));
+              ("tid", Json.Num 0.0);
+              ( "args",
+                Json.Obj
+                  [
+                    ("dropped", Json.Num (float_of_int (t.n - t.cap)));
+                    ("recorded", Json.Num (float_of_int t.n));
+                  ] );
+            ]
+        ]
+    in
     let events = ref [] in
     for idx = Array.length evs - 1 downto 0 do
       if keep.(idx) then begin
@@ -142,5 +165,5 @@ let to_json_events t =
         events := ev :: !events
       end
     done;
-    meta :: !events
+    (meta :: drop_meta) @ !events
   end

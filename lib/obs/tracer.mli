@@ -56,4 +56,7 @@ val to_json_events : t -> Json.t list
     [process_name] metadata event, then the events in chronological
     order with unmatched span halves (ring eviction, or an unclosed
     span) filtered out — the output always has balanced [B]/[E] pairs
-    and non-decreasing timestamps. *)
+    and non-decreasing timestamps. When the ring wrapped, a second
+    metadata event named [trace_dropped] carries
+    [args.dropped]/[args.recorded], so consumers ({!Trace_check}, the
+    [stats] inspector) can flag the truncation. *)

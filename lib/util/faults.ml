@@ -16,6 +16,7 @@ type t = {
   lock : Mutex.t;
   stats : (string, (int * int) ref) Hashtbl.t;  (** site -> (consulted, hit) *)
   mutable total_injected : int;
+  mutable observer : (string -> k:int -> unit) option;
 }
 
 let disabled =
@@ -28,6 +29,7 @@ let disabled =
     lock = Mutex.create ();
     stats = Hashtbl.create 1;
     total_injected = 0;
+    observer = None;
   }
 
 let check_rate what r =
@@ -53,6 +55,7 @@ let create ?(default_rate = 0.0) ?(rates = []) ?(schedule = []) ~seed () =
     lock = Mutex.create ();
     stats = Hashtbl.create 16;
     total_injected = 0;
+    observer = None;
   }
 
 let of_json j =
@@ -129,8 +132,14 @@ let should_fail t site ~k =
       cell := (c + 1, if hit then h + 1 else h)
   | None -> Hashtbl.replace t.stats site (ref (1, if hit then 1 else 0)));
   if hit then t.total_injected <- t.total_injected + 1;
+  let observer = t.observer in
   Mutex.unlock t.lock;
+  (* Outside the stats lock: the observer (an event-log append) takes
+     its own mutex, and nested locks here would pin a lock order. *)
+  if hit then Option.iter (fun f -> f site ~k) observer;
   hit
+
+let set_observer t f = if t.on then t.observer <- Some f
 
 let fire t site ~k = if should_fail t site ~k then raise (Injected site)
 

@@ -63,6 +63,12 @@ val should_fail : t -> string -> k:int -> bool
 (** Consult the plan for occurrence [k] of the site. Records the
     consultation (and the hit, if any) in {!site_stats}. *)
 
+val set_observer : t -> (string -> k:int -> unit) -> unit
+(** Install a callback invoked (outside the plan's lock, possibly from
+    a worker domain) for every fault that fires — the hook the serve
+    path uses to turn injections into structured events. A no-op on
+    {!disabled}. *)
+
 val fire : t -> string -> k:int -> unit
 (** [fire t site ~k] raises [Injected site] iff
     [should_fail t site ~k]. *)

@@ -245,7 +245,7 @@ let test_latest_valid_skips_truncated () =
       (match Snapshot.latest ~dir with
       | Some (3, _) -> ()
       | _ -> Alcotest.fail "latest should still report barrier 3");
-      match Snapshot.latest_valid ~dir with
+      match Snapshot.latest_valid ~dir () with
       | None -> Alcotest.fail "latest_valid found nothing"
       | Some (barrier, _, doc) ->
         check Alcotest.int "fell back past the torn file" 2 barrier;
@@ -383,7 +383,7 @@ let test_retry_resumes_from_snapshot () =
           (Json.Decode.run (fun () -> Json.Decode.str_field "format" doc)
           |> Result.get_ok)
       | Error e -> Alcotest.failf "failure record unparsable: %s" e);
-      match Snapshot.latest_valid ~dir with
+      match Snapshot.latest_valid ~dir () with
       | Some (b, _, _) ->
         Alcotest.(check bool) "failure record not mistaken for a snapshot"
           true (b >= 1)
@@ -427,7 +427,7 @@ let test_kill_resume_with_faults () =
   (* A tenant the cut caught before its first barrier has no snapshot
      and simply restarts from scratch — same contract as the CLI. *)
   let restore_of name =
-    match Snapshot.latest_valid ~dir:(Filename.concat root name) with
+    match Snapshot.latest_valid ~dir:(Filename.concat root name) () with
     | Some (_, _, doc) -> Some doc
     | None -> None
   in

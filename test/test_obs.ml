@@ -282,6 +282,386 @@ let test_timeseries_of_jsonl_errors () =
   | Error e -> Alcotest.fail e
 
 (* ------------------------------------------------------------------ *)
+(* Tracer drop metadata                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_tracer_drop_metadata () =
+  (* An overflowed ring must advertise its truncation in the export so
+     `stats --check` can warn (and --strict can fail). *)
+  let trace = Trace.create ~capacity:8 ~enabled:true () in
+  let tr = Trace.tracer trace ~pid:7 ~name:"hot" in
+  for _ = 1 to 50 do
+    Tracer.span tr "task" (fun () -> ())
+  done;
+  let s = validated trace in
+  (match s.Trace_check.dropped with
+  | [ (7, n) ] ->
+    check Alcotest.int "dropped count matches the tracer's" (Tracer.dropped tr) n
+  | other ->
+    Alcotest.failf "expected one dropped entry for pid 7, got %d"
+      (List.length other));
+  Alcotest.(check bool) "total_dropped positive" true
+    (Trace_check.total_dropped s > 0);
+  (* An untruncated trace carries no drop metadata at all — the export
+     bytes are unchanged for healthy rings. *)
+  let quiet = Trace.create ~enabled:true () in
+  let qt = Trace.tracer quiet ~pid:1 ~name:"cold" in
+  Tracer.span qt "task" (fun () -> ());
+  let qs = validated quiet in
+  check Alcotest.int "no drops, no metadata" 0 (Trace_check.total_dropped qs)
+
+(* ------------------------------------------------------------------ *)
+(* Events                                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Events = Sp_obs.Events
+
+let test_events_levels_and_since () =
+  let lines = ref [] in
+  let ev =
+    Events.create ~capacity:4 ~min_level:Events.Info
+      ~sink:(fun l -> lines := l :: !lines)
+      ()
+  in
+  Events.log ev ~level:Events.Debug ~kind:"noise" [];
+  check Alcotest.int "below min_level gets no seq" 0 (Events.seq ev);
+  Events.log ev ~kind:"a" [ ("x", Json.Num 1.0) ];
+  Events.log ev ~level:Events.Warn ~kind:"b" [];
+  Events.log ev ~level:Events.Error ~kind:"c" [];
+  check Alcotest.int "three accepted" 3 (Events.seq ev);
+  check Alcotest.int "sink saw each accepted event" 3 (List.length !lines);
+  (* since: strict cursor, oldest first *)
+  let all = Events.since ev 0 in
+  check
+    Alcotest.(list string)
+    "oldest first" [ "a"; "b"; "c" ]
+    (List.map (fun e -> e.Events.ev_kind) all);
+  let tail = Events.since ev 1 in
+  check
+    Alcotest.(list string)
+    "cursor is exclusive" [ "b"; "c" ]
+    (List.map (fun e -> e.Events.ev_kind) tail);
+  let warns = Events.since ~min_level:Events.Warn ev 0 in
+  check
+    Alcotest.(list string)
+    "level filter" [ "b"; "c" ]
+    (List.map (fun e -> e.Events.ev_kind) warns);
+  (* Overflow the 4-slot ring: the oldest events evict, the sink keeps
+     everything, seq stays monotone. *)
+  for i = 4 to 10 do
+    Events.log ev ~kind:(Printf.sprintf "k%d" i) []
+  done;
+  check Alcotest.int "seq counts all accepted" 10 (Events.seq ev);
+  Alcotest.(check bool) "ring evicted" true (Events.dropped ev > 0);
+  let retained = Events.since ev 0 in
+  check Alcotest.int "ring holds capacity" 4 (List.length retained);
+  check Alcotest.int "sink saw every accepted event" 10 (List.length !lines);
+  (match retained with
+  | first :: _ -> check Alcotest.int "oldest retained seq" 7 first.Events.ev_seq
+  | [] -> Alcotest.fail "ring empty");
+  (* the sink lines are the event_json serialization *)
+  (match Json.of_string (List.hd !lines) with
+  | Ok j ->
+    Alcotest.(check bool) "sink line parses to an event object" true
+      (Json.member "seq" j <> None && Json.member "kind" j <> None)
+  | Error e -> Alcotest.failf "sink line unparsable: %s" e)
+
+let test_events_null_disabled () =
+  Alcotest.(check bool) "null disabled" false (Events.enabled Events.null);
+  Events.log Events.null ~kind:"ignored" [];
+  check Alcotest.int "no seq" 0 (Events.seq Events.null);
+  check Alcotest.int "no events" 0 (List.length (Events.since Events.null 0))
+
+(* ------------------------------------------------------------------ *)
+(* HTTP parser                                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Http = Sp_obs.Http
+
+let test_http_parse_request () =
+  (match Http.parse_request "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n" with
+  | Ok r ->
+    check Alcotest.string "method" "GET" r.Http.rq_method;
+    check Alcotest.string "path" "/metrics" r.Http.rq_path;
+    check Alcotest.string "version" "HTTP/1.1" r.Http.rq_version;
+    check Alcotest.(option string) "header lowercased" (Some "x")
+      (Http.header r "HOST")
+  | Error e -> Alcotest.failf "plain GET rejected: %s" e);
+  (match
+     Http.parse_request "GET /events?since=42&level=warn HTTP/1.1\r\n\r\n"
+   with
+  | Ok r ->
+    check Alcotest.string "query stripped from path" "/events" r.Http.rq_path;
+    check Alcotest.(option int) "query_int" (Some 42) (Http.query_int r "since");
+    check Alcotest.(option int) "non-int query" None (Http.query_int r "level")
+  | Error e -> Alcotest.failf "query GET rejected: %s" e);
+  (match Http.parse_request "GET /a%20b+c HTTP/1.0\r\n\r\n" with
+  | Ok r -> check Alcotest.string "percent+plus decoded" "/a b c" r.Http.rq_path
+  | Error e -> Alcotest.failf "escaped path rejected: %s" e)
+
+let test_http_parse_hostile () =
+  let rejected head =
+    match Http.parse_request head with
+    | Ok _ -> Alcotest.failf "hostile head accepted: %S" head
+    | Error _ -> ()
+  in
+  rejected "";
+  rejected "GET";
+  rejected "GET /";
+  rejected "get /x HTTP/1.1";
+  (* lowercase method *)
+  rejected "GET x HTTP/1.1";
+  (* target must start with / *)
+  rejected "GET /x HTTP/2.0";
+  (* unsupported version *)
+  rejected "GET /x SMTP";
+  rejected "GET /\x01 HTTP/1.1";
+  (* ctl byte in target *)
+  rejected "GET /x HTTP/1.1\r\nno-colon-header\r\n";
+  rejected "GET /x HTTP/1.1\r\nbad: \x00value\r\n";
+  (* percent_decode leaves invalid escapes verbatim *)
+  check Alcotest.string "bad escape passthrough" "%zz"
+    (Http.percent_decode "%zz")
+
+let test_http_read_head_partial () =
+  (* Drip the head through a socketpair a few bytes at a time: read_head
+     must reassemble across arbitrarily fragmented reads and discard
+     body bytes after the terminator. *)
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let head = "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n" in
+  let writer =
+    Thread.create
+      (fun () ->
+        String.iteri
+          (fun _ c ->
+            ignore (Unix.write_substring a (String.make 1 c) 0 1);
+            if Char.code c mod 7 = 0 then Thread.yield ())
+          (head ^ "trailing body ignored"))
+      ()
+  in
+  (match Http.read_head b with
+  | Ok got ->
+    Alcotest.(check bool) "head recovered" true
+      (String.length got >= String.length head - 4)
+  | Error e -> Alcotest.failf "read_head failed: %s" e);
+  Thread.join writer;
+  Unix.close a;
+  Unix.close b;
+  (* EOF before the terminator is an error, not a hang *)
+  let c, d = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  ignore (Unix.write_substring c "GET / HTTP/1.1\r\n" 0 16);
+  Unix.close c;
+  (match Http.read_head d with
+  | Ok _ -> Alcotest.fail "truncated head accepted"
+  | Error _ -> ());
+  Unix.close d;
+  (* an oversized head is rejected by the size cap *)
+  let e, f = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let flood = Thread.create (fun () ->
+      try
+        ignore
+          (Unix.write_substring e (String.make 9000 'A') 0 9000)
+      with Unix.Unix_error _ -> ()) ()
+  in
+  (match Http.read_head ~max_bytes:1024 f with
+  | Ok _ -> Alcotest.fail "oversized head accepted"
+  | Error _ -> ());
+  Unix.close f;
+  Thread.join flood;
+  Unix.close e
+
+(* ------------------------------------------------------------------ *)
+(* Exposition                                                           *)
+(* ------------------------------------------------------------------ *)
+
+module Exposition = Sp_obs.Exposition
+
+let test_exposition_render_validate () =
+  let metrics =
+    [ Exposition.metric ~help:"total things" Exposition.Counter "things_total"
+        42.0;
+      Exposition.metric
+        ~labels:[ ("tenant", "al\"pha\n\\") ]
+        Exposition.Gauge "tenant_state" 1.0;
+      Exposition.metric
+        ~labels:[ ("tenant", "beta") ]
+        Exposition.Gauge "tenant_state" 0.0;
+      Exposition.metric Exposition.Gauge "weird_values" Float.nan;
+      Exposition.metric Exposition.Gauge "more_values" Float.infinity
+    ]
+  in
+  let text = Exposition.render metrics in
+  (match Exposition.validate text with
+  | Ok x ->
+    check Alcotest.int "families" 4 x.Exposition.x_families;
+    check Alcotest.int "samples" 5 x.Exposition.x_samples;
+    check
+      Alcotest.(list string)
+      "first-seen family order"
+      [ "things_total"; "tenant_state"; "weird_values"; "more_values" ]
+      x.Exposition.x_names
+  | Error e -> Alcotest.failf "renderer output rejected: %s\n%s" e text);
+  Alcotest.(check bool) "label value escaped" true
+    (let needle = {|al\"pha\n\\|} in
+     let n = String.length needle in
+     let rec go i =
+       i + n <= String.length text
+       && (String.sub text i n = needle || go (i + 1))
+     in
+     go 0);
+  (* sanitize_name maps internal dotted names into the charset *)
+  check Alcotest.string "sanitize dots" "scheduler_execs_total"
+    (Exposition.sanitize_name "scheduler.execs_total");
+  check Alcotest.string "sanitize leading digit" "_9lives"
+    (Exposition.sanitize_name "9lives");
+  (* invalid names raise rather than emit a corrupt payload *)
+  (match Exposition.render [ Exposition.metric Exposition.Gauge "bad name" 0.0 ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "invalid metric name accepted");
+  (match
+     Exposition.render
+       [ Exposition.metric ~labels:[ ("bad label", "v") ] Exposition.Gauge "m" 0.0 ]
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "invalid label name accepted")
+
+let test_exposition_validator_rejects () =
+  let rejected text =
+    match Exposition.validate text with
+    | Ok _ -> Alcotest.failf "accepted: %S" text
+    | Error _ -> ()
+  in
+  rejected "no_type_decl 1\n";
+  (* sample before TYPE *)
+  rejected "# TYPE m counter\n# TYPE m counter\nm 1\n";
+  (* duplicate TYPE *)
+  rejected "# TYPE m counter\nm not-a-number\n";
+  rejected "# TYPE m counter\nm{unclosed=\"v\" 1\n";
+  match Exposition.validate "# TYPE m counter\nm{l=\"v\"} 1\nm 2\n" with
+  | Ok x -> check Alcotest.int "two samples, one family" 2 x.Exposition.x_samples
+  | Error e -> Alcotest.failf "valid payload rejected: %s" e
+
+(* ------------------------------------------------------------------ *)
+(* Exporter                                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Exporter = Sp_obs.Exporter
+
+let test_exporter_end_to_end () =
+  let ev = Events.create () in
+  Events.log ev ~kind:"boot" [ ("ok", Json.Bool true) ];
+  let ex = Exporter.create ~events:ev () in
+  Exporter.publish ex
+    {
+      Exporter.p_metrics =
+        [ Exposition.metric Exposition.Counter "snowplow_scheduler_slices" 3.0 ];
+      p_health = Json.Obj [ ("status", Json.Str "ok") ];
+      p_tenants = Json.Arr [ Json.Obj [ ("name", Json.Str "alpha") ] ];
+    };
+  match Exporter.start ex ~port:0 with
+  | Error e -> Alcotest.failf "start: %s" e
+  | Ok port ->
+    Fun.protect ~finally:(fun () -> Exporter.stop ex) @@ fun () ->
+    let get path =
+      match Http.get ~host:"127.0.0.1" ~port path with
+      | Ok r -> r
+      | Error e -> Alcotest.failf "GET %s: %s" path e
+    in
+    let code, _, metrics = get "/metrics" in
+    check Alcotest.int "/metrics 200" 200 code;
+    (match Exposition.validate metrics with
+    | Ok x ->
+      Alcotest.(check bool) "published family served" true
+        (List.mem "snowplow_scheduler_slices" x.Exposition.x_names)
+    | Error e -> Alcotest.failf "/metrics invalid: %s" e);
+    let code, _, health = get "/health" in
+    check Alcotest.int "/health 200" 200 code;
+    check Alcotest.string "/health body" {|{"status":"ok"}|}
+      (String.trim health);
+    let code, _, tenants = get "/tenants" in
+    check Alcotest.int "/tenants 200" 200 code;
+    check Alcotest.string "/tenants body" {|[{"name":"alpha"}]|}
+      (String.trim tenants);
+    let code, _, events_body = get "/events?since=0" in
+    check Alcotest.int "/events 200" 200 code;
+    (match Json.of_string events_body with
+    | Ok j ->
+      (* the exporter logs its own exporter.start event after boot *)
+      (match Option.bind (Json.member "events" j) Json.arr_opt with
+      | Some (e1 :: _ as evs) ->
+        check Alcotest.(option string) "first event kind served" (Some "boot")
+          (Option.bind (Json.member "kind" e1) Json.str_opt);
+        check Alcotest.int "both events served" 2 (List.length evs)
+      | _ ->
+        Alcotest.failf "/events: expected events, got %s" events_body);
+      check Alcotest.(option (float 0.0)) "next cursor" (Some 2.0)
+        (Option.bind (Json.member "next" j) Json.num_opt)
+    | Error e -> Alcotest.failf "/events unparsable: %s" e);
+    (* the since cursor is exclusive: seq 1 is skipped *)
+    let _, _, tail_body = get "/events?since=1" in
+    (match Json.of_string tail_body with
+    | Ok j ->
+      (match Option.bind (Json.member "events" j) Json.arr_opt with
+      | Some evs ->
+        Alcotest.(check bool) "cursor excludes seq 1" true
+          (List.for_all
+             (fun e ->
+               Option.bind (Json.member "seq" e) Json.num_opt
+               |> Option.value ~default:0.0 > 1.0)
+             evs)
+      | None -> Alcotest.fail "/events tail: missing events array")
+    | Error e -> Alcotest.failf "/events tail unparsable: %s" e);
+    let code, _, _ = get "/nope" in
+    check Alcotest.int "404 for unknown path" 404 code;
+    let code, _, _ = get "/events?level=bogus" in
+    check Alcotest.int "400 for a bad level" 400 code;
+    (* a republish swaps what subsequent scrapes see *)
+    Exporter.publish ex
+      {
+        Exporter.p_metrics = [];
+        p_health = Json.Obj [ ("status", Json.Str "degraded") ];
+        p_tenants = Json.Arr [];
+      };
+    let _, _, health2 = get "/health" in
+    check Alcotest.string "republished health" {|{"status":"degraded"}|}
+      (String.trim health2)
+
+let test_exporter_concurrent_scrapes () =
+  let ex = Exporter.create () in
+  Exporter.publish ex
+    {
+      Exporter.p_metrics =
+        [ Exposition.metric Exposition.Gauge "snowplow_up" 1.0 ];
+      p_health = Json.Obj [ ("status", Json.Str "ok") ];
+      p_tenants = Json.Arr [];
+    };
+  match Exporter.start ex ~port:0 with
+  | Error e -> Alcotest.failf "start: %s" e
+  | Ok port ->
+    Fun.protect ~finally:(fun () -> Exporter.stop ex) @@ fun () ->
+    let failures = Atomic.make 0 in
+    let scraper _ =
+      Thread.create
+        (fun () ->
+          for _ = 1 to 10 do
+            match Http.get ~host:"127.0.0.1" ~port "/metrics" with
+            | Ok (200, _, body) -> (
+              match Exposition.validate body with
+              | Ok _ -> ()
+              | Error _ -> Atomic.incr failures)
+            | Ok _ | Error _ -> Atomic.incr failures
+          done)
+        ()
+    in
+    let threads = List.init 4 scraper in
+    List.iter Thread.join threads;
+    check Alcotest.int "every concurrent scrape succeeded" 0
+      (Atomic.get failures);
+    (* stop is idempotent and wakes the accept loop *)
+    Exporter.stop ex;
+    Exporter.stop ex
+
+(* ------------------------------------------------------------------ *)
 
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
 
@@ -326,5 +706,39 @@ let () =
           Alcotest.test_case "csv shape" `Quick test_timeseries_csv;
           Alcotest.test_case "of_jsonl validation" `Quick
             test_timeseries_of_jsonl_errors;
+        ] );
+      ( "tracer-drops",
+        [
+          Alcotest.test_case "truncation rides the export as metadata"
+            `Quick test_tracer_drop_metadata;
+        ] );
+      ( "events",
+        [
+          Alcotest.test_case "levels, since cursor, ring eviction, sink"
+            `Quick test_events_levels_and_since;
+          Alcotest.test_case "null log is inert" `Quick
+            test_events_null_disabled;
+        ] );
+      ( "http",
+        [
+          Alcotest.test_case "request parsing" `Quick test_http_parse_request;
+          Alcotest.test_case "hostile heads rejected" `Quick
+            test_http_parse_hostile;
+          Alcotest.test_case "read_head reassembles partial reads" `Quick
+            test_http_read_head_partial;
+        ] );
+      ( "exposition",
+        [
+          Alcotest.test_case "render/validate round-trip" `Quick
+            test_exposition_render_validate;
+          Alcotest.test_case "validator rejects malformed payloads" `Quick
+            test_exposition_validator_rejects;
+        ] );
+      ( "exporter",
+        [
+          Alcotest.test_case "endpoints end-to-end" `Quick
+            test_exporter_end_to_end;
+          Alcotest.test_case "concurrent scrapes" `Quick
+            test_exporter_concurrent_scrapes;
         ] );
     ]

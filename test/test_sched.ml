@@ -216,6 +216,132 @@ let test_validation () =
   | Error _ -> ()
 
 (* ------------------------------------------------------------------ *)
+(* Telemetry plane                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The per-tenant object served by the exporter's /tenants endpoint is
+   part of the scrape contract: pin its exact bytes. *)
+let test_tenant_status_golden () =
+  check Alcotest.string "/tenants object, exact bytes"
+    ("{\"name\":\"alpha\",\"weight\":2,\"state\":\"healthy\",\"pass\":450.5,"
+    ^ "\"barrier\":3,\"slices\":7,\"executions\":420,"
+    ^ "\"budget_remaining\":80,\"retries\":1}")
+    (Json.to_string
+       (Scheduler.tenant_status_json
+          { Scheduler.ts_name = "alpha";
+            ts_weight = 2.0;
+            ts_state = "healthy";
+            ts_pass = 450.5;
+            ts_barrier = 3;
+            ts_slices = 7;
+            ts_executions = 420;
+            ts_budget_remaining = Some 80;
+            ts_retries = 1 }));
+  check Alcotest.string "unbudgeted tenant serialises null"
+    ("{\"name\":\"beta\",\"weight\":1,\"state\":\"quarantined\",\"pass\":900,"
+    ^ "\"barrier\":0,\"slices\":0,\"executions\":0,"
+    ^ "\"budget_remaining\":null,\"retries\":3}")
+    (Json.to_string
+       (Scheduler.tenant_status_json
+          { Scheduler.ts_name = "beta";
+            ts_weight = 1.0;
+            ts_state = "quarantined";
+            ts_pass = 900.0;
+            ts_barrier = 0;
+            ts_slices = 0;
+            ts_executions = 0;
+            ts_budget_remaining = None;
+            ts_retries = 3 }))
+
+let snapshot_dir_bytes root =
+  Sys.readdir root |> Array.to_list |> List.sort compare
+  |> List.map (fun name ->
+         let ic = open_in_bin (Filename.concat root name) in
+         let s = really_input_string ic (in_channel_length ic) in
+         close_in ic;
+         (name, s))
+
+let contains_sub hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* The load-bearing property of the telemetry plane: arming the exporter
+   and the event log must not change one byte of any report or any
+   snapshot — scrapes read only barrier-published immutable payloads. *)
+let test_armed_vs_unarmed_identity () =
+  let baseline =
+    with_dir "sched-unarmed" (fun root ->
+        run_ok ~workers:2 (roster ~snapshot_root:root ()))
+  in
+  let events = Sp_obs.Events.create () in
+  let exporter = Sp_obs.Exporter.create ~events () in
+  let port =
+    match Sp_obs.Exporter.start exporter ~port:0 with
+    | Ok p -> p
+    | Error e -> Alcotest.failf "exporter failed to start: %s" e
+  in
+  let armed =
+    Fun.protect
+      ~finally:(fun () -> Sp_obs.Exporter.stop exporter)
+      (fun () ->
+        with_dir "sched-armed" (fun root ->
+            let r =
+              match
+                Scheduler.run ~workers:2 ~events
+                  ~telemetry:(Scheduler.telemetry exporter)
+                  (roster ~snapshot_root:root ())
+              with
+              | Ok r -> r
+              | Error e -> Alcotest.failf "armed run failed: %s" e
+            in
+            (* The plane was really live: the final publication is
+               scrapeable and names every tenant. *)
+            (match Sp_obs.Http.get ~host:"127.0.0.1" ~port "/tenants" with
+            | Ok (200, _, body) ->
+              List.iter
+                (fun name ->
+                  Alcotest.(check bool)
+                    (name ^ " appears in /tenants") true
+                    (contains_sub body ("\"name\":\"" ^ name ^ "\"")))
+                [ "alpha"; "beta"; "gamma" ]
+            | Ok (code, _, _) -> Alcotest.failf "/tenants -> HTTP %d" code
+            | Error e -> Alcotest.failf "/tenants scrape failed: %s" e);
+            r))
+  in
+  check
+    (Alcotest.list Alcotest.string)
+    "identical schedule" baseline.Scheduler.sr_schedule
+    armed.Scheduler.sr_schedule;
+  List.iter2
+    (fun a b ->
+      check Alcotest.string
+        (a.Scheduler.tr_name ^ " report bytes unchanged by telemetry")
+        (report_bytes a.Scheduler.tr_report)
+        (report_bytes b.Scheduler.tr_report))
+    baseline.Scheduler.sr_tenants armed.Scheduler.sr_tenants;
+  List.iter
+    (fun name ->
+      check
+        (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.string))
+        (name ^ " snapshots byte-identical")
+        (snapshot_dir_bytes (Filename.concat "sched-unarmed" name))
+        (snapshot_dir_bytes (Filename.concat "sched-armed" name)))
+    [ "alpha"; "beta"; "gamma" ];
+  (* The event stream saw the run: scheduler.start first, and a
+     scheduler.finish among the retained tail. *)
+  Alcotest.(check bool) "events recorded" true (Sp_obs.Events.seq events > 0);
+  let kinds =
+    Sp_obs.Events.since ~min_level:Sp_obs.Events.Debug events 0
+    |> List.filter_map (fun e ->
+           match Json.member "kind" (Sp_obs.Events.event_json e) with
+           | Some (Json.Str k) -> Some k
+           | _ -> None)
+  in
+  Alcotest.(check bool) "scheduler.finish event present" true
+    (List.mem "scheduler.finish" kinds)
+
+(* ------------------------------------------------------------------ *)
 (* Model test: accounting invariants                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -345,4 +471,9 @@ let () =
           Alcotest.test_case "stride schedule, hand-computed" `Quick
             test_stride_schedule_golden;
           Alcotest.test_case "validation" `Quick test_validation ] );
+      ( "telemetry",
+        [ Alcotest.test_case "/tenants status object golden" `Quick
+            test_tenant_status_golden;
+          Alcotest.test_case "armed vs unarmed byte identity" `Quick
+            test_armed_vs_unarmed_identity ] );
       ("model", [ qtest qcheck_scheduler_model ]) ]
